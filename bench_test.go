@@ -1,0 +1,145 @@
+package repro
+
+// One benchmark per experiment of EXPERIMENTS.md (the paper is a theory
+// result; each experiment regenerates the measurements standing in for one
+// quantitative claim — see DESIGN.md §3). The same harness backs cmd/bench,
+// which prints the full series.
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOut receives the regenerated tables (printed once per benchmark).
+var benchOut io.Writer = os.Stdout
+
+// BenchmarkE1LabelSizeVsBaseline regenerates the Theorem 1 vs FMRT label
+// size comparison (Θ(log n) vs Θ(log² n)).
+func BenchmarkE1LabelSizeVsBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E1LabelSize([]int{32, 128, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE1(benchOut, rows)
+			b.ReportMetric(float64(rows[len(rows)-1].CoreBits), "core-bits@512")
+			b.ReportMetric(float64(rows[len(rows)-1].BaselineBits), "base-bits@512")
+		}
+	}
+}
+
+// BenchmarkE2CongestionBounds regenerates the Proposition 4.6 lane and
+// congestion measurements (greedy vs the paper's recursive construction).
+func BenchmarkE2CongestionBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E2Congestion(1, 2, []int{64, 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE2(benchOut, 2, rows)
+			b.ReportMetric(float64(rows[len(rows)-1].PaperCong), "paper-congestion")
+		}
+	}
+}
+
+// BenchmarkE3HierarchyDepth regenerates the Observation 5.5 depth
+// measurement (≤ 2k).
+func BenchmarkE3HierarchyDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E3Depth(1, []int{2, 3, 4}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE3(benchOut, rows)
+			b.ReportMetric(float64(rows[len(rows)-1].MaxDepth), "max-depth@k4")
+		}
+	}
+}
+
+// BenchmarkE4PointingScheme regenerates the Proposition 2.2 label-size
+// measurement.
+func BenchmarkE4PointingScheme(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E4Pointing([]int{16, 256, 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE4(benchOut, rows)
+			b.ReportMetric(rows[len(rows)-1].PerLog, "bits/log-n")
+		}
+	}
+}
+
+// BenchmarkE5SoundnessDetection regenerates the corruption-detection
+// measurement (Theorem 1 soundness).
+func BenchmarkE5SoundnessDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E5Soundness(1, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE5(benchOut, rows)
+			for _, r := range rows {
+				if r.Detected != r.Injected {
+					b.Fatalf("fault %s: %d/%d detected", r.Fault, r.Detected, r.Injected)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE6PathVsCycle regenerates the Ω(log n) lower-bound scenario
+// (accept paths, reject cycles).
+func BenchmarkE6PathVsCycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E6LowerBound([]int{8, 16, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE6(benchOut, rows)
+			for _, r := range rows {
+				if r.ForgedCaught != r.ForgedTrials {
+					b.Fatalf("n=%d: %d/%d forged cycles caught", r.N, r.ForgedCaught, r.ForgedTrials)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE7MinorFree regenerates the Corollary 1.2 experiment
+// (F-minor-free certification for the forest F = K₁,₃).
+func BenchmarkE7MinorFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E7MinorFree()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE7(benchOut, rows)
+		}
+	}
+}
+
+// BenchmarkE8ProveAndVerify regenerates the scaling measurement: prover
+// wall time and per-vertex verification time.
+func BenchmarkE8ProveAndVerify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E8Scaling([]int{64, 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE8(benchOut, rows)
+			b.ReportMetric(rows[len(rows)-1].VerifyPerVtxUS, "verify-µs/vtx")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command bench runs the E1–E8 experiment harness of EXPERIMENTS.md and
+// prints the measured series. Each experiment regenerates the measurements
+// standing in for one of the paper's quantitative claims:
+//
+//	bench            # run all experiments
+//	bench -exp e1    # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		exp  = fs.String("exp", "all", "experiment to run: e1..e8 or all")
+		seed = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := func(name string) bool {
+		return *exp == "all" || strings.EqualFold(*exp, name)
+	}
+	out := os.Stdout
+	ran := false
+
+	if want("e1") {
+		rows, err := experiments.E1LabelSize([]int{32, 128, 512, 2048, 8192})
+		if err != nil {
+			return err
+		}
+		experiments.PrintE1(out, rows)
+		for _, prop := range []algebra.Property{algebra.Colorable{Q: 3}, algebra.Acyclic{}} {
+			rows, err := experiments.E1LabelSizeFor(prop, []int{32, 128, 512, 2048})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "E1b same sweep, φ = %s\n", prop.Name())
+			for _, r := range rows {
+				fmt.Fprintf(out, "%8d %12d %12.1f\n", r.N, r.CoreBits, r.CorePerLog)
+			}
+		}
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("e2") {
+		for _, k := range []int{2, 3} {
+			rows, err := experiments.E2Congestion(*seed, k, []int{64, 256, 1024})
+			if err != nil {
+				return err
+			}
+			experiments.PrintE2(out, k, rows)
+			fmt.Fprintln(out)
+		}
+		ran = true
+	}
+	if want("e3") {
+		rows, err := experiments.E3Depth(*seed, []int{2, 3, 4, 5, 6}, 60)
+		if err != nil {
+			return err
+		}
+		experiments.PrintE3(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("e4") {
+		rows, err := experiments.E4Pointing([]int{16, 256, 4096, 65536})
+		if err != nil {
+			return err
+		}
+		experiments.PrintE4(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("e5") {
+		rows, err := experiments.E5Soundness(*seed, 200)
+		if err != nil {
+			return err
+		}
+		experiments.PrintE5(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("e6") {
+		rows, err := experiments.E6LowerBound([]int{8, 16, 32, 64})
+		if err != nil {
+			return err
+		}
+		experiments.PrintE6(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("e7") {
+		rows, err := experiments.E7MinorFree()
+		if err != nil {
+			return err
+		}
+		experiments.PrintE7(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("e8") {
+		rows, err := experiments.E8Scaling([]int{64, 256, 1024, 4096})
+		if err != nil {
+			return err
+		}
+		experiments.PrintE8(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMakeProperty(t *testing.T) {
+	for _, name := range []string{
+		"bipartite", "3color", "acyclic", "matching", "hamiltonian",
+		"evenedges", "vc:3", "maxdeg:2", "dominating", "independent",
+	} {
+		if _, err := makeProperty(name); err != nil {
+			t.Errorf("makeProperty(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"", "frobnicate", "vc:x", "maxdeg:"} {
+		if _, err := makeProperty(name); err == nil {
+			t.Errorf("makeProperty(%q) should fail", name)
+		}
+	}
+}
+
+func TestMakeGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []string{"path", "cycle", "caterpillar", "lobster", "ladder", "spider", "interval"} {
+		g, err := makeGraph(rng, kind, 12, 2)
+		if err != nil {
+			t.Errorf("makeGraph(%q): %v", kind, err)
+			continue
+		}
+		if g.N() == 0 {
+			t.Errorf("makeGraph(%q): empty graph", kind)
+		}
+	}
+	if _, err := makeGraph(rng, "torus", 12, 2); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "path", "-n", "10", "-prop", "bipartite"},
+		{"-graph", "cycle", "-n", "8", "-prop", "matching", "-dist"},
+		{"-graph", "caterpillar", "-n", "12", "-prop", "acyclic", "-corrupt", "flip-class"},
+		{"-graph", "cycle", "-n", "7", "-prop", "bipartite"}, // property fails: graceful
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	if err := run([]string{"-prop", "nope"}); err == nil {
+		t.Error("bad property accepted")
+	}
+}

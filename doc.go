@@ -1,0 +1,10 @@
+// Package repro is a Go reproduction of "Optimal local certification on
+// graphs of bounded pathwidth" (Baterisna & Chang, PODC 2025,
+// arXiv:2502.00676): O(log n)-bit proof labeling schemes for every supported
+// MSO₂ property on bounded-pathwidth graphs, with all substrates implemented
+// from scratch.
+//
+// The library lives in internal/ packages (see DESIGN.md for the map);
+// cmd/certify and cmd/bench are the executables, examples/ holds runnable
+// walkthroughs, and bench_test.go regenerates the EXPERIMENTS.md series.
+package repro

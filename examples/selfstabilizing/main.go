@@ -1,0 +1,74 @@
+// Self-stabilization scenario (the paper's Section 1 motivation): a network
+// maintains a certified invariant; transient faults corrupt label memory;
+// the one-round verification detects the corruption so the system can
+// re-run the prover. This example runs the loop on the goroutine-per-vertex
+// network simulator, injecting every fault kind in turn.
+//
+//	go run ./examples/selfstabilizing
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/algebra"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gen"
+)
+
+func main() {
+	g := gen.Lobster(6, 1)
+	scheme := core.NewScheme(algebra.Acyclic{}, 6)
+	cfg := cert.NewConfig(g)
+	net := dist.NewNetwork(cfg, scheme)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+
+	labeling, stats, err := scheme.Prove(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network of %d processors certified %q (%d-bit labels)\n",
+		g.N(), "spanning structure is a tree", stats.MaxLabelBits)
+
+	res, err := net.Run(ctx, labeling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steady state: accepted=%v\n\n", res.Accepted())
+
+	for round, fault := range dist.AllFaults {
+		mutated, ok := dist.Inject(rng, labeling, fault)
+		if !ok {
+			log.Fatalf("fault %v not injectable", fault)
+		}
+		res, err := net.Run(ctx, mutated)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Accepted() {
+			log.Fatalf("round %d: fault %v went UNDETECTED — soundness violated", round, fault)
+		}
+		fmt.Printf("round %d: transient fault %-16s detected by processors %v\n",
+			round, fault, res.Rejected)
+
+		// Recovery: the self-stabilizing system re-runs the prover.
+		labeling, _, err = scheme.Prove(cfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = net.Run(ctx, labeling)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Accepted() {
+			log.Fatalf("round %d: recovery failed", round)
+		}
+		fmt.Printf("round %d: re-proved, network stable again\n", round)
+	}
+	fmt.Println("\nevery injected fault was detected within one verification round")
+}

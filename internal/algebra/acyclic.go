@@ -1,0 +1,185 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Acyclic is the "real subgraph is a forest" property. Its table is the
+// partition of the boundary vertices into real-edge connected components
+// plus a cycle flag; gluing two vertices whose components are already
+// connected closes a cycle.
+//
+// Since the certified graph is always connected (Section 5.3), accepting
+// Acyclic on it certifies that it is a tree. K3-minor-freeness is exactly
+// acyclicity, so this algebra also covers the smallest minor-free class.
+type Acyclic struct{}
+
+var _ Property = Acyclic{}
+
+// Name implements Property.
+func (Acyclic) Name() string { return "acyclic" }
+
+type acyclicTable struct {
+	comp     []int // component id per boundary vertex, first-appearance order
+	hasCycle bool
+}
+
+var _ Permutable = (*acyclicTable)(nil)
+
+func (t *acyclicTable) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "acy:%v:", t.hasCycle)
+	for _, c := range t.comp {
+		fmt.Fprintf(&sb, "%d,", c)
+	}
+	return sb.String()
+}
+
+// Permute implements Permutable.
+func (t *acyclicTable) Permute(perm []int) Table {
+	comp := make([]int, len(t.comp))
+	for i, c := range t.comp {
+		comp[perm[i]] = c
+	}
+	return &acyclicTable{comp: canonComp(comp), hasCycle: t.hasCycle}
+}
+
+// canonComp renames component ids by first appearance.
+func canonComp(comp []int) []int {
+	rename := map[int]int{}
+	out := make([]int, len(comp))
+	for i, c := range comp {
+		id, ok := rename[c]
+		if !ok {
+			id = len(rename)
+			rename[c] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// Base implements Property.
+func (Acyclic) Base(bg *BGraph, boundary []graph.Vertex) (Table, error) {
+	real := bg.RealSubgraph()
+	compOf := make([]int, real.N())
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	for id, comp := range real.Components() {
+		for _, v := range comp {
+			compOf[v] = id
+		}
+	}
+	t := &acyclicTable{hasCycle: !real.IsAcyclic()}
+	t.comp = make([]int, len(boundary))
+	for i, bv := range boundary {
+		t.comp[i] = compOf[bv]
+	}
+	t.comp = canonComp(t.comp)
+	return t, nil
+}
+
+// Join implements Property.
+func (Acyclic) Join(a, b Table, spec JoinSpec) (Table, error) {
+	ta, ok := a.(*acyclicTable)
+	if !ok {
+		return nil, fmt.Errorf("acyclic: bad left table %T", a)
+	}
+	tb, ok := b.(*acyclicTable)
+	if !ok {
+		return nil, fmt.Errorf("acyclic: bad right table %T", b)
+	}
+	cycle := ta.hasCycle || tb.hasCycle
+	// Union-find over side components: A components first, then B.
+	maxA, maxB := maxComp(ta.comp), maxComp(tb.comp)
+	uf := newUnionFind(maxA + 1 + maxB + 1)
+	sideComp := func(side int, c int) int {
+		if side == 0 {
+			return c
+		}
+		return maxA + 1 + c
+	}
+	// Gluing: merged nodes with preimages on both sides connect their
+	// components; reconnecting an already-connected pair closes a cycle.
+	preA := make([]int, spec.NM)
+	preB := make([]int, spec.NM)
+	for i := range preA {
+		preA[i], preB[i] = -1, -1
+	}
+	for i := 0; i < spec.NA; i++ {
+		preA[spec.MapA[i]] = i
+	}
+	for j := 0; j < spec.NB; j++ {
+		preB[spec.MapB[j]] = j
+	}
+	for m := 0; m < spec.NM; m++ {
+		if preA[m] >= 0 && preB[m] >= 0 {
+			ca := sideComp(0, ta.comp[preA[m]])
+			cb := sideComp(1, tb.comp[preB[m]])
+			if uf.find(ca) == uf.find(cb) {
+				cycle = true
+			} else {
+				uf.union(ca, cb)
+			}
+		}
+	}
+	// Component id of a merged node.
+	nodeComp := func(m int) (int, error) {
+		switch {
+		case preA[m] >= 0:
+			return uf.find(sideComp(0, ta.comp[preA[m]])), nil
+		case preB[m] >= 0:
+			return uf.find(sideComp(1, tb.comp[preB[m]])), nil
+		default:
+			return 0, fmt.Errorf("acyclic: merged node %d has no preimage", m)
+		}
+	}
+	if spec.Bridge != nil && spec.BridgeLabel == EdgeReal {
+		cu, err := nodeComp(spec.Bridge[0])
+		if err != nil {
+			return nil, err
+		}
+		cv, err := nodeComp(spec.Bridge[1])
+		if err != nil {
+			return nil, err
+		}
+		if uf.find(cu) == uf.find(cv) {
+			cycle = true
+		} else {
+			uf.union(cu, cv)
+		}
+	}
+	out := &acyclicTable{hasCycle: cycle, comp: make([]int, len(spec.Res))}
+	for i, m := range spec.Res {
+		c, err := nodeComp(m)
+		if err != nil {
+			return nil, err
+		}
+		out.comp[i] = uf.find(c)
+	}
+	out.comp = canonComp(out.comp)
+	return out, nil
+}
+
+// Accept implements Property.
+func (Acyclic) Accept(t Table) (bool, error) {
+	at, ok := t.(*acyclicTable)
+	if !ok {
+		return false, fmt.Errorf("acyclic: bad table %T", t)
+	}
+	return !at.hasCycle, nil
+}
+
+func maxComp(comp []int) int {
+	best := 0
+	for _, c := range comp {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

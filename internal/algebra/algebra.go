@@ -1,0 +1,422 @@
+// Package algebra implements the homomorphism classes of Propositions 2.4
+// and 6.1 constructively: for each supported graph property it provides a
+// finite-state boundary dynamic program whose states compose under
+// Bridge-merge (fB) and Parent-merge (fP). A class is all the verifier needs
+// to decide the property of a k-lane recursive graph, and classes are
+// interned into a registry so that labels carry only a compact class id —
+// exactly as in the paper, where the finite set C is part of the verifier's
+// algorithm, not of the proof.
+//
+// Properties are evaluated on the "real" subgraph: every edge carries an
+// input label, and by the convention of Theorem 1, label 1 marks edges of
+// the certified graph G inside its completion G' (virtual completion edges
+// carry label 0).
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// EdgeReal is the edge label marking a real edge of the certified subgraph.
+const EdgeReal = 1
+
+// BGraph is an explicit boundaried, labeled k-lane graph: the payload of a
+// V-, E- or P-node, handed to the brute-force base-class computation.
+type BGraph struct {
+	G      *graph.Graph
+	Lanes  []int
+	In     map[int]graph.Vertex
+	Out    map[int]graph.Vertex
+	VLabel []int              // per-vertex input label (0 if none)
+	ELabel map[graph.Edge]int // per-edge input label (EdgeReal marks real)
+}
+
+// RealSubgraph returns the subgraph of real edges.
+func (bg *BGraph) RealSubgraph() *graph.Graph {
+	sub := graph.New(bg.G.N())
+	for _, e := range bg.G.Edges() {
+		if bg.ELabel[e] == EdgeReal {
+			sub.MustAddEdge(e.U, e.V)
+		}
+	}
+	return sub
+}
+
+// Table is a property-specific canonical summary of a boundaried graph
+// relative to an ordered list of boundary vertices.
+type Table interface {
+	// Key returns a canonical encoding; equal keys mean equal tables.
+	Key() string
+}
+
+// JoinSpec tells a property how two boundaried graphs are being combined.
+// The merged object has NM boundary nodes; operand A's i-th boundary vertex
+// becomes node MapA[i] and operand B's j-th becomes MapB[j] (gluing is
+// expressed by mapping to the same node). Res lists the merged nodes that
+// remain boundary in the result, in result order; all other merged nodes are
+// internalized. Bridge, when non-nil, adds an edge between two merged nodes
+// with label BridgeLabel.
+type JoinSpec struct {
+	NA, NB      int
+	MapA, MapB  []int
+	NM          int
+	Res         []int
+	Bridge      *[2]int
+	BridgeLabel int
+}
+
+// Property is one homomorphism-class dynamic program.
+type Property interface {
+	// Name identifies the property (used in registries and reports).
+	Name() string
+	// Base computes the table of an explicit boundaried graph with the
+	// given ordered boundary vertices (brute force; graphs are tiny).
+	Base(bg *BGraph, boundary []graph.Vertex) (Table, error)
+	// Join combines two tables per the spec.
+	Join(a, b Table, spec JoinSpec) (Table, error)
+	// Accept decides the property from the table of the complete graph
+	// (whose remaining boundary vertices are ordinary vertices).
+	Accept(t Table) (bool, error)
+}
+
+// End distinguishes the two terminals of a lane.
+type End int
+
+const (
+	// EndIn marks a lane's in-terminal.
+	EndIn End = iota + 1
+	// EndOut marks a lane's out-terminal.
+	EndOut
+)
+
+// Slot is one terminal position of a k-lane graph.
+type Slot struct {
+	Lane int
+	End  End
+}
+
+func slotLess(a, b Slot) bool {
+	if a.Lane != b.Lane {
+		return a.Lane < b.Lane
+	}
+	return a.End < b.End
+}
+
+// Class is the homomorphism class h*(G) of Proposition 6.1: the lane set,
+// the identification pattern of terminal slots (the ξ∘φ data), and the
+// property table indexed by the distinct boundary vertices.
+type Class struct {
+	Lanes []int
+	// SlotOf maps each slot of each lane to a boundary index in 0..NB-1.
+	// Slots mapping to the same index share a vertex.
+	SlotOf map[Slot]int
+	NB     int
+	Table  Table
+}
+
+// Key returns the canonical encoding of the class.
+func (c *Class) Key() string {
+	var sb strings.Builder
+	sb.WriteString("L")
+	for _, l := range c.Lanes {
+		fmt.Fprintf(&sb, "%d,", l)
+	}
+	sb.WriteString("|S")
+	slots := make([]Slot, 0, len(c.SlotOf))
+	for s := range c.SlotOf {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slotLess(slots[i], slots[j]) })
+	for _, s := range slots {
+		fmt.Fprintf(&sb, "%d.%d=%d,", s.Lane, s.End, c.SlotOf[s])
+	}
+	sb.WriteString("|T")
+	sb.WriteString(c.Table.Key())
+	return sb.String()
+}
+
+// BaseClass computes the class of an explicit boundaried graph.
+func BaseClass(prop Property, bg *BGraph) (*Class, error) {
+	if len(bg.Lanes) == 0 {
+		return nil, fmt.Errorf("algebra: base graph has no lanes")
+	}
+	c := &Class{
+		Lanes:  append([]int(nil), bg.Lanes...),
+		SlotOf: map[Slot]int{},
+	}
+	sort.Ints(c.Lanes)
+	var boundary []graph.Vertex
+	index := map[graph.Vertex]int{}
+	for _, l := range c.Lanes {
+		for _, end := range []End{EndIn, EndOut} {
+			var v graph.Vertex
+			if end == EndIn {
+				v = bg.In[l]
+			} else {
+				v = bg.Out[l]
+			}
+			idx, ok := index[v]
+			if !ok {
+				idx = len(boundary)
+				index[v] = idx
+				boundary = append(boundary, v)
+			}
+			c.SlotOf[Slot{Lane: l, End: end}] = idx
+		}
+	}
+	c.NB = len(boundary)
+	t, err := prop.Base(bg, boundary)
+	if err != nil {
+		return nil, err
+	}
+	c.Table = t
+	return c, nil
+}
+
+// BridgeMerge computes fB: the class of Bridge-merge(A, B, i, j) where the
+// new bridge edge carries the given label (Proposition 6.1).
+func BridgeMerge(prop Property, a, b *Class, i, j int, bridgeLabel int) (*Class, error) {
+	for _, l := range a.Lanes {
+		for _, m := range b.Lanes {
+			if l == m {
+				return nil, fmt.Errorf("algebra: Bridge-merge operands share lane %d", l)
+			}
+		}
+	}
+	ai, ok := a.SlotOf[Slot{Lane: i, End: EndOut}]
+	if !ok {
+		return nil, fmt.Errorf("algebra: lane %d not in left class", i)
+	}
+	bj, ok := b.SlotOf[Slot{Lane: j, End: EndOut}]
+	if !ok {
+		return nil, fmt.Errorf("algebra: lane %d not in right class", j)
+	}
+	nm := a.NB + b.NB
+	spec := JoinSpec{
+		NA:          a.NB,
+		NB:          b.NB,
+		MapA:        identityMap(a.NB, 0),
+		MapB:        identityMap(b.NB, a.NB),
+		NM:          nm,
+		Res:         identityMap(nm, 0),
+		Bridge:      &[2]int{ai, a.NB + bj},
+		BridgeLabel: bridgeLabel,
+	}
+	t, err := prop.Join(a.Table, b.Table, spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &Class{
+		Lanes:  append(append([]int(nil), a.Lanes...), b.Lanes...),
+		SlotOf: map[Slot]int{},
+		NB:     nm,
+		Table:  t,
+	}
+	sort.Ints(out.Lanes)
+	for s, idx := range a.SlotOf {
+		out.SlotOf[s] = idx
+	}
+	for s, idx := range b.SlotOf {
+		out.SlotOf[s] = a.NB + idx
+	}
+	return normalize(out), nil
+}
+
+// ParentMerge computes fP: the class of Parent-merge(child, parent), gluing
+// each child in-terminal onto the parent's out-terminal in the same lane
+// (Proposition 6.1). Merged vertices that are no longer terminals are
+// internalized by the property's Join.
+func ParentMerge(prop Property, child, parent *Class) (*Class, error) {
+	for _, l := range child.Lanes {
+		if _, ok := parent.SlotOf[Slot{Lane: l, End: EndOut}]; !ok {
+			return nil, fmt.Errorf("algebra: child lane %d missing from parent", l)
+		}
+	}
+	// Union-find over merged nodes: child boundary (A) offset 0, parent
+	// boundary (B) offset child.NB.
+	uf := newUnionFind(child.NB + parent.NB)
+	for _, l := range child.Lanes {
+		ci := child.SlotOf[Slot{Lane: l, End: EndIn}]
+		po := parent.SlotOf[Slot{Lane: l, End: EndOut}]
+		uf.union(ci, child.NB+po)
+	}
+	// Result slots per Definition of Parent-merge.
+	childHas := map[int]bool{}
+	for _, l := range child.Lanes {
+		childHas[l] = true
+	}
+	type resSlot struct {
+		slot Slot
+		root int
+	}
+	var resSlots []resSlot
+	for _, l := range parent.Lanes {
+		inRoot := uf.find(child.NB + parent.SlotOf[Slot{Lane: l, End: EndIn}])
+		resSlots = append(resSlots, resSlot{Slot{Lane: l, End: EndIn}, inRoot})
+		var outRoot int
+		if childHas[l] {
+			outRoot = uf.find(child.SlotOf[Slot{Lane: l, End: EndOut}])
+		} else {
+			outRoot = uf.find(child.NB + parent.SlotOf[Slot{Lane: l, End: EndOut}])
+		}
+		resSlots = append(resSlots, resSlot{Slot{Lane: l, End: EndOut}, outRoot})
+	}
+	// Dedup roots into result boundary indices, ordered by first appearance
+	// in canonical slot order.
+	sort.Slice(resSlots, func(i, j int) bool { return slotLess(resSlots[i].slot, resSlots[j].slot) })
+	rootIdx := map[int]int{}
+	var res []int
+	slotOf := map[Slot]int{}
+	for _, rs := range resSlots {
+		idx, ok := rootIdx[rs.root]
+		if !ok {
+			idx = len(res)
+			rootIdx[rs.root] = idx
+			res = append(res, rs.root)
+		}
+		slotOf[rs.slot] = idx
+	}
+	// Compress merged node ids: roots become ids.
+	rootId := map[int]int{}
+	nm := 0
+	mapNode := func(x int) int {
+		r := uf.find(x)
+		id, ok := rootId[r]
+		if !ok {
+			id = nm
+			rootId[r] = id
+			nm++
+		}
+		return id
+	}
+	mapA := make([]int, child.NB)
+	for i := range mapA {
+		mapA[i] = mapNode(i)
+	}
+	mapB := make([]int, parent.NB)
+	for j := range mapB {
+		mapB[j] = mapNode(child.NB + j)
+	}
+	resIds := make([]int, len(res))
+	for i, r := range res {
+		resIds[i] = rootId[r]
+	}
+	spec := JoinSpec{
+		NA:   child.NB,
+		NB:   parent.NB,
+		MapA: mapA,
+		MapB: mapB,
+		NM:   nm,
+		Res:  resIds,
+	}
+	t, err := prop.Join(child.Table, parent.Table, spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &Class{
+		Lanes:  append([]int(nil), parent.Lanes...),
+		SlotOf: slotOf,
+		NB:     len(res),
+		Table:  t,
+	}
+	return out, nil
+}
+
+// Accept decides the property from the class of the complete graph.
+func Accept(prop Property, c *Class) (bool, error) {
+	return prop.Accept(c.Table)
+}
+
+// normalize re-indexes boundary vertices by first appearance in canonical
+// slot order so that equal classes have equal keys.
+func normalize(c *Class) *Class {
+	slots := make([]Slot, 0, len(c.SlotOf))
+	for s := range c.SlotOf {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slotLess(slots[i], slots[j]) })
+	perm := make([]int, c.NB)
+	for i := range perm {
+		perm[i] = -1
+	}
+	next := 0
+	for _, s := range slots {
+		old := c.SlotOf[s]
+		if perm[old] == -1 {
+			perm[old] = next
+			next++
+		}
+	}
+	if next != c.NB {
+		// Some boundary vertex is referenced by no slot — cannot happen for
+		// classes built through this package; keep indices as-is.
+		return c
+	}
+	identity := true
+	for i, p := range perm {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return c
+	}
+	out := &Class{Lanes: c.Lanes, SlotOf: map[Slot]int{}, NB: c.NB, Table: permuteTable(c.Table, perm)}
+	for s, idx := range c.SlotOf {
+		out.SlotOf[s] = perm[idx]
+	}
+	return out
+}
+
+// Permutable is implemented by tables whose boundary indexing can be
+// re-ordered; normalize uses it to canonicalize classes.
+type Permutable interface {
+	Permute(perm []int) Table
+}
+
+func permuteTable(t Table, perm []int) Table {
+	if p, ok := t.(Permutable); ok {
+		return p.Permute(perm)
+	}
+	return t
+}
+
+func identityMap(n, offset int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + offset
+	}
+	return out
+}
+
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

@@ -1,0 +1,349 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lanewidth"
+)
+
+func allReal(g *graph.Graph) map[graph.Edge]int {
+	el := make(map[graph.Edge]int, g.M())
+	for _, e := range g.Edges() {
+		el[e] = EdgeReal
+	}
+	return el
+}
+
+func bgraphOf(kl *lanewidth.KLane, el map[graph.Edge]int) *BGraph {
+	return &BGraph{
+		G:      kl.G,
+		Lanes:  kl.Lanes(),
+		In:     kl.In,
+		Out:    kl.Out,
+		VLabel: make([]int, kl.G.N()),
+		ELabel: el,
+	}
+}
+
+func TestOracles(t *testing.T) {
+	if !OracleQColorable(graph.CycleGraph(6), 2) || OracleQColorable(graph.CycleGraph(5), 2) {
+		t.Fatal("2-colorable oracle wrong on cycles")
+	}
+	if !OracleQColorable(graph.Complete(3), 3) || OracleQColorable(graph.Complete(4), 3) {
+		t.Fatal("3-colorable oracle wrong on cliques")
+	}
+	if !OracleAcyclic(graph.PathGraph(5)) || OracleAcyclic(graph.CycleGraph(4)) {
+		t.Fatal("acyclic oracle wrong")
+	}
+	if !OraclePerfectMatching(graph.PathGraph(4)) || OraclePerfectMatching(graph.PathGraph(5)) ||
+		OraclePerfectMatching(graph.CompleteBipartite(1, 3)) || !OraclePerfectMatching(graph.CycleGraph(6)) {
+		t.Fatal("perfect matching oracle wrong")
+	}
+	if !OracleHamiltonianCycle(graph.CycleGraph(5)) || OracleHamiltonianCycle(graph.PathGraph(5)) ||
+		!OracleHamiltonianCycle(graph.Complete(4)) || OracleHamiltonianCycle(graph.CompleteBipartite(2, 3)) {
+		t.Fatal("hamiltonian oracle wrong")
+	}
+	if !OracleVertexCoverAtMost(graph.CycleGraph(6), 3) || OracleVertexCoverAtMost(graph.CycleGraph(6), 2) ||
+		!OracleVertexCoverAtMost(graph.CompleteBipartite(2, 5), 2) {
+		t.Fatal("vertex cover oracle wrong")
+	}
+}
+
+func TestBaseClassAcceptMatchesOracle(t *testing.T) {
+	props := []Property{Colorable{Q: 2}, Colorable{Q: 3}, EvenEdges{}, Acyclic{}, PerfectMatching{}}
+	oracles := []func(*graph.Graph) bool{
+		func(g *graph.Graph) bool { return OracleQColorable(g, 2) },
+		func(g *graph.Graph) bool { return OracleQColorable(g, 3) },
+		OracleEvenEdges,
+		OracleAcyclic,
+		OraclePerfectMatching,
+	}
+	shapes := []*lanewidth.KLane{
+		lanewidth.SingleVertex(0),
+		lanewidth.SingleEdge(1),
+		lanewidth.InitialPath(3),
+		lanewidth.InitialPath(4),
+	}
+	for pi, prop := range props {
+		for si, kl := range shapes {
+			bg := bgraphOf(kl, allReal(kl.G))
+			cls, err := BaseClass(prop, bg)
+			if err != nil {
+				t.Fatalf("%s shape %d: %v", prop.Name(), si, err)
+			}
+			got, err := Accept(prop, cls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracles[pi](bg.RealSubgraph())
+			if got != want {
+				t.Errorf("%s shape %d: Accept=%v oracle=%v", prop.Name(), si, got, want)
+			}
+		}
+	}
+}
+
+func TestVirtualEdgesAreIgnored(t *testing.T) {
+	// A triangle whose closing edge is virtual is bipartite and acyclic as
+	// a real subgraph.
+	g := graph.CycleGraph(3)
+	kl := &lanewidth.KLane{
+		G:   g,
+		In:  map[int]graph.Vertex{0: 0},
+		Out: map[int]graph.Vertex{0: 2},
+	}
+	el := allReal(g)
+	el[graph.NewEdge(0, 2)] = 0 // virtual
+	bg := bgraphOf(kl, el)
+	for _, prop := range []Property{Colorable{Q: 2}, Acyclic{}} {
+		cls, err := BaseClass(prop, bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := Accept(prop, cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s: virtual edge affected the property", prop.Name())
+		}
+	}
+}
+
+// randomLeaf builds a random explicit labeled k-lane graph on the given
+// lanes, with injective terminal maps.
+func randomLeaf(rng *rand.Rand, laneSet []int) (*lanewidth.KLane, map[graph.Edge]int) {
+	return randomLeafSized(rng, laneSet, 3)
+}
+
+func randomLeafSized(rng *rand.Rand, laneSet []int, maxExtra int) (*lanewidth.KLane, map[graph.Edge]int) {
+	nl := len(laneSet)
+	nv := nl + rng.Intn(maxExtra)
+	g := graph.New(nv)
+	for u := 0; u < nv; u++ {
+		for v := u + 1; v < nv; v++ {
+			if rng.Intn(3) == 0 {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	perm := rng.Perm(nv)
+	kl := &lanewidth.KLane{G: g, In: map[int]graph.Vertex{}, Out: map[int]graph.Vertex{}}
+	for idx, l := range laneSet {
+		kl.In[l] = perm[idx]
+	}
+	perm2 := rng.Perm(nv)
+	for idx, l := range laneSet {
+		kl.Out[l] = perm2[idx]
+	}
+	el := make(map[graph.Edge]int, g.M())
+	for _, e := range g.Edges() {
+		if rng.Intn(5) == 0 {
+			el[e] = 0 // occasionally virtual
+		} else {
+			el[e] = EdgeReal
+		}
+	}
+	return kl, el
+}
+
+// TestQuickMergeClassesMatchBaseClasses is the sharp compositionality check:
+// for random Bridge- and Parent-merges, the class computed by fB/fP equals
+// the class computed from scratch on the explicit merged graph, and Accept
+// matches the brute-force oracle.
+func TestQuickMergeClassesMatchBaseClasses(t *testing.T) {
+	props := []Property{Colorable{Q: 2}, Colorable{Q: 3}, EvenEdges{}, Acyclic{}, PerfectMatching{}}
+	oracles := []func(*graph.Graph) bool{
+		func(g *graph.Graph) bool { return OracleQColorable(g, 2) },
+		func(g *graph.Graph) bool { return OracleQColorable(g, 3) },
+		OracleEvenEdges,
+		OracleAcyclic,
+		OraclePerfectMatching,
+	}
+	runMergeCompositionality(t, props, oracles, 3, 60)
+}
+
+// TestQuickMergeClassesHamiltonianVertexCover runs the same check for the
+// exponential-base algebras on smaller operands.
+func TestQuickMergeClassesHamiltonianVertexCover(t *testing.T) {
+	props := []Property{HamiltonianCycle{}, VertexCoverAtMost{C: 2}, VertexCoverAtMost{C: 4}}
+	oracles := []func(*graph.Graph) bool{
+		OracleHamiltonianCycle,
+		func(g *graph.Graph) bool { return OracleVertexCoverAtMost(g, 2) },
+		func(g *graph.Graph) bool { return OracleVertexCoverAtMost(g, 4) },
+	}
+	runMergeCompositionality(t, props, oracles, 2, 45)
+}
+
+// TestQuickMergeClassesDegreeAndConjunction covers the max-degree algebra
+// (K₁,₃-minor-freeness at D=2) and the ∧ combinator.
+func TestQuickMergeClassesDegreeAndConjunction(t *testing.T) {
+	props := []Property{
+		MaxDegreeAtMost{D: 2},
+		MaxDegreeAtMost{D: 3},
+		And{P1: Colorable{Q: 2}, P2: Acyclic{}},
+	}
+	oracles := []func(*graph.Graph) bool{
+		func(g *graph.Graph) bool { return OracleMaxDegreeAtMost(g, 2) },
+		func(g *graph.Graph) bool { return OracleMaxDegreeAtMost(g, 3) },
+		func(g *graph.Graph) bool { return OracleQColorable(g, 2) && OracleAcyclic(g) },
+	}
+	runMergeCompositionality(t, props, oracles, 3, 45)
+}
+
+// TestMaxDegreeIsStarMinorFreeness cross-checks the D=2 algebra against the
+// brute-force K₁,₃ minor oracle: on connected graphs the two coincide.
+func TestMaxDegreeIsStarMinorFreeness(t *testing.T) {
+	star := graph.CompleteBipartite(1, 3)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.PathGraph(7)},
+		{"cycle", graph.CycleGraph(6)},
+		{"spider", graph.Spider(2)},
+		{"K4", graph.Complete(4)},
+	} {
+		kl := &lanewidth.KLane{
+			G:   tc.g,
+			In:  map[int]graph.Vertex{0: 0},
+			Out: map[int]graph.Vertex{0: tc.g.N() - 1},
+		}
+		cls := mustBase(t, MaxDegreeAtMost{D: 2}, bgraphOf(kl, allReal(tc.g)))
+		got, err := Accept(MaxDegreeAtMost{D: 2}, cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := !tc.g.HasMinor(star)
+		if got != want {
+			t.Errorf("%s: max-deg≤2 = %v, K1,3-minor-free = %v", tc.name, got, want)
+		}
+	}
+}
+
+func runMergeCompositionality(t *testing.T, props []Property,
+	oracles []func(*graph.Graph) bool, maxExtra, trials int) {
+	t.Helper()
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		pi := trial % len(props)
+		prop, oracle := props[pi], oracles[pi]
+
+		// Bridge-merge check.
+		klA, elA := randomLeafSized(rng, []int{0, 2}, maxExtra)
+		klB, elB := randomLeafSized(rng, []int{1}, maxExtra)
+		clsA := mustBase(t, prop, bgraphOf(klA, elA))
+		clsB := mustBase(t, prop, bgraphOf(klB, elB))
+		lanesA := []int{0, 2}
+		i := lanesA[rng.Intn(2)]
+		bridgeLabel := rng.Intn(2)
+		merged, err := lanewidth.BridgeMerge(klA, klB, i, 1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		shift := klA.G.N()
+		elM := map[graph.Edge]int{}
+		for e, l := range elA {
+			elM[e] = l
+		}
+		for e, l := range elB {
+			elM[graph.NewEdge(e.U+shift, e.V+shift)] = l
+		}
+		elM[graph.NewEdge(klA.Out[i], klB.Out[1]+shift)] = bridgeLabel
+		clsMerged, err := BridgeMerge(prop, clsA, clsB, i, 1, bridgeLabel)
+		if err != nil {
+			t.Fatalf("trial %d: fB: %v", trial, err)
+		}
+		clsDirect := mustBase(t, prop, bgraphOf(merged, elM))
+		if clsMerged.Key() != clsDirect.Key() {
+			t.Fatalf("trial %d (%s): fB class mismatch:\n got %s\nwant %s",
+				trial, prop.Name(), clsMerged.Key(), clsDirect.Key())
+		}
+		checkAcceptVsOracle(t, prop, oracle, clsMerged, bgraphOf(merged, elM), trial)
+
+		// Parent-merge check: child on a subset of the merged graph's lanes.
+		childLanes := []int{1}
+		if rng.Intn(2) == 0 {
+			childLanes = []int{1, 0}
+		}
+		klC, elC := randomLeafSized(rng, childLanes, maxExtra)
+		clsC := mustBase(t, prop, bgraphOf(klC, elC))
+		pm, childMap, err := lanewidth.ParentMerge(klC, merged)
+		if err != nil {
+			continue // edge identification — regenerate next trial
+		}
+		elP := map[graph.Edge]int{}
+		for e, l := range elM {
+			elP[e] = l
+		}
+		for e, l := range elC {
+			elP[graph.NewEdge(childMap[e.U], childMap[e.V])] = l
+		}
+		clsPM, err := ParentMerge(prop, clsC, clsMerged)
+		if err != nil {
+			t.Fatalf("trial %d: fP: %v", trial, err)
+		}
+		clsPDirect := mustBase(t, prop, bgraphOf(pm, elP))
+		if clsPM.Key() != clsPDirect.Key() {
+			t.Fatalf("trial %d (%s): fP class mismatch:\n got %s\nwant %s",
+				trial, prop.Name(), clsPM.Key(), clsPDirect.Key())
+		}
+		checkAcceptVsOracle(t, prop, oracle, clsPM, bgraphOf(pm, elP), trial)
+	}
+}
+
+func mustBase(t *testing.T, prop Property, bg *BGraph) *Class {
+	t.Helper()
+	cls, err := BaseClass(prop, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cls
+}
+
+func checkAcceptVsOracle(t *testing.T, prop Property, oracle func(*graph.Graph) bool,
+	cls *Class, bg *BGraph, trial int) {
+	t.Helper()
+	got, err := Accept(prop, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle(bg.RealSubgraph()); got != want {
+		t.Fatalf("trial %d (%s): Accept=%v oracle=%v", trial, prop.Name(), got, want)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	kl := lanewidth.SingleEdge(0)
+	bg := bgraphOf(kl, allReal(kl.G))
+	c1 := mustBase(t, Colorable{Q: 2}, bg)
+	c2 := mustBase(t, Colorable{Q: 2}, bg)
+	id1 := reg.Intern(c1)
+	id2 := reg.Intern(c2)
+	if id1 != id2 {
+		t.Fatal("identical classes interned to different ids")
+	}
+	if reg.Size() != 1 {
+		t.Fatalf("registry size %d", reg.Size())
+	}
+	if got := reg.Class(id1); got == nil || got.Key() != c1.Key() {
+		t.Fatal("Class lookup wrong")
+	}
+	if reg.Class(99) != nil {
+		t.Fatal("out-of-range id should be nil")
+	}
+	if _, ok := reg.Lookup(c1); !ok {
+		t.Fatal("Lookup missed interned class")
+	}
+	kl2 := lanewidth.SingleVertex(1)
+	c3 := mustBase(t, Colorable{Q: 2}, bgraphOf(kl2, allReal(kl2.G)))
+	if _, ok := reg.Lookup(c3); ok {
+		t.Fatal("Lookup found unregistered class")
+	}
+	if id3 := reg.Intern(c3); id3 == id1 {
+		t.Fatal("distinct classes shared an id")
+	}
+}

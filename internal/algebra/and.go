@@ -1,0 +1,78 @@
+package algebra
+
+import "fmt"
+
+// And is the conjunction combinator: the class of φ₁ ∧ φ₂ is the pair of the
+// two properties' classes (MSO₂ properties are closed under ∧, and so are
+// their homomorphism-class algebras — the paper uses this implicitly when
+// writing φ ∧ (pathwidth ≤ k)).
+type And struct {
+	P1, P2 Property
+}
+
+var _ Property = And{}
+
+// Name implements Property.
+func (p And) Name() string { return fmt.Sprintf("(%s ∧ %s)", p.P1.Name(), p.P2.Name()) }
+
+type pairTable struct {
+	t1, t2 Table
+}
+
+var _ Permutable = pairTable{}
+
+func (t pairTable) Key() string {
+	return "and:[" + t.t1.Key() + "]&[" + t.t2.Key() + "]"
+}
+
+// Permute implements Permutable.
+func (t pairTable) Permute(perm []int) Table {
+	return pairTable{t1: permuteTable(t.t1, perm), t2: permuteTable(t.t2, perm)}
+}
+
+// Base implements Property.
+func (p And) Base(bg *BGraph, boundary []int) (Table, error) {
+	t1, err := p.P1.Base(bg, boundary)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := p.P2.Base(bg, boundary)
+	if err != nil {
+		return nil, err
+	}
+	return pairTable{t1: t1, t2: t2}, nil
+}
+
+// Join implements Property.
+func (p And) Join(a, b Table, spec JoinSpec) (Table, error) {
+	ta, ok := a.(pairTable)
+	if !ok {
+		return nil, fmt.Errorf("and: bad left table %T", a)
+	}
+	tb, ok := b.(pairTable)
+	if !ok {
+		return nil, fmt.Errorf("and: bad right table %T", b)
+	}
+	t1, err := p.P1.Join(ta.t1, tb.t1, spec)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := p.P2.Join(ta.t2, tb.t2, spec)
+	if err != nil {
+		return nil, err
+	}
+	return pairTable{t1: t1, t2: t2}, nil
+}
+
+// Accept implements Property.
+func (p And) Accept(t Table) (bool, error) {
+	pt, ok := t.(pairTable)
+	if !ok {
+		return false, fmt.Errorf("and: bad table %T", t)
+	}
+	a1, err := p.P1.Accept(pt.t1)
+	if err != nil || !a1 {
+		return false, err
+	}
+	return p.P2.Accept(pt.t2)
+}

@@ -1,0 +1,141 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Colorable is the q-colorability property of the real subgraph (q = 2 is
+// bipartiteness). Its table is the set of proper-coloring restrictions to
+// the boundary vertices — the classic compositional state.
+type Colorable struct {
+	Q int
+}
+
+var _ Property = Colorable{}
+
+// Name implements Property.
+func (p Colorable) Name() string { return fmt.Sprintf("%d-colorable", p.Q) }
+
+type colorTable struct {
+	nb  int
+	set map[string]struct{} // each key: nb bytes of colors
+}
+
+var _ Permutable = (*colorTable)(nil)
+
+func (t *colorTable) Key() string {
+	keys := make([]string, 0, len(t.set))
+	for k := range t.set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("col:%d:%s", t.nb, strings.Join(keys, ";"))
+}
+
+// Permute implements Permutable.
+func (t *colorTable) Permute(perm []int) Table {
+	out := &colorTable{nb: t.nb, set: make(map[string]struct{}, len(t.set))}
+	for k := range t.set {
+		b := make([]byte, t.nb)
+		for i := 0; i < t.nb; i++ {
+			b[perm[i]] = k[i]
+		}
+		out.set[string(b)] = struct{}{}
+	}
+	return out
+}
+
+// Base implements Property by enumerating all proper q-colorings of the real
+// subgraph and projecting them to the boundary.
+func (p Colorable) Base(bg *BGraph, boundary []graph.Vertex) (Table, error) {
+	n := bg.G.N()
+	real := bg.RealSubgraph()
+	t := &colorTable{nb: len(boundary), set: map[string]struct{}{}}
+	colors := make([]byte, n)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			proj := make([]byte, len(boundary))
+			for i, bv := range boundary {
+				proj[i] = colors[bv]
+			}
+			t.set[string(proj)] = struct{}{}
+			return
+		}
+		for c := byte(0); c < byte(p.Q); c++ {
+			ok := true
+			for _, w := range real.Neighbors(v) {
+				if w < v && colors[w] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[v] = c
+				rec(v + 1)
+			}
+		}
+	}
+	rec(0)
+	return t, nil
+}
+
+// Join implements Property.
+func (p Colorable) Join(a, b Table, spec JoinSpec) (Table, error) {
+	ta, ok := a.(*colorTable)
+	if !ok {
+		return nil, fmt.Errorf("colorable: bad left table %T", a)
+	}
+	tb, ok := b.(*colorTable)
+	if !ok {
+		return nil, fmt.Errorf("colorable: bad right table %T", b)
+	}
+	out := &colorTable{nb: len(spec.Res), set: map[string]struct{}{}}
+	merged := make([]int, spec.NM)
+	for ka := range ta.set {
+		for kb := range tb.set {
+			for i := range merged {
+				merged[i] = -1
+			}
+			ok := true
+			for i := 0; i < spec.NA && ok; i++ {
+				merged[spec.MapA[i]] = int(ka[i])
+			}
+			for j := 0; j < spec.NB && ok; j++ {
+				m := spec.MapB[j]
+				if merged[m] >= 0 && merged[m] != int(kb[j]) {
+					ok = false
+					break
+				}
+				merged[m] = int(kb[j])
+			}
+			if !ok {
+				continue
+			}
+			if spec.Bridge != nil && spec.BridgeLabel == EdgeReal &&
+				merged[spec.Bridge[0]] == merged[spec.Bridge[1]] {
+				continue
+			}
+			proj := make([]byte, len(spec.Res))
+			for i, m := range spec.Res {
+				proj[i] = byte(merged[m])
+			}
+			out.set[string(proj)] = struct{}{}
+		}
+	}
+	return out, nil
+}
+
+// Accept implements Property: the graph is q-colorable iff any proper
+// coloring exists.
+func (p Colorable) Accept(t Table) (bool, error) {
+	ct, ok := t.(*colorTable)
+	if !ok {
+		return false, fmt.Errorf("colorable: bad table %T", t)
+	}
+	return len(ct.set) > 0, nil
+}

@@ -1,0 +1,453 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// HamiltonianCycle is the "real subgraph has a Hamiltonian cycle" property.
+// Its table is the classic path-system state set: for each achievable
+// sub-edge-set forming disjoint paths (and at most one closed cycle) that
+// covers every internal vertex with degree two, the state records each
+// boundary vertex's degree, the pairing of degree-one path endpoints, and
+// whether the single cycle has closed.
+type HamiltonianCycle struct{}
+
+var _ Property = HamiltonianCycle{}
+
+// Name implements Property.
+func (HamiltonianCycle) Name() string { return "hamiltonian-cycle" }
+
+// hamState describes one path system relative to the boundary.
+// deg[i] ∈ {0,1,2}; partner[i] is the other endpoint of i's path when
+// deg[i] == 1 (-1 otherwise); cycle reports whether the unique cycle closed.
+type hamState struct {
+	deg     []uint8
+	partner []int8
+	cycle   bool
+}
+
+func (s hamState) key() string {
+	var sb strings.Builder
+	for i := range s.deg {
+		fmt.Fprintf(&sb, "%d.%d,", s.deg[i], s.partner[i])
+	}
+	fmt.Fprintf(&sb, "c%v", s.cycle)
+	return sb.String()
+}
+
+func (s hamState) clone() hamState {
+	return hamState{
+		deg:     append([]uint8(nil), s.deg...),
+		partner: append([]int8(nil), s.partner...),
+		cycle:   s.cycle,
+	}
+}
+
+type hamTable struct {
+	nb     int
+	states map[string]hamState
+}
+
+var _ Permutable = (*hamTable)(nil)
+
+func (t *hamTable) Key() string {
+	keys := make([]string, 0, len(t.states))
+	for k := range t.states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("ham:%d:%s", t.nb, strings.Join(keys, ";"))
+}
+
+// Permute implements Permutable.
+func (t *hamTable) Permute(perm []int) Table {
+	out := &hamTable{nb: t.nb, states: map[string]hamState{}}
+	for _, s := range t.states {
+		ns := hamState{deg: make([]uint8, t.nb), partner: make([]int8, t.nb), cycle: s.cycle}
+		for i := 0; i < t.nb; i++ {
+			ns.deg[perm[i]] = s.deg[i]
+			if s.partner[i] >= 0 {
+				ns.partner[perm[i]] = int8(perm[s.partner[i]])
+			} else {
+				ns.partner[perm[i]] = -1
+			}
+		}
+		out.add(ns)
+	}
+	return out
+}
+
+func (t *hamTable) add(s hamState) { t.states[s.key()] = s }
+
+// Base implements Property by enumerating all real-edge subsets that form a
+// valid path system.
+func (HamiltonianCycle) Base(bg *BGraph, boundary []graph.Vertex) (Table, error) {
+	real := bg.RealSubgraph()
+	edges := real.Edges()
+	n := real.N()
+	isBoundary := make([]int, n)
+	for i := range isBoundary {
+		isBoundary[i] = -1
+	}
+	for i, bv := range boundary {
+		isBoundary[bv] = i
+	}
+	t := &hamTable{nb: len(boundary), states: map[string]hamState{}}
+	for mask := 0; mask < 1<<uint(len(edges)); mask++ {
+		deg := make([]uint8, n)
+		sub := graph.New(n)
+		ok := true
+		for idx, e := range edges {
+			if mask&(1<<uint(idx)) == 0 {
+				continue
+			}
+			deg[e.U]++
+			deg[e.V]++
+			if deg[e.U] > 2 || deg[e.V] > 2 {
+				ok = false
+				break
+			}
+			sub.MustAddEdge(e.U, e.V)
+		}
+		if !ok {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if isBoundary[v] == -1 && deg[v] != 2 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		state, valid := pathSystemState(sub, deg, isBoundary, len(boundary))
+		if valid {
+			t.add(state)
+		}
+	}
+	return t, nil
+}
+
+// pathSystemState classifies the components of a max-degree-2 subgraph into
+// paths and at most one cycle, producing the boundary state.
+func pathSystemState(sub *graph.Graph, deg []uint8, isBoundary []int, nb int) (hamState, bool) {
+	s := hamState{deg: make([]uint8, nb), partner: make([]int8, nb)}
+	for i := range s.partner {
+		s.partner[i] = -1
+	}
+	for v := range deg {
+		if b := isBoundary[v]; b >= 0 {
+			s.deg[b] = deg[v]
+		}
+	}
+	cycles := 0
+	for _, comp := range sub.Components() {
+		edgesIn := 0
+		var ends []graph.Vertex
+		for _, v := range comp {
+			edgesIn += int(deg[v])
+			if deg[v] == 1 {
+				ends = append(ends, v)
+			}
+		}
+		edgesIn /= 2
+		switch {
+		case edgesIn == len(comp) && len(comp) >= 3: // cycle
+			cycles++
+		case edgesIn == len(comp)-1: // path (possibly a single vertex)
+			if len(ends) == 2 {
+				bi, bj := isBoundary[ends[0]], isBoundary[ends[1]]
+				if bi == -1 || bj == -1 {
+					return s, false // path endpoint must be boundary
+				}
+				s.partner[bi] = int8(bj)
+				s.partner[bj] = int8(bi)
+			}
+		default:
+			return s, false
+		}
+	}
+	if cycles > 1 {
+		return s, false
+	}
+	if cycles == 1 {
+		s.cycle = true
+		// A closed cycle admits no further fragments.
+		for _, d := range s.deg {
+			if d == 1 {
+				return s, false
+			}
+		}
+	}
+	return s, true
+}
+
+// Join implements Property.
+func (HamiltonianCycle) Join(a, b Table, spec JoinSpec) (Table, error) {
+	ta, ok := a.(*hamTable)
+	if !ok {
+		return nil, fmt.Errorf("hamiltonian: bad left table %T", a)
+	}
+	tb, ok := b.(*hamTable)
+	if !ok {
+		return nil, fmt.Errorf("hamiltonian: bad right table %T", b)
+	}
+	out := &hamTable{nb: len(spec.Res), states: map[string]hamState{}}
+	preA := make([]int, spec.NM)
+	preB := make([]int, spec.NM)
+	for i := range preA {
+		preA[i], preB[i] = -1, -1
+	}
+	for i := 0; i < spec.NA; i++ {
+		preA[spec.MapA[i]] = i
+	}
+	for j := 0; j < spec.NB; j++ {
+		preB[spec.MapB[j]] = j
+	}
+	for _, sa := range ta.states {
+		for _, sb := range tb.states {
+			if sa.cycle && sb.cycle {
+				continue
+			}
+			merged, ok := glueHam(sa, sb, spec, preA, preB)
+			if !ok {
+				continue
+			}
+			for _, st := range bridgeVariants(merged, spec) {
+				if proj, ok := projectHam(st, spec); ok {
+					out.add(proj)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// glueHam combines two states over the merged node space. Each side's paths
+// are treated as abstract segments between their endpoint nodes; gluing
+// joins segments into chains, and a chain that closes on itself closes the
+// unique cycle.
+func glueHam(sa, sb hamState, spec JoinSpec, preA, preB []int) (hamState, bool) {
+	m := hamState{
+		deg:     make([]uint8, spec.NM),
+		partner: make([]int8, spec.NM),
+		cycle:   sa.cycle || sb.cycle,
+	}
+	for i := range m.partner {
+		m.partner[i] = -1
+	}
+	for i := 0; i < spec.NA; i++ {
+		m.deg[spec.MapA[i]] += sa.deg[i]
+	}
+	for j := 0; j < spec.NB; j++ {
+		m.deg[spec.MapB[j]] += sb.deg[j]
+		if m.deg[spec.MapB[j]] > 2 {
+			return m, false
+		}
+	}
+	// Segments: one per path of either side, between merged endpoint nodes.
+	type segment struct{ a, b int }
+	var segs []segment
+	collect := func(s hamState, n int, mapSide []int) {
+		for i := 0; i < n; i++ {
+			if s.partner[i] >= 0 && i < int(s.partner[i]) {
+				segs = append(segs, segment{mapSide[i], mapSide[s.partner[i]]})
+			}
+		}
+	}
+	collect(sa, spec.NA, spec.MapA)
+	collect(sb, spec.NB, spec.MapB)
+	// Each node hosts at most two segment ends (one per side, and then its
+	// degree is already 2).
+	type end struct {
+		seg   int
+		other int
+	}
+	ends := make([][]end, spec.NM)
+	for si, sg := range segs {
+		ends[sg.a] = append(ends[sg.a], end{si, sg.b})
+		ends[sg.b] = append(ends[sg.b], end{si, sg.a})
+		if len(ends[sg.a]) > 2 || len(ends[sg.b]) > 2 {
+			return m, false
+		}
+	}
+	// Walk open chains from nodes with a single segment end.
+	used := make([]bool, len(segs))
+	for v := 0; v < spec.NM; v++ {
+		if len(ends[v]) != 1 || used[ends[v][0].seg] {
+			continue
+		}
+		cur, prevSeg := v, -1
+		for {
+			advanced := false
+			for _, e := range ends[cur] {
+				if e.seg == prevSeg || used[e.seg] {
+					continue
+				}
+				used[e.seg] = true
+				prevSeg = e.seg
+				cur = e.other
+				advanced = true
+				break
+			}
+			if !advanced {
+				break
+			}
+		}
+		m.partner[v] = int8(cur)
+		m.partner[cur] = int8(v)
+	}
+	// Remaining unused segments form closed chains: each closes the cycle.
+	for si := range segs {
+		if used[si] {
+			continue
+		}
+		if m.cycle {
+			return m, false // a second cycle can never merge back
+		}
+		m.cycle = true
+		// Mark the whole closed chain used.
+		cur, prevSeg := segs[si].a, -1
+		for {
+			advanced := false
+			for _, e := range ends[cur] {
+				if e.seg == prevSeg || used[e.seg] {
+					continue
+				}
+				used[e.seg] = true
+				prevSeg = e.seg
+				cur = e.other
+				advanced = true
+				break
+			}
+			if !advanced {
+				break
+			}
+		}
+	}
+	if m.cycle {
+		for _, d := range m.deg {
+			if d == 1 {
+				return m, false
+			}
+		}
+	}
+	return m, true
+}
+
+// bridgeVariants returns the states reachable by optionally using the real
+// bridge edge.
+func bridgeVariants(s hamState, spec JoinSpec) []hamState {
+	variants := []hamState{s}
+	if spec.Bridge == nil || spec.BridgeLabel != EdgeReal {
+		return variants
+	}
+	u, v := spec.Bridge[0], spec.Bridge[1]
+	if s.deg[u] >= 2 || s.deg[v] >= 2 || s.cycle {
+		return variants
+	}
+	w := s.clone()
+	w.deg[u]++
+	w.deg[v]++
+	pu, pv := w.partner[u], w.partner[v]
+	switch {
+	case pu < 0 && pv < 0:
+		if s.deg[u] == 0 && s.deg[v] == 0 {
+			// Fresh path u–v.
+			w.partner[u] = int8(v)
+			w.partner[v] = int8(u)
+		} else {
+			return variants // deg-1 vertex without partner cannot occur
+		}
+	case pu >= 0 && pv < 0:
+		w.partner[v] = pu
+		w.partner[pu] = int8(v)
+		w.partner[u] = -1
+	case pu < 0 && pv >= 0:
+		w.partner[u] = pv
+		w.partner[pv] = int8(u)
+		w.partner[v] = -1
+	default:
+		if int(pu) == v {
+			// Closing the unique path u..v into the cycle.
+			w.cycle = true
+			w.partner[u], w.partner[v] = -1, -1
+			for _, d := range w.deg {
+				if d == 1 {
+					return variants
+				}
+			}
+		} else {
+			w.partner[pu] = pv
+			w.partner[pv] = pu
+			w.partner[u], w.partner[v] = -1, -1
+		}
+	}
+	return append(variants, w)
+}
+
+// projectHam internalizes non-result nodes (which must have degree two) and
+// reindexes to the result boundary.
+func projectHam(s hamState, spec JoinSpec) (hamState, bool) {
+	inRes := make([]int, spec.NM)
+	for i := range inRes {
+		inRes[i] = -1
+	}
+	for i, m := range spec.Res {
+		inRes[m] = i
+	}
+	for m := 0; m < spec.NM; m++ {
+		if inRes[m] == -1 && s.deg[m] != 2 {
+			return s, false
+		}
+	}
+	out := hamState{
+		deg:     make([]uint8, len(spec.Res)),
+		partner: make([]int8, len(spec.Res)),
+		cycle:   s.cycle,
+	}
+	for i := range out.partner {
+		out.partner[i] = -1
+	}
+	for i, m := range spec.Res {
+		out.deg[i] = s.deg[m]
+		if s.partner[m] >= 0 {
+			p := inRes[s.partner[m]]
+			if p == -1 {
+				return s, false // endpoint internalized with degree 1
+			}
+			out.partner[i] = int8(p)
+		}
+	}
+	return out, true
+}
+
+// Accept implements Property: a Hamiltonian cycle exists iff some state
+// closed the cycle with every remaining boundary vertex on it.
+func (HamiltonianCycle) Accept(t Table) (bool, error) {
+	ht, ok := t.(*hamTable)
+	if !ok {
+		return false, fmt.Errorf("hamiltonian: bad table %T", t)
+	}
+	for _, s := range ht.states {
+		if !s.cycle {
+			continue
+		}
+		all2 := true
+		for _, d := range s.deg {
+			if d != 2 {
+				all2 = false
+				break
+			}
+		}
+		if all2 {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,293 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// This file implements the input-labeled properties of Section 2.2: the
+// configuration marks a vertex subset X (vertex input label 1), and the
+// scheme certifies a property of (G, X) — "X is a dominating set" and
+// "X is an independent set". Both are deterministic boundary DPs.
+
+// VertexMarked is the vertex input label denoting membership in X.
+const VertexMarked = 1
+
+// DominatingSet is the property "the marked set X dominates every vertex of
+// the real subgraph" (every vertex is marked or real-adjacent to a marked
+// vertex).
+type DominatingSet struct{}
+
+var _ Property = DominatingSet{}
+
+// Name implements Property.
+func (DominatingSet) Name() string { return "X-dominates" }
+
+type domTable struct {
+	marked    []bool
+	dominated []bool
+	violated  bool // an internal vertex was left undominated
+}
+
+var _ Permutable = (*domTable)(nil)
+
+func (t *domTable) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dom:%v:", t.violated)
+	for i := range t.marked {
+		fmt.Fprintf(&sb, "%v.%v,", t.marked[i], t.dominated[i])
+	}
+	return sb.String()
+}
+
+// Permute implements Permutable.
+func (t *domTable) Permute(perm []int) Table {
+	out := &domTable{
+		marked:    make([]bool, len(t.marked)),
+		dominated: make([]bool, len(t.dominated)),
+		violated:  t.violated,
+	}
+	for i := range t.marked {
+		out.marked[perm[i]] = t.marked[i]
+		out.dominated[perm[i]] = t.dominated[i]
+	}
+	return out
+}
+
+// Base implements Property.
+func (DominatingSet) Base(bg *BGraph, boundary []graph.Vertex) (Table, error) {
+	real := bg.RealSubgraph()
+	dominated := make([]bool, real.N())
+	for v := 0; v < real.N(); v++ {
+		if bg.VLabel[v] == VertexMarked {
+			dominated[v] = true
+			for _, w := range real.Neighbors(v) {
+				dominated[w] = true
+			}
+		}
+	}
+	isBoundary := make([]bool, real.N())
+	for _, bv := range boundary {
+		isBoundary[bv] = true
+	}
+	t := &domTable{marked: make([]bool, len(boundary)), dominated: make([]bool, len(boundary))}
+	for v := 0; v < real.N(); v++ {
+		if !isBoundary[v] && !dominated[v] {
+			t.violated = true
+		}
+	}
+	for i, bv := range boundary {
+		t.marked[i] = bg.VLabel[bv] == VertexMarked
+		t.dominated[i] = dominated[bv]
+	}
+	return t, nil
+}
+
+// Join implements Property: glued vertices must agree on membership in X;
+// domination is the union of both sides' plus the bridge edge's.
+func (DominatingSet) Join(a, b Table, spec JoinSpec) (Table, error) {
+	ta, ok := a.(*domTable)
+	if !ok {
+		return nil, fmt.Errorf("dominating: bad left table %T", a)
+	}
+	tb, ok := b.(*domTable)
+	if !ok {
+		return nil, fmt.Errorf("dominating: bad right table %T", b)
+	}
+	marked := make([]bool, spec.NM)
+	dominated := make([]bool, spec.NM)
+	assigned := make([]bool, spec.NM)
+	violated := ta.violated || tb.violated
+	merge := func(side *domTable, mapSide []int, n int) error {
+		for i := 0; i < n; i++ {
+			m := mapSide[i]
+			if assigned[m] && marked[m] != side.marked[i] {
+				return fmt.Errorf("dominating: glued vertex disagrees on membership in X")
+			}
+			assigned[m] = true
+			marked[m] = side.marked[i]
+			dominated[m] = dominated[m] || side.dominated[i]
+		}
+		return nil
+	}
+	if err := merge(ta, spec.MapA, spec.NA); err != nil {
+		return nil, err
+	}
+	if err := merge(tb, spec.MapB, spec.NB); err != nil {
+		return nil, err
+	}
+	if spec.Bridge != nil && spec.BridgeLabel == EdgeReal {
+		u, v := spec.Bridge[0], spec.Bridge[1]
+		if marked[u] {
+			dominated[v] = true
+		}
+		if marked[v] {
+			dominated[u] = true
+		}
+	}
+	out := &domTable{
+		marked:    make([]bool, len(spec.Res)),
+		dominated: make([]bool, len(spec.Res)),
+	}
+	inRes := make([]bool, spec.NM)
+	for i, m := range spec.Res {
+		inRes[m] = true
+		out.marked[i] = marked[m]
+		out.dominated[i] = dominated[m]
+	}
+	for m := 0; m < spec.NM; m++ {
+		if !inRes[m] && !dominated[m] {
+			violated = true
+		}
+	}
+	out.violated = violated
+	return out, nil
+}
+
+// Accept implements Property.
+func (DominatingSet) Accept(t Table) (bool, error) {
+	dt, ok := t.(*domTable)
+	if !ok {
+		return false, fmt.Errorf("dominating: bad table %T", t)
+	}
+	if dt.violated {
+		return false, nil
+	}
+	for _, d := range dt.dominated {
+		if !d {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// IndependentSet is the property "the marked set X is independent in the
+// real subgraph".
+type IndependentSet struct{}
+
+var _ Property = IndependentSet{}
+
+// Name implements Property.
+func (IndependentSet) Name() string { return "X-independent" }
+
+type indTable struct {
+	marked   []bool
+	violated bool
+}
+
+var _ Permutable = (*indTable)(nil)
+
+func (t *indTable) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ind:%v:", t.violated)
+	for _, m := range t.marked {
+		fmt.Fprintf(&sb, "%v,", m)
+	}
+	return sb.String()
+}
+
+// Permute implements Permutable.
+func (t *indTable) Permute(perm []int) Table {
+	out := &indTable{marked: make([]bool, len(t.marked)), violated: t.violated}
+	for i, m := range t.marked {
+		out.marked[perm[i]] = m
+	}
+	return out
+}
+
+// Base implements Property.
+func (IndependentSet) Base(bg *BGraph, boundary []graph.Vertex) (Table, error) {
+	real := bg.RealSubgraph()
+	t := &indTable{marked: make([]bool, len(boundary))}
+	for _, e := range real.Edges() {
+		if bg.VLabel[e.U] == VertexMarked && bg.VLabel[e.V] == VertexMarked {
+			t.violated = true
+		}
+	}
+	for i, bv := range boundary {
+		t.marked[i] = bg.VLabel[bv] == VertexMarked
+	}
+	return t, nil
+}
+
+// Join implements Property.
+func (IndependentSet) Join(a, b Table, spec JoinSpec) (Table, error) {
+	ta, ok := a.(*indTable)
+	if !ok {
+		return nil, fmt.Errorf("independent: bad left table %T", a)
+	}
+	tb, ok := b.(*indTable)
+	if !ok {
+		return nil, fmt.Errorf("independent: bad right table %T", b)
+	}
+	marked := make([]bool, spec.NM)
+	assigned := make([]bool, spec.NM)
+	violated := ta.violated || tb.violated
+	merge := func(side *indTable, mapSide []int, n int) error {
+		for i := 0; i < n; i++ {
+			m := mapSide[i]
+			if assigned[m] && marked[m] != side.marked[i] {
+				return fmt.Errorf("independent: glued vertex disagrees on membership in X")
+			}
+			assigned[m] = true
+			marked[m] = side.marked[i]
+		}
+		return nil
+	}
+	if err := merge(ta, spec.MapA, spec.NA); err != nil {
+		return nil, err
+	}
+	if err := merge(tb, spec.MapB, spec.NB); err != nil {
+		return nil, err
+	}
+	if spec.Bridge != nil && spec.BridgeLabel == EdgeReal &&
+		marked[spec.Bridge[0]] && marked[spec.Bridge[1]] {
+		violated = true
+	}
+	out := &indTable{marked: make([]bool, len(spec.Res)), violated: violated}
+	for i, m := range spec.Res {
+		out.marked[i] = marked[m]
+	}
+	return out, nil
+}
+
+// Accept implements Property.
+func (IndependentSet) Accept(t Table) (bool, error) {
+	it, ok := t.(*indTable)
+	if !ok {
+		return false, fmt.Errorf("independent: bad table %T", t)
+	}
+	return !it.violated, nil
+}
+
+// OracleDominatingSet reports whether the marked set dominates g.
+func OracleDominatingSet(g *graph.Graph, marked []bool) bool {
+	for v := 0; v < g.N(); v++ {
+		if marked[v] {
+			continue
+		}
+		ok := false
+		for _, w := range g.Neighbors(v) {
+			if marked[w] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// OracleIndependentSet reports whether the marked set is independent in g.
+func OracleIndependentSet(g *graph.Graph, marked []bool) bool {
+	for _, e := range g.Edges() {
+		if marked[e.U] && marked[e.V] {
+			return false
+		}
+	}
+	return true
+}

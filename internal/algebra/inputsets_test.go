@@ -1,0 +1,193 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lanewidth"
+)
+
+func bgraphLabeled(kl *lanewidth.KLane, el map[graph.Edge]int, vl []int) *BGraph {
+	return &BGraph{
+		G:      kl.G,
+		Lanes:  kl.Lanes(),
+		In:     kl.In,
+		Out:    kl.Out,
+		VLabel: vl,
+		ELabel: el,
+	}
+}
+
+func TestInputSetBaseAcceptMatchesOracle(t *testing.T) {
+	// P4 with endpoints marked: independent, but not dominating (middle
+	// vertices are adjacent to the ends — actually both middles are
+	// dominated; use P5 where the center is not).
+	p5 := graph.PathGraph(5)
+	kl := &lanewidth.KLane{G: p5,
+		In:  map[int]graph.Vertex{0: 0},
+		Out: map[int]graph.Vertex{0: 4}}
+	marks := []int{1, 0, 0, 0, 1}
+	bg := bgraphLabeled(kl, allReal(p5), marks)
+
+	domCls := mustBase(t, DominatingSet{}, bg)
+	gotDom, err := Accept(DominatingSet{}, domCls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := []bool{true, false, false, false, true}
+	if want := OracleDominatingSet(p5, marked); gotDom != want {
+		t.Fatalf("dominating: got %v want %v", gotDom, want)
+	}
+	if gotDom {
+		t.Fatal("endpoints of P5 must not dominate the center")
+	}
+
+	indCls := mustBase(t, IndependentSet{}, bg)
+	gotInd, err := Accept(IndependentSet{}, indCls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotInd || !OracleIndependentSet(p5, marked) {
+		t.Fatal("endpoints of P5 must be independent")
+	}
+
+	// Adjacent marks violate independence.
+	bg2 := bgraphLabeled(kl, allReal(p5), []int{1, 1, 0, 0, 0})
+	indCls2 := mustBase(t, IndependentSet{}, bg2)
+	if ok, _ := Accept(IndependentSet{}, indCls2); ok {
+		t.Fatal("adjacent marked vertices accepted as independent")
+	}
+	// Dominating set: every other vertex.
+	bg3 := bgraphLabeled(kl, allReal(p5), []int{0, 1, 0, 1, 0})
+	domCls3 := mustBase(t, DominatingSet{}, bg3)
+	if ok, _ := Accept(DominatingSet{}, domCls3); !ok {
+		t.Fatal("alternating set must dominate P5")
+	}
+}
+
+// TestQuickInputSetCompositionality mirrors the main merge harness with
+// random vertex marks: classes composed by fB/fP must equal from-scratch
+// classes, and Accept must match the oracles.
+func TestQuickInputSetCompositionality(t *testing.T) {
+	props := []Property{DominatingSet{}, IndependentSet{}}
+	oracles := []func(*graph.Graph, []bool) bool{OracleDominatingSet, OracleIndependentSet}
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		pi := trial % len(props)
+		prop, oracle := props[pi], oracles[pi]
+
+		klA, elA := randomLeafSized(rng, []int{0, 2}, 3)
+		klB, elB := randomLeafSized(rng, []int{1}, 3)
+		vlA := randomMarks(rng, klA.G.N())
+		vlB := randomMarks(rng, klB.G.N())
+		clsA := mustBase(t, prop, bgraphLabeled(klA, elA, vlA))
+		clsB := mustBase(t, prop, bgraphLabeled(klB, elB, vlB))
+
+		i := []int{0, 2}[rng.Intn(2)]
+		bridgeLabel := rng.Intn(2)
+		merged, err := lanewidth.BridgeMerge(klA, klB, i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shift := klA.G.N()
+		elM := map[graph.Edge]int{}
+		for e, l := range elA {
+			elM[e] = l
+		}
+		for e, l := range elB {
+			elM[graph.NewEdge(e.U+shift, e.V+shift)] = l
+		}
+		elM[graph.NewEdge(klA.Out[i], klB.Out[1]+shift)] = bridgeLabel
+		vlM := append(append([]int(nil), vlA...), vlB...)
+
+		clsMerged, err := BridgeMerge(prop, clsA, clsB, i, 1, bridgeLabel)
+		if err != nil {
+			t.Fatalf("trial %d: fB: %v", trial, err)
+		}
+		bgM := bgraphLabeled(merged, elM, vlM)
+		clsDirect := mustBase(t, prop, bgM)
+		if clsMerged.Key() != clsDirect.Key() {
+			t.Fatalf("trial %d (%s): fB class mismatch", trial, prop.Name())
+		}
+		checkInputAccept(t, prop, oracle, clsMerged, bgM, trial)
+
+		// Parent-merge: the child's in-terminal marks must agree with the
+		// parent's out-terminal marks (they are the same vertex).
+		childLanes := []int{1}
+		if rng.Intn(2) == 0 {
+			childLanes = []int{1, 0}
+		}
+		klC, elC := randomLeafSized(rng, childLanes, 3)
+		vlC := randomMarks(rng, klC.G.N())
+		for _, l := range childLanes {
+			vlC[klC.In[l]] = vlM[merged.Out[l]]
+		}
+		clsC := mustBase(t, prop, bgraphLabeled(klC, elC, vlC))
+		pm, childMap, err := lanewidth.ParentMerge(klC, merged)
+		if err != nil {
+			continue // edge identification; next trial
+		}
+		elP := map[graph.Edge]int{}
+		for e, l := range elM {
+			elP[e] = l
+		}
+		for e, l := range elC {
+			elP[graph.NewEdge(childMap[e.U], childMap[e.V])] = l
+		}
+		vlP := make([]int, pm.G.N())
+		copy(vlP, vlM)
+		for cv, mv := range childMap {
+			vlP[mv] = vlC[cv]
+		}
+		clsPM, err := ParentMerge(prop, clsC, clsMerged)
+		if err != nil {
+			t.Fatalf("trial %d: fP: %v", trial, err)
+		}
+		bgP := bgraphLabeled(pm, elP, vlP)
+		clsPDirect := mustBase(t, prop, bgP)
+		if clsPM.Key() != clsPDirect.Key() {
+			t.Fatalf("trial %d (%s): fP class mismatch", trial, prop.Name())
+		}
+		checkInputAccept(t, prop, oracle, clsPM, bgP, trial)
+	}
+}
+
+func randomMarks(rng *rand.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		if rng.Intn(2) == 0 {
+			out[i] = VertexMarked
+		}
+	}
+	return out
+}
+
+func checkInputAccept(t *testing.T, prop Property, oracle func(*graph.Graph, []bool) bool,
+	cls *Class, bg *BGraph, trial int) {
+	t.Helper()
+	got, err := Accept(prop, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := make([]bool, bg.G.N())
+	for v, l := range bg.VLabel {
+		marked[v] = l == VertexMarked
+	}
+	if want := oracle(bg.RealSubgraph(), marked); got != want {
+		t.Fatalf("trial %d (%s): Accept=%v oracle=%v", trial, prop.Name(), got, want)
+	}
+}
+
+func TestInputJoinRejectsInconsistentGlue(t *testing.T) {
+	// Gluing a marked vertex onto an unmarked one must error (they are the
+	// same vertex with contradictory inputs — only a forged label can claim
+	// this, and the verifier turns the error into a reject).
+	parent := lanewidth.InitialPath(1)
+	child := lanewidth.SingleEdge(0)
+	clsParent := mustBase(t, DominatingSet{}, bgraphLabeled(parent, allReal(parent.G), []int{1}))
+	clsChild := mustBase(t, DominatingSet{}, bgraphLabeled(child, allReal(child.G), []int{0, 0}))
+	if _, err := ParentMerge(DominatingSet{}, clsChild, clsParent); err == nil {
+		t.Fatal("inconsistent membership across a glued vertex accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// PerfectMatching is the "real subgraph admits a perfect matching" property.
+// Its table is the set of boundary subsets S such that some real-edge
+// matching covers every internal vertex and exactly the boundary vertices in
+// S. Internalized vertices must be covered at internalization time.
+type PerfectMatching struct{}
+
+var _ Property = PerfectMatching{}
+
+// Name implements Property.
+func (PerfectMatching) Name() string { return "perfect-matching" }
+
+type matchTable struct {
+	nb    int
+	masks map[uint64]struct{}
+}
+
+var _ Permutable = (*matchTable)(nil)
+
+func (t *matchTable) Key() string {
+	keys := make([]uint64, 0, len(t.masks))
+	for m := range t.masks {
+		keys = append(keys, m)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pm:%d:", t.nb)
+	for _, m := range keys {
+		fmt.Fprintf(&sb, "%x,", m)
+	}
+	return sb.String()
+}
+
+// Permute implements Permutable.
+func (t *matchTable) Permute(perm []int) Table {
+	out := &matchTable{nb: t.nb, masks: make(map[uint64]struct{}, len(t.masks))}
+	for m := range t.masks {
+		var nm uint64
+		for i := 0; i < t.nb; i++ {
+			if m&(1<<uint(i)) != 0 {
+				nm |= 1 << uint(perm[i])
+			}
+		}
+		out.masks[nm] = struct{}{}
+	}
+	return out
+}
+
+// Base implements Property by enumerating all real-edge matchings.
+func (PerfectMatching) Base(bg *BGraph, boundary []graph.Vertex) (Table, error) {
+	real := bg.RealSubgraph()
+	edges := real.Edges()
+	isBoundary := make([]int, real.N())
+	for i := range isBoundary {
+		isBoundary[i] = -1
+	}
+	for i, bv := range boundary {
+		isBoundary[bv] = i
+	}
+	t := &matchTable{nb: len(boundary), masks: map[uint64]struct{}{}}
+	covered := make([]bool, real.N())
+	var rec func(idx int)
+	rec = func(idx int) {
+		if idx == len(edges) {
+			var mask uint64
+			for v := 0; v < real.N(); v++ {
+				if isBoundary[v] >= 0 {
+					if covered[v] {
+						mask |= 1 << uint(isBoundary[v])
+					}
+				} else if !covered[v] {
+					return // internal vertex left unmatched
+				}
+			}
+			t.masks[mask] = struct{}{}
+			return
+		}
+		rec(idx + 1) // skip the edge
+		e := edges[idx]
+		if !covered[e.U] && !covered[e.V] {
+			covered[e.U], covered[e.V] = true, true
+			rec(idx + 1)
+			covered[e.U], covered[e.V] = false, false
+		}
+	}
+	rec(0)
+	return t, nil
+}
+
+// Join implements Property.
+func (PerfectMatching) Join(a, b Table, spec JoinSpec) (Table, error) {
+	ta, ok := a.(*matchTable)
+	if !ok {
+		return nil, fmt.Errorf("matching: bad left table %T", a)
+	}
+	tb, ok := b.(*matchTable)
+	if !ok {
+		return nil, fmt.Errorf("matching: bad right table %T", b)
+	}
+	out := &matchTable{nb: len(spec.Res), masks: map[uint64]struct{}{}}
+	inRes := make([]int, spec.NM)
+	for i := range inRes {
+		inRes[i] = -1
+	}
+	for i, m := range spec.Res {
+		inRes[m] = i
+	}
+	emit := func(merged []bool) {
+		// Internalized nodes must be covered.
+		for m := 0; m < spec.NM; m++ {
+			if inRes[m] == -1 && !merged[m] {
+				return
+			}
+		}
+		var mask uint64
+		for i, m := range spec.Res {
+			if merged[m] {
+				mask |= 1 << uint(i)
+			}
+		}
+		out.masks[mask] = struct{}{}
+	}
+	for ma := range ta.masks {
+		for mb := range tb.masks {
+			merged := make([]bool, spec.NM)
+			ok := true
+			for i := 0; i < spec.NA; i++ {
+				if ma&(1<<uint(i)) != 0 {
+					merged[spec.MapA[i]] = true
+				}
+			}
+			for j := 0; j < spec.NB; j++ {
+				if mb&(1<<uint(j)) != 0 {
+					m := spec.MapB[j]
+					if merged[m] {
+						ok = false // matched on both sides of a glued vertex
+						break
+					}
+					merged[m] = true
+				}
+			}
+			if !ok {
+				continue
+			}
+			emit(merged)
+			// Optionally add the real bridge edge to the matching.
+			if spec.Bridge != nil && spec.BridgeLabel == EdgeReal &&
+				!merged[spec.Bridge[0]] && !merged[spec.Bridge[1]] {
+				merged[spec.Bridge[0]], merged[spec.Bridge[1]] = true, true
+				emit(merged)
+				merged[spec.Bridge[0]], merged[spec.Bridge[1]] = false, false
+			}
+		}
+	}
+	return out, nil
+}
+
+// Accept implements Property: a perfect matching exists iff some state
+// covers the entire remaining boundary.
+func (PerfectMatching) Accept(t Table) (bool, error) {
+	mt, ok := t.(*matchTable)
+	if !ok {
+		return false, fmt.Errorf("matching: bad table %T", t)
+	}
+	full := uint64(1)<<uint(mt.nb) - 1
+	_, ok = mt.masks[full]
+	return ok, nil
+}

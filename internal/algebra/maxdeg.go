@@ -1,0 +1,138 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// MaxDegreeAtMost is the "every vertex of the real subgraph has degree ≤ D"
+// property. For D = 2 on connected graphs this is exactly K₁,₃-minor-freeness
+// (each component is a path or a cycle), giving a concrete instance of
+// Corollary 1.2 with the forest F = K₁,₃.
+type MaxDegreeAtMost struct {
+	D int
+}
+
+var _ Property = MaxDegreeAtMost{}
+
+// Name implements Property.
+func (p MaxDegreeAtMost) Name() string { return fmt.Sprintf("max-degree≤%d", p.D) }
+
+// degTable is deterministic: the boundary vertices' real degrees (capped at
+// D+1) plus a violation flag for internal vertices.
+type degTable struct {
+	deg      []int
+	violated bool
+}
+
+var _ Permutable = (*degTable)(nil)
+
+func (t *degTable) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "deg:%v:", t.violated)
+	for _, d := range t.deg {
+		fmt.Fprintf(&sb, "%d,", d)
+	}
+	return sb.String()
+}
+
+// Permute implements Permutable.
+func (t *degTable) Permute(perm []int) Table {
+	deg := make([]int, len(t.deg))
+	for i, d := range t.deg {
+		deg[perm[i]] = d
+	}
+	return &degTable{deg: deg, violated: t.violated}
+}
+
+// Base implements Property.
+func (p MaxDegreeAtMost) Base(bg *BGraph, boundary []graph.Vertex) (Table, error) {
+	real := bg.RealSubgraph()
+	isBoundary := make([]bool, real.N())
+	for _, bv := range boundary {
+		isBoundary[bv] = true
+	}
+	t := &degTable{deg: make([]int, len(boundary))}
+	for v := 0; v < real.N(); v++ {
+		if !isBoundary[v] && real.Degree(v) > p.D {
+			t.violated = true
+		}
+	}
+	for i, bv := range boundary {
+		d := real.Degree(bv)
+		if d > p.D {
+			d = p.D + 1
+		}
+		t.deg[i] = d
+	}
+	return t, nil
+}
+
+// Join implements Property: glued vertices sum their degrees; vertices that
+// internalize must already satisfy the bound.
+func (p MaxDegreeAtMost) Join(a, b Table, spec JoinSpec) (Table, error) {
+	ta, ok := a.(*degTable)
+	if !ok {
+		return nil, fmt.Errorf("maxdeg: bad left table %T", a)
+	}
+	tb, ok := b.(*degTable)
+	if !ok {
+		return nil, fmt.Errorf("maxdeg: bad right table %T", b)
+	}
+	merged := make([]int, spec.NM)
+	for i := 0; i < spec.NA; i++ {
+		merged[spec.MapA[i]] += ta.deg[i]
+	}
+	for j := 0; j < spec.NB; j++ {
+		merged[spec.MapB[j]] += tb.deg[j]
+	}
+	if spec.Bridge != nil && spec.BridgeLabel == EdgeReal {
+		merged[spec.Bridge[0]]++
+		merged[spec.Bridge[1]]++
+	}
+	out := &degTable{deg: make([]int, len(spec.Res)), violated: ta.violated || tb.violated}
+	inRes := make([]bool, spec.NM)
+	for i, m := range spec.Res {
+		inRes[m] = true
+		d := merged[m]
+		if d > p.D {
+			d = p.D + 1
+		}
+		out.deg[i] = d
+	}
+	for m := 0; m < spec.NM; m++ {
+		if !inRes[m] && merged[m] > p.D {
+			out.violated = true
+		}
+	}
+	return out, nil
+}
+
+// Accept implements Property.
+func (p MaxDegreeAtMost) Accept(t Table) (bool, error) {
+	dt, ok := t.(*degTable)
+	if !ok {
+		return false, fmt.Errorf("maxdeg: bad table %T", t)
+	}
+	if dt.violated {
+		return false, nil
+	}
+	for _, d := range dt.deg {
+		if d > p.D {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// OracleMaxDegreeAtMost reports whether every vertex has degree ≤ d.
+func OracleMaxDegreeAtMost(g *graph.Graph, d int) bool {
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > d {
+			return false
+		}
+	}
+	return true
+}

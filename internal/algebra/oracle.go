@@ -1,0 +1,145 @@
+package algebra
+
+import "repro/internal/graph"
+
+// This file provides direct brute-force deciders for the supported
+// properties. They are the ground truth the compositional class algebras
+// are validated against (and they double as reference implementations for
+// examples and experiments on small graphs).
+
+// OracleQColorable reports whether g is properly q-colorable (brute force).
+func OracleQColorable(g *graph.Graph, q int) bool {
+	colors := make([]int, g.N())
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == g.N() {
+			return true
+		}
+		for c := 0; c < q; c++ {
+			ok := true
+			for _, w := range g.Neighbors(v) {
+				if w < v && colors[w] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[v] = c
+				if rec(v + 1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// OracleEvenEdges reports whether g has an even number of edges.
+func OracleEvenEdges(g *graph.Graph) bool { return g.M()%2 == 0 }
+
+// OracleAcyclic reports whether g is a forest.
+func OracleAcyclic(g *graph.Graph) bool { return g.IsAcyclic() }
+
+// OraclePerfectMatching reports whether g admits a perfect matching
+// (brute force over edges).
+func OraclePerfectMatching(g *graph.Graph) bool {
+	if g.N()%2 != 0 {
+		return false
+	}
+	edges := g.Edges()
+	covered := make([]bool, g.N())
+	var rec func(idx, matched int) bool
+	rec = func(idx, matched int) bool {
+		if matched == g.N() {
+			return true
+		}
+		if idx == len(edges) {
+			return false
+		}
+		// Find the first uncovered vertex; some edge at it must be chosen.
+		first := -1
+		for v := 0; v < g.N(); v++ {
+			if !covered[v] {
+				first = v
+				break
+			}
+		}
+		for _, w := range g.Neighbors(first) {
+			if covered[w] {
+				continue
+			}
+			covered[first], covered[w] = true, true
+			if rec(idx, matched+2) {
+				return true
+			}
+			covered[first], covered[w] = false, false
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+// OracleHamiltonianCycle reports whether g has a Hamiltonian cycle
+// (brute force over permutations; intended for n ≤ ~9).
+func OracleHamiltonianCycle(g *graph.Graph) bool {
+	n := g.N()
+	if n < 3 {
+		return false
+	}
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	perm = append(perm, 0)
+	used[0] = true
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == n {
+			return g.HasEdge(perm[n-1], perm[0])
+		}
+		last := perm[len(perm)-1]
+		for _, w := range g.Neighbors(last) {
+			if used[w] {
+				continue
+			}
+			used[w] = true
+			perm = append(perm, w)
+			if rec() {
+				return true
+			}
+			perm = perm[:len(perm)-1]
+			used[w] = false
+		}
+		return false
+	}
+	return rec()
+}
+
+// OracleVertexCoverAtMost reports whether g has a vertex cover of size ≤ c
+// (brute force with branching).
+func OracleVertexCoverAtMost(g *graph.Graph, c int) bool {
+	edges := g.Edges()
+	var rec func(idx, budget int, inCover []bool) bool
+	rec = func(idx, budget int, inCover []bool) bool {
+		for idx < len(edges) {
+			e := edges[idx]
+			if inCover[e.U] || inCover[e.V] {
+				idx++
+				continue
+			}
+			if budget == 0 {
+				return false
+			}
+			for _, pick := range []graph.Vertex{e.U, e.V} {
+				inCover[pick] = true
+				if rec(idx+1, budget-1, inCover) {
+					inCover[pick] = false
+					return true
+				}
+				inCover[pick] = false
+			}
+			return false
+		}
+		return true
+	}
+	return rec(0, c, make([]bool, g.N()))
+}

@@ -1,0 +1,59 @@
+package algebra
+
+import "sync"
+
+// Registry interns classes to compact integer ids. The finite class set C of
+// Proposition 2.4 is part of the verification algorithm, not of the proof;
+// labels therefore carry only the id, whose bit length is independent of n.
+// The registry is shared between the prover and the verifier of a scheme
+// (they run the same algorithm) and is safe for concurrent use by the
+// distributed verifier.
+type Registry struct {
+	mu      sync.Mutex
+	byKey   map[string]int
+	classes []*Class
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]int{}}
+}
+
+// Intern returns the id of the class, registering it if new.
+func (r *Registry) Intern(c *Class) int {
+	key := c.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byKey[key]; ok {
+		return id
+	}
+	id := len(r.classes)
+	r.byKey[key] = id
+	r.classes = append(r.classes, c)
+	return id
+}
+
+// Lookup returns the id of the class if it is already registered.
+func (r *Registry) Lookup(c *Class) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.byKey[c.Key()]
+	return id, ok
+}
+
+// Class returns the class with the given id, or nil if out of range.
+func (r *Registry) Class(id int) *Class {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= len(r.classes) {
+		return nil
+	}
+	return r.classes[id]
+}
+
+// Size returns the number of distinct classes observed.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.classes)
+}

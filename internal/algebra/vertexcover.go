@@ -1,0 +1,198 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// VertexCoverAtMost is the "real subgraph has a vertex cover of size ≤ C"
+// property. Its table maps each boundary in-cover status to the minimum
+// cover size achieving it, with sizes capped at C+1 ("too large") to keep
+// the class set finite.
+type VertexCoverAtMost struct {
+	C int
+}
+
+var _ Property = VertexCoverAtMost{}
+
+// Name implements Property.
+func (p VertexCoverAtMost) Name() string { return fmt.Sprintf("vertex-cover≤%d", p.C) }
+
+func (p VertexCoverAtMost) cap() int { return p.C + 1 }
+
+type vcTable struct {
+	nb  int
+	min map[uint64]int // boundary status mask → min cover size (capped)
+}
+
+var _ Permutable = (*vcTable)(nil)
+
+func (t *vcTable) Key() string {
+	masks := make([]uint64, 0, len(t.min))
+	for m := range t.min {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vc:%d:", t.nb)
+	for _, m := range masks {
+		fmt.Fprintf(&sb, "%x=%d,", m, t.min[m])
+	}
+	return sb.String()
+}
+
+// Permute implements Permutable.
+func (t *vcTable) Permute(perm []int) Table {
+	out := &vcTable{nb: t.nb, min: make(map[uint64]int, len(t.min))}
+	for m, size := range t.min {
+		var nm uint64
+		for i := 0; i < t.nb; i++ {
+			if m&(1<<uint(i)) != 0 {
+				nm |= 1 << uint(perm[i])
+			}
+		}
+		out.min[nm] = size
+	}
+	return out
+}
+
+func (t *vcTable) update(mask uint64, size int) {
+	if cur, ok := t.min[mask]; !ok || size < cur {
+		t.min[mask] = size
+	}
+}
+
+// Base implements Property by enumerating all vertex subsets.
+func (p VertexCoverAtMost) Base(bg *BGraph, boundary []graph.Vertex) (Table, error) {
+	real := bg.RealSubgraph()
+	n := real.N()
+	isBoundary := make([]int, n)
+	for i := range isBoundary {
+		isBoundary[i] = -1
+	}
+	for i, bv := range boundary {
+		isBoundary[bv] = i
+	}
+	t := &vcTable{nb: len(boundary), min: map[uint64]int{}}
+	edges := real.Edges()
+	for sub := 0; sub < 1<<uint(n); sub++ {
+		covers := true
+		for _, e := range edges {
+			if sub&(1<<uint(e.U)) == 0 && sub&(1<<uint(e.V)) == 0 {
+				covers = false
+				break
+			}
+		}
+		if !covers {
+			continue
+		}
+		size := 0
+		var mask uint64
+		for v := 0; v < n; v++ {
+			if sub&(1<<uint(v)) != 0 {
+				size++
+				if isBoundary[v] >= 0 {
+					mask |= 1 << uint(isBoundary[v])
+				}
+			}
+		}
+		if size > p.cap() {
+			size = p.cap()
+		}
+		t.update(mask, size)
+	}
+	return t, nil
+}
+
+// Join implements Property. Glued vertices must agree on in-cover status and
+// are counted once; a real bridge edge requires a covered endpoint.
+func (p VertexCoverAtMost) Join(a, b Table, spec JoinSpec) (Table, error) {
+	ta, ok := a.(*vcTable)
+	if !ok {
+		return nil, fmt.Errorf("vertexcover: bad left table %T", a)
+	}
+	tb, ok := b.(*vcTable)
+	if !ok {
+		return nil, fmt.Errorf("vertexcover: bad right table %T", b)
+	}
+	out := &vcTable{nb: len(spec.Res), min: map[uint64]int{}}
+	preA := make([]int, spec.NM)
+	preB := make([]int, spec.NM)
+	for i := range preA {
+		preA[i], preB[i] = -1, -1
+	}
+	for i := 0; i < spec.NA; i++ {
+		preA[spec.MapA[i]] = i
+	}
+	for j := 0; j < spec.NB; j++ {
+		preB[spec.MapB[j]] = j
+	}
+	for ma, sizeA := range ta.min {
+		for mb, sizeB := range tb.min {
+			status := make([]bool, spec.NM)
+			consistent := true
+			overlap := 0
+			for m := 0; m < spec.NM && consistent; m++ {
+				ia, ib := preA[m], preB[m]
+				inA := ia >= 0 && ma&(1<<uint(ia)) != 0
+				inB := ib >= 0 && mb&(1<<uint(ib)) != 0
+				switch {
+				case ia >= 0 && ib >= 0:
+					if inA != inB {
+						consistent = false
+						break
+					}
+					status[m] = inA
+					if inA {
+						overlap++
+					}
+				case ia >= 0:
+					status[m] = inA
+				case ib >= 0:
+					status[m] = inB
+				}
+			}
+			if !consistent {
+				continue
+			}
+			if spec.Bridge != nil && spec.BridgeLabel == EdgeReal &&
+				!status[spec.Bridge[0]] && !status[spec.Bridge[1]] {
+				continue
+			}
+			// Once an operand saturates the cap the sum stays saturated:
+			// the merged minimum is at least the larger operand's.
+			size := p.cap()
+			if sizeA < p.cap() && sizeB < p.cap() {
+				size = sizeA + sizeB - overlap
+				if size > p.cap() {
+					size = p.cap()
+				}
+			}
+			var mask uint64
+			for i, m := range spec.Res {
+				if status[m] {
+					mask |= 1 << uint(i)
+				}
+			}
+			out.update(mask, size)
+		}
+	}
+	return out, nil
+}
+
+// Accept implements Property: some cover of size ≤ C exists.
+func (p VertexCoverAtMost) Accept(t Table) (bool, error) {
+	vt, ok := t.(*vcTable)
+	if !ok {
+		return false, fmt.Errorf("vertexcover: bad table %T", t)
+	}
+	for _, size := range vt.min {
+		if size <= p.C {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+func TestProveVerifyAccepts(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.PathGraph(20),
+		graph.CycleGraph(15),
+		graph.Spider(4),
+	} {
+		cfg := cert.NewConfig(g)
+		pd := interval.Decompose(g)
+		labeling, err := Prove(cfg, pd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts := Verify(cfg, labeling)
+		for v, ok := range verdicts {
+			if !ok {
+				t.Fatalf("vertex %d rejected honest baseline labeling", v)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	g := graph.PathGraph(16)
+	cfg := cert.NewConfig(g)
+	labeling, err := Prove(cfg, interval.Decompose(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kick a vertex out of its claimed home bag.
+	labeling.PerVertex[5].HomeBag = []uint64{999}
+	if allTrue(Verify(cfg, labeling)) {
+		t.Fatal("corrupted home bag accepted")
+	}
+	// Break frame nesting.
+	labeling2, _ := Prove(cfg, interval.Decompose(g))
+	if len(labeling2.PerVertex[3].Frames) > 0 {
+		labeling2.PerVertex[3].Frames[0].Lo = 7
+		if allTrue(Verify(cfg, labeling2)) {
+			t.Fatal("broken frame nesting accepted")
+		}
+	}
+	// Missing label.
+	labeling3, _ := Prove(cfg, interval.Decompose(g))
+	labeling3.PerVertex[0] = nil
+	if allTrue(Verify(cfg, labeling3)) {
+		t.Fatal("missing label accepted")
+	}
+}
+
+func TestLabelBitsGrowAsLogSquared(t *testing.T) {
+	// The comparator's point: Θ(log² n) growth, super-logarithmic.
+	type point struct{ n, bits int }
+	var pts []point
+	for _, n := range []int{64, 256, 1024, 4096} {
+		g := graph.PathGraph(n)
+		cfg := cert.NewConfig(g)
+		pd := interval.OrderingDecomposition(g, interval.HeuristicOrdering(g))
+		labeling, err := Prove(cfg, pd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{n, labeling.MaxBits()})
+	}
+	for i := 1; i < len(pts); i++ {
+		// Super-logarithmic: per-quadrupling increments must grow.
+		if i >= 2 {
+			inc1 := pts[i-1].bits - pts[i-2].bits
+			inc2 := pts[i].bits - pts[i-1].bits
+			if inc2 <= inc1 {
+				t.Fatalf("increments not growing (log² shape): %v", pts)
+			}
+		}
+	}
+	// And bounded by c·log² n.
+	for _, p := range pts {
+		lg := math.Log2(float64(p.n))
+		if float64(p.bits) > 40*lg*lg+500 {
+			t.Fatalf("n=%d: %d bits above the log² envelope", p.n, p.bits)
+		}
+	}
+}
+
+func TestEmptyDecomposition(t *testing.T) {
+	cfg := cert.NewConfig(graph.PathGraph(2))
+	if _, err := Prove(cfg, &interval.PathDecomposition{}); err == nil {
+		t.Fatal("empty decomposition accepted")
+	}
+}
+
+func allTrue(vs []bool) bool {
+	for _, v := range vs {
+		if !v {
+			return false
+		}
+	}
+	return true
+}

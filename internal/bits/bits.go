@@ -1,0 +1,128 @@
+// Package bits provides bit-exact serialization for proof labels, so that
+// the label sizes reported by experiments are honest bit counts (the paper's
+// complexity measure) rather than in-memory struct sizes.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Writer accumulates bits most-significant-first.
+type Writer struct {
+	buf   []byte
+	nbits int
+}
+
+// WriteBit appends one bit.
+func (w *Writer) WriteBit(b bool) {
+	if w.nbits%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[w.nbits/8] |= 1 << uint(7-w.nbits%8)
+	}
+	w.nbits++
+}
+
+// WriteUint appends v in exactly width bits (big-endian). It panics if v
+// does not fit, as that is a programming error in the label encoder.
+func (w *Writer) WriteUint(v uint64, width int) {
+	if width < 64 && v >= 1<<uint(width) {
+		panic(fmt.Sprintf("bits: value %d does not fit in %d bits", v, width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(v&(1<<uint(i)) != 0)
+	}
+}
+
+// WriteUvarint appends v using a self-delimiting Elias-gamma-style code:
+// a unary length prefix followed by the value bits. Cost: 2⌊log₂(v+1)⌋+1.
+func (w *Writer) WriteUvarint(v uint64) {
+	v++ // encode v+1 ≥ 1
+	width := 0
+	for tmp := v; tmp > 1; tmp >>= 1 {
+		width++
+	}
+	for i := 0; i < width; i++ {
+		w.WriteBit(true)
+	}
+	w.WriteBit(false)
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(v&(1<<uint(i)) != 0)
+	}
+}
+
+// Bits returns the number of bits written.
+func (w *Writer) Bits() int { return w.nbits }
+
+// Bytes returns the encoded bytes (the final byte zero-padded).
+func (w *Writer) Bytes() []byte { return append([]byte(nil), w.buf...) }
+
+// ErrOutOfBits is returned when a Reader runs past the end of input.
+var ErrOutOfBits = errors.New("bits: out of input")
+
+// Reader consumes bits written by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int
+	size int
+}
+
+// NewReader wraps encoded bytes with an explicit bit length.
+func NewReader(buf []byte, nbits int) *Reader {
+	return &Reader{buf: buf, size: nbits}
+}
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= r.size {
+		return false, ErrOutOfBits
+	}
+	b := r.buf[r.pos/8]&(1<<uint(7-r.pos%8)) != 0
+	r.pos++
+	return b, nil
+}
+
+// ReadUint consumes width bits.
+func (r *Reader) ReadUint(width int) (uint64, error) {
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// ReadUvarint consumes one WriteUvarint value.
+func (r *Reader) ReadUvarint() (uint64, error) {
+	width := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if !b {
+			break
+		}
+		width++
+	}
+	v := uint64(1)
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v - 1, nil
+}

@@ -1,0 +1,126 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadUint(t *testing.T) {
+	var w Writer
+	w.WriteUint(5, 3)
+	w.WriteUint(0, 1)
+	w.WriteUint(1023, 10)
+	if w.Bits() != 14 {
+		t.Fatalf("bits = %d, want 14", w.Bits())
+	}
+	r := NewReader(w.Bytes(), w.Bits())
+	for _, want := range []struct {
+		v     uint64
+		width int
+	}{{5, 3}, {0, 1}, {1023, 10}} {
+		got, err := r.ReadUint(want.width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want.v {
+			t.Fatalf("read %d, want %d", got, want.v)
+		}
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("read past end should fail")
+	}
+}
+
+func TestWriteUintOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w Writer
+	w.WriteUint(8, 3)
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(vs []uint32) bool {
+		var w Writer
+		for _, v := range vs {
+			w.WriteUvarint(uint64(v))
+		}
+		r := NewReader(w.Bytes(), w.Bits())
+		for _, v := range vs {
+			got, err := r.ReadUvarint()
+			if err != nil || got != uint64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintCost(t *testing.T) {
+	// The cost of encoding v must be Θ(log v): 2⌊log₂(v+1)⌋ + 1 bits.
+	for _, v := range []uint64{0, 1, 7, 1024, 1 << 40} {
+		var w Writer
+		w.WriteUvarint(v)
+		width := 0
+		for tmp := v + 1; tmp > 1; tmp >>= 1 {
+			width++
+		}
+		if want := 2*width + 1; w.Bits() != want {
+			t.Fatalf("uvarint(%d) = %d bits, want %d", v, w.Bits(), want)
+		}
+	}
+}
+
+func TestMixedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var w Writer
+	type op struct {
+		kind  int
+		v     uint64
+		width int
+	}
+	var ops []op
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			o := op{kind: 0, v: uint64(rng.Intn(2))}
+			w.WriteBit(o.v == 1)
+			ops = append(ops, o)
+		case 1:
+			width := 1 + rng.Intn(20)
+			o := op{kind: 1, v: rng.Uint64() & (1<<uint(width) - 1), width: width}
+			w.WriteUint(o.v, width)
+			ops = append(ops, o)
+		default:
+			o := op{kind: 2, v: uint64(rng.Intn(1 << 20))}
+			w.WriteUvarint(o.v)
+			ops = append(ops, o)
+		}
+	}
+	r := NewReader(w.Bytes(), w.Bits())
+	for i, o := range ops {
+		switch o.kind {
+		case 0:
+			b, err := r.ReadBit()
+			if err != nil || (b != (o.v == 1)) {
+				t.Fatalf("op %d bit mismatch", i)
+			}
+		case 1:
+			v, err := r.ReadUint(o.width)
+			if err != nil || v != o.v {
+				t.Fatalf("op %d uint mismatch", i)
+			}
+		default:
+			v, err := r.ReadUvarint()
+			if err != nil || v != o.v {
+				t.Fatalf("op %d uvarint mismatch", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package cert provides the proof-labeling-scheme substrate of Section 2:
+// configurations with O(log n)-bit identifiers, the edge-label to
+// vertex-label transformation of Proposition 2.1, and the spanning-tree
+// "pointing" scheme of Proposition 2.2.
+package cert
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Config is a network configuration: a connected graph whose vertices carry
+// distinct O(log n)-bit identifiers and, optionally, input labels from a
+// fixed finite set (Section 2.2 — e.g. membership in a marked vertex set X
+// for properties like "X is a dominating set"). Inputs are part of the
+// state s(v), not of the proof.
+type Config struct {
+	G      *graph.Graph
+	IDs    []uint64
+	VInput []int // nil means all-zero inputs
+}
+
+// Input returns vertex v's input label (0 when unset).
+func (c *Config) Input(v graph.Vertex) int {
+	if c.VInput == nil || v < 0 || v >= len(c.VInput) {
+		return 0
+	}
+	return c.VInput[v]
+}
+
+// MarkSet sets input label 1 on the given vertices (the conventional
+// encoding of a vertex subset X).
+func (c *Config) MarkSet(vs []graph.Vertex) {
+	if c.VInput == nil {
+		c.VInput = make([]int, c.G.N())
+	}
+	for _, v := range vs {
+		c.VInput[v] = 1
+	}
+}
+
+// NewConfig equips the graph with the canonical identifier assignment
+// ID(v) = v + 1 (identifiers are positive so that zero never collides).
+func NewConfig(g *graph.Graph) *Config {
+	ids := make([]uint64, g.N())
+	for v := range ids {
+		ids[v] = uint64(v) + 1
+	}
+	return &Config{G: g, IDs: ids}
+}
+
+// Validate checks that identifiers are distinct.
+func (c *Config) Validate() error {
+	if len(c.IDs) != c.G.N() {
+		return fmt.Errorf("cert: %d ids for %d vertices", len(c.IDs), c.G.N())
+	}
+	seen := make(map[uint64]graph.Vertex, len(c.IDs))
+	for v, id := range c.IDs {
+		if w, dup := seen[id]; dup {
+			return fmt.Errorf("cert: vertices %d and %d share id %d", w, v, id)
+		}
+		seen[id] = v
+	}
+	return nil
+}
+
+// VertexByID returns the vertex with the given identifier, or -1.
+func (c *Config) VertexByID(id uint64) graph.Vertex {
+	for v, vid := range c.IDs {
+		if vid == id {
+			return v
+		}
+	}
+	return -1
+}
+
+// EdgePayload is an opaque edge label with its exact bit size.
+type EdgePayload struct {
+	Data []byte
+	Bits int
+}
+
+// VertexAssignment is the result of Proposition 2.1: each vertex holds the
+// payloads of the edges oriented out of it.
+type VertexAssignment struct {
+	// PerVertex[v] lists (edge, payload) pairs stored at v.
+	PerVertex [][]OwnedPayload
+	// MaxOutDegree is the orientation's out-degree bound (≤ degeneracy).
+	MaxOutDegree int
+}
+
+// OwnedPayload is one edge label stored at a vertex.
+type OwnedPayload struct {
+	Edge    graph.Edge
+	Payload EdgePayload
+}
+
+// EdgeToVertex implements Proposition 2.1: given f(n)-bit edge labels on a
+// d-degenerate graph, it produces O(d·f(n))-bit vertex labels by moving each
+// edge's label to the tail of a degeneracy orientation.
+func EdgeToVertex(g *graph.Graph, labels map[graph.Edge]EdgePayload) *VertexAssignment {
+	orient, _ := g.DegeneracyOrientation()
+	out := &VertexAssignment{PerVertex: make([][]OwnedPayload, g.N())}
+	for e, payload := range labels {
+		tail := orient[e]
+		out.PerVertex[tail] = append(out.PerVertex[tail], OwnedPayload{Edge: e, Payload: payload})
+	}
+	out.MaxOutDegree = orient.MaxOutDegree()
+	return out
+}
+
+// VertexBits returns the label size in bits of each vertex under the
+// assignment (payload bits only; the edge endpoints are already identified
+// inside the payloads of this library's schemes).
+func (a *VertexAssignment) VertexBits() []int {
+	out := make([]int, len(a.PerVertex))
+	for v, payloads := range a.PerVertex {
+		for _, p := range payloads {
+			out[v] += p.Payload.Bits
+		}
+	}
+	return out
+}
+
+// MaxBits returns the maximum over VertexBits, the scheme's proof size.
+func (a *VertexAssignment) MaxBits() int {
+	best := 0
+	for _, b := range a.VertexBits() {
+		if b > best {
+			best = b
+		}
+	}
+	return best
+}

@@ -1,0 +1,180 @@
+package cert
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cfg := NewConfig(graph.PathGraph(4))
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.IDs[2] = cfg.IDs[1]
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+	cfg = NewConfig(graph.PathGraph(3))
+	if cfg.VertexByID(2) != 1 || cfg.VertexByID(99) != -1 {
+		t.Fatal("VertexByID wrong")
+	}
+}
+
+func TestPointingCompleteness(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.PathGraph(10),
+		graph.CycleGraph(9),
+		graph.Spider(3),
+		graph.Complete(5),
+	} {
+		cfg := NewConfig(g)
+		for target := 0; target < g.N(); target += 3 {
+			labels, err := ProvePointing(cfg, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !AllAccept(VerifyPointing(cfg, cfg.IDs[target], labels)) {
+				t.Fatalf("honest pointing rejected (target %d)", target)
+			}
+		}
+	}
+}
+
+func TestPointingSoundnessNoSuchVertex(t *testing.T) {
+	// Certify an id that exists, then verify against an id that does not:
+	// some vertex must reject regardless of the labeling.
+	g := graph.CycleGraph(8)
+	cfg := NewConfig(g)
+	labels, err := ProvePointing(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AllAccept(VerifyPointing(cfg, 999, labels)) {
+		t.Fatal("accepted pointing to non-existent id")
+	}
+}
+
+func TestPointingSoundnessCorruption(t *testing.T) {
+	// Random single-field corruptions must always be caught.
+	g := graph.Spider(3)
+	cfg := NewConfig(g)
+	target := graph.Vertex(5)
+	x := cfg.IDs[target]
+	base, err := ProvePointing(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	edges := g.Edges()
+	rejected := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		labels := make(map[graph.Edge]PointingLabel, len(base))
+		for e, l := range base {
+			labels[e] = l
+		}
+		e := edges[rng.Intn(len(edges))]
+		l := labels[e]
+		switch rng.Intn(3) {
+		case 0:
+			l.DU += 1 + rng.Intn(3)
+		case 1:
+			l.DV = rng.Intn(10) + int(l.DV) + 1
+		default:
+			l.X = l.X + 1
+		}
+		labels[e] = l
+		if !AllAccept(VerifyPointing(cfg, x, labels)) {
+			rejected++
+		}
+	}
+	if rejected != trials {
+		t.Fatalf("only %d/%d corruptions rejected", rejected, trials)
+	}
+}
+
+func TestPointingLabelSizeLogarithmic(t *testing.T) {
+	// E4: label bits must grow like O(log n).
+	for _, n := range []int{16, 256, 4096} {
+		g := graph.PathGraph(n)
+		cfg := NewConfig(g)
+		labels, err := ProvePointing(cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxBits := MaxPointingBits(labels)
+		bound := 12*int(math.Log2(float64(n))) + 40
+		if maxBits > bound {
+			t.Fatalf("n=%d: %d bits exceeds O(log n) bound %d", n, maxBits, bound)
+		}
+	}
+}
+
+func TestQuickPointingRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		g := graph.PathGraph(n)
+		for extra := 0; extra < n/2; extra++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		cfg := NewConfig(g)
+		target := graph.Vertex(rng.Intn(n))
+		labels, err := ProvePointing(cfg, target)
+		if err != nil {
+			return false
+		}
+		if !AllAccept(VerifyPointing(cfg, cfg.IDs[target], labels)) {
+			return false
+		}
+		// Wrong target id must be rejected.
+		return !AllAccept(VerifyPointing(cfg, uint64(n)+7, labels))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeToVertex(t *testing.T) {
+	g := graph.CycleGraph(6)
+	labels := make(map[graph.Edge]EdgePayload, g.M())
+	for _, e := range g.Edges() {
+		labels[e] = EdgePayload{Data: []byte{1}, Bits: 8}
+	}
+	a := EdgeToVertex(g, labels)
+	// Every edge stored exactly once, at one of its endpoints.
+	count := 0
+	for v, payloads := range a.PerVertex {
+		for _, p := range payloads {
+			if !p.Edge.Has(v) {
+				t.Fatalf("edge %v stored at non-endpoint %d", p.Edge, v)
+			}
+			count++
+		}
+	}
+	if count != g.M() {
+		t.Fatalf("stored %d labels for %d edges", count, g.M())
+	}
+	// Out-degree ≤ degeneracy = 2, so per-vertex bits ≤ 2·8.
+	if a.MaxOutDegree > 2 {
+		t.Fatalf("max outdegree %d exceeds degeneracy 2", a.MaxOutDegree)
+	}
+	if a.MaxBits() > 16 {
+		t.Fatalf("vertex bits %d exceed d·f = 16", a.MaxBits())
+	}
+	vb := a.VertexBits()
+	total := 0
+	for _, b := range vb {
+		total += b
+	}
+	if total != 8*g.M() {
+		t.Fatalf("total bits %d", total)
+	}
+}

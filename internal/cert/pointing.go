@@ -1,0 +1,153 @@
+package cert
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/graph"
+)
+
+// This file implements the proof labeling scheme of Proposition 2.2: with
+// O(log n)-bit edge labels, certify that a vertex with a given identifier x
+// exists. The prover computes BFS distances from the target; each edge label
+// carries the target id and both endpoints' (id, distance) pairs. A vertex
+// accepts iff its distance is consistent across incident edges, a vertex at
+// distance 0 has id x, and every positive-distance vertex has a neighbor one
+// step closer. Following the decreasing-distance chain anchors the target.
+
+// PointingLabel is the label of one edge in the pointing scheme.
+type PointingLabel struct {
+	X        uint64 // target identifier
+	UID, VID uint64 // endpoint identifiers (U < V as graph vertices)
+	DU, DV   int    // BFS distances of the endpoints from the target
+}
+
+// Bits returns the exact encoded size of the label.
+func (l PointingLabel) Bits() int {
+	var w bits.Writer
+	l.encode(&w)
+	return w.Bits()
+}
+
+func (l PointingLabel) encode(w *bits.Writer) {
+	w.WriteUvarint(l.X)
+	w.WriteUvarint(l.UID)
+	w.WriteUvarint(l.VID)
+	w.WriteUvarint(uint64(l.DU))
+	w.WriteUvarint(uint64(l.DV))
+}
+
+// ProvePointing labels every edge for the target vertex. The configuration
+// must be connected.
+func ProvePointing(cfg *Config, target graph.Vertex) (map[graph.Edge]PointingLabel, error) {
+	if target < 0 || target >= cfg.G.N() {
+		return nil, fmt.Errorf("cert: target %d out of range", target)
+	}
+	_, dist := cfg.G.BFSFrom(target)
+	labels := make(map[graph.Edge]PointingLabel, cfg.G.M())
+	for _, e := range cfg.G.Edges() {
+		if dist[e.U] < 0 || dist[e.V] < 0 {
+			return nil, fmt.Errorf("cert: graph disconnected at edge %v", e)
+		}
+		labels[e] = PointingLabel{
+			X:   cfg.IDs[target],
+			UID: cfg.IDs[e.U],
+			VID: cfg.IDs[e.V],
+			DU:  dist[e.U],
+			DV:  dist[e.V],
+		}
+	}
+	return labels, nil
+}
+
+// VerifyPointingAt is the local verification algorithm at one vertex: it
+// sees only the vertex's own identifier and the labels of incident edges
+// (with n, the vertex count, needed only when the vertex is isolated).
+func VerifyPointingAt(id uint64, x uint64, incident []PointingLabel, isolated bool) bool {
+	if isolated {
+		// Only valid in the single-vertex network.
+		return id == x
+	}
+	myDist := -1
+	for _, l := range incident {
+		if l.X != x {
+			return false
+		}
+		var d int
+		switch id {
+		case l.UID:
+			d = l.DU
+		case l.VID:
+			d = l.DV
+		default:
+			return false // label does not mention this vertex
+		}
+		if myDist == -1 {
+			myDist = d
+		} else if myDist != d {
+			return false // inconsistent claimed distance
+		}
+	}
+	if myDist == 0 {
+		return id == x
+	}
+	if id == x {
+		return false // the target must claim distance zero
+	}
+	// Some neighbor must be one step closer.
+	for _, l := range incident {
+		other := l.DU
+		if id == l.UID {
+			other = l.DV
+		}
+		if other == myDist-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyPointing runs the verifier at every vertex and returns per-vertex
+// verdicts. The scheme accepts iff all verdicts are true.
+func VerifyPointing(cfg *Config, x uint64, labels map[graph.Edge]PointingLabel) []bool {
+	verdicts := make([]bool, cfg.G.N())
+	for v := 0; v < cfg.G.N(); v++ {
+		var incident []PointingLabel
+		complete := true
+		for _, w := range cfg.G.Neighbors(v) {
+			l, ok := labels[graph.NewEdge(v, w)]
+			if !ok {
+				complete = false
+				break
+			}
+			incident = append(incident, l)
+		}
+		if !complete {
+			verdicts[v] = false
+			continue
+		}
+		verdicts[v] = VerifyPointingAt(cfg.IDs[v], x, incident, cfg.G.Degree(v) == 0)
+	}
+	return verdicts
+}
+
+// AllAccept reports whether every verdict is true.
+func AllAccept(verdicts []bool) bool {
+	for _, v := range verdicts {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxPointingBits returns the scheme's proof size for a labeling.
+func MaxPointingBits(labels map[graph.Edge]PointingLabel) int {
+	best := 0
+	for _, l := range labels {
+		if b := l.Bits(); b > best {
+			best = b
+		}
+	}
+	return best
+}

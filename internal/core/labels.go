@@ -1,0 +1,298 @@
+// Package core implements the paper's main contribution (Section 6 and
+// Theorem 1): an O(log n)-bit proof labeling scheme deciding any supported
+// MSO₂ property on graphs of bounded pathwidth.
+//
+// The prover pipeline is: path decomposition → lane partition (Section 4) →
+// completion + embedding → lanewidth transcript (Proposition 5.2) →
+// hierarchical decomposition (Proposition 5.6) → homomorphism classes
+// (Proposition 6.1) → per-edge certificates (Lemmas 6.4/6.5) → embedding
+// certification (Theorem 1). The verifier re-runs every local check of
+// Section 6.2 at each vertex from its identifier and incident edge labels
+// alone.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bits"
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/lanewidth"
+)
+
+// ChildSummary is B(Tree-merge(T_child)) as carried on the edges of the
+// parent member (Lemma 6.5, T-node case). Sibling lane sets are disjoint,
+// so a member stores at most k of these.
+type ChildSummary struct {
+	NodeID        int
+	Lanes         []int
+	InIDs         map[int]uint64
+	MergedOutIDs  map[int]uint64
+	MergedClassID int
+}
+
+// OperandSummary is the basic information of a B-node operand (a V-node or
+// T-node), carried on the edges of the B-node's subgraph (Lemma 6.5,
+// B-node case).
+type OperandSummary struct {
+	NodeID  int
+	Kind    lanewidth.Kind
+	Lanes   []int
+	InIDs   map[int]uint64
+	OutIDs  map[int]uint64
+	ClassID int
+	Input   int // V-node operands: the vertex's input label
+}
+
+// NodeEntry is the basic information B(G) of one hierarchy node, stored on
+// every edge of the node's subgraph. An edge's certificate holds the entries
+// of the ≤ 2k nodes on its root-to-owner path (Observation 5.5).
+type NodeEntry struct {
+	NodeID  int
+	Kind    lanewidth.Kind
+	Lanes   []int
+	InIDs   map[int]uint64
+	OutIDs  map[int]uint64
+	ClassID int
+
+	// Tree-member fields (set when the node is a member of a T-node's tree).
+	ParentID      int // enclosing T-node id
+	MergedClassID int
+	MergedOutIDs  map[int]uint64
+	Children      []ChildSummary
+
+	// E-node: PathIDs = [in, out]; RealBits[0] marks the edge real.
+	// P-node: PathIDs in lane order; RealBits per consecutive path edge.
+	// VInputs carries the vertices' input labels in PathIDs order (each
+	// vertex verifies its own entry against its state).
+	PathIDs  []uint64
+	RealBits []bool
+	VInputs  []int
+
+	// B-node.
+	LaneI, LaneJ int
+	BridgeReal   bool
+	Left, Right  *OperandSummary
+
+	// T-node: summary of its tree's root member.
+	RootMember *ChildSummary
+}
+
+// CEdgeLabel is the certificate of one completion edge: the node entries
+// along its root-to-owner path, plus the edge's position when its owner is
+// a P-node (whose several edges share the entry).
+type CEdgeLabel struct {
+	Path     []*NodeEntry
+	OwnerPos int // P-node owners: edge joins PathIDs[OwnerPos], PathIDs[OwnerPos+1]
+}
+
+// EmbEntry simulates a virtual completion edge on one real edge of its
+// embedding path (Theorem 1's embedding certification): the virtual edge's
+// endpoint identifiers, this real edge's 1-based rank in both directions,
+// and a copy of the virtual edge's certificate.
+type EmbEntry struct {
+	UID, VID uint64
+	Fwd, Bwd int
+	Payload  *CEdgeLabel
+}
+
+// EdgeLabel is the complete label of a real edge.
+type EdgeLabel struct {
+	Own      *CEdgeLabel
+	Emb      []EmbEntry
+	Pointing *cert.PointingLabel // root-anchor pointing scheme (Prop 2.2)
+}
+
+// Labeling is a full proof assignment.
+type Labeling struct {
+	// Edges maps each real edge to its label.
+	Edges map[graph.Edge]*EdgeLabel
+}
+
+// MaxBits returns the proof size: the largest edge label in bits.
+func (l *Labeling) MaxBits() int {
+	best := 0
+	for _, el := range l.Edges {
+		if b := el.Bits(); b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// --- canonical encodings -------------------------------------------------
+
+func writeIDMap(w *bits.Writer, lanes []int, m map[int]uint64) {
+	for _, l := range lanes {
+		w.WriteUvarint(m[l])
+	}
+}
+
+func (c *ChildSummary) encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(c.NodeID))
+	w.WriteUvarint(uint64(len(c.Lanes)))
+	for _, l := range c.Lanes {
+		w.WriteUvarint(uint64(l))
+	}
+	writeIDMap(w, c.Lanes, c.InIDs)
+	writeIDMap(w, c.Lanes, c.MergedOutIDs)
+	w.WriteUvarint(uint64(c.MergedClassID))
+}
+
+func (o *OperandSummary) encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(o.NodeID))
+	w.WriteUint(uint64(o.Kind), 3)
+	w.WriteUvarint(uint64(len(o.Lanes)))
+	for _, l := range o.Lanes {
+		w.WriteUvarint(uint64(l))
+	}
+	writeIDMap(w, o.Lanes, o.InIDs)
+	writeIDMap(w, o.Lanes, o.OutIDs)
+	w.WriteUvarint(uint64(o.ClassID))
+	w.WriteUvarint(uint64(o.Input))
+}
+
+func (n *NodeEntry) encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(n.NodeID))
+	w.WriteUint(uint64(n.Kind), 3)
+	w.WriteUvarint(uint64(len(n.Lanes)))
+	for _, l := range n.Lanes {
+		w.WriteUvarint(uint64(l))
+	}
+	writeIDMap(w, n.Lanes, n.InIDs)
+	writeIDMap(w, n.Lanes, n.OutIDs)
+	w.WriteUvarint(uint64(n.ClassID))
+	w.WriteUvarint(uint64(n.ParentID + 1))
+	w.WriteUvarint(uint64(n.MergedClassID))
+	writeIDMap(w, n.Lanes, n.MergedOutIDs)
+	w.WriteUvarint(uint64(len(n.Children)))
+	for i := range n.Children {
+		n.Children[i].encode(w)
+	}
+	w.WriteUvarint(uint64(len(n.PathIDs)))
+	for _, id := range n.PathIDs {
+		w.WriteUvarint(id)
+	}
+	for _, b := range n.RealBits {
+		w.WriteBit(b)
+	}
+	for _, in := range n.VInputs {
+		w.WriteUvarint(uint64(in))
+	}
+	w.WriteUvarint(uint64(n.LaneI))
+	w.WriteUvarint(uint64(n.LaneJ))
+	w.WriteBit(n.BridgeReal)
+	for _, op := range []*OperandSummary{n.Left, n.Right} {
+		if op == nil {
+			w.WriteBit(false)
+			continue
+		}
+		w.WriteBit(true)
+		op.encode(w)
+	}
+	if n.RootMember == nil {
+		w.WriteBit(false)
+	} else {
+		w.WriteBit(true)
+		n.RootMember.encode(w)
+	}
+}
+
+// Key returns a canonical encoding of the entry, used for the per-vertex
+// consistency checks ("all incident edges agree on B(G)").
+func (n *NodeEntry) Key() string {
+	var w bits.Writer
+	n.encode(&w)
+	return string(w.Bytes()) + fmt.Sprint(w.Bits())
+}
+
+func (c *CEdgeLabel) encode(w *bits.Writer) {
+	w.WriteUvarint(uint64(len(c.Path)))
+	for _, e := range c.Path {
+		e.encode(w)
+	}
+	w.WriteUvarint(uint64(c.OwnerPos))
+}
+
+// Key returns a canonical encoding of the certificate.
+func (c *CEdgeLabel) Key() string {
+	var w bits.Writer
+	c.encode(&w)
+	return string(w.Bytes()) + fmt.Sprint(w.Bits())
+}
+
+// Bits returns the exact encoded size of the label.
+func (l *EdgeLabel) Bits() int {
+	var w bits.Writer
+	l.encode(&w)
+	return w.Bits()
+}
+
+func (l *EdgeLabel) encode(w *bits.Writer) {
+	if l.Own != nil {
+		w.WriteBit(true)
+		l.Own.encode(w)
+	} else {
+		w.WriteBit(false)
+	}
+	w.WriteUvarint(uint64(len(l.Emb)))
+	for _, e := range l.Emb {
+		w.WriteUvarint(e.UID)
+		w.WriteUvarint(e.VID)
+		w.WriteUvarint(uint64(e.Fwd))
+		w.WriteUvarint(uint64(e.Bwd))
+		e.Payload.encode(w)
+	}
+	if l.Pointing != nil {
+		w.WriteBit(true)
+		w.WriteUvarint(l.Pointing.X)
+		w.WriteUvarint(l.Pointing.UID)
+		w.WriteUvarint(l.Pointing.VID)
+		w.WriteUvarint(uint64(l.Pointing.DU))
+		w.WriteUvarint(uint64(l.Pointing.DV))
+	} else {
+		w.WriteBit(false)
+	}
+}
+
+// sortedLanes returns a sorted copy.
+func sortedLanes(lanes []int) []int {
+	out := append([]int(nil), lanes...)
+	sort.Ints(out)
+	return out
+}
+
+// lanesEqual compares two sorted lane slices.
+func lanesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lanesDisjoint(a, b []int) bool {
+	for _, l := range a {
+		for _, m := range b {
+			if l == m {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func idMapEqual(lanes []int, a, b map[int]uint64) bool {
+	for _, l := range lanes {
+		if a[l] != b[l] {
+			return false
+		}
+	}
+	return true
+}
+

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/lanes"
+	"repro/internal/lanewidth"
+)
+
+// ErrPropertyFails is returned by Prove when the configuration does not
+// satisfy the property (there is nothing to certify; Theorem 1's
+// completeness only speaks about yes-instances).
+var ErrPropertyFails = errors.New("core: property does not hold on this configuration")
+
+// ErrTooManyLanes is returned when the prover cannot fit a lane partition
+// within the scheme's lane budget.
+var ErrTooManyLanes = errors.New("core: lane partition exceeds the scheme's lane budget")
+
+// Scheme is the Theorem 1 proof labeling scheme for φ ∧ (pathwidth ≤ k),
+// parameterized by the property's homomorphism-class algebra and a lane
+// budget. Structurally the scheme certifies that the graph embeds in a
+// completion with at most MaxLanes lanes, which bounds its pathwidth by
+// MaxLanes−1 (see DESIGN.md for the soundness discussion).
+type Scheme struct {
+	Prop     algebra.Property
+	MaxLanes int
+	// UsePaperConstruction selects the Proposition 4.6 recursive lane
+	// construction (worst-case congestion ≤ H(width)) instead of the greedy
+	// first-fit partition with shortest-path embeddings.
+	UsePaperConstruction bool
+	// Reg interns homomorphism classes; it is shared by prover and verifier
+	// exactly as the finite class set C is part of the paper's algorithms.
+	Reg *algebra.Registry
+}
+
+// NewScheme returns a scheme for the property with the given lane budget.
+func NewScheme(prop algebra.Property, maxLanes int) *Scheme {
+	return &Scheme{Prop: prop, MaxLanes: maxLanes, Reg: algebra.NewRegistry()}
+}
+
+// Stats reports measurable quantities of one proving run (experiments
+// E1–E3, E8).
+type Stats struct {
+	Lanes           int
+	VirtualEdges    int
+	Congestion      int
+	HierarchyDepth  int
+	RegistryClasses int
+	MaxLabelBits    int
+}
+
+// Prove labels the configuration. The optional decomposition is used when
+// non-nil; otherwise one is computed (exactly for small graphs).
+// Completeness: on yes-instances of φ ∧ (pathwidth small enough for the lane
+// budget), Prove succeeds and Verify accepts everywhere.
+func (s *Scheme) Prove(cfg *cert.Config, pd *interval.PathDecomposition) (*Labeling, *Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := cfg.G
+	if g.N() == 0 {
+		return nil, nil, errors.New("core: empty graph")
+	}
+	if g.N() == 1 {
+		// Single-vertex network: the verifier decides locally; labels empty.
+		ok, err := s.singleVertexAccept(cfg.Input(0))
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return nil, nil, ErrPropertyFails
+		}
+		return &Labeling{Edges: map[graph.Edge]*EdgeLabel{}}, &Stats{}, nil
+	}
+	if !g.Connected() {
+		return nil, nil, errors.New("core: graph must be connected")
+	}
+	if pd == nil {
+		pd = interval.Decompose(g)
+	}
+	if err := pd.Validate(g); err != nil {
+		return nil, nil, fmt.Errorf("core: decomposition: %w", err)
+	}
+	r := pd.ToIntervals(g.N())
+
+	// Section 4: lane partition + completion + embedding.
+	var (
+		p   *lanes.Partition
+		c   *lanes.Completion
+		emb lanes.Embedding
+		err error
+	)
+	if s.UsePaperConstruction {
+		p, c, emb, err = lanes.BuildLowCongestion(g, r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: low-congestion construction: %w", err)
+		}
+	} else {
+		p = lanes.Greedy(r)
+		c = lanes.Complete(g, p, false)
+		emb, err = lanes.EmbedShortestPaths(g, c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: embedding: %w", err)
+		}
+	}
+	if p.K() > s.MaxLanes {
+		return nil, nil, fmt.Errorf("%w: %d > %d", ErrTooManyLanes, p.K(), s.MaxLanes)
+	}
+
+	// Section 5: lanewidth transcript and hierarchical decomposition.
+	log, err := lanewidth.FromCompletion(g, r, p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: transcript: %w", err)
+	}
+	h, err := lanewidth.BuildHierarchy(c.Graph, log)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: hierarchy: %w", err)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: hierarchy invalid: %w", err)
+	}
+
+	// Section 6: homomorphism classes and certificates.
+	enc, err := s.buildEncoder(cfg, g, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	rootClass := s.Reg.Class(enc.entries[h.Root.ID].ClassID)
+	accept, err := algebra.Accept(s.Prop, rootClass)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !accept {
+		return nil, nil, ErrPropertyFails
+	}
+
+	labeling, err := enc.buildLabels(cfg, g, h, emb, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{
+		Lanes:           p.K(),
+		VirtualEdges:    len(c.Virtual),
+		Congestion:      emb.Congestion(),
+		HierarchyDepth:  h.Depth(),
+		RegistryClasses: s.Reg.Size(),
+		MaxLabelBits:    labeling.MaxBits(),
+	}
+	return labeling, stats, nil
+}
+
+func (s *Scheme) singleVertexAccept(input int) (bool, error) {
+	cls, err := algebra.BaseClass(s.Prop, vNodeBGraph(0, input))
+	if err != nil {
+		return false, err
+	}
+	return algebra.Accept(s.Prop, cls)
+}
+
+// encoder holds the per-node certificate components shared by all edges of
+// each node's subgraph.
+type encoder struct {
+	scheme  *Scheme
+	classes map[int]*algebra.Class // node id → class
+	merged  map[int]*algebra.Class // member node id → Tree-merge(subtree) class
+	entries map[int]*NodeEntry     // node id → entry
+}
+
+// buildEncoder computes classes bottom-up over the hierarchy and assembles
+// the node entries.
+func (s *Scheme) buildEncoder(cfg *cert.Config, orig *graph.Graph, h *lanewidth.Hierarchy) (*encoder, error) {
+	enc := &encoder{
+		scheme:  s,
+		classes: map[int]*algebra.Class{},
+		merged:  map[int]*algebra.Class{},
+		entries: map[int]*NodeEntry{},
+	}
+	memberInfo := map[int]lanewidth.MemberInfo{}
+
+	var classOf func(n *lanewidth.Node) (*algebra.Class, error)
+	classOf = func(n *lanewidth.Node) (*algebra.Class, error) {
+		if c, ok := enc.classes[n.ID]; ok {
+			return c, nil
+		}
+		var (
+			cls *algebra.Class
+			err error
+		)
+		switch n.Kind {
+		case lanewidth.VNode:
+			cls, err = algebra.BaseClass(s.Prop, vNodeBGraph(n.Lanes[0], cfg.Input(n.Vertex)))
+		case lanewidth.ENode:
+			l := n.Lanes[0]
+			cls, err = algebra.BaseClass(s.Prop, eNodeBGraph(l, edgeReal(orig, n.Edge),
+				[]int{cfg.Input(n.In[l]), cfg.Input(n.Out[l])}))
+		case lanewidth.PNode:
+			cls, err = algebra.BaseClass(s.Prop, pNodeBGraph(n.Lanes, pathRealBits(orig, n.PathVs),
+				vertexInputs(cfg, n.PathVs)))
+		case lanewidth.BNode:
+			var lc, rc *algebra.Class
+			lc, err = classOf(n.Left)
+			if err != nil {
+				return nil, err
+			}
+			rc, err = classOf(n.Right)
+			if err != nil {
+				return nil, err
+			}
+			bridgeLabel := 0
+			if edgeReal(orig, n.Bridge) {
+				bridgeLabel = algebra.EdgeReal
+			}
+			cls, err = algebra.BridgeMerge(s.Prop, lc, rc, n.LaneI, n.LaneJ, bridgeLabel)
+		case lanewidth.TNode:
+			members := h.Members(n)
+			for _, mi := range members {
+				memberInfo[mi.Node.ID] = mi
+			}
+			// Process in reverse pre-order so children fold before parents.
+			for i := len(members) - 1; i >= 0; i-- {
+				mi := members[i]
+				acc, merr := classOf(mi.Node)
+				if merr != nil {
+					return nil, merr
+				}
+				for _, child := range mi.TreeChildren {
+					childMerged, ok := enc.merged[child.ID]
+					if !ok {
+						return nil, fmt.Errorf("core: member %d folded before child %d", mi.Node.ID, child.ID)
+					}
+					acc, merr = algebra.ParentMerge(s.Prop, childMerged, acc)
+					if merr != nil {
+						return nil, merr
+					}
+				}
+				enc.merged[mi.Node.ID] = acc
+			}
+			cls = enc.merged[n.RootMember().ID]
+		default:
+			return nil, fmt.Errorf("core: unknown node kind %v", n.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		enc.classes[n.ID] = cls
+		s.Reg.Intern(cls)
+		return cls, nil
+	}
+	if _, err := classOf(h.Root); err != nil {
+		return nil, err
+	}
+
+	// Assemble entries for every node (V-nodes ride inside B summaries).
+	for _, n := range h.Nodes {
+		if n.Kind == lanewidth.VNode {
+			continue
+		}
+		entry, err := enc.entryFor(cfg, orig, n, memberInfo)
+		if err != nil {
+			return nil, err
+		}
+		enc.entries[n.ID] = entry
+	}
+	return enc, nil
+}
+
+func (enc *encoder) classID(nodeID int) int {
+	return enc.scheme.Reg.Intern(enc.classes[nodeID])
+}
+
+func (enc *encoder) mergedID(nodeID int) int {
+	cls, ok := enc.merged[nodeID]
+	if !ok {
+		return 0
+	}
+	return enc.scheme.Reg.Intern(cls)
+}
+
+func (enc *encoder) entryFor(cfg *cert.Config, orig *graph.Graph, n *lanewidth.Node,
+	memberInfo map[int]lanewidth.MemberInfo) (*NodeEntry, error) {
+	ids := func(m map[int]graph.Vertex) map[int]uint64 {
+		out := make(map[int]uint64, len(m))
+		for l, v := range m {
+			out[l] = cfg.IDs[v]
+		}
+		return out
+	}
+	e := &NodeEntry{
+		NodeID:   n.ID,
+		Kind:     n.Kind,
+		Lanes:    sortedLanes(n.Lanes),
+		InIDs:    ids(n.In),
+		OutIDs:   ids(n.Out),
+		ClassID:  enc.classID(n.ID),
+		ParentID: -1,
+	}
+	if mi, ok := memberInfo[n.ID]; ok {
+		e.ParentID = n.Parent.ID
+		e.MergedOutIDs = ids(mi.MergedOut)
+		e.MergedClassID = enc.mergedID(n.ID)
+		for _, child := range mi.TreeChildren {
+			cmi := memberInfo[child.ID]
+			e.Children = append(e.Children, ChildSummary{
+				NodeID:        child.ID,
+				Lanes:         sortedLanes(child.Lanes),
+				InIDs:         ids(child.In),
+				MergedOutIDs:  ids(cmi.MergedOut),
+				MergedClassID: enc.mergedID(child.ID),
+			})
+		}
+	}
+	switch n.Kind {
+	case lanewidth.ENode:
+		l := n.Lanes[0]
+		e.PathIDs = []uint64{cfg.IDs[n.In[l]], cfg.IDs[n.Out[l]]}
+		e.RealBits = []bool{edgeReal(orig, n.Edge)}
+		e.VInputs = []int{cfg.Input(n.In[l]), cfg.Input(n.Out[l])}
+	case lanewidth.PNode:
+		for _, v := range n.PathVs {
+			e.PathIDs = append(e.PathIDs, cfg.IDs[v])
+		}
+		e.RealBits = pathRealBits(orig, n.PathVs)
+		e.VInputs = vertexInputs(cfg, n.PathVs)
+	case lanewidth.BNode:
+		e.LaneI, e.LaneJ = n.LaneI, n.LaneJ
+		e.BridgeReal = edgeReal(orig, n.Bridge)
+		mkOperand := func(op *lanewidth.Node) *OperandSummary {
+			sum := &OperandSummary{
+				NodeID:  op.ID,
+				Kind:    op.Kind,
+				Lanes:   sortedLanes(op.Lanes),
+				InIDs:   ids(op.In),
+				OutIDs:  ids(op.Out),
+				ClassID: enc.classID(op.ID),
+			}
+			if op.Kind == lanewidth.VNode {
+				sum.Input = cfg.Input(op.Vertex)
+			}
+			return sum
+		}
+		e.Left = mkOperand(n.Left)
+		e.Right = mkOperand(n.Right)
+	case lanewidth.TNode:
+		rm := n.RootMember()
+		rmi := memberInfo[rm.ID]
+		e.RootMember = &ChildSummary{
+			NodeID:        rm.ID,
+			Lanes:         sortedLanes(rm.Lanes),
+			InIDs:         ids(rm.In),
+			MergedOutIDs:  ids(rmi.MergedOut),
+			MergedClassID: enc.mergedID(rm.ID),
+		}
+	}
+	return e, nil
+}
+
+// buildLabels assembles the per-edge labels: own certificates on real
+// edges, embedding entries for virtual edges, and root-anchor pointing.
+func (enc *encoder) buildLabels(cfg *cert.Config, orig *graph.Graph, h *lanewidth.Hierarchy,
+	emb lanes.Embedding, c *lanes.Completion) (*Labeling, error) {
+	owners := h.EdgeOwners()
+	certOf := func(e graph.Edge) (*CEdgeLabel, error) {
+		owner, ok := owners[e]
+		if !ok {
+			return nil, fmt.Errorf("core: completion edge %v has no owner", e)
+		}
+		cl := &CEdgeLabel{}
+		for _, n := range owner.NodePath() {
+			entry, ok := enc.entries[n.ID]
+			if !ok {
+				return nil, fmt.Errorf("core: node %d has no entry", n.ID)
+			}
+			cl.Path = append(cl.Path, entry)
+		}
+		if owner.Kind == lanewidth.PNode {
+			pos := -1
+			for i := 0; i+1 < len(owner.PathVs); i++ {
+				if graph.NewEdge(owner.PathVs[i], owner.PathVs[i+1]) == e {
+					pos = i
+					break
+				}
+			}
+			if pos == -1 {
+				return nil, fmt.Errorf("core: edge %v not on owner path", e)
+			}
+			cl.OwnerPos = pos
+		}
+		return cl, nil
+	}
+
+	labeling := &Labeling{Edges: make(map[graph.Edge]*EdgeLabel, orig.M())}
+	for _, e := range orig.Edges() {
+		cl, err := certOf(e)
+		if err != nil {
+			return nil, err
+		}
+		labeling.Edges[e] = &EdgeLabel{Own: cl}
+	}
+	// Embedding certification for virtual completion edges (Theorem 1).
+	for _, ve := range c.Virtual {
+		path := emb[ve]
+		if len(path) < 2 {
+			return nil, fmt.Errorf("core: virtual edge %v lacks an embedding path", ve)
+		}
+		if path[0] != ve.U {
+			rev := make([]graph.Vertex, len(path))
+			for i, v := range path {
+				rev[len(path)-1-i] = v
+			}
+			path = rev
+		}
+		payload, err := certOf(ve)
+		if err != nil {
+			return nil, err
+		}
+		total := len(path) - 1
+		for i := 0; i+1 < len(path); i++ {
+			re := graph.NewEdge(path[i], path[i+1])
+			el, ok := labeling.Edges[re]
+			if !ok {
+				return nil, fmt.Errorf("core: embedding path uses unknown edge %v", re)
+			}
+			el.Emb = append(el.Emb, EmbEntry{
+				UID:     cfg.IDs[ve.U],
+				VID:     cfg.IDs[ve.V],
+				Fwd:     i + 1,
+				Bwd:     total - i,
+				Payload: payload,
+			})
+		}
+	}
+	// Root-anchor pointing scheme (Proposition 2.2).
+	rm := h.Root.RootMember()
+	target := rm.In[sortedLanes(rm.Lanes)[0]]
+	pointing, err := cert.ProvePointing(cfg, target)
+	if err != nil {
+		return nil, err
+	}
+	for e, pl := range pointing {
+		p := pl
+		labeling.Edges[e].Pointing = &p
+	}
+	return labeling, nil
+}
+
+func edgeReal(orig *graph.Graph, e graph.Edge) bool {
+	return orig.HasEdge(e.U, e.V)
+}
+
+func pathRealBits(orig *graph.Graph, pathVs []graph.Vertex) []bool {
+	out := make([]bool, 0, len(pathVs)-1)
+	for i := 0; i+1 < len(pathVs); i++ {
+		out = append(out, orig.HasEdge(pathVs[i], pathVs[i+1]))
+	}
+	return out
+}
+
+func vertexInputs(cfg *cert.Config, vs []graph.Vertex) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = cfg.Input(v)
+	}
+	return out
+}
+
+// vNodeBGraph, eNodeBGraph and pNodeBGraph build the canonical local graphs
+// whose base classes both the prover and the verifier compute, so that the
+// two sides agree bit-for-bit.
+
+func vNodeBGraph(lane int, input int) *algebra.BGraph {
+	return &algebra.BGraph{
+		G:      graph.New(1),
+		Lanes:  []int{lane},
+		In:     map[int]graph.Vertex{lane: 0},
+		Out:    map[int]graph.Vertex{lane: 0},
+		VLabel: []int{input},
+		ELabel: map[graph.Edge]int{},
+	}
+}
+
+func eNodeBGraph(lane int, real bool, inputs []int) *algebra.BGraph {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	el := map[graph.Edge]int{}
+	if real {
+		el[graph.NewEdge(0, 1)] = algebra.EdgeReal
+	}
+	vl := []int{0, 0}
+	if len(inputs) == 2 {
+		vl = []int{inputs[0], inputs[1]}
+	}
+	return &algebra.BGraph{
+		G:      g,
+		Lanes:  []int{lane},
+		In:     map[int]graph.Vertex{lane: 0},
+		Out:    map[int]graph.Vertex{lane: 1},
+		VLabel: vl,
+		ELabel: el,
+	}
+}
+
+func pNodeBGraph(laneSet []int, realBits []bool, inputs []int) *algebra.BGraph {
+	ls := sortedLanes(laneSet)
+	g := graph.New(len(ls))
+	el := map[graph.Edge]int{}
+	for i := 0; i+1 < len(ls); i++ {
+		g.MustAddEdge(i, i+1)
+		if i < len(realBits) && realBits[i] {
+			el[graph.NewEdge(i, i+1)] = algebra.EdgeReal
+		}
+	}
+	vl := make([]int, len(ls))
+	for i := range vl {
+		if i < len(inputs) {
+			vl[i] = inputs[i]
+		}
+	}
+	bg := &algebra.BGraph{
+		G:      g,
+		Lanes:  ls,
+		In:     map[int]graph.Vertex{},
+		Out:    map[int]graph.Vertex{},
+		VLabel: vl,
+		ELabel: el,
+	}
+	for i, l := range ls {
+		bg.In[l] = i
+		bg.Out[l] = i
+	}
+	return bg
+}

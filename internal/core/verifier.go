@@ -1,0 +1,690 @@
+package core
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/lanewidth"
+)
+
+// VertexView is everything a vertex sees in the one-round verification:
+// its own identifier, whether it is the whole network, and the labels of
+// its incident (real) edges. Neighbor identities are not part of the view —
+// all identification flows through label contents, as in the model.
+type VertexView struct {
+	ID       uint64
+	Input    int // the vertex's input label, part of its state s(v)
+	Isolated bool
+	Labels   []*EdgeLabel
+}
+
+// Verify runs the local verifier at every vertex and returns the verdicts.
+// The scheme accepts iff all verdicts are true.
+func (s *Scheme) Verify(cfg *cert.Config, labeling *Labeling) []bool {
+	verdicts := make([]bool, cfg.G.N())
+	for v := 0; v < cfg.G.N(); v++ {
+		view := &VertexView{ID: cfg.IDs[v], Input: cfg.Input(v), Isolated: cfg.G.Degree(v) == 0}
+		ok := true
+		for _, w := range cfg.G.Neighbors(v) {
+			l, has := labeling.Edges[graph.NewEdge(v, w)]
+			if !has || l == nil {
+				ok = false
+				break
+			}
+			view.Labels = append(view.Labels, l)
+		}
+		verdicts[v] = ok && s.VerifyAt(view)
+	}
+	return verdicts
+}
+
+// AllAccept reports whether every verdict is true.
+func AllAccept(verdicts []bool) bool {
+	for _, v := range verdicts {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// completionEdge is a reconstructed incident edge of the completion G'.
+type completionEdge struct {
+	payload *CEdgeLabel
+	real    bool
+}
+
+// VerifyAt is the verification algorithm V of Theorem 1 at a single vertex.
+// It returns false on any malformed, inconsistent, or property-violating
+// label configuration.
+func (s *Scheme) VerifyAt(view *VertexView) bool {
+	if view.Isolated {
+		// Single-vertex network: decide the property locally.
+		ok, err := s.singleVertexAccept(view.Input)
+		return err == nil && ok && len(view.Labels) == 0
+	}
+	ces, ok := s.reconstructCompletion(view)
+	if !ok {
+		return false
+	}
+	entries, ok := s.collectEntries(view, ces)
+	if !ok {
+		return false
+	}
+	if !s.checkEntryStructure(entries) {
+		return false
+	}
+	if !s.checkRoles(view, ces, entries) {
+		return false
+	}
+	return s.checkRootAndPointing(view, ces, entries)
+}
+
+// reconstructCompletion validates the embedding certification (Theorem 1)
+// and returns the vertex's incident completion edges: all real edges plus
+// the virtual edges of which it is an endpoint.
+func (s *Scheme) reconstructCompletion(view *VertexView) ([]completionEdge, bool) {
+	var ces []completionEdge
+	type embGroup struct {
+		entries []EmbEntry
+	}
+	groups := map[[2]uint64]*embGroup{}
+	for _, l := range view.Labels {
+		if l == nil || l.Own == nil || len(l.Own.Path) == 0 {
+			return nil, false
+		}
+		ces = append(ces, completionEdge{payload: l.Own, real: true})
+		for _, e := range l.Emb {
+			if e.Payload == nil || len(e.Payload.Path) == 0 || e.Fwd < 1 || e.Bwd < 1 {
+				return nil, false
+			}
+			key := [2]uint64{e.UID, e.VID}
+			g, okG := groups[key]
+			if !okG {
+				g = &embGroup{}
+				groups[key] = g
+			}
+			g.entries = append(g.entries, e)
+		}
+	}
+	for key, g := range groups {
+		uid, vid := key[0], key[1]
+		if uid == vid {
+			return nil, false
+		}
+		// All copies of a virtual edge's certificate must agree.
+		first := g.entries[0]
+		pk := first.Payload.Key()
+		total := first.Fwd + first.Bwd
+		for _, e := range g.entries[1:] {
+			if e.Payload.Key() != pk || e.Fwd+e.Bwd != total {
+				return nil, false
+			}
+		}
+		switch len(g.entries) {
+		case 1:
+			e := g.entries[0]
+			isU := e.Fwd == 1 && view.ID == uid
+			isV := e.Bwd == 1 && view.ID == vid
+			if !isU && !isV {
+				return nil, false
+			}
+			ces = append(ces, completionEdge{payload: e.Payload, real: false})
+		case 2:
+			// Intermediate vertex: consecutive ranks, not an endpoint.
+			if view.ID == uid || view.ID == vid {
+				return nil, false
+			}
+			d := g.entries[0].Fwd - g.entries[1].Fwd
+			if d != 1 && d != -1 {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	return ces, true
+}
+
+// collectEntries gathers the node entries across all incident completion
+// edges, requiring byte-identical copies, valid path chains, and in-budget
+// lanes.
+func (s *Scheme) collectEntries(view *VertexView, ces []completionEdge) (map[int]*NodeEntry, bool) {
+	entries := map[int]*NodeEntry{}
+	keys := map[int]string{}
+	rootID := -1
+	for _, ce := range ces {
+		path := ce.payload.Path
+		if !s.validChain(path) {
+			return nil, false
+		}
+		if rootID == -1 {
+			rootID = path[0].NodeID
+		} else if rootID != path[0].NodeID {
+			return nil, false
+		}
+		for _, e := range path {
+			k := e.Key()
+			if prev, seen := keys[e.NodeID]; seen {
+				if prev != k {
+					return nil, false
+				}
+				continue
+			}
+			keys[e.NodeID] = k
+			entries[e.NodeID] = e
+		}
+	}
+	return entries, true
+}
+
+// validChain checks the root-to-owner structure of one certificate path.
+func (s *Scheme) validChain(path []*NodeEntry) bool {
+	if len(path) < 2 {
+		return false
+	}
+	if path[0].Kind != lanewidth.TNode || path[0].ParentID != -1 {
+		return false
+	}
+	for i, e := range path {
+		if !s.validLanes(e.Lanes) || e.NodeID < 0 {
+			return false
+		}
+		for _, l := range e.Lanes {
+			if _, okIn := e.InIDs[l]; !okIn {
+				return false
+			}
+			if _, okOut := e.OutIDs[l]; !okOut {
+				return false
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		prev := path[i-1]
+		switch prev.Kind {
+		case lanewidth.TNode:
+			// Members of a T-node's tree follow it.
+			if e.Kind != lanewidth.ENode && e.Kind != lanewidth.PNode && e.Kind != lanewidth.BNode {
+				return false
+			}
+			if e.ParentID != prev.NodeID {
+				return false
+			}
+		case lanewidth.BNode:
+			// Only T-node operands continue the path.
+			if e.Kind != lanewidth.TNode || prev.Left == nil || prev.Right == nil {
+				return false
+			}
+			if e.NodeID != prev.Left.NodeID && e.NodeID != prev.Right.NodeID {
+				return false
+			}
+			if e.ParentID != -1 {
+				return false
+			}
+		default:
+			return false // E/P own their edges; nothing follows them
+		}
+	}
+	last := path[len(path)-1]
+	return last.Kind == lanewidth.ENode || last.Kind == lanewidth.PNode || last.Kind == lanewidth.BNode
+}
+
+func (s *Scheme) validLanes(lanes []int) bool {
+	if len(lanes) == 0 {
+		return false
+	}
+	for i, l := range lanes {
+		if l < 0 || l >= s.MaxLanes {
+			return false
+		}
+		if i > 0 && lanes[i-1] >= l {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEntryStructure runs the vertex-independent checks on each entry:
+// kind shapes, class recomputations (Lemma 6.4 and Proposition 6.1), and
+// tree-member folds (Lemma 6.5).
+func (s *Scheme) checkEntryStructure(entries map[int]*NodeEntry) bool {
+	for _, e := range entries {
+		switch e.Kind {
+		case lanewidth.ENode:
+			if !s.checkENode(e) {
+				return false
+			}
+		case lanewidth.PNode:
+			if !s.checkPNode(e) {
+				return false
+			}
+		case lanewidth.BNode:
+			if !s.checkBNode(e) {
+				return false
+			}
+		case lanewidth.TNode:
+			if !s.checkTNode(e) {
+				return false
+			}
+		default:
+			return false
+		}
+		if e.ParentID != -1 {
+			if !s.checkMemberFold(e) {
+				return false
+			}
+		} else if len(e.Children) != 0 || e.MergedClassID != 0 || len(e.MergedOutIDs) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Scheme) classMatches(claimed int, cls *algebra.Class, err error) bool {
+	if err != nil {
+		return false
+	}
+	id, ok := s.Reg.Lookup(cls)
+	if !ok {
+		// The honest prover interned every class it used; an unknown class
+		// can only come from a forged label. Intern for comparison.
+		id = s.Reg.Intern(cls)
+	}
+	return id == claimed
+}
+
+func (s *Scheme) checkENode(e *NodeEntry) bool {
+	if len(e.Lanes) != 1 || len(e.PathIDs) != 2 || len(e.RealBits) != 1 || len(e.VInputs) != 2 {
+		return false
+	}
+	l := e.Lanes[0]
+	if e.PathIDs[0] == e.PathIDs[1] || e.InIDs[l] != e.PathIDs[0] || e.OutIDs[l] != e.PathIDs[1] {
+		return false
+	}
+	cls, err := algebra.BaseClass(s.Prop, eNodeBGraph(l, e.RealBits[0], e.VInputs))
+	return s.classMatches(e.ClassID, cls, err)
+}
+
+func (s *Scheme) checkPNode(e *NodeEntry) bool {
+	if len(e.PathIDs) != len(e.Lanes) || len(e.RealBits) != len(e.PathIDs)-1 ||
+		len(e.VInputs) != len(e.PathIDs) {
+		return false
+	}
+	seen := map[uint64]bool{}
+	for i, l := range e.Lanes {
+		id := e.PathIDs[i]
+		if seen[id] || e.InIDs[l] != id || e.OutIDs[l] != id {
+			return false
+		}
+		seen[id] = true
+	}
+	cls, err := algebra.BaseClass(s.Prop, pNodeBGraph(e.Lanes, e.RealBits, e.VInputs))
+	return s.classMatches(e.ClassID, cls, err)
+}
+
+func (s *Scheme) checkBNode(e *NodeEntry) bool {
+	if e.Left == nil || e.Right == nil {
+		return false
+	}
+	for _, op := range []*OperandSummary{e.Left, e.Right} {
+		if !s.validLanes(op.Lanes) {
+			return false
+		}
+		switch op.Kind {
+		case lanewidth.VNode:
+			if len(op.Lanes) != 1 {
+				return false
+			}
+			l := op.Lanes[0]
+			if op.InIDs[l] != op.OutIDs[l] {
+				return false
+			}
+			cls, err := algebra.BaseClass(s.Prop, vNodeBGraph(l, op.Input))
+			if !s.classMatches(op.ClassID, cls, err) {
+				return false
+			}
+		case lanewidth.TNode:
+			// The operand's own entry is checked where visible; here only
+			// shape is validated.
+			for _, l := range op.Lanes {
+				if _, okIn := op.InIDs[l]; !okIn {
+					return false
+				}
+				if _, okOut := op.OutIDs[l]; !okOut {
+					return false
+				}
+			}
+		default:
+			return false
+		}
+	}
+	if !lanesDisjoint(e.Left.Lanes, e.Right.Lanes) {
+		return false
+	}
+	union := sortedLanes(append(append([]int(nil), e.Left.Lanes...), e.Right.Lanes...))
+	if !lanesEqual(union, e.Lanes) {
+		return false
+	}
+	// Terminals inherited from the operands.
+	for _, op := range []*OperandSummary{e.Left, e.Right} {
+		for _, l := range op.Lanes {
+			if e.InIDs[l] != op.InIDs[l] || e.OutIDs[l] != op.OutIDs[l] {
+				return false
+			}
+		}
+	}
+	if !laneIn(e.LaneI, e.Left.Lanes) || !laneIn(e.LaneJ, e.Right.Lanes) {
+		return false
+	}
+	// fB recomputation (Proposition 6.1).
+	lc := s.Reg.Class(e.Left.ClassID)
+	rc := s.Reg.Class(e.Right.ClassID)
+	if lc == nil || rc == nil {
+		return false
+	}
+	bridgeLabel := 0
+	if e.BridgeReal {
+		bridgeLabel = algebra.EdgeReal
+	}
+	cls, err := algebra.BridgeMerge(s.Prop, lc, rc, e.LaneI, e.LaneJ, bridgeLabel)
+	return s.classMatches(e.ClassID, cls, err)
+}
+
+func (s *Scheme) checkTNode(e *NodeEntry) bool {
+	rm := e.RootMember
+	if rm == nil {
+		return false
+	}
+	if !lanesEqual(rm.Lanes, e.Lanes) {
+		return false
+	}
+	if !idMapEqual(e.Lanes, rm.InIDs, e.InIDs) || !idMapEqual(e.Lanes, rm.MergedOutIDs, e.OutIDs) {
+		return false
+	}
+	return rm.MergedClassID == e.ClassID
+}
+
+// checkMemberFold verifies the Lemma 6.5 T-node fold at a member entry:
+// merged class = fP over children of the member's own class, merged
+// out-terminals overlay the children's, sibling lanes disjoint, and each
+// child's in-terminals glue onto this member's out-terminals.
+func (s *Scheme) checkMemberFold(e *NodeEntry) bool {
+	acc := s.Reg.Class(e.ClassID)
+	if acc == nil {
+		return false
+	}
+	mergedOut := map[int]uint64{}
+	for _, l := range e.Lanes {
+		mergedOut[l] = e.OutIDs[l]
+	}
+	for ci, c := range e.Children {
+		if !s.validLanes(c.Lanes) || !laneSubset(c.Lanes, e.Lanes) {
+			return false
+		}
+		for _, prev := range e.Children[:ci] {
+			if !lanesDisjoint(c.Lanes, prev.Lanes) {
+				return false
+			}
+		}
+		for _, l := range c.Lanes {
+			if c.InIDs[l] != e.OutIDs[l] {
+				return false // gluing violated
+			}
+			mergedOut[l] = c.MergedOutIDs[l]
+		}
+		childCls := s.Reg.Class(c.MergedClassID)
+		if childCls == nil {
+			return false
+		}
+		next, err := algebra.ParentMerge(s.Prop, childCls, acc)
+		if err != nil {
+			return false
+		}
+		acc = next
+	}
+	if !s.classMatches(e.MergedClassID, acc, nil) {
+		return false
+	}
+	return idMapEqual(e.Lanes, e.MergedOutIDs, mergedOut)
+}
+
+// checkRoles runs the vertex-specific checks: ownership counts, terminal
+// identities, operand and child/parent bindings.
+func (s *Scheme) checkRoles(view *VertexView, ces []completionEdge, entries map[int]*NodeEntry) bool {
+	// owned[nodeID] = incident completion edges whose owner is that node.
+	type ownedEdge struct {
+		ce  completionEdge
+		pos int
+	}
+	owned := map[int][]ownedEdge{}
+	onPath := map[int]bool{} // nodes appearing on some incident edge's path
+	for _, ce := range ces {
+		last := ce.payload.Path[len(ce.payload.Path)-1]
+		owned[last.NodeID] = append(owned[last.NodeID], ownedEdge{ce: ce, pos: ce.payload.OwnerPos})
+		for _, e := range ce.payload.Path {
+			onPath[e.NodeID] = true
+		}
+	}
+
+	for _, e := range entries {
+		switch e.Kind {
+		case lanewidth.ENode:
+			isTerminal := false
+			for i, id := range e.PathIDs {
+				if id == view.ID {
+					isTerminal = true
+					if e.VInputs[i] != view.Input {
+						return false // entry lies about this vertex's input
+					}
+				}
+			}
+			oe := owned[e.NodeID]
+			if isTerminal {
+				if len(oe) != 1 || oe[0].ce.real != e.RealBits[0] {
+					return false
+				}
+			} else if len(oe) != 0 {
+				return false
+			}
+		case lanewidth.PNode:
+			myPos := -1
+			for i, id := range e.PathIDs {
+				if id == view.ID {
+					myPos = i
+					break
+				}
+			}
+			oe := owned[e.NodeID]
+			if myPos == -1 {
+				if len(oe) != 0 {
+					return false
+				}
+				break
+			}
+			if e.VInputs[myPos] != view.Input {
+				return false // entry lies about this vertex's input
+			}
+			want := map[int]bool{}
+			if myPos > 0 {
+				want[myPos-1] = true
+			}
+			if myPos < len(e.PathIDs)-1 {
+				want[myPos] = true
+			}
+			if len(oe) != len(want) {
+				return false
+			}
+			seenPos := map[int]bool{}
+			for _, o := range oe {
+				if !want[o.pos] || seenPos[o.pos] {
+					return false
+				}
+				if o.ce.real != e.RealBits[o.pos] {
+					return false
+				}
+				seenPos[o.pos] = true
+			}
+		case lanewidth.BNode:
+			bu := e.Left.OutIDs[e.LaneI]
+			bv := e.Right.OutIDs[e.LaneJ]
+			isEndpoint := view.ID == bu || view.ID == bv
+			oe := owned[e.NodeID]
+			if isEndpoint {
+				if len(oe) != 1 || oe[0].ce.real != e.BridgeReal {
+					return false
+				}
+			} else if len(oe) != 0 {
+				return false
+			}
+			// V-node operand vertex: its only appearance in this node's
+			// subgraph is the bridge edge.
+			for _, op := range []*OperandSummary{e.Left, e.Right} {
+				if op.Kind != lanewidth.VNode || view.ID != op.InIDs[op.Lanes[0]] {
+					continue
+				}
+				if op.Input != view.Input {
+					return false // summary lies about this vertex's input
+				}
+				count := 0
+				for _, ce := range ces {
+					for _, pe := range ce.payload.Path {
+						if pe.NodeID == e.NodeID {
+							count++
+						}
+					}
+				}
+				if count != 1 || len(oe) != 1 {
+					return false
+				}
+			}
+			// Operand T entries visible here must match the summaries.
+			for _, op := range []*OperandSummary{e.Left, e.Right} {
+				if op.Kind != lanewidth.TNode {
+					continue
+				}
+				if t, seen := entries[op.NodeID]; seen {
+					if t.Kind != lanewidth.TNode || !lanesEqual(t.Lanes, op.Lanes) ||
+						!idMapEqual(op.Lanes, t.InIDs, op.InIDs) ||
+						!idMapEqual(op.Lanes, t.OutIDs, op.OutIDs) ||
+						t.ClassID != op.ClassID {
+						return false
+					}
+				}
+			}
+		}
+
+		// Child-summary binding (Lemma 6.5): if this vertex is a listed
+		// child's in-terminal, the child's actual entry must be visible and
+		// match.
+		for _, c := range e.Children {
+			mine := false
+			for _, l := range c.Lanes {
+				if c.InIDs[l] == view.ID {
+					mine = true
+					break
+				}
+			}
+			if !mine {
+				continue
+			}
+			child, seen := entries[c.NodeID]
+			if !seen || child.ParentID != e.ParentID {
+				return false
+			}
+			if !lanesEqual(child.Lanes, c.Lanes) ||
+				!idMapEqual(c.Lanes, child.InIDs, c.InIDs) ||
+				!idMapEqual(c.Lanes, child.MergedOutIDs, c.MergedOutIDs) ||
+				child.MergedClassID != c.MergedClassID {
+				return false
+			}
+		}
+
+		// Parent binding: a member whose in-terminal is this vertex is
+		// either its T-node's root member or listed by exactly one parent.
+		if e.ParentID != -1 {
+			mine := false
+			for _, l := range e.Lanes {
+				if e.InIDs[l] == view.ID {
+					mine = true
+					break
+				}
+			}
+			if mine {
+				if !s.checkParentBinding(view, e, entries) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (s *Scheme) checkParentBinding(view *VertexView, e *NodeEntry, entries map[int]*NodeEntry) bool {
+	t, seenT := entries[e.ParentID]
+	isRoot := seenT && t.Kind == lanewidth.TNode && t.RootMember != nil &&
+		t.RootMember.NodeID == e.NodeID
+	parents := 0
+	for _, m := range entries {
+		if m.ParentID != e.ParentID || m.NodeID == e.NodeID {
+			continue
+		}
+		for _, c := range m.Children {
+			if c.NodeID == e.NodeID {
+				parents++
+			}
+		}
+	}
+	if isRoot {
+		return parents == 0
+	}
+	return parents == 1
+}
+
+// checkRootAndPointing verifies acceptance at the root class and the
+// root-anchor pointing scheme.
+func (s *Scheme) checkRootAndPointing(view *VertexView, ces []completionEdge, entries map[int]*NodeEntry) bool {
+	if len(ces) == 0 {
+		return false
+	}
+	root := ces[0].payload.Path[0]
+	rootCls := s.Reg.Class(root.ClassID)
+	if rootCls == nil {
+		return false
+	}
+	acc, err := algebra.Accept(s.Prop, rootCls)
+	if err != nil || !acc {
+		return false
+	}
+	// Pointing target: the root member's in-terminal on its first lane.
+	if root.RootMember == nil || len(root.RootMember.Lanes) == 0 {
+		return false
+	}
+	x := root.RootMember.InIDs[root.RootMember.Lanes[0]]
+	var pls []cert.PointingLabel
+	for _, l := range view.Labels {
+		if l.Pointing == nil {
+			return false
+		}
+		pls = append(pls, *l.Pointing)
+	}
+	return cert.VerifyPointingAt(view.ID, x, pls, false)
+}
+
+func laneIn(l int, lanes []int) bool {
+	for _, m := range lanes {
+		if l == m {
+			return true
+		}
+	}
+	return false
+}
+
+func laneSubset(sub, super []int) bool {
+	for _, l := range sub {
+		if !laneIn(l, super) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestE1ShapesHold(t *testing.T) {
+	rows, err := E1LabelSize([]int{32, 128, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CoreBits <= rows[i-1].CoreBits {
+			t.Fatal("core bits must grow with n")
+		}
+		// Θ(log n): bits/log n must not grow.
+		if rows[i].CorePerLog > rows[i-1].CorePerLog+1 {
+			t.Fatalf("core bits superlogarithmic: %+v", rows)
+		}
+		// Baseline Θ(log² n): per-log² ratio roughly flat.
+		if rows[i].BasePerLog2 > rows[i-1].BasePerLog2+1 {
+			t.Fatalf("baseline shape off: %+v", rows)
+		}
+	}
+	var buf bytes.Buffer
+	PrintE1(&buf, rows)
+	if !strings.Contains(buf.String(), "E1") {
+		t.Fatal("PrintE1 output missing header")
+	}
+}
+
+func TestE2WithinBounds(t *testing.T) {
+	rows, err := E2Congestion(7, 2, []int{32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if int64(r.PaperLanes) > r.BoundLanes {
+			t.Fatalf("paper lanes %d exceed F bound %d", r.PaperLanes, r.BoundLanes)
+		}
+		if int64(r.PaperCong) > r.BoundCong {
+			t.Fatalf("paper congestion %d exceeds H bound %d", r.PaperCong, r.BoundCong)
+		}
+		if r.GreedyLanes > r.Width {
+			t.Fatalf("greedy lanes %d exceed width %d", r.GreedyLanes, r.Width)
+		}
+	}
+	var buf bytes.Buffer
+	PrintE2(&buf, 2, rows)
+	if !strings.Contains(buf.String(), "greedy.lanes") {
+		t.Fatal("PrintE2 output missing columns")
+	}
+}
+
+func TestE3DepthBound(t *testing.T) {
+	rows, err := E3Depth(3, []int{2, 3}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MaxDepth > r.Bound {
+			t.Fatalf("k=%d: depth %d exceeds 2k", r.K, r.MaxDepth)
+		}
+	}
+	var buf bytes.Buffer
+	PrintE3(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestE4LogShape(t *testing.T) {
+	rows, err := E4Pointing([]int{16, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].PerLog > rows[0].PerLog+2 {
+		t.Fatalf("pointing bits superlogarithmic: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintE4(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestE5FullDetection(t *testing.T) {
+	rows, err := E5Soundness(5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("fault kinds = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Injected == 0 && r.Fault != "flip-real-bit" {
+			t.Fatalf("fault %s never injected", r.Fault)
+		}
+		if r.Detected != r.Injected {
+			t.Fatalf("fault %s: %d/%d detected", r.Fault, r.Detected, r.Injected)
+		}
+	}
+	var buf bytes.Buffer
+	PrintE5(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestE6AllForgeriesCaught(t *testing.T) {
+	rows, err := E6LowerBound([]int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ForgedCaught != r.ForgedTrials {
+			t.Fatalf("n=%d: %d/%d caught", r.N, r.ForgedCaught, r.ForgedTrials)
+		}
+	}
+	var buf bytes.Buffer
+	PrintE6(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestE7OracleAgreement(t *testing.T) {
+	rows, err := E7MinorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Proved != r.Oracle {
+			t.Fatalf("%s: prover %v oracle %v", r.Graph, r.Proved, r.Oracle)
+		}
+		if r.Proved && !r.Verified {
+			t.Fatalf("%s: certified but not verified", r.Graph)
+		}
+	}
+	var buf bytes.Buffer
+	PrintE7(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestE8Runs(t *testing.T) {
+	rows, err := E8Scaling([]int{32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].LabelBits == 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintE8(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}

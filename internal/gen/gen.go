@@ -1,0 +1,164 @@
+// Package gen generates the bounded-pathwidth graph families used by the
+// examples and the benchmark harness: paths, cycles, caterpillars, lobsters,
+// ladders, random bounded-width interval graphs, random lanewidth-k
+// constructions, and complete binary trees.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/lanewidth"
+)
+
+// Caterpillar returns a spine path with legs pendant vertices per spine
+// vertex — the canonical pathwidth-1 family.
+func Caterpillar(spine, legs int) *graph.Graph {
+	g := graph.PathGraph(spine)
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			v := g.AddVertex()
+			g.MustAddEdge(s, v)
+		}
+	}
+	return g
+}
+
+// Lobster returns a caterpillar whose legs are paths of length two
+// (pathwidth 2 in general).
+func Lobster(spine, legs int) *graph.Graph {
+	g := graph.PathGraph(spine)
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			mid := g.AddVertex()
+			tip := g.AddVertex()
+			g.MustAddEdge(s, mid)
+			g.MustAddEdge(mid, tip)
+		}
+	}
+	return g
+}
+
+// Ladder returns the 2×n grid (pathwidth 2).
+func Ladder(n int) *graph.Graph {
+	g := graph.New(2 * n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(2*i, 2*i+1)
+		if i > 0 {
+			g.MustAddEdge(2*(i-1), 2*i)
+			g.MustAddEdge(2*(i-1)+1, 2*i+1)
+		}
+	}
+	return g
+}
+
+// Grid returns the h×w grid graph (pathwidth min(h,w) for h,w ≥ 2).
+func Grid(h, w int) *graph.Graph {
+	g := graph.New(h * w)
+	at := func(r, c int) graph.Vertex { return r*w + c }
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			if c+1 < w {
+				g.MustAddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < h {
+				g.MustAddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// BinaryTree returns the complete binary tree with the given number of
+// levels (pathwidth ⌈levels/2⌉-ish; trees of depth d have pathwidth ≤ d).
+func BinaryTree(levels int) *graph.Graph {
+	n := 1<<uint(levels) - 1
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, (v-1)/2)
+	}
+	return g
+}
+
+// IntervalGraph generates a connected graph with an interval representation
+// of width ≤ k via a birth/death process over at most k simultaneously
+// active vertices; each newcomer connects to at least one active vertex.
+// The returned representation witnesses pathwidth ≤ k−1.
+func IntervalGraph(rng *rand.Rand, n, k int) (*graph.Graph, *interval.Representation) {
+	g := graph.New(n)
+	r := interval.NewRepresentation(n)
+	var active []graph.Vertex
+	step, next := 0, 0
+	for next < n || len(active) > 0 {
+		step++
+		canOpen := next < n && len(active) < k
+		mustOpen := len(active) == 0
+		if mustOpen || (canOpen && rng.Intn(2) == 0) {
+			v := next
+			next++
+			r.Ivs[v] = interval.Interval{L: step, R: step}
+			if len(active) > 0 {
+				g.MustAddEdge(v, active[rng.Intn(len(active))])
+				for _, w := range active {
+					if !g.HasEdge(v, w) && rng.Intn(3) == 0 {
+						g.MustAddEdge(v, w)
+					}
+				}
+			}
+			active = append(active, v)
+			continue
+		}
+		if len(active) == 1 && next < n {
+			continue
+		}
+		idx := rng.Intn(len(active))
+		v := active[idx]
+		r.Ivs[v] = interval.Interval{L: r.Ivs[v].L, R: step}
+		active = append(active[:idx], active[idx+1:]...)
+	}
+	return g, r
+}
+
+// LanewidthGraph generates a random lanewidth-k construction with the given
+// number of operations and returns its builder (graph + transcript).
+func LanewidthGraph(rng *rand.Rand, k, ops int) (*lanewidth.Builder, error) {
+	b, err := lanewidth.NewBuilder(k)
+	if err != nil {
+		return nil, err
+	}
+	for len(b.Log().Ops) < ops {
+		if rng.Intn(2) == 0 {
+			if _, err := b.VInsert(rng.Intn(k)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		i, j := rng.Intn(k), rng.Intn(k)
+		if i == j || b.Graph().HasEdge(b.Designated(i), b.Designated(j)) {
+			continue
+		}
+		if err := b.EInsert(i, j); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// SpiderFreeCaterpillar returns a caterpillar (guaranteed S(2,2,2)-minor
+// free, since caterpillars have pathwidth 1), for the minor-free
+// experiments.
+func SpiderFreeCaterpillar(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New(1)
+	spineEnd := graph.Vertex(0)
+	for g.N() < n {
+		v := g.AddVertex()
+		if rng.Intn(3) == 0 {
+			g.MustAddEdge(spineEnd, v) // pendant leg
+		} else {
+			g.MustAddEdge(spineEnd, v)
+			spineEnd = v
+		}
+	}
+	return g
+}

@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+func TestCaterpillarShapeAndPathwidth(t *testing.T) {
+	g := Caterpillar(4, 2)
+	if g.N() != 12 || g.M() != 11 {
+		t.Fatalf("caterpillar: n=%d m=%d", g.N(), g.M())
+	}
+	pw, _, err := interval.ExactPathwidth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw != 1 {
+		t.Fatalf("caterpillar pathwidth = %d, want 1", pw)
+	}
+	if !g.Connected() || !g.IsAcyclic() {
+		t.Fatal("caterpillar must be a tree")
+	}
+}
+
+func TestLobster(t *testing.T) {
+	g := Lobster(3, 1)
+	if g.N() != 9 || !g.IsAcyclic() || !g.Connected() {
+		t.Fatalf("lobster wrong: n=%d", g.N())
+	}
+	pw, _, err := interval.ExactPathwidth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw > 2 {
+		t.Fatalf("lobster pathwidth = %d", pw)
+	}
+}
+
+func TestLadderAndGrid(t *testing.T) {
+	l := Ladder(5)
+	if l.N() != 10 || l.M() != 13 {
+		t.Fatalf("ladder: n=%d m=%d", l.N(), l.M())
+	}
+	pw, _, err := interval.ExactPathwidth(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw != 2 {
+		t.Fatalf("ladder pathwidth = %d, want 2", pw)
+	}
+	gr := Grid(3, 4)
+	if gr.N() != 12 || gr.M() != 17 {
+		t.Fatalf("grid: n=%d m=%d", gr.N(), gr.M())
+	}
+	pwg, _, err := interval.ExactPathwidth(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pwg != 3 {
+		t.Fatalf("3x4 grid pathwidth = %d, want 3", pwg)
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(4)
+	if g.N() != 15 || !g.IsAcyclic() || !g.Connected() {
+		t.Fatalf("binary tree wrong: n=%d", g.N())
+	}
+}
+
+func TestQuickIntervalGraphInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		n := 2 + rng.Intn(30)
+		g, r := IntervalGraph(rng, n, k)
+		if !g.Connected() {
+			return false
+		}
+		if err := r.Validate(g); err != nil {
+			return false
+		}
+		return r.Width() <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLanewidthGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := LanewidthGraph(rng, 2+rng.Intn(3), 4+rng.Intn(20))
+		if err != nil {
+			return false
+		}
+		g2, err := b.Log().Replay()
+		if err != nil {
+			return false
+		}
+		return g2.N() == b.Graph().N() && g2.M() == b.Graph().M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpiderFreeCaterpillar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := SpiderFreeCaterpillar(rng, 12)
+		if g.N() != 12 || !g.Connected() || !g.IsAcyclic() {
+			t.Fatal("not a spanning tree")
+		}
+		if g.HasMinor(graph.Spider(2)) {
+			t.Fatal("caterpillar contains the 3-spider minor")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+// DegeneracyOrdering returns an ordering of the vertices witnessing the
+// degeneracy d of the graph (the smallest d such that every subgraph has a
+// vertex of degree ≤ d), computed by repeatedly removing a minimum-degree
+// vertex. The second return value is the degeneracy itself.
+//
+// Bounded-pathwidth graphs have bounded degeneracy, which is what makes the
+// edge-label → vertex-label transformation of Proposition 2.1 constant
+// overhead for the classes this library targets.
+func (g *Graph) DegeneracyOrdering() (order []Vertex, degeneracy int) {
+	deg := make([]int, g.n)
+	removed := make([]bool, g.n)
+	for v := 0; v < g.n; v++ {
+		deg[v] = len(g.adj[v])
+	}
+	order = make([]Vertex, 0, g.n)
+	for len(order) < g.n {
+		best, bestDeg := -1, g.n+1
+		for v := 0; v < g.n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if bestDeg > degeneracy {
+			degeneracy = bestDeg
+		}
+		removed[best] = true
+		order = append(order, best)
+		for _, w := range g.adj[best] {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+// Orientation maps every edge to its designated tail under some acyclic
+// orientation. Orient[e] is one of e.U, e.V.
+type Orientation map[Edge]Vertex
+
+// DegeneracyOrientation orients each edge from the endpoint that appears
+// earlier in the degeneracy ordering, yielding an acyclic orientation with
+// out-degree at most the degeneracy.
+func (g *Graph) DegeneracyOrientation() (Orientation, int) {
+	order, d := g.DegeneracyOrdering()
+	pos := make([]int, g.n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	orient := make(Orientation, g.M())
+	for e := range g.set {
+		if pos[e.U] < pos[e.V] {
+			orient[e] = e.U
+		} else {
+			orient[e] = e.V
+		}
+	}
+	return orient, d
+}
+
+// OutDegree returns the number of edges oriented out of v.
+func (o Orientation) OutDegree(v Vertex) int {
+	n := 0
+	for _, tail := range o {
+		if tail == v {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxOutDegree returns the maximum out-degree over all vertices.
+func (o Orientation) MaxOutDegree() int {
+	counts := make(map[Vertex]int)
+	for _, tail := range o {
+		counts[tail]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,198 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// library: adjacency storage, traversal, spanning trees, degeneracy
+// orientations, and small-graph isomorphism/minor testing.
+//
+// Vertices are dense integers 0..N()-1. Distributed identifiers (the
+// O(log n)-bit IDs of the proof-labeling-scheme model) are layered on top by
+// package cert; the algorithmic substrate works with dense indices.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Vertex is a dense vertex index in 0..N()-1.
+type Vertex = int
+
+// Edge is an undirected edge with normalized endpoints (U < V).
+type Edge struct {
+	U, V Vertex
+}
+
+// NewEdge returns the normalized edge {u, v}.
+func NewEdge(u, v Vertex) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Other returns the endpoint of e that is not w.
+// It returns -1 if w is not an endpoint of e.
+func (e Edge) Other(w Vertex) Vertex {
+	switch w {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		return -1
+	}
+}
+
+// Has reports whether w is an endpoint of e.
+func (e Edge) Has(w Vertex) bool { return e.U == w || e.V == w }
+
+func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
+
+// ErrVertexRange is returned when an operation references a vertex outside
+// 0..N()-1.
+var ErrVertexRange = errors.New("graph: vertex out of range")
+
+// Graph is a simple undirected graph on vertices 0..n-1.
+// The zero value is an empty graph with no vertices.
+type Graph struct {
+	n   int
+	adj [][]Vertex
+	set map[Edge]struct{}
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		n:   n,
+		adj: make([][]Vertex, n),
+		set: make(map[Edge]struct{}),
+	}
+}
+
+// FromEdges builds a graph on n vertices with the given edges.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.set) }
+
+// AddVertex appends a fresh vertex and returns its index.
+func (g *Graph) AddVertex() Vertex {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate edges
+// are rejected with an error.
+func (g *Graph) AddEdge(u, v Vertex) error {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return fmt.Errorf("%w: {%d,%d} with n=%d", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	e := NewEdge(u, v)
+	if _, ok := g.set[e]; ok {
+		return fmt.Errorf("graph: duplicate edge %v", e)
+	}
+	g.set[e] = struct{}{}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code paths where the caller
+// guarantees validity (e.g. generators); it panics on error.
+func (g *Graph) MustAddEdge(u, v Vertex) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v Vertex) bool {
+	_, ok := g.set[NewEdge(u, v)]
+	return ok
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v Vertex) []Vertex { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v Vertex) int { return len(g.adj[v]) }
+
+// Edges returns all edges in deterministic (sorted) order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.set))
+	for e := range g.set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for e := range g.set {
+		c.set[e] = struct{}{}
+	}
+	for v, nbrs := range g.adj {
+		c.adj[v] = append([]Vertex(nil), nbrs...)
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by keep, along with the map
+// from old vertex indices to new ones (absent vertices map to -1).
+func (g *Graph) InducedSubgraph(keep []Vertex) (*Graph, []int) {
+	remap := make([]int, g.n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range keep {
+		remap[v] = i
+	}
+	sub := New(len(keep))
+	for e := range g.set {
+		if remap[e.U] >= 0 && remap[e.V] >= 0 {
+			sub.MustAddEdge(remap[e.U], remap[e.V])
+		}
+	}
+	return sub, remap
+}
+
+// EdgeSubgraph returns a graph on the same vertex set containing only the
+// given edges.
+func (g *Graph) EdgeSubgraph(edges []Edge) *Graph {
+	sub := New(g.n)
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			continue
+		}
+		if !sub.HasEdge(e.U, e.V) {
+			sub.MustAddEdge(e.U, e.V)
+		}
+	}
+	return sub
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.n, g.M())
+}

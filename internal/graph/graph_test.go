@@ -1,0 +1,307 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEdgeNormalizes(t *testing.T) {
+	e := NewEdge(5, 2)
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("NewEdge(5,2) = %v, want {2,5}", e)
+	}
+	if e.Other(2) != 5 || e.Other(5) != 2 || e.Other(7) != -1 {
+		t.Fatalf("Other misbehaves on %v", e)
+	}
+	if !e.Has(2) || !e.Has(5) || e.Has(3) {
+		t.Fatalf("Has misbehaves on %v", e)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge(0,1): %v", err)
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate reversed edge accepted")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M() = %d, want 1", g.M())
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(2)
+	v := g.AddVertex()
+	if v != 2 || g.N() != 3 {
+		t.Fatalf("AddVertex = %d, N = %d", v, g.N())
+	}
+	if err := g.AddEdge(v, 0); err != nil {
+		t.Fatalf("AddEdge to fresh vertex: %v", err)
+	}
+}
+
+func TestEdgesSortedDeterministic(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 0)
+	want := []Edge{{0, 1}, {0, 2}, {1, 3}}
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("Edges() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Edges()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := PathGraph(4)
+	c := g.Clone()
+	c.MustAddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Fatal("Clone shares edge storage with original")
+	}
+	if g.M() != 3 || c.M() != 4 {
+		t.Fatalf("M mismatch: g=%d c=%d", g.M(), c.M())
+	}
+}
+
+func TestPathAndBFS(t *testing.T) {
+	g := PathGraph(6)
+	p := g.Path(0, 5)
+	if len(p) != 6 {
+		t.Fatalf("Path(0,5) = %v", p)
+	}
+	for i, v := range p {
+		if v != i {
+			t.Fatalf("Path(0,5) = %v, want identity order", p)
+		}
+	}
+	if got := g.Path(2, 2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Path(2,2) = %v", got)
+	}
+	// Disconnected case.
+	d := New(4)
+	d.MustAddEdge(0, 1)
+	d.MustAddEdge(2, 3)
+	if d.Path(0, 3) != nil {
+		t.Fatal("Path across components should be nil")
+	}
+}
+
+func TestPathEdges(t *testing.T) {
+	es := PathEdges([]Vertex{3, 1, 4})
+	if len(es) != 2 || es[0] != NewEdge(1, 3) || es[1] != NewEdge(1, 4) {
+		t.Fatalf("PathEdges = %v", es)
+	}
+	if PathEdges([]Vertex{7}) != nil {
+		t.Fatal("single-vertex path should yield no edges")
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 4)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("Components = %v", comps)
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Fatalf("component sizes wrong: %v", comps)
+	}
+	if !PathGraph(1).Connected() || !New(0).Connected() {
+		t.Fatal("trivial graphs should be connected")
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	g := CycleGraph(5)
+	parent := g.SpanningTree(2)
+	if parent[2] != 2 {
+		t.Fatalf("root parent = %d", parent[2])
+	}
+	// All vertices reachable; parent edges exist.
+	for v := 0; v < 5; v++ {
+		if parent[v] == -1 {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+		if v != 2 && !g.HasEdge(v, parent[v]) {
+			t.Fatalf("parent edge {%d,%d} missing", v, parent[v])
+		}
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	if !PathGraph(7).IsAcyclic() {
+		t.Fatal("path reported cyclic")
+	}
+	if CycleGraph(4).IsAcyclic() {
+		t.Fatal("cycle reported acyclic")
+	}
+	forest := New(6)
+	forest.MustAddEdge(0, 1)
+	forest.MustAddEdge(2, 3)
+	forest.MustAddEdge(3, 4)
+	if !forest.IsAcyclic() {
+		t.Fatal("forest reported cyclic")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := CycleGraph(5)
+	sub, remap := g.InducedSubgraph([]Vertex{0, 1, 2})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("induced C5[0..2]: n=%d m=%d", sub.N(), sub.M())
+	}
+	if remap[4] != -1 || remap[0] != 0 {
+		t.Fatalf("remap = %v", remap)
+	}
+}
+
+func TestEdgeSubgraph(t *testing.T) {
+	g := Complete(4)
+	sub := g.EdgeSubgraph([]Edge{{0, 1}, {2, 3}, {0, 3}})
+	if sub.M() != 3 || sub.N() != 4 {
+		t.Fatalf("edge subgraph: n=%d m=%d", sub.N(), sub.M())
+	}
+	if sub.HasEdge(1, 2) {
+		t.Fatal("unexpected edge retained")
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path", PathGraph(8), 1},
+		{"cycle", CycleGraph(8), 2},
+		{"K4", Complete(4), 3},
+		{"tree", Spider(3), 1},
+		{"empty", New(5), 0},
+	}
+	for _, tc := range cases {
+		order, d := tc.g.DegeneracyOrdering()
+		if d != tc.want {
+			t.Errorf("%s: degeneracy = %d, want %d", tc.name, d, tc.want)
+		}
+		if len(order) != tc.g.N() {
+			t.Errorf("%s: order length %d", tc.name, len(order))
+		}
+	}
+}
+
+func TestDegeneracyOrientationOutdegree(t *testing.T) {
+	g := CycleGraph(9)
+	orient, d := g.DegeneracyOrientation()
+	if len(orient) != g.M() {
+		t.Fatalf("orientation covers %d edges, want %d", len(orient), g.M())
+	}
+	if got := orient.MaxOutDegree(); got > d {
+		t.Fatalf("max outdegree %d exceeds degeneracy %d", got, d)
+	}
+	for e, tail := range orient {
+		if !e.Has(tail) {
+			t.Fatalf("tail %d not an endpoint of %v", tail, e)
+		}
+	}
+}
+
+func TestQuickDegeneracyOrientationBound(t *testing.T) {
+	// Property: for random graphs, the degeneracy orientation always has
+	// max out-degree ≤ reported degeneracy.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+		orient, d := g.DegeneracyOrientation()
+		return orient.MaxOutDegree() <= d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasSubgraphIso(t *testing.T) {
+	if !CycleGraph(5).HasSubgraphIso(PathGraph(4)) {
+		t.Fatal("P4 should embed in C5")
+	}
+	if PathGraph(5).HasSubgraphIso(CycleGraph(3)) {
+		t.Fatal("C3 should not embed in P5")
+	}
+	if !Complete(5).HasSubgraphIso(CycleGraph(4)) {
+		t.Fatal("C4 should embed in K5")
+	}
+	if !PathGraph(3).HasSubgraphIso(New(0)) {
+		t.Fatal("empty pattern should embed anywhere")
+	}
+	if New(2).HasSubgraphIso(PathGraph(3)) {
+		t.Fatal("P3 cannot embed in 2 vertices")
+	}
+}
+
+func TestHasMinor(t *testing.T) {
+	cases := []struct {
+		name string
+		g, h *Graph
+		want bool
+	}{
+		{"K3 in C6", CycleGraph(6), Complete(3), true},
+		{"K3 in P6", PathGraph(6), Complete(3), false},
+		{"K4 in K4", Complete(4), Complete(4), true},
+		{"K4 in C6", CycleGraph(6), Complete(4), false},
+		{"spider in itself", Spider(2), Spider(2), true},
+		{"spider in path", PathGraph(7), Spider(2), false},
+		{"P3 minor of C5", CycleGraph(5), PathGraph(3), true},
+		{"diamond in K4", Complete(4), Diamond(), true},
+		{"K23 in K4", Complete(4), CompleteBipartite(2, 3), false},
+	}
+	for _, tc := range cases {
+		if got := tc.g.HasMinor(tc.h); got != tc.want {
+			t.Errorf("%s: HasMinor = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNamedGraphs(t *testing.T) {
+	if s := Spider(2); s.N() != 7 || s.M() != 6 || s.Degree(0) != 3 {
+		t.Fatalf("Spider(2): n=%d m=%d deg0=%d", s.N(), s.M(), s.Degree(0))
+	}
+	if d := Diamond(); d.N() != 4 || d.M() != 5 {
+		t.Fatalf("Diamond: n=%d m=%d", d.N(), d.M())
+	}
+	if kb := CompleteBipartite(2, 3); kb.N() != 5 || kb.M() != 6 {
+		t.Fatalf("K23: n=%d m=%d", kb.N(), kb.M())
+	}
+	if c := CycleGraph(3); c.M() != 3 {
+		t.Fatalf("C3: m=%d", c.M())
+	}
+}

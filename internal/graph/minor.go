@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements brute-force minor and subgraph containment tests for
+// small pattern graphs H. They serve as ground-truth oracles for the
+// minor-free homomorphism-class algebra and as explicit checks in tests and
+// examples (e.g. the pathwidth ≤ 1 obstruction set {K3, S(2,2,2)}).
+
+// HasSubgraphIso reports whether h embeds into g as a (not necessarily
+// induced) subgraph. Intended for small h (≤ ~6 vertices).
+func (g *Graph) HasSubgraphIso(h *Graph) bool {
+	if h.n == 0 {
+		return true
+	}
+	if h.n > g.n || h.M() > g.M() {
+		return false
+	}
+	// Order pattern vertices by a connectivity-friendly order (BFS within
+	// components) so partial maps are pruned early.
+	order := patternOrder(h)
+	assign := make([]Vertex, h.n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make([]bool, g.n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(order) {
+			return true
+		}
+		hv := order[i]
+		for gv := 0; gv < g.n; gv++ {
+			if used[gv] {
+				continue
+			}
+			ok := true
+			for _, hn := range h.adj[hv] {
+				if assign[hn] >= 0 && !g.HasEdge(gv, assign[hn]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[hv] = gv
+			used[gv] = true
+			if rec(i + 1) {
+				return true
+			}
+			assign[hv] = -1
+			used[gv] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func patternOrder(h *Graph) []Vertex {
+	var order []Vertex
+	seen := make([]bool, h.n)
+	for s := 0; s < h.n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue := []Vertex{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range h.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// HasMinor reports whether h is a minor of g. It searches the space of edge
+// contractions of g, memoized on the contracted labeled graph, with a
+// subgraph-isomorphism check at every state (a minor model is a sequence of
+// contractions followed by deletions). Intended for small pattern graphs h
+// and small-to-moderate g.
+func (g *Graph) HasMinor(h *Graph) bool {
+	if h.n == 0 {
+		return true
+	}
+	if h.n > g.n || h.M() > g.M() {
+		return false
+	}
+	seen := map[string]bool{}
+	var rec func(cur *Graph) bool
+	rec = func(cur *Graph) bool {
+		if cur.n < h.n || cur.M() < h.M() {
+			return false
+		}
+		key := graphKey(cur)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		if cur.HasSubgraphIso(h) {
+			return true
+		}
+		for e := range cur.set {
+			if rec(cur.contract(e)) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(g)
+}
+
+// contract returns the graph with e's endpoints merged (order-preserving
+// renumbering, self-loops and parallel edges collapsed).
+func (g *Graph) contract(e Edge) *Graph {
+	remap := make([]int, g.n)
+	next := 0
+	for v := 0; v < g.n; v++ {
+		if v == e.V {
+			remap[v] = remap[e.U]
+			continue
+		}
+		remap[v] = next
+		next++
+	}
+	out := New(g.n - 1)
+	for f := range g.set {
+		u, v := remap[f.U], remap[f.V]
+		if u != v && !out.HasEdge(u, v) {
+			out.MustAddEdge(u, v)
+		}
+	}
+	return out
+}
+
+func graphKey(g *Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:", g.n)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "%d-%d,", e.U, e.V)
+	}
+	return sb.String()
+}
+
+// Named small graphs used as minors and test patterns.
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// PathGraph returns the path P_n on n vertices.
+func PathGraph(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1)
+	}
+	return g
+}
+
+// CycleGraph returns the cycle C_n (n ≥ 3).
+func CycleGraph(n int) *Graph {
+	g := PathGraph(n)
+	if n >= 3 {
+		g.MustAddEdge(0, n-1)
+	}
+	return g
+}
+
+// Spider returns the spider with three legs of the given length: a center
+// vertex with three attached paths. Spider(2) = S(2,2,2), one of the two
+// minor obstructions for pathwidth ≤ 1.
+func Spider(legLen int) *Graph {
+	g := New(1 + 3*legLen)
+	for leg := 0; leg < 3; leg++ {
+		prev := 0
+		for i := 0; i < legLen; i++ {
+			v := 1 + leg*legLen + i
+			g.MustAddEdge(prev, v)
+			prev = v
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			g.MustAddEdge(u, a+v)
+		}
+	}
+	return g
+}
+
+// Diamond returns K4 minus one edge.
+func Diamond() *Graph {
+	g := Complete(4)
+	d := New(4)
+	for _, e := range g.Edges() {
+		if e.U == 0 && e.V == 1 {
+			continue
+		}
+		d.MustAddEdge(e.U, e.V)
+	}
+	return d
+}

@@ -1,0 +1,124 @@
+package graph
+
+// BFSFrom runs a breadth-first search from src and returns the parent array
+// (parent[src] = src; unreachable vertices have parent -1) and BFS distances
+// (unreachable vertices have distance -1).
+func (g *Graph) BFSFrom(src Vertex) (parent []Vertex, dist []int) {
+	parent = make([]Vertex, g.n)
+	dist = make([]int, g.n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = -1
+	}
+	parent[src] = src
+	dist[src] = 0
+	queue := []Vertex{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if parent[w] == -1 {
+				parent[w] = v
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return parent, dist
+}
+
+// Path returns a shortest u-v path as a vertex sequence (inclusive of both
+// endpoints), or nil if v is unreachable from u.
+func (g *Graph) Path(u, v Vertex) []Vertex {
+	if u == v {
+		return []Vertex{u}
+	}
+	parent, _ := g.BFSFrom(u)
+	if parent[v] == -1 {
+		return nil
+	}
+	var rev []Vertex
+	for w := v; w != u; w = parent[w] {
+		rev = append(rev, w)
+	}
+	rev = append(rev, u)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathEdges converts a vertex path into its edge sequence.
+func PathEdges(path []Vertex) []Edge {
+	if len(path) < 2 {
+		return nil
+	}
+	out := make([]Edge, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		out = append(out, NewEdge(path[i], path[i+1]))
+	}
+	return out
+}
+
+// Connected reports whether the graph is connected. The empty graph and
+// single-vertex graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, dist := g.BFSFrom(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as vertex lists, each sorted,
+// ordered by smallest member.
+func (g *Graph) Components() [][]Vertex {
+	seen := make([]bool, g.n)
+	var comps [][]Vertex
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []Vertex{s}
+		seen[s] = true
+		for i := 0; i < len(comp); i++ {
+			for _, w := range g.adj[comp[i]] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+				}
+			}
+		}
+		sortInts(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// SpanningTree returns the BFS spanning tree of the component containing
+// root, as parent pointers (parent[root] = root, vertices outside the
+// component have parent -1).
+func (g *Graph) SpanningTree(root Vertex) []Vertex {
+	parent, _ := g.BFSFrom(root)
+	return parent
+}
+
+// IsAcyclic reports whether the graph is a forest.
+func (g *Graph) IsAcyclic() bool {
+	// A graph is a forest iff every component C satisfies |E(C)| = |C| - 1;
+	// equivalently m = n - #components.
+	return g.M() == g.n-len(g.Components())
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

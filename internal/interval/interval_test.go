@@ -1,0 +1,267 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	a := Interval{1, 3}
+	b := Interval{3, 5}
+	c := Interval{4, 6}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("closed intervals meeting at a point must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("[1,3] and [4,6] must not overlap")
+	}
+	if !a.Before(c) || a.Before(b) {
+		t.Fatal("Before (≺) wrong")
+	}
+	if (Interval{2, 1}).Empty() == false || a.Empty() {
+		t.Fatal("Empty wrong")
+	}
+	if !a.Contains(2) || a.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+// sixCycleRepresentation reproduces Figure 1 of the paper: a 6-cycle with
+// the interval representation of width 3 (pathwidth 2).
+func sixCycleRepresentation() (*graph.Graph, *Representation) {
+	g := graph.CycleGraph(6)
+	r := NewRepresentation(6)
+	// Vertices a..f = 0..5 around the cycle. Bags from Figure 1:
+	// X1={a,b,c}, X2={a,c,d}, X3={a,d,e}, X4={a,e,f}.
+	r.Ivs[0] = Interval{1, 4} // a spans all bags
+	r.Ivs[1] = Interval{1, 1} // b
+	r.Ivs[2] = Interval{1, 2} // c
+	r.Ivs[3] = Interval{2, 3} // d
+	r.Ivs[4] = Interval{3, 4} // e
+	r.Ivs[5] = Interval{4, 4} // f
+	return g, r
+}
+
+func TestFigure1SixCycle(t *testing.T) {
+	g, r := sixCycleRepresentation()
+	if err := r.Validate(g); err != nil {
+		t.Fatalf("Figure 1 representation invalid: %v", err)
+	}
+	if w := r.Width(); w != 3 {
+		t.Fatalf("Figure 1 width = %d, want 3", w)
+	}
+}
+
+func TestRepresentationValidateCatchesBadEdge(t *testing.T) {
+	g := graph.PathGraph(3)
+	r := NewRepresentation(3)
+	r.Ivs[0] = Interval{0, 0}
+	r.Ivs[1] = Interval{1, 1}
+	r.Ivs[2] = Interval{2, 2}
+	if err := r.Validate(g); err == nil {
+		t.Fatal("disjoint intervals on an edge must be rejected")
+	}
+}
+
+func TestRepresentationValidateCatchesEmpty(t *testing.T) {
+	g := graph.New(2)
+	r := NewRepresentation(2)
+	r.Ivs[0] = Interval{0, 3}
+	if err := r.Validate(g); err == nil {
+		t.Fatal("empty interval must be rejected")
+	}
+}
+
+func TestWidthSweep(t *testing.T) {
+	r := NewRepresentation(4)
+	r.Ivs[0] = Interval{0, 10}
+	r.Ivs[1] = Interval{2, 4}
+	r.Ivs[2] = Interval{4, 6}
+	r.Ivs[3] = Interval{7, 9}
+	if w := r.Width(); w != 3 {
+		t.Fatalf("width = %d, want 3 (point 4)", w)
+	}
+}
+
+func TestMinMaxCoordUnion(t *testing.T) {
+	_, r := sixCycleRepresentation()
+	if r.MinCoord() != 1 || r.MaxCoord() != 4 {
+		t.Fatalf("coords = [%d,%d], want [1,4]", r.MinCoord(), r.MaxCoord())
+	}
+	u := r.Union([]graph.Vertex{1, 5})
+	if u != (Interval{1, 4}) {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestPathDecompRoundTrip(t *testing.T) {
+	g, r := sixCycleRepresentation()
+	pd := FromIntervals(r)
+	if err := pd.Validate(g); err != nil {
+		t.Fatalf("converted decomposition invalid: %v", err)
+	}
+	if pd.Width() != 2 {
+		t.Fatalf("decomposition width = %d, want 2", pd.Width())
+	}
+	back := pd.ToIntervals(g.N())
+	if err := back.Validate(g); err != nil {
+		t.Fatalf("round-tripped representation invalid: %v", err)
+	}
+	if back.Width() != 3 {
+		t.Fatalf("round-tripped width = %d, want 3", back.Width())
+	}
+}
+
+func TestPathDecompValidateRejects(t *testing.T) {
+	g := graph.PathGraph(3)
+	// Missing vertex 2.
+	pd := &PathDecomposition{Bags: [][]graph.Vertex{{0, 1}}}
+	if err := pd.Validate(g); err == nil {
+		t.Fatal("missing vertex accepted")
+	}
+	// Non-contiguous occurrence of vertex 0.
+	pd = &PathDecomposition{Bags: [][]graph.Vertex{{0, 1}, {1, 2}, {0, 2}}}
+	if err := pd.Validate(g); err == nil {
+		t.Fatal("non-contiguous vertex accepted")
+	}
+	// Edge {1,2} in no bag.
+	pd = &PathDecomposition{Bags: [][]graph.Vertex{{0, 1}, {2}}}
+	if err := pd.Validate(g); err == nil {
+		t.Fatal("uncovered edge accepted")
+	}
+}
+
+func TestExactPathwidthKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"single vertex", graph.New(1), 0},
+		{"P5", graph.PathGraph(5), 1},
+		{"C6", graph.CycleGraph(6), 2},
+		{"K4", graph.Complete(4), 3},
+		{"K5", graph.Complete(5), 4},
+		{"star", graph.CompleteBipartite(1, 4), 1},
+		{"spider S(2,2,2)", graph.Spider(2), 2},
+		{"K23", graph.CompleteBipartite(2, 3), 2},
+	}
+	for _, tc := range cases {
+		pw, order, err := ExactPathwidth(tc.g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if pw != tc.want {
+			t.Errorf("%s: pathwidth = %d, want %d", tc.name, pw, tc.want)
+		}
+		pd := OrderingDecomposition(tc.g, order)
+		if err := pd.Validate(tc.g); err != nil {
+			t.Errorf("%s: decomposition from optimal ordering invalid: %v", tc.name, err)
+		}
+		if pd.Width() != pw {
+			t.Errorf("%s: decomposition width %d ≠ pathwidth %d", tc.name, pd.Width(), pw)
+		}
+	}
+}
+
+func TestExactPathwidthTooLarge(t *testing.T) {
+	if _, _, err := ExactPathwidth(graph.PathGraph(MaxExactVertices + 1)); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+func TestHeuristicOrderingValidDecomposition(t *testing.T) {
+	g := graph.CycleGraph(50)
+	order := HeuristicOrdering(g)
+	if len(order) != 50 {
+		t.Fatalf("ordering length %d", len(order))
+	}
+	pd := OrderingDecomposition(g, order)
+	if err := pd.Validate(g); err != nil {
+		t.Fatalf("heuristic decomposition invalid: %v", err)
+	}
+	if pd.Width() < 2 {
+		t.Fatalf("cycle decomposition width %d below pathwidth 2", pd.Width())
+	}
+}
+
+func TestDecomposeDispatch(t *testing.T) {
+	small := graph.CycleGraph(8)
+	if w := Decompose(small).Width(); w != 2 {
+		t.Fatalf("small Decompose width = %d, want exact 2", w)
+	}
+	large := graph.PathGraph(200)
+	pd := Decompose(large)
+	if err := pd.Validate(large); err != nil {
+		t.Fatalf("large Decompose invalid: %v", err)
+	}
+	if pd.Width() > 3 {
+		t.Fatalf("path heuristic width %d unexpectedly large", pd.Width())
+	}
+}
+
+// Property: on random connected graphs, the heuristic decomposition is always
+// valid and its width is ≥ the exact pathwidth.
+func TestQuickHeuristicSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(9)
+		g := graph.PathGraph(n) // ensure connected
+		for extra := 0; extra < n/2; extra++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		exact, _, err := ExactPathwidth(g)
+		if err != nil {
+			return false
+		}
+		pd := OrderingDecomposition(g, HeuristicOrdering(g))
+		if pd.Validate(g) != nil {
+			return false
+		}
+		return pd.Width() >= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FromIntervals/ToIntervals round-trips preserve validity and width
+// on random interval graphs.
+func TestQuickIntervalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		r := NewRepresentation(n)
+		for v := 0; v < n; v++ {
+			l := rng.Intn(12)
+			r.Ivs[v] = Interval{l, l + rng.Intn(5)}
+		}
+		// The intersection graph of the intervals.
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Ivs[u].Overlaps(r.Ivs[v]) {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+		if r.Validate(g) != nil {
+			return false
+		}
+		pd := FromIntervals(r)
+		if pd.Validate(g) != nil {
+			return false
+		}
+		back := pd.ToIntervals(n)
+		return back.Validate(g) == nil && back.Width() == r.Width()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

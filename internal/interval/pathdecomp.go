@@ -1,0 +1,125 @@
+package interval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// PathDecomposition is a sequence of bags (Definition 1.1).
+type PathDecomposition struct {
+	Bags [][]graph.Vertex
+}
+
+// Width returns max |X_i| - 1, or -1 for an empty decomposition.
+func (pd *PathDecomposition) Width() int {
+	best := 0
+	for _, bag := range pd.Bags {
+		if len(bag) > best {
+			best = len(bag)
+		}
+	}
+	return best - 1
+}
+
+// Validate checks conditions (P1) and (P2) of Definition 1.1 against g, plus
+// that every vertex occurs in some bag.
+func (pd *PathDecomposition) Validate(g *graph.Graph) error {
+	first := make([]int, g.N())
+	last := make([]int, g.N())
+	count := make([]int, g.N())
+	for v := range first {
+		first[v] = -1
+	}
+	for i, bag := range pd.Bags {
+		for _, v := range bag {
+			if v < 0 || v >= g.N() {
+				return fmt.Errorf("pathdecomp: bag %d contains invalid vertex %d", i, v)
+			}
+			if first[v] == -1 {
+				first[v] = i
+			}
+			last[v] = i
+			count[v]++
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if first[v] == -1 {
+			return fmt.Errorf("pathdecomp: vertex %d in no bag", v)
+		}
+		// (P2) ⇔ each vertex occupies a contiguous run of bags.
+		if count[v] != last[v]-first[v]+1 {
+			return fmt.Errorf("pathdecomp: vertex %d occupies non-contiguous bags", v)
+		}
+	}
+	// (P1): each edge inside some bag ⇔ intervals [first,last] intersect and
+	// both endpoints co-occur; contiguity makes interval overlap sufficient.
+	for _, e := range g.Edges() {
+		lo := max(first[e.U], first[e.V])
+		hi := min(last[e.U], last[e.V])
+		if lo > hi {
+			return fmt.Errorf("pathdecomp: edge %v in no bag", e)
+		}
+	}
+	return nil
+}
+
+// ToIntervals converts the decomposition into the equivalent interval
+// representation: vertex v gets [first bag index, last bag index].
+func (pd *PathDecomposition) ToIntervals(n int) *Representation {
+	r := NewRepresentation(n)
+	for i, bag := range pd.Bags {
+		for _, v := range bag {
+			if r.Ivs[v].Empty() {
+				r.Ivs[v] = Interval{L: i, R: i}
+			} else {
+				r.Ivs[v].R = i
+			}
+		}
+	}
+	return r
+}
+
+// FromIntervals converts an interval representation into a path
+// decomposition whose bags are the distinct interval coordinates.
+func FromIntervals(r *Representation) *PathDecomposition {
+	coordSet := make(map[int]struct{})
+	for _, iv := range r.Ivs {
+		if iv.Empty() {
+			continue
+		}
+		coordSet[iv.L] = struct{}{}
+		coordSet[iv.R] = struct{}{}
+	}
+	coords := make([]int, 0, len(coordSet))
+	for x := range coordSet {
+		coords = append(coords, x)
+	}
+	sort.Ints(coords)
+	pd := &PathDecomposition{}
+	for _, x := range coords {
+		var bag []graph.Vertex
+		for v, iv := range r.Ivs {
+			if iv.Contains(x) {
+				bag = append(bag, v)
+			}
+		}
+		pd.Bags = append(pd.Bags, bag)
+	}
+	return pd
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

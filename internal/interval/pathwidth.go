@@ -1,0 +1,176 @@
+package interval
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// MaxExactVertices bounds the exact pathwidth computation: the subset DP is
+// O(2^n · n) and is only run for graphs up to this many vertices.
+const MaxExactVertices = 20
+
+// ExactPathwidth computes the pathwidth of g exactly via the vertex
+// separation number: pathwidth equals the minimum over vertex orderings of
+// the maximum boundary size, computed by dynamic programming over subsets.
+// It returns the pathwidth and an optimal ordering. Graphs larger than
+// MaxExactVertices are rejected.
+func ExactPathwidth(g *graph.Graph) (int, []graph.Vertex, error) {
+	n := g.N()
+	if n > MaxExactVertices {
+		return 0, nil, fmt.Errorf("interval: exact pathwidth limited to %d vertices, got %d",
+			MaxExactVertices, n)
+	}
+	if n == 0 {
+		return 0, nil, nil
+	}
+	nbrMask := neighborMasks(g)
+	full := uint32(1)<<n - 1
+	dp := make([]int8, full+1) // dp[S] = min over orderings of S of max boundary
+	choice := make([]int8, full+1)
+	for s := uint32(1); s <= full; s++ {
+		dp[s] = int8(n + 1)
+		b := boundarySize(s, nbrMask)
+		for t := s; t != 0; t &= t - 1 {
+			v := bits.TrailingZeros32(t)
+			prev := dp[s&^(1<<v)]
+			cost := prev
+			if int8(b) > cost {
+				cost = int8(b)
+			}
+			if cost < dp[s] {
+				dp[s] = cost
+				choice[s] = int8(v)
+			}
+		}
+	}
+	// Reconstruct ordering.
+	order := make([]graph.Vertex, n)
+	s := full
+	for i := n - 1; i >= 0; i-- {
+		v := int(choice[s])
+		order[i] = v
+		s &^= 1 << v
+	}
+	return int(dp[full]), order, nil
+}
+
+func neighborMasks(g *graph.Graph) []uint32 {
+	masks := make([]uint32, g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			masks[v] |= 1 << uint(w)
+		}
+	}
+	return masks
+}
+
+// boundarySize counts vertices in S with at least one neighbor outside S.
+func boundarySize(s uint32, nbrMask []uint32) int {
+	count := 0
+	for t := s; t != 0; t &= t - 1 {
+		v := bits.TrailingZeros32(t)
+		if nbrMask[v]&^s != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// HeuristicOrdering returns a vertex ordering produced by a greedy
+// minimum-boundary strategy (ties broken by vertex index), suitable for
+// graphs too large for ExactPathwidth. The induced decomposition width is an
+// upper bound on the pathwidth.
+func HeuristicOrdering(g *graph.Graph) []graph.Vertex {
+	n := g.N()
+	placed := make([]bool, n)
+	unplacedNbrs := make([]int, n) // neighbors not yet placed, for every vertex
+	for v := 0; v < n; v++ {
+		unplacedNbrs[v] = g.Degree(v)
+	}
+	onBoundary := make([]bool, n)
+	boundary := 0
+	order := make([]graph.Vertex, 0, n)
+	for len(order) < n {
+		best, bestCost := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			// Boundary size if v were placed next: v joins the boundary when
+			// it still has unplaced neighbors; each placed boundary neighbor
+			// whose last unplaced neighbor is v leaves it.
+			cost := boundary
+			if unplacedNbrs[v] > 0 {
+				cost++
+			}
+			for _, w := range g.Neighbors(v) {
+				if placed[w] && onBoundary[w] && unplacedNbrs[w] == 1 {
+					cost--
+				}
+			}
+			if cost < bestCost {
+				best, bestCost = v, cost
+			}
+		}
+		v := best
+		placed[v] = true
+		order = append(order, v)
+		for _, w := range g.Neighbors(v) {
+			unplacedNbrs[w]--
+			if placed[w] && onBoundary[w] && unplacedNbrs[w] == 0 {
+				onBoundary[w] = false
+				boundary--
+			}
+		}
+		if unplacedNbrs[v] > 0 {
+			onBoundary[v] = true
+			boundary++
+		}
+	}
+	return order
+}
+
+// OrderingDecomposition converts a vertex ordering into the corresponding
+// path decomposition: bag i is {v_i} plus every earlier vertex that still has
+// a neighbor at position ≥ i. Its width equals the ordering's maximum
+// boundary size.
+func OrderingDecomposition(g *graph.Graph, order []graph.Vertex) *PathDecomposition {
+	pos := make([]int, g.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	lastNbr := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		lastNbr[v] = -1
+		for _, w := range g.Neighbors(v) {
+			if pos[w] > lastNbr[v] {
+				lastNbr[v] = pos[w]
+			}
+		}
+	}
+	pd := &PathDecomposition{Bags: make([][]graph.Vertex, len(order))}
+	for i, vi := range order {
+		bag := []graph.Vertex{vi}
+		for j := 0; j < i; j++ {
+			vj := order[j]
+			if lastNbr[vj] >= i {
+				bag = append(bag, vj)
+			}
+		}
+		pd.Bags[i] = bag
+	}
+	return pd
+}
+
+// Decompose returns a path decomposition of g: exact (optimal width) when
+// g is small enough, heuristic otherwise.
+func Decompose(g *graph.Graph) *PathDecomposition {
+	if g.N() <= MaxExactVertices {
+		if _, order, err := ExactPathwidth(g); err == nil {
+			return OrderingDecomposition(g, order)
+		}
+	}
+	return OrderingDecomposition(g, HeuristicOrdering(g))
+}

@@ -1,0 +1,35 @@
+package lanes
+
+// The bound functions of Proposition 4.6. For an interval representation of
+// width k, the recursive construction yields at most F(k) lanes, a weak
+// completion embeddable with congestion at most G(k), and a completion
+// embeddable with congestion at most H(k).
+//
+//	f(1) = 1            f(k) = 2 + 2(k-1)·f(k-1)
+//	g(1) = 0            g(k) = 2 + g(k-1) + 2k·f(k-1)
+//	h(k) = g(k) + f(k) - 1
+//
+// The functions grow super-exponentially; int64 accommodates all k this
+// library can realistically run (the paper's constants are galactic, see
+// DESIGN.md).
+
+// F bounds the number of lanes produced for width k.
+func F(k int) int64 {
+	if k <= 1 {
+		return 1
+	}
+	return 2 + 2*int64(k-1)*F(k-1)
+}
+
+// G bounds the weak-completion embedding congestion for width k.
+func G(k int) int64 {
+	if k <= 1 {
+		return 0
+	}
+	return 2 + G(k-1) + 2*int64(k)*F(k-1)
+}
+
+// H bounds the completion embedding congestion for width k.
+func H(k int) int64 {
+	return G(k) + F(k) - 1
+}

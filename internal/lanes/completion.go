@@ -1,0 +1,125 @@
+package lanes
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Completion is the result of completing a k-lane partition
+// (Definition 4.4): the original graph plus the lane edges E1 (consecutive
+// vertices in each lane) and, for the full completion, the initial-vertex
+// edges E2 (a path through the first vertex of every lane).
+type Completion struct {
+	// Graph is the completed graph (V, E ∪ E1 ∪ E2) — or (V, E ∪ E1) for a
+	// weak completion.
+	Graph *graph.Graph
+	// Virtual lists the completion edges not present in the original graph;
+	// these are the edges that must be embedded as paths for certification.
+	Virtual []graph.Edge
+	// E1 and E2 are the raw edge sets of Definition 4.4 (possibly
+	// overlapping the original edge set).
+	E1, E2 []graph.Edge
+	// Weak reports whether E2 was omitted.
+	Weak bool
+}
+
+// Complete builds the completion (or weak completion) of (g, P) per
+// Definition 4.4.
+func Complete(g *graph.Graph, p *Partition, weak bool) *Completion {
+	c := &Completion{Graph: g.Clone(), Weak: weak}
+	add := func(u, v graph.Vertex, dst *[]graph.Edge) {
+		e := graph.NewEdge(u, v)
+		*dst = append(*dst, e)
+		if !c.Graph.HasEdge(u, v) {
+			c.Graph.MustAddEdge(u, v)
+			c.Virtual = append(c.Virtual, e)
+		}
+	}
+	for _, lane := range p.Lanes {
+		for j := 0; j+1 < len(lane); j++ {
+			add(lane[j], lane[j+1], &c.E1)
+		}
+	}
+	if !weak {
+		for li := 0; li+1 < len(p.Lanes); li++ {
+			add(p.Lanes[li][0], p.Lanes[li+1][0], &c.E2)
+		}
+	}
+	return c
+}
+
+// Embedding assigns to each virtual edge a path in the original graph
+// between its endpoints (Definition 4.5). Paths are vertex sequences
+// inclusive of both endpoints.
+type Embedding map[graph.Edge][]graph.Vertex
+
+// Congestion returns the maximum number of embedding paths any single
+// original edge participates in.
+func (emb Embedding) Congestion() int {
+	counts := make(map[graph.Edge]int)
+	for _, path := range emb {
+		for _, e := range graph.PathEdges(path) {
+			counts[e]++
+		}
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Validate checks that emb embeds exactly the virtual edges of c into g:
+// every virtual edge has a path, every path is a walk in g between the
+// virtual edge's endpoints using only original edges.
+func (emb Embedding) Validate(g *graph.Graph, c *Completion) error {
+	for _, ve := range c.Virtual {
+		path, ok := emb[ve]
+		if !ok {
+			return fmt.Errorf("lanes: virtual edge %v has no embedding path", ve)
+		}
+		if len(path) < 2 {
+			return fmt.Errorf("lanes: virtual edge %v has degenerate path %v", ve, path)
+		}
+		if graph.NewEdge(path[0], path[len(path)-1]) != ve {
+			return fmt.Errorf("lanes: path for %v connects %d-%d", ve, path[0], path[len(path)-1])
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !g.HasEdge(path[i], path[i+1]) {
+				return fmt.Errorf("lanes: path for %v uses non-edge {%d,%d}", ve, path[i], path[i+1])
+			}
+		}
+	}
+	for e := range emb {
+		found := false
+		for _, ve := range c.Virtual {
+			if ve == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("lanes: embedding contains path for non-virtual edge %v", e)
+		}
+	}
+	return nil
+}
+
+// EmbedShortestPaths embeds every virtual edge of c as a BFS shortest path
+// in g. This is the pragmatic embedding used for greedy partitions; its
+// congestion carries no worst-case guarantee and is measured empirically
+// (experiment E2 ablation).
+func EmbedShortestPaths(g *graph.Graph, c *Completion) (Embedding, error) {
+	emb := make(Embedding, len(c.Virtual))
+	for _, ve := range c.Virtual {
+		path := g.Path(ve.U, ve.V)
+		if path == nil {
+			return nil, fmt.Errorf("lanes: no path for virtual edge %v", ve)
+		}
+		emb[ve] = path
+	}
+	return emb, nil
+}

@@ -1,0 +1,401 @@
+package lanes
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+// ErrDisconnected is returned when the low-congestion construction is given
+// a disconnected graph (Proposition 4.6 requires connectivity).
+var ErrDisconnected = errors.New("lanes: graph must be connected")
+
+// BuildLowCongestion runs the recursive construction of Proposition 4.6: for
+// a connected graph g with interval representation r of width k it returns a
+// lane partition with at most F(k) lanes together with the completion and an
+// embedding of all virtual completion edges whose congestion is at most
+// H(k).
+func BuildLowCongestion(g *graph.Graph, r *interval.Representation) (*Partition, *Completion, Embedding, error) {
+	if err := r.Validate(g); err != nil {
+		return nil, nil, nil, err
+	}
+	if !g.Connected() {
+		return nil, nil, nil, ErrDisconnected
+	}
+	b := &builder{g: g, r: r}
+	all := make([]graph.Vertex, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	laneSeqs, emb, err := b.weak(all)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p := &Partition{Lanes: laneSeqs}
+	c := Complete(g, p, false)
+	// Embed the E2 edges (first vertices of consecutive lanes) as arbitrary
+	// paths; this adds at most |lanes|-1 to the congestion (h = g + f - 1).
+	for _, e := range c.E2 {
+		if g.HasEdge(e.U, e.V) {
+			continue
+		}
+		path := g.Path(e.U, e.V)
+		if path == nil {
+			return nil, nil, nil, fmt.Errorf("lanes: no embedding path for E2 edge %v", e)
+		}
+		emb[e] = path
+	}
+	if err := emb.Validate(g, c); err != nil {
+		return nil, nil, nil, err
+	}
+	return p, c, emb, nil
+}
+
+type builder struct {
+	g *graph.Graph
+	r *interval.Representation
+}
+
+// weak implements the inductive step of Proposition 4.6 on the connected
+// induced subgraph given by verts, returning ordered lanes and an embedding
+// of the weak-completion edges (lane-consecutive pairs that are not real
+// edges).
+func (b *builder) weak(verts []graph.Vertex) ([][]graph.Vertex, Embedding, error) {
+	if len(verts) == 1 {
+		return [][]graph.Vertex{{verts[0]}}, Embedding{}, nil
+	}
+	in := make(map[graph.Vertex]bool, len(verts))
+	for _, v := range verts {
+		in[v] = true
+	}
+
+	// vst minimizes L, ved maximizes R.
+	vst, ved := verts[0], verts[0]
+	for _, v := range verts {
+		if b.r.Ivs[v].L < b.r.Ivs[vst].L {
+			vst = v
+		}
+		if b.r.Ivs[v].R > b.r.Ivs[ved].R {
+			ved = v
+		}
+	}
+	p := b.restrictedPath(in, vst, ved)
+	if p == nil {
+		return nil, nil, fmt.Errorf("lanes: induced subgraph on %d vertices disconnected", len(verts))
+	}
+	pos := make(map[graph.Vertex]int, len(p))
+	for i, v := range p {
+		pos[v] = i
+	}
+
+	// The sequence S: s1 = vst; while Rsi < Rved, si+1 is the vertex after
+	// si on P whose interval overlaps Isi with maximum right endpoint.
+	s := []graph.Vertex{vst}
+	for b.r.Ivs[s[len(s)-1]].R < b.r.Ivs[ved].R {
+		cur := s[len(s)-1]
+		next := -1
+		for i := pos[cur] + 1; i < len(p); i++ {
+			u := p[i]
+			if b.r.Ivs[u].Overlaps(b.r.Ivs[cur]) {
+				if next == -1 || b.r.Ivs[u].R > b.r.Ivs[next].R {
+					next = u
+				}
+			}
+		}
+		if next == -1 {
+			return nil, nil, fmt.Errorf("lanes: sequence S stuck at vertex %d", cur)
+		}
+		s = append(s, next)
+	}
+	var s1, s2 []graph.Vertex
+	inS := make(map[graph.Vertex]bool, len(s))
+	for i, v := range s {
+		inS[v] = true
+		if i%2 == 0 {
+			s1 = append(s1, v)
+		} else {
+			s2 = append(s2, v)
+		}
+	}
+
+	// Components of the induced subgraph minus S.
+	comps := b.componentsWithout(verts, in, inS)
+
+	// Color the components so that same-colored components have disjoint
+	// spanning intervals (Lemma 4.10 via first-fit, Observation 4.3).
+	infos := make([]*compInfo, len(comps))
+	for i, members := range comps {
+		infos[i] = &compInfo{members: members, span: b.r.Union(members)}
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].span.L != infos[j].span.L {
+			return infos[i].span.L < infos[j].span.L
+		}
+		return infos[i].span.R < infos[j].span.R
+	})
+	var colorEnd []int
+	for _, ci := range infos {
+		placed := false
+		for col := range colorEnd {
+			if colorEnd[col] < ci.span.L {
+				ci.color = col
+				colorEnd[col] = ci.span.R
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			ci.color = len(colorEnd)
+			colorEnd = append(colorEnd, ci.span.R)
+		}
+	}
+
+	// Classify each component by adjacency to S1 (class 1) or S2 (class 2)
+	// and record the connecting edge (u*, v*).
+	inS1 := make(map[graph.Vertex]bool, len(s1))
+	for _, v := range s1 {
+		inS1[v] = true
+	}
+	inS2 := make(map[graph.Vertex]bool, len(s2))
+	for _, v := range s2 {
+		inS2[v] = true
+	}
+	for _, ci := range infos {
+		found := false
+		for _, class := range []int{1, 2} {
+			target := inS1
+			if class == 2 {
+				target = inS2
+			}
+			for _, u := range ci.members {
+				for _, w := range b.g.Neighbors(u) {
+					if in[w] && target[w] {
+						ci.class, ci.uStar, ci.vStar = class, u, w
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("lanes: component with span %v not adjacent to S", ci.span)
+		}
+	}
+
+	emb := Embedding{}
+
+	// Recurse into every component.
+	for _, ci := range infos {
+		subLanes, subEmb, err := b.weak(ci.members)
+		if err != nil {
+			return nil, nil, err
+		}
+		ci.lanes = subLanes
+		for e, path := range subEmb {
+			emb[e] = path
+		}
+	}
+
+	// Assemble the output lanes: S1, S2, then for each (color, class, ℓ)
+	// the concatenation of the ℓ-th lanes of that group's components in
+	// span order.
+	var out [][]graph.Vertex
+	out = append(out, s1)
+	if len(s2) > 0 {
+		out = append(out, s2)
+	}
+	for col := range colorEnd {
+		for _, class := range []int{1, 2} {
+			var group []*compInfo
+			maxL := 0
+			for _, ci := range infos {
+				if ci.color == col && ci.class == class {
+					group = append(group, ci)
+					if len(ci.lanes) > maxL {
+						maxL = len(ci.lanes)
+					}
+				}
+			}
+			for l := 0; l < maxL; l++ {
+				var lane []graph.Vertex
+				var prev *compInfo
+				for _, ci := range group {
+					if l >= len(ci.lanes) {
+						continue
+					}
+					if prev != nil {
+						// Case 2.2: cross-component lane edge embedding.
+						x := prev.lanes[l][len(prev.lanes[l])-1]
+						y := ci.lanes[l][0]
+						if !b.g.HasEdge(x, y) {
+							walk := b.crossPath(p, pos, prev, ci, x, y)
+							if walk == nil {
+								return nil, nil, fmt.Errorf("lanes: no cross path %d-%d", x, y)
+							}
+							emb[graph.NewEdge(x, y)] = walk
+						}
+					}
+					lane = append(lane, ci.lanes[l]...)
+					prev = ci
+				}
+				if len(lane) > 0 {
+					out = append(out, lane)
+				}
+			}
+		}
+	}
+
+	// Case 1: lane edges within S1 and S2 embed as subpaths of P.
+	for _, seq := range [][]graph.Vertex{s1, s2} {
+		for i := 0; i+1 < len(seq); i++ {
+			u, v := seq[i], seq[i+1]
+			if b.g.HasEdge(u, v) {
+				continue
+			}
+			emb[graph.NewEdge(u, v)] = subPath(p, pos[u], pos[v])
+		}
+	}
+	return out, emb, nil
+}
+
+// compInfo carries the per-component bookkeeping of the inductive step:
+// its members, spanning interval, Lemma 4.10 color, S1/S2 adjacency class,
+// recursively built lanes, and the connecting edge {uStar, vStar} into S.
+type compInfo struct {
+	members []graph.Vertex
+	span    interval.Interval
+	color   int
+	class   int // 1 if adjacent to S1, else 2
+	lanes   [][]graph.Vertex
+	uStar   graph.Vertex // endpoint inside the component of the S-edge
+	vStar   graph.Vertex // endpoint in S1/S2 of the S-edge
+}
+
+// crossPath builds the Case 2.2 path x → u*_C → v*_C ⇝(P) v*_C' → u*_C' → y
+// and simplifies it to a simple path.
+func (b *builder) crossPath(p []graph.Vertex, pos map[graph.Vertex]int,
+	ca, cb *compInfo, x, y graph.Vertex) []graph.Vertex {
+	inA := memberSet(ca.members)
+	inB := memberSet(cb.members)
+	prefix := b.restrictedPath(inA, x, ca.uStar)
+	suffix := b.restrictedPath(inB, cb.uStar, y)
+	if prefix == nil || suffix == nil {
+		return nil
+	}
+	mid := subPath(p, pos[ca.vStar], pos[cb.vStar])
+	walk := append([]graph.Vertex{}, prefix...)
+	walk = append(walk, mid...)
+	walk = append(walk, suffix...)
+	return simplifyWalk(walk)
+}
+
+func memberSet(members []graph.Vertex) map[graph.Vertex]bool {
+	m := make(map[graph.Vertex]bool, len(members))
+	for _, v := range members {
+		m[v] = true
+	}
+	return m
+}
+
+// restrictedPath returns a shortest path from u to v using only vertices in
+// the allowed set, or nil if none exists.
+func (b *builder) restrictedPath(allowed map[graph.Vertex]bool, u, v graph.Vertex) []graph.Vertex {
+	if u == v {
+		return []graph.Vertex{u}
+	}
+	parent := map[graph.Vertex]graph.Vertex{u: u}
+	queue := []graph.Vertex{u}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, w := range b.g.Neighbors(cur) {
+			if !allowed[w] {
+				continue
+			}
+			if _, seen := parent[w]; seen {
+				continue
+			}
+			parent[w] = cur
+			if w == v {
+				var rev []graph.Vertex
+				for x := v; x != u; x = parent[x] {
+					rev = append(rev, x)
+				}
+				rev = append(rev, u)
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, w)
+		}
+	}
+	return nil
+}
+
+// componentsWithout returns the connected components of the subgraph induced
+// by verts minus the excluded set.
+func (b *builder) componentsWithout(verts []graph.Vertex, in, excluded map[graph.Vertex]bool) [][]graph.Vertex {
+	seen := make(map[graph.Vertex]bool)
+	var comps [][]graph.Vertex
+	for _, s := range verts {
+		if excluded[s] || seen[s] {
+			continue
+		}
+		comp := []graph.Vertex{s}
+		seen[s] = true
+		for i := 0; i < len(comp); i++ {
+			for _, w := range b.g.Neighbors(comp[i]) {
+				if in[w] && !excluded[w] && !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// subPath returns the slice of p between positions i and j inclusive,
+// oriented from i to j.
+func subPath(p []graph.Vertex, i, j int) []graph.Vertex {
+	if i <= j {
+		return append([]graph.Vertex{}, p[i:j+1]...)
+	}
+	out := make([]graph.Vertex, 0, i-j+1)
+	for k := i; k >= j; k-- {
+		out = append(out, p[k])
+	}
+	return out
+}
+
+// simplifyWalk removes loops from a walk, producing a simple path with the
+// same endpoints that uses a subset of the walk's edges (so congestion can
+// only decrease).
+func simplifyWalk(walk []graph.Vertex) []graph.Vertex {
+	lastIdx := make(map[graph.Vertex]int, len(walk))
+	out := make([]graph.Vertex, 0, len(walk))
+	for _, v := range walk {
+		if idx, seen := lastIdx[v]; seen {
+			// Cut the loop back to the previous occurrence of v.
+			for _, w := range out[idx+1:] {
+				delete(lastIdx, w)
+			}
+			out = out[:idx+1]
+			continue
+		}
+		lastIdx[v] = len(out)
+		out = append(out, v)
+	}
+	return out
+}

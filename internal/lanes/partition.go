@@ -1,0 +1,115 @@
+// Package lanes implements Section 4 of the paper: k-lane partitions of
+// interval representations (Definition 4.2), their completions
+// (Definition 4.4), low-congestion embeddings (Definition 4.5), the greedy
+// partition of Observation 4.3, and the recursive low-congestion
+// construction of Proposition 4.6 together with its f/g/h bound functions.
+package lanes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+// Partition is a k-lane partition: a partition of the vertex set into lanes,
+// each lane a sequence of vertices with strictly increasing (pairwise
+// disjoint) intervals (Definition 4.2).
+type Partition struct {
+	Lanes [][]graph.Vertex
+}
+
+// K returns the number of lanes.
+func (p *Partition) K() int { return len(p.Lanes) }
+
+// Validate checks Definition 4.2 against the representation r: lanes are
+// non-empty, cover every vertex exactly once, and each lane's intervals are
+// strictly ordered by ≺.
+func (p *Partition) Validate(r *interval.Representation) error {
+	seen := make([]bool, r.N())
+	total := 0
+	for li, lane := range p.Lanes {
+		if len(lane) == 0 {
+			return fmt.Errorf("lanes: lane %d is empty", li)
+		}
+		for pos, v := range lane {
+			if v < 0 || v >= r.N() {
+				return fmt.Errorf("lanes: lane %d has invalid vertex %d", li, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("lanes: vertex %d appears twice", v)
+			}
+			seen[v] = true
+			total++
+			if pos > 0 {
+				prev := lane[pos-1]
+				if !r.Ivs[prev].Before(r.Ivs[v]) {
+					return fmt.Errorf("lanes: lane %d not ≺-ordered at position %d (%v !≺ %v)",
+						li, pos, r.Ivs[prev], r.Ivs[v])
+				}
+			}
+		}
+	}
+	if total != r.N() {
+		return fmt.Errorf("lanes: partition covers %d of %d vertices", total, r.N())
+	}
+	return nil
+}
+
+// LaneOf returns, for each vertex, its (lane index, position) pair.
+func (p *Partition) LaneOf(n int) (laneIdx, posIdx []int) {
+	laneIdx = make([]int, n)
+	posIdx = make([]int, n)
+	for i := range laneIdx {
+		laneIdx[i] = -1
+		posIdx[i] = -1
+	}
+	for li, lane := range p.Lanes {
+		for pos, v := range lane {
+			laneIdx[v] = li
+			posIdx[v] = pos
+		}
+	}
+	return laneIdx, posIdx
+}
+
+// Greedy computes a first-fit lane partition of the representation
+// (Observation 4.3): vertices sorted by left endpoint are appended to the
+// first lane whose last interval ends strictly before the vertex's interval
+// begins. The number of lanes never exceeds the representation's width.
+func Greedy(r *interval.Representation) *Partition {
+	order := make([]graph.Vertex, r.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := r.Ivs[order[i]], r.Ivs[order[j]]
+		if a.L != b.L {
+			return a.L < b.L
+		}
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		return order[i] < order[j]
+	})
+	p := &Partition{}
+	laneEnd := []int{}
+	for _, v := range order {
+		iv := r.Ivs[v]
+		placed := false
+		for li := range p.Lanes {
+			if laneEnd[li] < iv.L {
+				p.Lanes[li] = append(p.Lanes[li], v)
+				laneEnd[li] = iv.R
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			p.Lanes = append(p.Lanes, []graph.Vertex{v})
+			laneEnd = append(laneEnd, iv.R)
+		}
+	}
+	return p
+}

@@ -1,0 +1,281 @@
+// Package lanewidth implements Section 5 of the paper: the lanewidth graph
+// measure (Definition 5.1) with its V-insert/E-insert builder, the
+// equivalence with completions of k-lane partitions (Proposition 5.2),
+// k-lane graphs and their Bridge-/Parent-/Tree-merge operations
+// (Definitions 5.3–5.4), and the construction of bounded-depth hierarchical
+// decompositions (Observation 5.5, Proposition 5.6).
+package lanewidth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/lanes"
+)
+
+// OpKind distinguishes the two construction operations of Definition 5.1.
+type OpKind int
+
+const (
+	// OpVInsert adds a vertex attached to designated vertex τ_i and makes
+	// it the new τ_i.
+	OpVInsert OpKind = iota + 1
+	// OpEInsert adds the edge {τ_i, τ_j}.
+	OpEInsert
+)
+
+// Op is one logged construction operation. For OpVInsert, V is the vertex
+// that was added; for OpEInsert, U and V are the edge's endpoints at the
+// time of insertion (the designated vertices of lanes I and J).
+type Op struct {
+	Kind OpKind
+	I, J int
+	U, V graph.Vertex
+}
+
+// OpLog is a complete lanewidth-k construction transcript: the initial
+// k-vertex path followed by the operations. Replaying an OpLog reproduces
+// the graph exactly (same vertex identities).
+type OpLog struct {
+	K     int
+	Heads []graph.Vertex // initial path τ_1..τ_k, in lane order
+	Ops   []Op
+}
+
+// Builder constructs a graph of lanewidth ≤ k from scratch via Definition
+// 5.1, recording the OpLog as it goes.
+type Builder struct {
+	g          *graph.Graph
+	designated []graph.Vertex
+	log        OpLog
+}
+
+// NewBuilder starts a construction with the initial k-vertex path
+// (vertices 0..k-1, designated τ_i = i-1 0-indexed).
+func NewBuilder(k int) (*Builder, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("lanewidth: k must be ≥ 1, got %d", k)
+	}
+	g := graph.New(k)
+	heads := make([]graph.Vertex, k)
+	for i := 0; i < k; i++ {
+		heads[i] = i
+		if i > 0 {
+			g.MustAddEdge(i-1, i)
+		}
+	}
+	return &Builder{
+		g:          g,
+		designated: append([]graph.Vertex(nil), heads...),
+		log:        OpLog{K: k, Heads: heads},
+	}, nil
+}
+
+// K returns the number of lanes.
+func (b *Builder) K() int { return b.log.K }
+
+// Designated returns the current designated vertex of lane i (0-indexed).
+func (b *Builder) Designated(i int) graph.Vertex { return b.designated[i] }
+
+// VInsert performs V-insert(i): adds a fresh vertex adjacent to τ_i and
+// redesignates lane i to it. Returns the new vertex.
+func (b *Builder) VInsert(i int) (graph.Vertex, error) {
+	if i < 0 || i >= b.log.K {
+		return 0, fmt.Errorf("lanewidth: lane %d out of range [0,%d)", i, b.log.K)
+	}
+	v := b.g.AddVertex()
+	b.g.MustAddEdge(v, b.designated[i])
+	b.log.Ops = append(b.log.Ops, Op{Kind: OpVInsert, I: i, U: b.designated[i], V: v})
+	b.designated[i] = v
+	return v, nil
+}
+
+// EInsert performs E-insert(i, j): adds the edge {τ_i, τ_j}.
+func (b *Builder) EInsert(i, j int) error {
+	if i < 0 || i >= b.log.K || j < 0 || j >= b.log.K {
+		return fmt.Errorf("lanewidth: lanes (%d,%d) out of range [0,%d)", i, j, b.log.K)
+	}
+	if i == j {
+		return fmt.Errorf("lanewidth: E-insert within one lane")
+	}
+	u, v := b.designated[i], b.designated[j]
+	if err := b.g.AddEdge(u, v); err != nil {
+		return fmt.Errorf("lanewidth: E-insert(%d,%d): %w", i, j, err)
+	}
+	b.log.Ops = append(b.log.Ops, Op{Kind: OpEInsert, I: i, J: j, U: u, V: v})
+	return nil
+}
+
+// Graph returns the constructed graph (shared, do not mutate).
+func (b *Builder) Graph() *graph.Graph { return b.g }
+
+// Log returns a copy of the construction transcript.
+func (b *Builder) Log() OpLog {
+	return OpLog{
+		K:     b.log.K,
+		Heads: append([]graph.Vertex(nil), b.log.Heads...),
+		Ops:   append([]Op(nil), b.log.Ops...),
+	}
+}
+
+// Replay reconstructs the graph described by the transcript, verifying that
+// every operation references the correct designated vertices.
+func (log OpLog) Replay() (*graph.Graph, error) {
+	maxV := 0
+	for _, h := range log.Heads {
+		if h > maxV {
+			maxV = h
+		}
+	}
+	for _, op := range log.Ops {
+		for _, v := range []graph.Vertex{op.U, op.V} {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	g := graph.New(maxV + 1)
+	designated := append([]graph.Vertex(nil), log.Heads...)
+	for i := 0; i+1 < len(log.Heads); i++ {
+		g.MustAddEdge(log.Heads[i], log.Heads[i+1])
+	}
+	for idx, op := range log.Ops {
+		switch op.Kind {
+		case OpVInsert:
+			if designated[op.I] != op.U {
+				return nil, fmt.Errorf("lanewidth: replay op %d: τ_%d=%d, op says %d",
+					idx, op.I, designated[op.I], op.U)
+			}
+			if err := g.AddEdge(op.U, op.V); err != nil {
+				return nil, fmt.Errorf("lanewidth: replay op %d: %w", idx, err)
+			}
+			designated[op.I] = op.V
+		case OpEInsert:
+			if designated[op.I] != op.U || designated[op.J] != op.V {
+				return nil, fmt.Errorf("lanewidth: replay op %d: endpoints not designated", idx)
+			}
+			if err := g.AddEdge(op.U, op.V); err != nil {
+				return nil, fmt.Errorf("lanewidth: replay op %d: %w", idx, err)
+			}
+		default:
+			return nil, fmt.Errorf("lanewidth: replay op %d: unknown kind", idx)
+		}
+	}
+	return g, nil
+}
+
+// ToCompletion converts the transcript into the (G', I', P') triple of
+// Proposition 5.2 (item 1 ⇒ item 2): G' holds exactly the E-insert edges,
+// each vertex's interval is its designation lifetime, and the lanes are the
+// vertices in designation order. The completion of (G', I', P') is the
+// constructed graph.
+func (log OpLog) ToCompletion(g *graph.Graph) (*graph.Graph, *interval.Representation, *lanes.Partition) {
+	n := g.N()
+	r := interval.NewRepresentation(n)
+	p := &lanes.Partition{Lanes: make([][]graph.Vertex, log.K)}
+	x := len(log.Ops)
+	for i, h := range log.Heads {
+		r.Ivs[h] = interval.Interval{L: 0, R: x}
+		p.Lanes[i] = []graph.Vertex{h}
+	}
+	gPrime := graph.New(n)
+	for idx, op := range log.Ops {
+		t := idx + 1
+		switch op.Kind {
+		case OpVInsert:
+			r.Ivs[op.V] = interval.Interval{L: t, R: x}
+			r.Ivs[op.U] = interval.Interval{L: r.Ivs[op.U].L, R: t - 1}
+			p.Lanes[op.I] = append(p.Lanes[op.I], op.V)
+		case OpEInsert:
+			gPrime.MustAddEdge(op.U, op.V)
+		}
+	}
+	return gPrime, r, p
+}
+
+// FromCompletion is Proposition 5.2 (item 2 ⇒ item 1): given a graph gPrime
+// with interval representation r and lane partition p, it produces an OpLog
+// whose replay constructs the completion of (gPrime, r, p) with the same
+// vertex identities. Completion edges that coincide with gPrime edges are
+// constructed once (the E-insert is elided).
+func FromCompletion(gPrime *graph.Graph, r *interval.Representation, p *lanes.Partition) (OpLog, error) {
+	if err := p.Validate(r); err != nil {
+		return OpLog{}, err
+	}
+	k := p.K()
+	laneIdx, posIdx := p.LaneOf(gPrime.N())
+	log := OpLog{K: k, Heads: make([]graph.Vertex, k)}
+	for i, lane := range p.Lanes {
+		log.Heads[i] = lane[0]
+	}
+
+	// Sort non-head vertices and gPrime edges together by value
+	// (L_v for vertices, max(L_u, L_v) for edges), vertices first on ties.
+	var items []item
+	for v := 0; v < gPrime.N(); v++ {
+		if posIdx[v] > 0 {
+			items = append(items, item{isVertex: true, value: r.Ivs[v].L, v: v})
+		}
+	}
+	for _, e := range gPrime.Edges() {
+		val := r.Ivs[e.U].L
+		if r.Ivs[e.V].L > val {
+			val = r.Ivs[e.V].L
+		}
+		items = append(items, item{value: val, e: e})
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		if items[a].value != items[b].value {
+			return items[a].value < items[b].value
+		}
+		return items[a].isVertex && !items[b].isVertex
+	})
+
+	// Replay, tracking designated vertices, to produce ops with resolved
+	// endpoints.
+	designated := append([]graph.Vertex(nil), log.Heads...)
+	built := graph.New(gPrime.N())
+	for i := 0; i+1 < len(log.Heads); i++ {
+		built.MustAddEdge(log.Heads[i], log.Heads[i+1])
+	}
+	for _, it := range items {
+		if it.isVertex {
+			i := laneIdx[it.v]
+			prev := p.Lanes[i][posIdx[it.v]-1]
+			if designated[i] != prev {
+				return OpLog{}, fmt.Errorf("lanewidth: vertex %d inserted while τ_%d=%d ≠ predecessor %d",
+					it.v, i, designated[i], prev)
+			}
+			log.Ops = append(log.Ops, Op{Kind: OpVInsert, I: i, U: prev, V: it.v})
+			if !built.HasEdge(prev, it.v) {
+				built.MustAddEdge(prev, it.v)
+			}
+			designated[i] = it.v
+			continue
+		}
+		e := it.e
+		i, j := laneIdx[e.U], laneIdx[e.V]
+		if designated[i] != e.U || designated[j] != e.V {
+			return OpLog{}, fmt.Errorf("lanewidth: edge %v endpoints not designated (τ_%d=%d, τ_%d=%d)",
+				e, i, designated[i], j, designated[j])
+		}
+		if built.HasEdge(e.U, e.V) {
+			continue // coincides with a lane/path edge already constructed
+		}
+		built.MustAddEdge(e.U, e.V)
+		log.Ops = append(log.Ops, Op{Kind: OpEInsert, I: i, J: j, U: e.U, V: e.V})
+	}
+	return log, nil
+}
+
+// item is one entry in the Proposition 5.2 replay order: a vertex (valued by
+// its interval's left endpoint) or a gPrime edge (valued by the left endpoint
+// of its endpoints' interval intersection).
+type item struct {
+	isVertex bool
+	value    int
+	v        graph.Vertex
+	e        graph.Edge
+}

@@ -1,0 +1,341 @@
+package lanewidth
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Kind enumerates the five node types of Section 5.3.
+type Kind int
+
+const (
+	// VNode is a single-vertex k-lane graph on one lane.
+	VNode Kind = iota + 1
+	// ENode is a single-edge k-lane graph on one lane.
+	ENode
+	// PNode is the k-vertex initial path using all lanes.
+	PNode
+	// BNode is a Bridge-merge of two V-/T-nodes.
+	BNode
+	// TNode is a Tree-merge over E-/P-/B-nodes.
+	TNode
+)
+
+func (k Kind) String() string {
+	switch k {
+	case VNode:
+		return "V"
+	case ENode:
+		return "E"
+	case PNode:
+		return "P"
+	case BNode:
+		return "B"
+	case TNode:
+		return "T"
+	default:
+		return "?"
+	}
+}
+
+// Node is a node of a hierarchical decomposition H. All vertex references
+// are into the certified graph itself (merging never renames vertices, it
+// only glues identical ones), which is what makes local verification
+// possible.
+type Node struct {
+	ID    int
+	Kind  Kind
+	Lanes []int                // sorted lane set T(G)
+	In    map[int]graph.Vertex // lane → in-terminal of the (merged) node
+	Out   map[int]graph.Vertex // lane → out-terminal of the (merged) node
+
+	// Kind-specific payloads.
+	Vertex graph.Vertex   // VNode: the unique vertex
+	Edge   graph.Edge     // ENode: the unique edge
+	PathVs []graph.Vertex // PNode: the path vertices in lane order
+
+	Left, Right  *Node      // BNode: lane-i and lane-j operands (V or T)
+	LaneI, LaneJ int        // BNode: merge lanes
+	Bridge       graph.Edge // BNode: the added edge
+
+	Tree *TreeVertex // TNode: the internal Tree-merge tree
+
+	// Parent in H (nil for the root T-node).
+	Parent *Node
+}
+
+// TreeVertex is a vertex of a T-node's internal tree; its Node is an E-, P-
+// or B-node.
+type TreeVertex struct {
+	Node     *Node
+	Children []*TreeVertex
+	parent   *TreeVertex
+}
+
+// Hierarchy is a complete hierarchical decomposition of a graph built from
+// an OpLog (Proposition 5.6).
+type Hierarchy struct {
+	K     int
+	Graph *graph.Graph
+	Root  *Node   // the top-level T-node
+	Nodes []*Node // all nodes indexed by ID
+}
+
+// BuildHierarchy constructs the hierarchical decomposition of the graph
+// described by the transcript, following the inductive construction of
+// Proposition 5.6 (Figure 10). The resulting root-to-leaf depth is at most
+// 2k (Observation 5.5).
+func BuildHierarchy(g *graph.Graph, log OpLog) (*Hierarchy, error) {
+	h := &Hierarchy{K: log.K, Graph: g}
+	b := &hBuilder{h: h, k: log.K}
+
+	// Base case: the initial path as a P-node inside the working tree.
+	p := b.newNode(PNode)
+	p.PathVs = append([]graph.Vertex(nil), log.Heads...)
+	for i, v := range log.Heads {
+		p.Lanes = append(p.Lanes, i)
+		p.In[i] = v
+		p.Out[i] = v
+	}
+	b.top = &TreeVertex{Node: p}
+	b.owner = make([]*TreeVertex, log.K)
+	designated := make([]graph.Vertex, log.K)
+	for i := range b.owner {
+		b.owner[i] = b.top
+		designated[i] = log.Heads[i]
+	}
+
+	for opIdx, op := range log.Ops {
+		switch op.Kind {
+		case OpVInsert:
+			if designated[op.I] != op.U {
+				return nil, fmt.Errorf("lanewidth: op %d V-insert(%d) expects τ=%d, have %d",
+					opIdx, op.I, op.U, designated[op.I])
+			}
+			e := b.newNode(ENode)
+			e.Edge = graph.NewEdge(op.U, op.V)
+			e.Lanes = []int{op.I}
+			e.In[op.I] = op.U
+			e.Out[op.I] = op.V
+			tv := &TreeVertex{Node: e, parent: b.owner[op.I]}
+			b.owner[op.I].Children = append(b.owner[op.I].Children, tv)
+			b.owner[op.I] = tv
+			designated[op.I] = op.V
+		case OpEInsert:
+			if designated[op.I] != op.U || designated[op.J] != op.V {
+				return nil, fmt.Errorf("lanewidth: op %d E-insert(%d,%d) endpoint mismatch", opIdx, op.I, op.J)
+			}
+			if err := b.eInsert(op.I, op.J, op.U, op.V); err != nil {
+				return nil, fmt.Errorf("lanewidth: op %d: %w", opIdx, err)
+			}
+		default:
+			return nil, fmt.Errorf("lanewidth: op %d has unknown kind %d", opIdx, op.Kind)
+		}
+	}
+
+	h.Root = b.wrapTNode(b.top)
+	setParents(h.Root, nil)
+	return h, nil
+}
+
+type hBuilder struct {
+	h     *hierarchyRef
+	k     int
+	top   *TreeVertex
+	owner []*TreeVertex // per lane: lowest top-tree vertex containing τ_l
+}
+
+// hierarchyRef is an alias to keep the builder decoupled from the public
+// struct name in method signatures.
+type hierarchyRef = Hierarchy
+
+func (b *hBuilder) newNode(k Kind) *Node {
+	n := &Node{
+		ID:   len(b.h.Nodes),
+		Kind: k,
+		In:   map[int]graph.Vertex{},
+		Out:  map[int]graph.Vertex{},
+	}
+	b.h.Nodes = append(b.h.Nodes, n)
+	return n
+}
+
+// eInsert implements the three sub-cases of Case 2 in Proposition 5.6.
+func (b *hBuilder) eInsert(i, j int, u, v graph.Vertex) error {
+	gi, gj := b.owner[i], b.owner[j]
+	lca := treeLCA(gi, gj)
+	if lca == nil {
+		return fmt.Errorf("E-insert(%d,%d): owners in different trees", i, j)
+	}
+
+	makeOperand := func(lane int, owner *TreeVertex, tau graph.Vertex) (*Node, *TreeVertex) {
+		if owner == lca {
+			// V-node for the designated vertex (Cases 2.1 and 2.3).
+			vn := b.newNode(VNode)
+			vn.Vertex = tau
+			vn.Lanes = []int{lane}
+			vn.In[lane] = tau
+			vn.Out[lane] = tau
+			return vn, nil
+		}
+		// T-node wrapping the subtree rooted at the child of lca that is an
+		// ancestor of owner (Cases 2.2 and 2.3).
+		child := childToward(lca, owner)
+		detachChild(lca, child)
+		return b.wrapTNode(child), child
+	}
+
+	left, leftSub := makeOperand(i, gi, u)
+	right, rightSub := makeOperand(j, gj, v)
+
+	bn := b.newNode(BNode)
+	bn.Left, bn.Right = left, right
+	bn.LaneI, bn.LaneJ = i, j
+	bn.Bridge = graph.NewEdge(u, v)
+	bn.Lanes = unionSorted(left.Lanes, right.Lanes)
+	for _, operand := range []*Node{left, right} {
+		for _, l := range operand.Lanes {
+			bn.In[l] = operand.In[l]
+			bn.Out[l] = operand.Out[l]
+		}
+	}
+
+	tv := &TreeVertex{Node: bn, parent: lca}
+	lca.Children = append(lca.Children, tv)
+
+	// Ownership: every lane whose owner sat inside a wrapped subtree — or
+	// was the lca itself for the V-node lanes — is now provided by the
+	// B-node.
+	for l := range b.owner {
+		if leftSub != nil && inSubtree(b.owner[l], leftSub) {
+			b.owner[l] = tv
+		}
+		if rightSub != nil && inSubtree(b.owner[l], rightSub) {
+			b.owner[l] = tv
+		}
+	}
+	if leftSub == nil {
+		b.owner[i] = tv
+	}
+	if rightSub == nil {
+		b.owner[j] = tv
+	}
+	return nil
+}
+
+// wrapTNode freezes the subtree rooted at root into a T-node, computing the
+// Tree-merge terminal assignments.
+func (b *hBuilder) wrapTNode(root *TreeVertex) *Node {
+	t := b.newNode(TNode)
+	t.Tree = root
+	root.parent = nil
+	t.Lanes = append([]int(nil), root.Node.Lanes...)
+	for _, l := range t.Lanes {
+		t.In[l] = root.Node.In[l]
+	}
+	merged := mergedOut(root)
+	for _, l := range t.Lanes {
+		t.Out[l] = merged[l]
+	}
+	return t
+}
+
+// mergedOut computes the out-terminals of Tree-merge(subtree at tv): the
+// node's own out-terminals overridden, per lane, by the child subtrees.
+func mergedOut(tv *TreeVertex) map[int]graph.Vertex {
+	out := make(map[int]graph.Vertex, len(tv.Node.Out))
+	for l, w := range tv.Node.Out {
+		out[l] = w
+	}
+	for _, c := range tv.Children {
+		sub := mergedOut(c)
+		for _, l := range c.Node.Lanes {
+			out[l] = sub[l]
+		}
+	}
+	return out
+}
+
+func treeLCA(a, c *TreeVertex) *TreeVertex {
+	anc := map[*TreeVertex]bool{}
+	for x := a; x != nil; x = x.parent {
+		anc[x] = true
+	}
+	for x := c; x != nil; x = x.parent {
+		if anc[x] {
+			return x
+		}
+	}
+	return nil
+}
+
+// childToward returns the child of lca on the path to desc (desc ≠ lca).
+func childToward(lca, desc *TreeVertex) *TreeVertex {
+	x := desc
+	for x.parent != lca {
+		x = x.parent
+	}
+	return x
+}
+
+func detachChild(parent, child *TreeVertex) {
+	for idx, c := range parent.Children {
+		if c == child {
+			parent.Children = append(parent.Children[:idx], parent.Children[idx+1:]...)
+			return
+		}
+	}
+}
+
+func inSubtree(x, root *TreeVertex) bool {
+	for ; x != nil; x = x.parent {
+		if x == root {
+			return true
+		}
+	}
+	return false
+}
+
+func unionSorted(a, b []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, l := range a {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	for _, l := range b {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// setParents fixes the H-parent pointers: a T-node is the parent of its tree
+// members; a B-node is the parent of its two operands.
+func setParents(n *Node, parent *Node) {
+	n.Parent = parent
+	switch n.Kind {
+	case BNode:
+		setParents(n.Left, n)
+		setParents(n.Right, n)
+	case TNode:
+		var walk func(tv *TreeVertex)
+		walk = func(tv *TreeVertex) {
+			setParents(tv.Node, n)
+			for _, c := range tv.Children {
+				walk(c)
+			}
+		}
+		walk(n.Tree)
+	}
+}

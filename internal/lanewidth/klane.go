@@ -1,0 +1,186 @@
+package lanewidth
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// KLane is an explicit k-lane graph (Definition 5.3): a graph with a
+// non-empty lane set and injective in-/out-terminal assignments.
+// It is used to exercise Bridge-merge and Parent-merge as standalone
+// operations (Figure 8) and to validate the homomorphism-class algebra of
+// Proposition 6.1 against brute-force oracles.
+type KLane struct {
+	G   *graph.Graph
+	In  map[int]graph.Vertex // lane → in-terminal
+	Out map[int]graph.Vertex // lane → out-terminal
+}
+
+// Lanes returns the sorted lane set T(G).
+func (kl *KLane) Lanes() []int {
+	out := make([]int, 0, len(kl.In))
+	for l := range kl.In {
+		out = append(out, l)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Validate checks Definition 5.3: non-empty lane set, matching in/out
+// domains, terminals in range, and injectivity of both terminal maps.
+func (kl *KLane) Validate() error {
+	if len(kl.In) == 0 {
+		return fmt.Errorf("lanewidth: empty lane set")
+	}
+	if len(kl.In) != len(kl.Out) {
+		return fmt.Errorf("lanewidth: in/out lane sets differ")
+	}
+	seenIn := make(map[graph.Vertex]bool)
+	seenOut := make(map[graph.Vertex]bool)
+	for l, v := range kl.In {
+		w, ok := kl.Out[l]
+		if !ok {
+			return fmt.Errorf("lanewidth: lane %d has in- but no out-terminal", l)
+		}
+		if v < 0 || v >= kl.G.N() || w < 0 || w >= kl.G.N() {
+			return fmt.Errorf("lanewidth: lane %d terminal out of range", l)
+		}
+		if seenIn[v] {
+			return fmt.Errorf("lanewidth: in-terminal %d reused", v)
+		}
+		if seenOut[w] {
+			return fmt.Errorf("lanewidth: out-terminal %d reused", w)
+		}
+		seenIn[v] = true
+		seenOut[w] = true
+	}
+	return nil
+}
+
+// BridgeMerge combines two k-lane graphs on disjoint lane sets by adding an
+// edge between the i-th out-terminal of a and the j-th out-terminal of b
+// (Definition in Section 5.2, Figure 8 left). The result's vertices are a's
+// vertices followed by b's (shifted by a.G.N()).
+func BridgeMerge(a, b *KLane, i, j int) (*KLane, error) {
+	for l := range a.In {
+		if _, clash := b.In[l]; clash {
+			return nil, fmt.Errorf("lanewidth: Bridge-merge lane sets intersect at %d", l)
+		}
+	}
+	if _, ok := a.Out[i]; !ok {
+		return nil, fmt.Errorf("lanewidth: lane %d not in left operand", i)
+	}
+	if _, ok := b.Out[j]; !ok {
+		return nil, fmt.Errorf("lanewidth: lane %d not in right operand", j)
+	}
+	shift := a.G.N()
+	g := graph.New(shift + b.G.N())
+	for _, e := range a.G.Edges() {
+		g.MustAddEdge(e.U, e.V)
+	}
+	for _, e := range b.G.Edges() {
+		g.MustAddEdge(e.U+shift, e.V+shift)
+	}
+	g.MustAddEdge(a.Out[i], b.Out[j]+shift)
+	out := &KLane{G: g, In: map[int]graph.Vertex{}, Out: map[int]graph.Vertex{}}
+	for l, v := range a.In {
+		out.In[l] = v
+		out.Out[l] = a.Out[l]
+	}
+	for l, v := range b.In {
+		out.In[l] = v + shift
+		out.Out[l] = b.Out[l] + shift
+	}
+	return out, nil
+}
+
+// ParentMerge combines child and parent with T(child) ⊆ T(parent) by
+// identifying each in-terminal of the child with the parent's out-terminal
+// in the same lane (Figure 8 right). The result's vertices are the parent's
+// vertices followed by the child's non-glued vertices; the returned slice
+// maps each child vertex to its merged identity.
+func ParentMerge(child, parent *KLane) (*KLane, []graph.Vertex, error) {
+	for l := range child.In {
+		if _, ok := parent.In[l]; !ok {
+			return nil, nil, fmt.Errorf("lanewidth: child lane %d missing from parent", l)
+		}
+	}
+	// Map child vertices into the merged graph: glued in-terminals map onto
+	// parent out-terminals; the rest are appended.
+	childMap := make([]graph.Vertex, child.G.N())
+	for i := range childMap {
+		childMap[i] = -1
+	}
+	for l, v := range child.In {
+		childMap[v] = parent.Out[l]
+	}
+	n := parent.G.N()
+	for v := 0; v < child.G.N(); v++ {
+		if childMap[v] == -1 {
+			childMap[v] = n
+			n++
+		}
+	}
+	g := graph.New(n)
+	for _, e := range parent.G.Edges() {
+		g.MustAddEdge(e.U, e.V)
+	}
+	for _, e := range child.G.Edges() {
+		u, v := childMap[e.U], childMap[e.V]
+		if g.HasEdge(u, v) {
+			return nil, nil, fmt.Errorf("lanewidth: Parent-merge identifies child edge %v with a parent edge", e)
+		}
+		g.MustAddEdge(u, v)
+	}
+	out := &KLane{G: g, In: map[int]graph.Vertex{}, Out: map[int]graph.Vertex{}}
+	for l := range parent.In {
+		out.In[l] = parent.In[l]
+		if cOut, ok := child.Out[l]; ok {
+			out.Out[l] = childMap[cOut]
+		} else {
+			out.Out[l] = parent.Out[l]
+		}
+	}
+	return out, childMap, nil
+}
+
+// SingleVertex returns the one-vertex k-lane graph on lane l (a V-node).
+func SingleVertex(l int) *KLane {
+	return &KLane{
+		G:   graph.New(1),
+		In:  map[int]graph.Vertex{l: 0},
+		Out: map[int]graph.Vertex{l: 0},
+	}
+}
+
+// SingleEdge returns the one-edge k-lane graph on lane l with in-terminal 0
+// and out-terminal 1 (an E-node).
+func SingleEdge(l int) *KLane {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	return &KLane{
+		G:   g,
+		In:  map[int]graph.Vertex{l: 0},
+		Out: map[int]graph.Vertex{l: 1},
+	}
+}
+
+// InitialPath returns the k-vertex path with lane l's terminal at vertex l
+// (a P-node).
+func InitialPath(k int) *KLane {
+	g := graph.New(k)
+	kl := &KLane{G: g, In: map[int]graph.Vertex{}, Out: map[int]graph.Vertex{}}
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			g.MustAddEdge(i-1, i)
+		}
+		kl.In[i] = i
+		kl.Out[i] = i
+	}
+	return kl
+}

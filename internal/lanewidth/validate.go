@@ -1,0 +1,380 @@
+package lanewidth
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Depth returns the maximum number of nodes on a root-to-leaf path of the
+// hierarchy. Observation 5.5 bounds it by 2k.
+func (h *Hierarchy) Depth() int {
+	return nodeDepth(h.Root)
+}
+
+func nodeDepth(n *Node) int {
+	best := 0
+	switch n.Kind {
+	case BNode:
+		best = max(nodeDepth(n.Left), nodeDepth(n.Right))
+	case TNode:
+		var walk func(tv *TreeVertex)
+		walk = func(tv *TreeVertex) {
+			if d := nodeDepth(tv.Node); d > best {
+				best = d
+			}
+			for _, c := range tv.Children {
+				walk(c)
+			}
+		}
+		walk(n.Tree)
+	}
+	return best + 1
+}
+
+// OwnedEdges returns the graph edges introduced by this node itself (not by
+// descendants): the E-node edge, the P-node path edges, or the B-node bridge.
+func (n *Node) OwnedEdges() []graph.Edge {
+	switch n.Kind {
+	case ENode:
+		return []graph.Edge{n.Edge}
+	case PNode:
+		return graph.PathEdges(n.PathVs)
+	case BNode:
+		return []graph.Edge{n.Bridge}
+	default:
+		return nil
+	}
+}
+
+// EdgeOwners maps every graph edge to the node that owns it. Each edge is
+// owned by exactly one node in a valid hierarchy.
+func (h *Hierarchy) EdgeOwners() map[graph.Edge]*Node {
+	owners := make(map[graph.Edge]*Node, h.Graph.M())
+	for _, n := range h.Nodes {
+		for _, e := range n.OwnedEdges() {
+			owners[e] = n
+		}
+	}
+	return owners
+}
+
+// NodePath returns the chain of nodes from the root down to n (inclusive).
+func (n *Node) NodePath() []*Node {
+	var rev []*Node
+	for x := n; x != nil; x = x.Parent {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// SubtreeVertices returns the set of graph vertices appearing in the node's
+// subgraph (its own payload plus all descendants').
+func (n *Node) SubtreeVertices() map[graph.Vertex]bool {
+	out := map[graph.Vertex]bool{}
+	var visit func(m *Node)
+	visit = func(m *Node) {
+		switch m.Kind {
+		case VNode:
+			out[m.Vertex] = true
+		case ENode:
+			out[m.Edge.U] = true
+			out[m.Edge.V] = true
+		case PNode:
+			for _, v := range m.PathVs {
+				out[v] = true
+			}
+		case BNode:
+			visit(m.Left)
+			visit(m.Right)
+		case TNode:
+			var walk func(tv *TreeVertex)
+			walk = func(tv *TreeVertex) {
+				visit(tv.Node)
+				for _, c := range tv.Children {
+					walk(c)
+				}
+			}
+			walk(m.Tree)
+		}
+	}
+	visit(n)
+	return out
+}
+
+// SubtreeEdges returns the edges of the node's subgraph.
+func (n *Node) SubtreeEdges() []graph.Edge {
+	var out []graph.Edge
+	var visit func(m *Node)
+	visit = func(m *Node) {
+		out = append(out, m.OwnedEdges()...)
+		switch m.Kind {
+		case BNode:
+			visit(m.Left)
+			visit(m.Right)
+		case TNode:
+			var walk func(tv *TreeVertex)
+			walk = func(tv *TreeVertex) {
+				visit(tv.Node)
+				for _, c := range tv.Children {
+					walk(c)
+				}
+			}
+			walk(m.Tree)
+		}
+	}
+	visit(n)
+	return out
+}
+
+// MemberInfo describes one member of a T-node's internal tree: the member
+// node, its tree parent (nil for the tree root), its tree children, and the
+// out-terminals of Tree-merge applied to its subtree.
+type MemberInfo struct {
+	Node         *Node
+	TreeParent   *Node
+	TreeChildren []*Node
+	MergedOut    map[int]graph.Vertex
+}
+
+// Members returns the member infos of a T-node's tree, root first.
+func (h *Hierarchy) Members(t *Node) []MemberInfo {
+	if t.Kind != TNode {
+		return nil
+	}
+	var out []MemberInfo
+	var walk func(tv *TreeVertex, parent *Node)
+	walk = func(tv *TreeVertex, parent *Node) {
+		mi := MemberInfo{
+			Node:       tv.Node,
+			TreeParent: parent,
+			MergedOut:  mergedOut(tv),
+		}
+		for _, c := range tv.Children {
+			mi.TreeChildren = append(mi.TreeChildren, c.Node)
+		}
+		out = append(out, mi)
+		for _, c := range tv.Children {
+			walk(c, tv.Node)
+		}
+	}
+	walk(t.Tree, nil)
+	return out
+}
+
+// RootMember returns the root member node of a T-node's tree.
+func (t *Node) RootMember() *Node {
+	if t.Kind != TNode || t.Tree == nil {
+		return nil
+	}
+	return t.Tree.Node
+}
+
+// Validate checks the structural invariants of the hierarchical
+// decomposition against the graph:
+//
+//  1. every graph edge is owned by exactly one node, and every owned edge
+//     exists in the graph;
+//  2. each node's terminal maps are consistent with its kind;
+//  3. T-node trees satisfy the Tree-merge conditions: child lane sets are
+//     subsets of their parent node's, siblings have disjoint lane sets, and
+//     child in-terminals glue onto parent out-terminals;
+//  4. B-nodes bridge disjoint lane sets via their operands' out-terminals;
+//  5. the depth bound of Observation 5.5 (≤ 2k) holds;
+//  6. each node's subgraph is connected (the key property enabling local
+//     certification, end of Section 5.3).
+func (h *Hierarchy) Validate() error {
+	// 1. Edge partition.
+	owned := map[graph.Edge]int{}
+	for _, n := range h.Nodes {
+		for _, e := range n.OwnedEdges() {
+			if !h.Graph.HasEdge(e.U, e.V) {
+				return fmt.Errorf("lanewidth: node %d owns non-edge %v", n.ID, e)
+			}
+			owned[e]++
+		}
+	}
+	for _, e := range h.Graph.Edges() {
+		if owned[e] != 1 {
+			return fmt.Errorf("lanewidth: edge %v owned %d times", e, owned[e])
+		}
+	}
+	if len(owned) != h.Graph.M() {
+		return fmt.Errorf("lanewidth: %d owned edges for %d graph edges", len(owned), h.Graph.M())
+	}
+
+	// 2–4. Per-node checks.
+	var check func(n *Node) error
+	check = func(n *Node) error {
+		if len(n.Lanes) == 0 {
+			return fmt.Errorf("lanewidth: node %d has empty lane set", n.ID)
+		}
+		for _, l := range n.Lanes {
+			if _, ok := n.In[l]; !ok {
+				return fmt.Errorf("lanewidth: node %d lane %d missing in-terminal", n.ID, l)
+			}
+			if _, ok := n.Out[l]; !ok {
+				return fmt.Errorf("lanewidth: node %d lane %d missing out-terminal", n.ID, l)
+			}
+		}
+		switch n.Kind {
+		case VNode:
+			if len(n.Lanes) != 1 || n.In[n.Lanes[0]] != n.Vertex || n.Out[n.Lanes[0]] != n.Vertex {
+				return fmt.Errorf("lanewidth: malformed V-node %d", n.ID)
+			}
+		case ENode:
+			l := n.Lanes[0]
+			if len(n.Lanes) != 1 || n.In[l] == n.Out[l] ||
+				graph.NewEdge(n.In[l], n.Out[l]) != n.Edge {
+				return fmt.Errorf("lanewidth: malformed E-node %d", n.ID)
+			}
+		case PNode:
+			if len(n.PathVs) != len(n.Lanes) {
+				return fmt.Errorf("lanewidth: malformed P-node %d", n.ID)
+			}
+			for idx, l := range n.Lanes {
+				if n.In[l] != n.PathVs[idx] || n.Out[l] != n.PathVs[idx] {
+					return fmt.Errorf("lanewidth: P-node %d terminal mismatch on lane %d", n.ID, l)
+				}
+			}
+		case BNode:
+			if n.Left.Kind != VNode && n.Left.Kind != TNode {
+				return fmt.Errorf("lanewidth: B-node %d left operand kind %v", n.ID, n.Left.Kind)
+			}
+			if n.Right.Kind != VNode && n.Right.Kind != TNode {
+				return fmt.Errorf("lanewidth: B-node %d right operand kind %v", n.ID, n.Right.Kind)
+			}
+			for _, l := range n.Left.Lanes {
+				for _, m := range n.Right.Lanes {
+					if l == m {
+						return fmt.Errorf("lanewidth: B-node %d operands share lane %d", n.ID, l)
+					}
+				}
+			}
+			if graph.NewEdge(n.Left.Out[n.LaneI], n.Right.Out[n.LaneJ]) != n.Bridge {
+				return fmt.Errorf("lanewidth: B-node %d bridge does not join out-terminals", n.ID)
+			}
+			if err := check(n.Left); err != nil {
+				return err
+			}
+			if err := check(n.Right); err != nil {
+				return err
+			}
+		case TNode:
+			var walk func(tv *TreeVertex) error
+			walk = func(tv *TreeVertex) error {
+				switch tv.Node.Kind {
+				case ENode, PNode, BNode:
+				default:
+					return fmt.Errorf("lanewidth: T-node %d member of kind %v", n.ID, tv.Node.Kind)
+				}
+				if err := check(tv.Node); err != nil {
+					return err
+				}
+				for ci, c := range tv.Children {
+					if !laneSubset(c.Node.Lanes, tv.Node.Lanes) {
+						return fmt.Errorf("lanewidth: T-node %d: child lanes ⊄ parent lanes", n.ID)
+					}
+					for _, l := range c.Node.Lanes {
+						if c.Node.In[l] != tv.Node.Out[l] {
+							return fmt.Errorf("lanewidth: T-node %d: lane %d child in-terminal %d ≠ parent out-terminal %d",
+								n.ID, l, c.Node.In[l], tv.Node.Out[l])
+						}
+					}
+					for _, sib := range tv.Children[:ci] {
+						for _, l := range c.Node.Lanes {
+							for _, m := range sib.Node.Lanes {
+								if l == m {
+									return fmt.Errorf("lanewidth: T-node %d: siblings share lane %d", n.ID, l)
+								}
+							}
+						}
+					}
+					if err := walk(c); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := walk(n.Tree); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if h.Root.Kind != TNode {
+		return fmt.Errorf("lanewidth: root must be a T-node, got %v", h.Root.Kind)
+	}
+	if err := check(h.Root); err != nil {
+		return err
+	}
+
+	// 5. Depth bound (Observation 5.5).
+	if d := h.Depth(); d > 2*h.K {
+		return fmt.Errorf("lanewidth: depth %d exceeds 2k=%d", d, 2*h.K)
+	}
+
+	// 6. Connectivity of each node's subgraph.
+	for _, n := range h.Nodes {
+		if !h.subgraphConnected(n) {
+			return fmt.Errorf("lanewidth: node %d (%v) has a disconnected subgraph", n.ID, n.Kind)
+		}
+	}
+	return nil
+}
+
+func (h *Hierarchy) subgraphConnected(n *Node) bool {
+	verts := n.SubtreeVertices()
+	if len(verts) <= 1 {
+		return true
+	}
+	adj := map[graph.Vertex][]graph.Vertex{}
+	for _, e := range n.SubtreeEdges() {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	var start graph.Vertex = -1
+	for v := range verts {
+		start = v
+		break
+	}
+	seen := map[graph.Vertex]bool{start: true}
+	queue := []graph.Vertex{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(seen) == len(verts)
+}
+
+func laneSubset(sub, super []int) bool {
+	for _, l := range sub {
+		found := false
+		for _, m := range super {
+			if l == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

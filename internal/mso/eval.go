@@ -1,0 +1,267 @@
+package mso
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// MaxEvalVertices bounds the brute-force model checker: set quantifiers
+// enumerate 2^n vertex subsets and 2^m edge subsets.
+const MaxEvalVertices = 10
+
+// Eval decides whether the graph models the formula, by brute-force
+// quantifier expansion. It is doubly exponential in quantifier depth and is
+// meant only as the ground-truth oracle on small graphs.
+func Eval(g *graph.Graph, f Formula) (bool, error) {
+	if g.N() > MaxEvalVertices {
+		return false, fmt.Errorf("mso: Eval limited to %d vertices, got %d", MaxEvalVertices, g.N())
+	}
+	env := &environment{
+		g:        g,
+		edges:    g.Edges(),
+		vertices: map[string]graph.Vertex{},
+		edgeVars: map[string]graph.Edge{},
+		vsets:    map[string]uint64{},
+		esets:    map[string]uint64{},
+	}
+	return env.eval(f)
+}
+
+type environment struct {
+	g        *graph.Graph
+	edges    []graph.Edge
+	vertices map[string]graph.Vertex
+	edgeVars map[string]graph.Edge
+	vsets    map[string]uint64
+	esets    map[string]uint64
+}
+
+func (env *environment) eval(f Formula) (bool, error) {
+	switch t := f.(type) {
+	case Exists:
+		return env.quantify(t.Var, t.Sort, t.Body, false)
+	case Forall:
+		return env.quantify(t.Var, t.Sort, t.Body, true)
+	case Not:
+		v, err := env.eval(t.F)
+		return !v, err
+	case And:
+		l, err := env.eval(t.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return env.eval(t.R)
+	case Or:
+		l, err := env.eval(t.L)
+		if err != nil || l {
+			return l, err
+		}
+		return env.eval(t.R)
+	case Implies:
+		l, err := env.eval(t.L)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return env.eval(t.R)
+	case Iff:
+		l, err := env.eval(t.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := env.eval(t.R)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case InSet:
+		if v, ok := env.vertices[t.Elem]; ok {
+			set, ok := env.vsets[t.Set]
+			if !ok {
+				return false, fmt.Errorf("mso: unbound vertex set %q", t.Set)
+			}
+			return set&(1<<uint(v)) != 0, nil
+		}
+		if e, ok := env.edgeVars[t.Elem]; ok {
+			set, ok := env.esets[t.Set]
+			if !ok {
+				return false, fmt.Errorf("mso: unbound edge set %q", t.Set)
+			}
+			idx, err := env.edgeIndex(e)
+			if err != nil {
+				return false, err
+			}
+			return set&(1<<uint(idx)) != 0, nil
+		}
+		return false, fmt.Errorf("mso: unbound element %q", t.Elem)
+	case Inc:
+		e, ok := env.edgeVars[t.EdgeVar]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound edge %q", t.EdgeVar)
+		}
+		v, ok := env.vertices[t.VertexVar]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound vertex %q", t.VertexVar)
+		}
+		return e.Has(v), nil
+	case Adj:
+		u, ok := env.vertices[t.U]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound vertex %q", t.U)
+		}
+		v, ok := env.vertices[t.V]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound vertex %q", t.V)
+		}
+		return u != v && env.g.HasEdge(u, v), nil
+	case Eq:
+		if u, ok := env.vertices[t.A]; ok {
+			v, ok := env.vertices[t.B]
+			if !ok {
+				return false, fmt.Errorf("mso: sort mismatch in %s", t)
+			}
+			return u == v, nil
+		}
+		if e, ok := env.edgeVars[t.A]; ok {
+			f2, ok := env.edgeVars[t.B]
+			if !ok {
+				return false, fmt.Errorf("mso: sort mismatch in %s", t)
+			}
+			return e == f2, nil
+		}
+		if s, ok := env.vsets[t.A]; ok {
+			s2, ok := env.vsets[t.B]
+			if !ok {
+				return false, fmt.Errorf("mso: sort mismatch in %s", t)
+			}
+			return s == s2, nil
+		}
+		if s, ok := env.esets[t.A]; ok {
+			s2, ok := env.esets[t.B]
+			if !ok {
+				return false, fmt.Errorf("mso: sort mismatch in %s", t)
+			}
+			return s == s2, nil
+		}
+		return false, fmt.Errorf("mso: unbound variable %q", t.A)
+	default:
+		return false, fmt.Errorf("mso: unknown node %T", f)
+	}
+}
+
+func (env *environment) edgeIndex(e graph.Edge) (int, error) {
+	for i, f := range env.edges {
+		if f == e {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("mso: edge %v not in graph", e)
+}
+
+// quantify enumerates the domain of the variable; univ selects ∀ vs ∃.
+func (env *environment) quantify(name string, sort Sort, body Formula, univ bool) (bool, error) {
+	restoreAndEval := func(bind func(), unbind func()) (bool, error) {
+		bind()
+		defer unbind()
+		return env.eval(body)
+	}
+	switch sort {
+	case VertexSort:
+		prev, had := env.vertices[name]
+		defer env.restoreVertex(name, prev, had)
+		for v := 0; v < env.g.N(); v++ {
+			ok, err := restoreAndEval(
+				func() { env.vertices[name] = v },
+				func() {},
+			)
+			if err != nil {
+				return false, err
+			}
+			if ok != univ {
+				return !univ, nil
+			}
+		}
+		return univ, nil
+	case EdgeSort:
+		prev, had := env.edgeVars[name]
+		defer env.restoreEdge(name, prev, had)
+		for _, e := range env.edges {
+			ok, err := restoreAndEval(
+				func() { env.edgeVars[name] = e },
+				func() {},
+			)
+			if err != nil {
+				return false, err
+			}
+			if ok != univ {
+				return !univ, nil
+			}
+		}
+		return univ, nil
+	case VertexSetSort:
+		prev, had := env.vsets[name]
+		defer env.restoreVSet(name, prev, had)
+		for set := uint64(0); set < 1<<uint(env.g.N()); set++ {
+			env.vsets[name] = set
+			ok, err := env.eval(body)
+			if err != nil {
+				return false, err
+			}
+			if ok != univ {
+				return !univ, nil
+			}
+		}
+		return univ, nil
+	case EdgeSetSort:
+		prev, had := env.esets[name]
+		defer env.restoreESet(name, prev, had)
+		for set := uint64(0); set < 1<<uint(len(env.edges)); set++ {
+			env.esets[name] = set
+			ok, err := env.eval(body)
+			if err != nil {
+				return false, err
+			}
+			if ok != univ {
+				return !univ, nil
+			}
+		}
+		return univ, nil
+	default:
+		return false, fmt.Errorf("mso: unknown sort %v", sort)
+	}
+}
+
+func (env *environment) restoreVertex(name string, prev graph.Vertex, had bool) {
+	if had {
+		env.vertices[name] = prev
+	} else {
+		delete(env.vertices, name)
+	}
+}
+
+func (env *environment) restoreEdge(name string, prev graph.Edge, had bool) {
+	if had {
+		env.edgeVars[name] = prev
+	} else {
+		delete(env.edgeVars, name)
+	}
+}
+
+func (env *environment) restoreVSet(name string, prev uint64, had bool) {
+	if had {
+		env.vsets[name] = prev
+	} else {
+		delete(env.vsets, name)
+	}
+}
+
+func (env *environment) restoreESet(name string, prev uint64, had bool) {
+	if had {
+		env.esets[name] = prev
+	} else {
+		delete(env.esets, name)
+	}
+}

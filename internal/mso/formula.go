@@ -1,0 +1,377 @@
+// Package mso implements the monadic second-order logic of graphs (MSO₂,
+// Section 1.2 of the paper): a formula AST over vertex, edge, vertex-set and
+// edge-set variables with the inc/adj/∈/= predicates, an s-expression
+// parser, and a brute-force model checker used as the ground-truth oracle
+// for the homomorphism-class algebras on small graphs.
+package mso
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sort is the type of an MSO₂ variable.
+type Sort int
+
+const (
+	// VertexSort ranges over vertices.
+	VertexSort Sort = iota + 1
+	// EdgeSort ranges over edges.
+	EdgeSort
+	// VertexSetSort ranges over vertex subsets.
+	VertexSetSort
+	// EdgeSetSort ranges over edge subsets.
+	EdgeSetSort
+)
+
+func (s Sort) String() string {
+	switch s {
+	case VertexSort:
+		return "V"
+	case EdgeSort:
+		return "E"
+	case VertexSetSort:
+		return "V-set"
+	case EdgeSetSort:
+		return "E-set"
+	default:
+		return "?"
+	}
+}
+
+// Formula is an MSO₂ formula node.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Quantifier kinds.
+type (
+	// Exists is ∃x:sort. body.
+	Exists struct {
+		Var  string
+		Sort Sort
+		Body Formula
+	}
+	// Forall is ∀x:sort. body.
+	Forall struct {
+		Var  string
+		Sort Sort
+		Body Formula
+	}
+	// Not is ¬φ.
+	Not struct{ F Formula }
+	// And is φ ∧ ψ.
+	And struct{ L, R Formula }
+	// Or is φ ∨ ψ.
+	Or struct{ L, R Formula }
+	// Implies is φ → ψ.
+	Implies struct{ L, R Formula }
+	// Iff is φ ↔ ψ.
+	Iff struct{ L, R Formula }
+	// InSet is x ∈ S for a vertex (edge) variable and vertex-set (edge-set)
+	// variable.
+	InSet struct{ Elem, Set string }
+	// Inc is inc(e, v): edge e is incident to vertex v.
+	Inc struct{ EdgeVar, VertexVar string }
+	// Adj is adj(u, v): u and v are adjacent.
+	Adj struct{ U, V string }
+	// Eq is equality of two variables of the same sort.
+	Eq struct{ A, B string }
+)
+
+func (Exists) isFormula()  {}
+func (Forall) isFormula()  {}
+func (Not) isFormula()     {}
+func (And) isFormula()     {}
+func (Or) isFormula()      {}
+func (Implies) isFormula() {}
+func (Iff) isFormula()     {}
+func (InSet) isFormula()   {}
+func (Inc) isFormula()     {}
+func (Adj) isFormula()     {}
+func (Eq) isFormula()      {}
+
+func (f Exists) String() string {
+	return fmt.Sprintf("(exists %s %s %s)", f.Var, f.Sort, f.Body)
+}
+func (f Forall) String() string {
+	return fmt.Sprintf("(forall %s %s %s)", f.Var, f.Sort, f.Body)
+}
+func (f Not) String() string     { return fmt.Sprintf("(not %s)", f.F) }
+func (f And) String() string     { return fmt.Sprintf("(and %s %s)", f.L, f.R) }
+func (f Or) String() string      { return fmt.Sprintf("(or %s %s)", f.L, f.R) }
+func (f Implies) String() string { return fmt.Sprintf("(-> %s %s)", f.L, f.R) }
+func (f Iff) String() string     { return fmt.Sprintf("(<-> %s %s)", f.L, f.R) }
+func (f InSet) String() string   { return fmt.Sprintf("(in %s %s)", f.Elem, f.Set) }
+func (f Inc) String() string     { return fmt.Sprintf("(inc %s %s)", f.EdgeVar, f.VertexVar) }
+func (f Adj) String() string     { return fmt.Sprintf("(adj %s %s)", f.U, f.V) }
+func (f Eq) String() string      { return fmt.Sprintf("(= %s %s)", f.A, f.B) }
+
+// AndAll folds a conjunction; the empty conjunction is ⊤ encoded as
+// ∀v. v = v, which is vacuously true.
+func AndAll(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Forall{Var: "_t", Sort: VertexSort, Body: Eq{A: "_t", B: "_t"}}
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = And{L: out, R: f}
+	}
+	return out
+}
+
+// Canned formulas for the properties this library certifies. They are used
+// to cross-check the homomorphism-class algebras against the logic itself.
+
+// BipartiteFormula is ∃S ∀u ∀v (adj(u,v) → ¬(u∈S ↔ v∈S)).
+func BipartiteFormula() Formula {
+	return Exists{Var: "S", Sort: VertexSetSort, Body: Forall{Var: "u", Sort: VertexSort,
+		Body: Forall{Var: "v", Sort: VertexSort, Body: Implies{
+			L: Adj{U: "u", V: "v"},
+			R: Not{F: Iff{L: InSet{Elem: "u", Set: "S"}, R: InSet{Elem: "v", Set: "S"}}},
+		}}}}
+}
+
+// ThreeColorableFormula encodes 3-colorability with two vertex sets: the
+// color of v is the membership pattern (v∈S1, v∈S2), with pattern (1,1)
+// forbidden.
+func ThreeColorableFormula() Formula {
+	diff := Or{
+		L: Not{F: Iff{L: InSet{Elem: "u", Set: "S1"}, R: InSet{Elem: "v", Set: "S1"}}},
+		R: Not{F: Iff{L: InSet{Elem: "u", Set: "S2"}, R: InSet{Elem: "v", Set: "S2"}}},
+	}
+	legal := func(v string) Formula {
+		return Not{F: And{L: InSet{Elem: v, Set: "S1"}, R: InSet{Elem: v, Set: "S2"}}}
+	}
+	return Exists{Var: "S1", Sort: VertexSetSort, Body: Exists{Var: "S2", Sort: VertexSetSort,
+		Body: AndAll(
+			Forall{Var: "w", Sort: VertexSort, Body: legal("w")},
+			Forall{Var: "u", Sort: VertexSort, Body: Forall{Var: "v", Sort: VertexSort,
+				Body: Implies{L: Adj{U: "u", V: "v"}, R: diff}}},
+		)}}
+}
+
+// AcyclicFormula is the forest property: there is no non-empty edge set in
+// which every incident vertex has two incident set edges (such a set always
+// contains a cycle, and every cycle is such a set).
+func AcyclicFormula() Formula {
+	hasCycleSet := Exists{Var: "F", Sort: EdgeSetSort, Body: And{
+		L: Exists{Var: "e0", Sort: EdgeSort, Body: InSet{Elem: "e0", Set: "F"}},
+		R: Forall{Var: "v", Sort: VertexSort, Body: Forall{Var: "e", Sort: EdgeSort,
+			Body: Implies{
+				L: And{L: InSet{Elem: "e", Set: "F"}, R: Inc{EdgeVar: "e", VertexVar: "v"}},
+				R: Exists{Var: "f", Sort: EdgeSort, Body: AndAll(
+					InSet{Elem: "f", Set: "F"},
+					Not{F: Eq{A: "f", B: "e"}},
+					Inc{EdgeVar: "f", VertexVar: "v"},
+				)},
+			}}},
+	}}
+	return Not{F: hasCycleSet}
+}
+
+// PerfectMatchingFormula is ∃F ∀v ∃!e∈F incident to v.
+func PerfectMatchingFormula() Formula {
+	exactlyOne := Exists{Var: "e", Sort: EdgeSort, Body: AndAll(
+		InSet{Elem: "e", Set: "F"},
+		Inc{EdgeVar: "e", VertexVar: "v"},
+		Forall{Var: "f", Sort: EdgeSort, Body: Implies{
+			L: And{L: InSet{Elem: "f", Set: "F"}, R: Inc{EdgeVar: "f", VertexVar: "v"}},
+			R: Eq{A: "f", B: "e"},
+		}},
+	)}
+	return Exists{Var: "F", Sort: EdgeSetSort,
+		Body: Forall{Var: "v", Sort: VertexSort, Body: exactlyOne}}
+}
+
+// HamiltonianCycleFormula: there is a spanning, 2-regular, connected edge
+// set. Connectivity of F is expressed as: every vertex set containing some
+// F-endpoint but not all has an F-edge with exactly one endpoint inside.
+func HamiltonianCycleFormula() Formula {
+	degTwo := Forall{Var: "v", Sort: VertexSort, Body: Exists{Var: "e", Sort: EdgeSort,
+		Body: Exists{Var: "f", Sort: EdgeSort, Body: AndAll(
+			Not{F: Eq{A: "e", B: "f"}},
+			InSet{Elem: "e", Set: "F"}, InSet{Elem: "f", Set: "F"},
+			Inc{EdgeVar: "e", VertexVar: "v"}, Inc{EdgeVar: "f", VertexVar: "v"},
+			Forall{Var: "g", Sort: EdgeSort, Body: Implies{
+				L: And{L: InSet{Elem: "g", Set: "F"}, R: Inc{EdgeVar: "g", VertexVar: "v"}},
+				R: Or{L: Eq{A: "g", B: "e"}, R: Eq{A: "g", B: "f"}},
+			}},
+		)}}}
+	crossing := Exists{Var: "e", Sort: EdgeSort, Body: AndAll(
+		InSet{Elem: "e", Set: "F"},
+		Exists{Var: "x", Sort: VertexSort, Body: AndAll(
+			Inc{EdgeVar: "e", VertexVar: "x"}, InSet{Elem: "x", Set: "S"},
+		)},
+		Exists{Var: "y", Sort: VertexSort, Body: AndAll(
+			Inc{EdgeVar: "e", VertexVar: "y"}, Not{F: InSet{Elem: "y", Set: "S"}},
+		)},
+	)}
+	connected := Forall{Var: "S", Sort: VertexSetSort, Body: Implies{
+		L: And{
+			L: Exists{Var: "u", Sort: VertexSort, Body: InSet{Elem: "u", Set: "S"}},
+			R: Exists{Var: "w", Sort: VertexSort, Body: Not{F: InSet{Elem: "w", Set: "S"}}},
+		},
+		R: crossing,
+	}}
+	return Exists{Var: "F", Sort: EdgeSetSort, Body: And{L: degTwo, R: connected}}
+}
+
+// ParseError reports a syntax error with position context.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("mso: parse error at %d: %s", e.Pos, e.Msg) }
+
+// Parse reads an s-expression formula, e.g.
+//
+//	(exists S V-set (forall u V (forall v V
+//	    (-> (adj u v) (not (<-> (in u S) (in v S)))))))
+func Parse(input string) (Formula, error) {
+	p := &parser{src: input}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, &ParseError{Pos: p.pos, Msg: "trailing input"}
+	}
+	return f, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\n' ||
+		p.src[p.pos] == '\t' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(ch byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != ch {
+		return &ParseError{Pos: p.pos, Msg: fmt.Sprintf("expected %q", ch)}
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) token() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune(" \n\t\r()", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", &ParseError{Pos: p.pos, Msg: "expected token"}
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) sort() (Sort, error) {
+	tok, err := p.token()
+	if err != nil {
+		return 0, err
+	}
+	switch tok {
+	case "V":
+		return VertexSort, nil
+	case "E":
+		return EdgeSort, nil
+	case "V-set":
+		return VertexSetSort, nil
+	case "E-set":
+		return EdgeSetSort, nil
+	default:
+		return 0, &ParseError{Pos: p.pos, Msg: fmt.Sprintf("unknown sort %q", tok)}
+	}
+}
+
+func (p *parser) formula() (Formula, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	head, err := p.token()
+	if err != nil {
+		return nil, err
+	}
+	var out Formula
+	switch head {
+	case "exists", "forall":
+		name, err := p.token()
+		if err != nil {
+			return nil, err
+		}
+		srt, err := p.sort()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if head == "exists" {
+			out = Exists{Var: name, Sort: srt, Body: body}
+		} else {
+			out = Forall{Var: name, Sort: srt, Body: body}
+		}
+	case "not":
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		out = Not{F: f}
+	case "and", "or", "->", "<->":
+		l, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		switch head {
+		case "and":
+			out = And{L: l, R: r}
+		case "or":
+			out = Or{L: l, R: r}
+		case "->":
+			out = Implies{L: l, R: r}
+		default:
+			out = Iff{L: l, R: r}
+		}
+	case "in", "inc", "adj", "=":
+		a, err := p.token()
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.token()
+		if err != nil {
+			return nil, err
+		}
+		switch head {
+		case "in":
+			out = InSet{Elem: a, Set: b}
+		case "inc":
+			out = Inc{EdgeVar: a, VertexVar: b}
+		case "adj":
+			out = Adj{U: a, V: b}
+		default:
+			out = Eq{A: a, B: b}
+		}
+	default:
+		return nil, &ParseError{Pos: p.pos, Msg: fmt.Sprintf("unknown operator %q", head)}
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package mso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/graph"
+)
+
+func mustEval(t *testing.T, g *graph.Graph, f Formula) bool {
+	t.Helper()
+	ok, err := Eval(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestBipartiteFormula(t *testing.T) {
+	f := BipartiteFormula()
+	if !mustEval(t, graph.CycleGraph(6), f) {
+		t.Fatal("C6 should model bipartiteness")
+	}
+	if mustEval(t, graph.CycleGraph(5), f) {
+		t.Fatal("C5 should not model bipartiteness")
+	}
+	if !mustEval(t, graph.PathGraph(4), f) {
+		t.Fatal("P4 should model bipartiteness")
+	}
+}
+
+func TestThreeColorableFormula(t *testing.T) {
+	f := ThreeColorableFormula()
+	if !mustEval(t, graph.Complete(3), f) {
+		t.Fatal("K3 should be 3-colorable")
+	}
+	if mustEval(t, graph.Complete(4), f) {
+		t.Fatal("K4 should not be 3-colorable")
+	}
+	if !mustEval(t, graph.CycleGraph(5), f) {
+		t.Fatal("C5 should be 3-colorable")
+	}
+}
+
+func TestAcyclicFormula(t *testing.T) {
+	f := AcyclicFormula()
+	if !mustEval(t, graph.PathGraph(5), f) {
+		t.Fatal("P5 should be acyclic")
+	}
+	if mustEval(t, graph.CycleGraph(4), f) {
+		t.Fatal("C4 should not be acyclic")
+	}
+	if !mustEval(t, graph.Spider(2), f) {
+		t.Fatal("spider should be acyclic")
+	}
+}
+
+func TestPerfectMatchingFormula(t *testing.T) {
+	f := PerfectMatchingFormula()
+	if !mustEval(t, graph.PathGraph(4), f) {
+		t.Fatal("P4 should have a perfect matching")
+	}
+	if mustEval(t, graph.PathGraph(5), f) {
+		t.Fatal("P5 should not have a perfect matching")
+	}
+	if !mustEval(t, graph.CycleGraph(6), f) {
+		t.Fatal("C6 should have a perfect matching")
+	}
+}
+
+func TestHamiltonianCycleFormula(t *testing.T) {
+	f := HamiltonianCycleFormula()
+	if !mustEval(t, graph.CycleGraph(5), f) {
+		t.Fatal("C5 should be Hamiltonian")
+	}
+	if mustEval(t, graph.PathGraph(4), f) {
+		t.Fatal("P4 should not be Hamiltonian")
+	}
+	if !mustEval(t, graph.Complete(4), f) {
+		t.Fatal("K4 should be Hamiltonian")
+	}
+}
+
+func TestEvalSizeLimit(t *testing.T) {
+	if _, err := Eval(graph.PathGraph(MaxEvalVertices+1), BipartiteFormula()); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, f := range []Formula{
+		BipartiteFormula(),
+		AcyclicFormula(),
+		PerfectMatchingFormula(),
+		ThreeColorableFormula(),
+	} {
+		parsed, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("parse %s: %v", f, err)
+		}
+		if parsed.String() != f.String() {
+			t.Fatalf("round trip changed formula:\n in  %s\n out %s", f, parsed)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "(", "(frobnicate x y)", "(adj u)", "(exists S Q (adj u v))",
+		"(adj u v) trailing",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalUnboundVariables(t *testing.T) {
+	g := graph.PathGraph(2)
+	for _, f := range []Formula{
+		Adj{U: "u", V: "v"},
+		InSet{Elem: "u", Set: "S"},
+		Inc{EdgeVar: "e", VertexVar: "v"},
+		Eq{A: "x", B: "y"},
+	} {
+		if _, err := Eval(g, f); err == nil {
+			t.Errorf("unbound %s should error", f)
+		}
+	}
+}
+
+// TestQuickFormulasMatchOracles cross-validates the MSO₂ formulas against
+// the direct combinatorial oracles on random small graphs. Together with
+// the algebra-vs-oracle tests, this closes the loop:
+// formula ⇔ oracle ⇔ homomorphism classes.
+func TestQuickFormulasMatchOracles(t *testing.T) {
+	type pair struct {
+		name    string
+		formula Formula
+		oracle  func(*graph.Graph) bool
+	}
+	pairs := []pair{
+		{"bipartite", BipartiteFormula(), func(g *graph.Graph) bool { return algebra.OracleQColorable(g, 2) }},
+		{"acyclic", AcyclicFormula(), algebra.OracleAcyclic},
+		{"matching", PerfectMatchingFormula(), algebra.OraclePerfectMatching},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+		idx := int(seed % int64(len(pairs)))
+		if idx < 0 {
+			idx += len(pairs)
+		}
+		p := pairs[idx]
+		got, err := Eval(g, p.formula)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if got != p.oracle(g) {
+			t.Logf("seed %d (%s): formula=%v oracle=%v on %v", seed, p.name, got, p.oracle(g), g.Edges())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
