@@ -16,6 +16,11 @@ func (l *Labeling) Clone() *Labeling {
 	return out
 }
 
+// Clone returns a deep copy of this one edge label (no structure shared
+// with the original), for corruption experiments that mutate a single
+// edge's label without paying for a full-labeling clone.
+func (l *EdgeLabel) Clone() *EdgeLabel { return l.clone() }
+
 func (l *EdgeLabel) clone() *EdgeLabel {
 	out := &EdgeLabel{}
 	if l.Own != nil {

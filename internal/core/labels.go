@@ -201,9 +201,14 @@ func (n *NodeEntry) encode(w *bits.Writer) {
 
 // Key returns a canonical encoding of the entry, used for the per-vertex
 // consistency checks ("all incident edges agree on B(G)").
-func (n *NodeEntry) Key() string {
+func (n *NodeEntry) Key() string { return encodeKey(n.encode) }
+
+// encodeKey runs an encoder and returns its output as a comparable key
+// (payload bytes plus the exact bit count, so partial final bytes cannot
+// alias).
+func encodeKey(encode func(*bits.Writer)) string {
 	var w bits.Writer
-	n.encode(&w)
+	encode(&w)
 	return string(w.Bytes()) + fmt.Sprint(w.Bits())
 }
 
@@ -216,11 +221,7 @@ func (c *CEdgeLabel) encode(w *bits.Writer) {
 }
 
 // Key returns a canonical encoding of the certificate.
-func (c *CEdgeLabel) Key() string {
-	var w bits.Writer
-	c.encode(&w)
-	return string(w.Bytes()) + fmt.Sprint(w.Bits())
-}
+func (c *CEdgeLabel) Key() string { return encodeKey(c.encode) }
 
 // Bits returns the exact encoded size of the label.
 func (l *EdgeLabel) Bits() int {
@@ -228,6 +229,10 @@ func (l *EdgeLabel) Bits() int {
 	l.encode(&w)
 	return w.Bits()
 }
+
+// Key returns a canonical encoding of the whole edge label, used for the
+// cross-endpoint agreement check of the distributed simulator.
+func (l *EdgeLabel) Key() string { return encodeKey(l.encode) }
 
 func (l *EdgeLabel) encode(w *bits.Writer) {
 	if l.Own != nil {
@@ -295,4 +300,3 @@ func idMapEqual(lanes []int, a, b map[int]uint64) bool {
 	}
 	return true
 }
-

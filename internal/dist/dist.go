@@ -1,0 +1,214 @@
+// Package dist runs the one-round distributed verification of a proof
+// labeling scheme on a goroutine-per-vertex network simulator (the paper's
+// Section 1 self-stabilization motivation): every vertex is a processor
+// with its own copy of its incident edge labels, processors exchange those
+// copies with their neighbors over channels in one synchronous round, and
+// each processor then evaluates the scheme's local verifier on what it
+// holds. A processor rejects when its neighbor's copy of a shared edge
+// label disagrees with its own (asymmetric memory corruption) or when the
+// local verifier of Theorem 1 rejects its view.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Network is a simulated message-passing network: the configuration fixes
+// the topology and identifiers, the scheme fixes the local verifier run at
+// each processor.
+type Network struct {
+	cfg    *cert.Config
+	scheme *core.Scheme
+}
+
+// NewNetwork builds a network over the configuration's graph.
+func NewNetwork(cfg *cert.Config, scheme *core.Scheme) *Network {
+	return &Network{cfg: cfg, scheme: scheme}
+}
+
+// Result is the outcome of one verification round.
+type Result struct {
+	// Verdicts[v] is processor v's local accept/reject decision.
+	Verdicts []bool
+	// Rejected lists the rejecting processors in ascending order.
+	Rejected []graph.Vertex
+}
+
+// Accepted reports whether every processor accepted (the scheme's global
+// acceptance condition).
+func (r Result) Accepted() bool { return len(r.Rejected) == 0 }
+
+// message is what travels over an edge's channel in the exchange round:
+// the sender's copy of that edge's label (nil when the sender's memory
+// holds no label for the edge).
+type message struct {
+	label *core.EdgeLabel
+}
+
+// Run executes one synchronous verification round: each vertex goroutine
+// sends its copy of every incident edge label to the corresponding
+// neighbor, receives the neighbor's copies, and runs the local verifier.
+// Run honors ctx: cancellation aborts the round and returns ctx.Err().
+// The labeling is only read, never mutated.
+func (n *Network) Run(ctx context.Context, labeling *core.Labeling) (Result, error) {
+	if labeling == nil {
+		return Result{}, fmt.Errorf("dist: nil labeling")
+	}
+	return n.run(ctx, func(graph.Vertex, graph.Edge) *core.Labeling { return labeling })
+}
+
+// RunWithMemoryFault runs one verification round after corrupting processor
+// v's private copy of one of its incident edge labels: the other processors
+// keep the honest labeling, so the corruption is asymmetric and detecting it
+// requires the neighbor exchange (a neighbor's copy of the shared edge label
+// no longer agrees with v's). It reports ok=false when none of v's incident
+// labels can host the fault. The input labeling is never mutated.
+func (n *Network) RunWithMemoryFault(
+	ctx context.Context, labeling *core.Labeling, rng *rand.Rand, v graph.Vertex, f Fault,
+) (res Result, ok bool, err error) {
+	if labeling == nil {
+		return Result{}, false, fmt.Errorf("dist: nil labeling")
+	}
+	inject := InjectorFor(f)
+	if inject == nil {
+		return Result{}, false, fmt.Errorf("dist: unknown fault %v", f)
+	}
+	incident := make([]graph.Edge, 0, n.cfg.G.Degree(v))
+	for _, w := range n.cfg.G.Neighbors(v) {
+		incident = append(incident, graph.NewEdge(v, w))
+	}
+	// Corrupt memory = the honest labeling with one of v's incident edge
+	// labels replaced (copy-on-write; the round only reads).
+	corrupt, injected := injectAt(rng, labeling, incident, inject)
+	if !injected {
+		return Result{}, false, nil
+	}
+	honest := labeling
+	res, err = n.run(ctx, func(u graph.Vertex, _ graph.Edge) *core.Labeling {
+		if u == v {
+			return corrupt
+		}
+		return honest
+	})
+	return res, true, err
+}
+
+// run executes the round; sideOf selects the label memory vertex v reads
+// its half of edge e from (per-processor memory may diverge under
+// asymmetric corruption).
+func (n *Network) run(ctx context.Context, sideOf func(graph.Vertex, graph.Edge) *core.Labeling) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	g := n.cfg.G
+
+	// One buffered channel per directed edge; capacity 1 makes the send
+	// half of the round non-blocking, so the synchronous round cannot
+	// deadlock regardless of goroutine scheduling.
+	chans := make(map[dartKey]chan message, 2*g.M())
+	for _, e := range g.Edges() {
+		chans[dartKey{e.U, e.V}] = make(chan message, 1)
+		chans[dartKey{e.V, e.U}] = make(chan message, 1)
+	}
+
+	verdicts := make([]bool, g.N())
+	errs := make([]error, g.N())
+	var wg sync.WaitGroup
+	for v := 0; v < g.N(); v++ {
+		wg.Add(1)
+		go func(v graph.Vertex) {
+			defer wg.Done()
+			verdicts[v], errs[v] = n.runVertex(ctx, v, sideOf, chans)
+		}(v)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Verdicts: verdicts}
+	for v, ok := range verdicts {
+		if !ok {
+			res.Rejected = append(res.Rejected, v)
+		}
+	}
+	sort.Ints(res.Rejected)
+	return res, nil
+}
+
+// runVertex is the processor at vertex v: send phase, receive phase, then
+// the local verification of Theorem 1 on the vertex's own label memory.
+func (n *Network) runVertex(
+	ctx context.Context,
+	v graph.Vertex,
+	sideOf func(graph.Vertex, graph.Edge) *core.Labeling,
+	chans map[dartKey]chan message,
+) (bool, error) {
+	g := n.cfg.G
+	neighbors := g.Neighbors(v)
+
+	// Send: one copy of each incident edge label, over that edge's channel.
+	mine := make([]*core.EdgeLabel, len(neighbors))
+	for i, w := range neighbors {
+		e := graph.NewEdge(v, w)
+		mine[i] = sideOf(v, e).Edges[e]
+		select {
+		case chans[dartKey{v, w}] <- message{label: mine[i]}:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+	}
+
+	// Receive: the neighbor's copy of each shared edge label must agree
+	// with this processor's copy, or the round detects the corruption.
+	consistent := true
+	for i, w := range neighbors {
+		var got message
+		select {
+		case got = <-chans[dartKey{w, v}]:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+		if got.label != mine[i] && labelKey(got.label) != labelKey(mine[i]) {
+			consistent = false
+		}
+	}
+
+	if !consistent {
+		return false, nil
+	}
+	view := &core.VertexView{
+		ID:       n.cfg.IDs[v],
+		Input:    n.cfg.Input(v),
+		Isolated: g.Degree(v) == 0,
+	}
+	for _, l := range mine {
+		if l == nil {
+			return false, nil // no label in memory for incident edge
+		}
+		view.Labels = append(view.Labels, l)
+	}
+	return n.scheme.VerifyAt(view), nil
+}
+
+// dartKey identifies a directed edge (the channel from one endpoint to the
+// other).
+type dartKey struct{ from, to graph.Vertex }
+
+// labelKey canonically encodes an edge label for the cross-endpoint
+// agreement check (nil-tolerant wrapper around core's canonical encoding).
+func labelKey(l *core.EdgeLabel) string {
+	if l == nil {
+		return ""
+	}
+	return l.Key()
+}

@@ -1,0 +1,194 @@
+// Transient-fault injection: the corruption model of the self-stabilization
+// scenario. A fault mutates the label memory of one edge; soundness of the
+// scheme (Theorem 1) means one verification round detects every such
+// corruption at some processor.
+package dist
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Fault is one kind of transient label corruption.
+type Fault int
+
+const (
+	// FlipClass bumps the homomorphism-class id of one node entry on one
+	// edge's certificate path.
+	FlipClass Fault = iota
+	// FlipRealBit toggles a real/virtual marker bit of one node entry.
+	FlipRealBit
+	// ShiftTerminal perturbs one out-terminal identifier of a node entry.
+	ShiftTerminal
+	// RankSkew perturbs the forward rank of one embedding entry.
+	RankSkew
+	// EraseLabel wipes an edge's entire label memory.
+	EraseLabel
+
+	numFaults // must stay last
+)
+
+// AllFaults lists every fault kind, in the order cmd/certify documents.
+var AllFaults = []Fault{FlipClass, FlipRealBit, ShiftTerminal, RankSkew, EraseLabel}
+
+// String returns the fault's command-line name.
+func (f Fault) String() string {
+	switch f {
+	case FlipClass:
+		return "flip-class"
+	case FlipRealBit:
+		return "flip-real-bit"
+	case ShiftTerminal:
+		return "shift-terminal"
+	case RankSkew:
+		return "rank-skew"
+	case EraseLabel:
+		return "erase-label"
+	}
+	return "unknown-fault"
+}
+
+// Injector mutates one edge label in place, reporting whether the fault
+// was applicable to that label. Injectors are exported so that harnesses
+// (internal/experiments E5) share this exact corruption model instead of
+// mirroring it.
+type Injector func(rng *rand.Rand, el *core.EdgeLabel) bool
+
+// InjectorFor returns the injector implementing the fault.
+func InjectorFor(f Fault) Injector {
+	switch f {
+	case FlipClass:
+		return injectFlipClass
+	case FlipRealBit:
+		return injectFlipRealBit
+	case ShiftTerminal:
+		return injectShiftTerminal
+	case RankSkew:
+		return injectRankSkew
+	case EraseLabel:
+		return injectEraseLabel
+	}
+	return nil
+}
+
+// Inject returns a copy of the labeling with the fault applied to one edge
+// chosen at random among those the fault applies to, or ok=false when no
+// edge label of the labeling can host the fault. The input labeling is
+// never mutated: only the corrupted edge's label is deep-cloned, the rest
+// is shared (verification is read-only).
+func Inject(rng *rand.Rand, l *core.Labeling, f Fault) (*core.Labeling, bool) {
+	inject := InjectorFor(f)
+	if inject == nil || l == nil {
+		return nil, false
+	}
+	edges := make([]graph.Edge, 0, len(l.Edges))
+	for e := range l.Edges {
+		edges = append(edges, e)
+	}
+	return injectAt(rng, l, edges, inject)
+}
+
+// injectAt tries the injector on the candidate edges in a seeded random
+// order (sorted first, so the sequence is reproducible per rng seed) and
+// returns a copy-on-write labeling with the first successful corruption:
+// only the corrupted edge's label is deep-cloned, every other label is
+// shared with the input, which is never mutated. It is the single
+// construction behind Inject and Network.RunWithMemoryFault.
+func injectAt(rng *rand.Rand, l *core.Labeling, edges []graph.Edge, inject Injector) (*core.Labeling, bool) {
+	edges = append([]graph.Edge(nil), edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		el := l.Edges[e]
+		if el == nil {
+			continue
+		}
+		trial := el.Clone()
+		if !inject(rng, trial) {
+			continue // injectors mutate only on success, so the clone is clean garbage
+		}
+		mutated := &core.Labeling{Edges: make(map[graph.Edge]*core.EdgeLabel, len(l.Edges))}
+		for k, v := range l.Edges {
+			mutated.Edges[k] = v
+		}
+		mutated.Edges[e] = trial
+		return mutated, true
+	}
+	return nil, false
+}
+
+func injectFlipClass(rng *rand.Rand, el *core.EdgeLabel) bool {
+	if el == nil || el.Own == nil || len(el.Own.Path) == 0 {
+		return false
+	}
+	el.Own.Path[rng.Intn(len(el.Own.Path))].ClassID += 1 + rng.Intn(3)
+	return true
+}
+
+func injectFlipRealBit(rng *rand.Rand, el *core.EdgeLabel) bool {
+	if el == nil || el.Own == nil {
+		return false
+	}
+	var candidates []*core.NodeEntry
+	for _, en := range el.Own.Path {
+		if len(en.RealBits) > 0 {
+			candidates = append(candidates, en)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	en := candidates[rng.Intn(len(candidates))]
+	i := rng.Intn(len(en.RealBits))
+	en.RealBits[i] = !en.RealBits[i]
+	return true
+}
+
+func injectShiftTerminal(rng *rand.Rand, el *core.EdgeLabel) bool {
+	if el == nil || el.Own == nil {
+		return false
+	}
+	var candidates []*core.NodeEntry
+	for _, en := range el.Own.Path {
+		if len(en.OutIDs) > 0 {
+			candidates = append(candidates, en)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	en := candidates[rng.Intn(len(candidates))]
+	lanes := make([]int, 0, len(en.OutIDs))
+	for lane := range en.OutIDs {
+		lanes = append(lanes, lane)
+	}
+	sort.Ints(lanes)
+	en.OutIDs[lanes[rng.Intn(len(lanes))]] += 1 + uint64(rng.Intn(5))
+	return true
+}
+
+func injectRankSkew(rng *rand.Rand, el *core.EdgeLabel) bool {
+	if el == nil || len(el.Emb) == 0 {
+		return false
+	}
+	el.Emb[rng.Intn(len(el.Emb))].Fwd += 1 + rng.Intn(2)
+	return true
+}
+
+func injectEraseLabel(_ *rand.Rand, el *core.EdgeLabel) bool {
+	if el == nil || (el.Own == nil && el.Emb == nil && el.Pointing == nil) {
+		return false // nothing left to erase — not a new corruption
+	}
+	el.Own = nil
+	el.Emb = nil
+	el.Pointing = nil
+	return true
+}

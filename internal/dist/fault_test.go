@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestFaultNames pins the catalog to the names cmd/certify documents on its
+// -corrupt flag; internal/experiments consumes the same catalog, so this is
+// the single source of truth.
+func TestFaultNames(t *testing.T) {
+	want := []string{"flip-class", "flip-real-bit", "shift-terminal", "rank-skew", "erase-label"}
+	if len(AllFaults) != len(want) {
+		t.Fatalf("AllFaults has %d entries, want %d", len(AllFaults), len(want))
+	}
+	if int(numFaults) != len(want) {
+		t.Fatalf("numFaults = %d, want %d", numFaults, len(want))
+	}
+	for i, f := range AllFaults {
+		if f.String() != want[i] {
+			t.Errorf("AllFaults[%d] = %q, want %q", i, f, want[i])
+		}
+		if InjectorFor(f) == nil {
+			t.Errorf("InjectorFor(%v) = nil", f)
+		}
+	}
+	if Fault(numFaults).String() != "unknown-fault" {
+		t.Errorf("out-of-range fault String = %q", Fault(numFaults))
+	}
+	if InjectorFor(numFaults) != nil {
+		t.Error("out-of-range fault has an injector")
+	}
+}
+
+// TestInjectDoesNotMutateInput: Inject works on a deep copy; the honest
+// labeling must keep verifying after any number of injections.
+func TestInjectDoesNotMutateInput(t *testing.T) {
+	g := gen.Caterpillar(6, 1)
+	s := core.NewScheme(algebra.Colorable{Q: 2}, 6)
+	cfg := cert.NewConfig(g)
+	labeling, _, err := s.Prove(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, f := range AllFaults {
+		mutated, ok := Inject(rng, labeling, f)
+		if !ok {
+			t.Fatalf("fault %v not injectable", f)
+		}
+		if core.AllAccept(s.Verify(cfg, mutated)) {
+			t.Errorf("fault %v: mutated labeling still accepted", f)
+		}
+		if !core.AllAccept(s.Verify(cfg, labeling)) {
+			t.Fatalf("fault %v mutated the input labeling", f)
+		}
+	}
+}
+
+// TestInjectNotInjectable: faults report ok=false on labelings that cannot
+// host them instead of silently returning an unchanged copy.
+func TestInjectNotInjectable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	empty := &core.Labeling{Edges: map[graph.Edge]*core.EdgeLabel{}}
+	for _, f := range AllFaults {
+		if _, ok := Inject(rng, empty, f); ok {
+			t.Errorf("fault %v injectable on empty labeling", f)
+		}
+	}
+	if _, ok := Inject(rng, nil, FlipClass); ok {
+		t.Error("fault injectable on nil labeling")
+	}
+	if _, ok := Inject(rng, empty, numFaults); ok {
+		t.Error("unknown fault injectable")
+	}
+}

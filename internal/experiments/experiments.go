@@ -16,6 +16,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cert"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/interval"
@@ -230,10 +231,10 @@ func E5Soundness(seed int64, trials int) ([]E5Row, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var rows []E5Row
-	for _, fault := range faultCatalog() {
+	for _, fault := range dist.AllFaults {
 		injected, detected := 0, 0
 		for trial := 0; trial < trials; trial++ {
-			mutated, ok := fault.inject(rng, labeling)
+			mutated, ok := dist.Inject(rng, labeling, fault)
 			if !ok {
 				continue
 			}
@@ -242,7 +243,7 @@ func E5Soundness(seed int64, trials int) ([]E5Row, error) {
 				detected++
 			}
 		}
-		rows = append(rows, E5Row{Fault: fault.name, Injected: injected, Detected: detected})
+		rows = append(rows, E5Row{Fault: fault.String(), Injected: injected, Detected: detected})
 	}
 	return rows, nil
 }
@@ -400,83 +401,5 @@ func PrintE8(w io.Writer, rows []E8Row) {
 	fmt.Fprintf(w, "%8s %12s %16s %12s\n", "n", "prove[ms]", "verify[µs/vtx]", "label[bits]")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%8d %12.2f %16.2f %12d\n", r.N, r.ProveMillis, r.VerifyPerVtxUS, r.LabelBits)
-	}
-}
-
-// fault mirrors dist.Fault without importing dist (experiments feed both the
-// sequential verifier and the distributed one; the dist package has its own
-// injection API).
-type fault struct {
-	name   string
-	inject func(*rand.Rand, *core.Labeling) (*core.Labeling, bool)
-}
-
-func faultCatalog() []fault {
-	mutate := func(f func(*rand.Rand, *core.Labeling) bool) func(*rand.Rand, *core.Labeling) (*core.Labeling, bool) {
-		return func(rng *rand.Rand, l *core.Labeling) (*core.Labeling, bool) {
-			m := l.Clone()
-			return m, f(rng, m)
-		}
-	}
-	randomEdge := func(rng *rand.Rand, l *core.Labeling) *core.EdgeLabel {
-		for e := range l.Edges { // map order is already random enough for tests
-			_ = e
-			break
-		}
-		edges := make([]graph.Edge, 0, len(l.Edges))
-		for e := range l.Edges {
-			edges = append(edges, e)
-		}
-		return l.Edges[edges[rng.Intn(len(edges))]]
-	}
-	return []fault{
-		{"flip-class", mutate(func(rng *rand.Rand, l *core.Labeling) bool {
-			el := randomEdge(rng, l)
-			if el.Own == nil {
-				return false
-			}
-			el.Own.Path[rng.Intn(len(el.Own.Path))].ClassID += 1 + rng.Intn(3)
-			return true
-		})},
-		{"flip-real-bit", mutate(func(rng *rand.Rand, l *core.Labeling) bool {
-			el := randomEdge(rng, l)
-			if el.Own == nil {
-				return false
-			}
-			en := el.Own.Path[rng.Intn(len(el.Own.Path))]
-			if len(en.RealBits) == 0 {
-				return false
-			}
-			i := rng.Intn(len(en.RealBits))
-			en.RealBits[i] = !en.RealBits[i]
-			return true
-		})},
-		{"shift-terminal", mutate(func(rng *rand.Rand, l *core.Labeling) bool {
-			el := randomEdge(rng, l)
-			if el.Own == nil {
-				return false
-			}
-			en := el.Own.Path[rng.Intn(len(el.Own.Path))]
-			for lane := range en.OutIDs {
-				en.OutIDs[lane] += 1 + uint64(rng.Intn(5))
-				return true
-			}
-			return false
-		})},
-		{"rank-skew", mutate(func(rng *rand.Rand, l *core.Labeling) bool {
-			el := randomEdge(rng, l)
-			if len(el.Emb) == 0 {
-				return false
-			}
-			el.Emb[rng.Intn(len(el.Emb))].Fwd += 1 + rng.Intn(2)
-			return true
-		})},
-		{"erase-label", mutate(func(rng *rand.Rand, l *core.Labeling) bool {
-			el := randomEdge(rng, l)
-			el.Own = nil
-			el.Emb = nil
-			el.Pointing = nil
-			return true
-		})},
 	}
 }
