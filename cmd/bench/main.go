@@ -4,9 +4,11 @@
 //
 //	bench            # run all experiments
 //	bench -exp e1    # run one experiment
+//	bench -exp e8 -json   # also write machine-readable BENCH_E8.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +28,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp  = fs.String("exp", "all", "experiment to run: e1..e8 or all")
-		seed = fs.Int64("seed", 1, "random seed")
+		exp      = fs.String("exp", "all", "experiment to run: e1..e8 or all")
+		seed     = fs.Int64("seed", 1, "random seed")
+		jsonOut  = fs.Bool("json", false, "write the E8 series to -json-path as machine-readable JSON")
+		jsonPath = fs.String("json-path", "BENCH_E8.json", "output path for -json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,16 +118,29 @@ func run(args []string) error {
 		ran = true
 	}
 	if want("e8") {
-		rows, err := experiments.E8Scaling([]int{64, 256, 1024, 4096})
+		rows, err := experiments.E8Scaling([]int{64, 256, 1024, 4096, 16384})
 		if err != nil {
 			return err
 		}
 		experiments.PrintE8(out, rows)
 		fmt.Fprintln(out)
+		if *jsonOut {
+			data, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+		}
 		ran = true
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if *jsonOut && !want("e8") {
+		return fmt.Errorf("-json requires the e8 experiment (got -exp %s)", *exp)
 	}
 	return nil
 }

@@ -106,7 +106,7 @@ func run(args []string) error {
 		report(res.Accepted(), res.Rejected)
 		return nil
 	}
-	verdicts := scheme.Verify(cfg, labeling)
+	verdicts := scheme.VerifyParallel(cfg, labeling)
 	var rejected []graph.Vertex
 	for v, ok := range verdicts {
 		if !ok {

@@ -16,7 +16,10 @@ func TestProveVerifyAccepts(t *testing.T) {
 		graph.Spider(4),
 	} {
 		cfg := cert.NewConfig(g)
-		pd := interval.Decompose(g)
+		pd, err := interval.Decompose(g)
+		if err != nil {
+			t.Fatal(err)
+		}
 		labeling, err := Prove(cfg, pd)
 		if err != nil {
 			t.Fatal(err)
@@ -33,7 +36,11 @@ func TestProveVerifyAccepts(t *testing.T) {
 func TestVerifyRejectsCorruption(t *testing.T) {
 	g := graph.PathGraph(16)
 	cfg := cert.NewConfig(g)
-	labeling, err := Prove(cfg, interval.Decompose(g))
+	pd, err := interval.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeling, err := Prove(cfg, pd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +50,7 @@ func TestVerifyRejectsCorruption(t *testing.T) {
 		t.Fatal("corrupted home bag accepted")
 	}
 	// Break frame nesting.
-	labeling2, _ := Prove(cfg, interval.Decompose(g))
+	labeling2, _ := Prove(cfg, pd)
 	if len(labeling2.PerVertex[3].Frames) > 0 {
 		labeling2.PerVertex[3].Frames[0].Lo = 7
 		if allTrue(Verify(cfg, labeling2)) {
@@ -51,7 +58,7 @@ func TestVerifyRejectsCorruption(t *testing.T) {
 		}
 	}
 	// Missing label.
-	labeling3, _ := Prove(cfg, interval.Decompose(g))
+	labeling3, _ := Prove(cfg, pd)
 	labeling3.PerVertex[0] = nil
 	if allTrue(Verify(cfg, labeling3)) {
 		t.Fatal("missing label accepted")

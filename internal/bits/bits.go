@@ -53,6 +53,35 @@ func (w *Writer) WriteUvarint(v uint64) {
 	}
 }
 
+// WriteChunk appends a pre-encoded bit sequence (buf, nbits) as previously
+// produced by a Writer, bit-for-bit identical to replaying the original
+// writes. Byte-aligned chunks are copied wholesale; unaligned chunks are
+// shift-merged byte by byte, so appending a cached encoding costs O(bytes)
+// instead of O(bits).
+func (w *Writer) WriteChunk(buf []byte, nbits int) {
+	if nbits == 0 {
+		return
+	}
+	nbytes := (nbits + 7) / 8
+	shift := uint(w.nbits % 8)
+	if shift == 0 {
+		w.buf = append(w.buf, buf[:nbytes]...)
+		w.nbits += nbits
+		return
+	}
+	last := len(w.buf) - 1
+	for i := 0; i < nbytes; i++ {
+		b := buf[i]
+		w.buf[last+i] |= b >> shift
+		w.buf = append(w.buf, b<<(8-shift))
+	}
+	w.nbits += nbits
+	// Drop the overflow byte when the merged tail fits in one fewer byte.
+	// (Bits past nbits are zero by the Writer's zero-padding invariant, so
+	// the retained tail byte carries no stray bits.)
+	w.buf = w.buf[:(w.nbits+7)/8]
+}
+
 // Bits returns the number of bits written.
 func (w *Writer) Bits() int { return w.nbits }
 

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bits"
 	"repro/internal/cert"
@@ -43,6 +44,28 @@ type OperandSummary struct {
 	OutIDs  map[int]uint64
 	ClassID int
 	Input   int // V-node operands: the vertex's input label
+}
+
+// encCache memoizes a label component's canonical encoding. Labels are
+// immutable once handed out by Prove (corruption experiments go through
+// Clone, which resets the cache), so the encoding is computed at most once;
+// the sync.Once makes concurrent verifiers (VerifyParallel, dist) race-free.
+type encCache struct {
+	once  sync.Once
+	data  []byte
+	nbits int
+	key   string
+}
+
+// materialize runs the raw encoder once and freezes its output.
+func (c *encCache) materialize(raw func(*bits.Writer)) {
+	c.once.Do(func() {
+		var w bits.Writer
+		raw(&w)
+		c.data = w.Bytes()
+		c.nbits = w.Bits()
+		c.key = string(c.data) + fmt.Sprint(c.nbits)
+	})
 }
 
 // NodeEntry is the basic information B(G) of one hierarchy node, stored on
@@ -77,6 +100,8 @@ type NodeEntry struct {
 
 	// T-node: summary of its tree's root member.
 	RootMember *ChildSummary
+
+	cache encCache
 }
 
 // CEdgeLabel is the certificate of one completion edge: the node entries
@@ -85,6 +110,8 @@ type NodeEntry struct {
 type CEdgeLabel struct {
 	Path     []*NodeEntry
 	OwnerPos int // P-node owners: edge joins PathIDs[OwnerPos], PathIDs[OwnerPos+1]
+
+	cache encCache
 }
 
 // EmbEntry simulates a virtual completion edge on one real edge of its
@@ -102,6 +129,8 @@ type EdgeLabel struct {
 	Own      *CEdgeLabel
 	Emb      []EmbEntry
 	Pointing *cert.PointingLabel // root-anchor pointing scheme (Prop 2.2)
+
+	cache encCache
 }
 
 // Labeling is a full proof assignment.
@@ -153,7 +182,15 @@ func (o *OperandSummary) encode(w *bits.Writer) {
 	w.WriteUvarint(uint64(o.Input))
 }
 
+// encode appends the entry's canonical encoding, memoized on first use.
 func (n *NodeEntry) encode(w *bits.Writer) {
+	n.cache.materialize(n.encodeRaw)
+	w.WriteChunk(n.cache.data, n.cache.nbits)
+}
+
+// encodeRaw is the bit-level definition of the entry's canonical encoding;
+// callers go through encode/Key, which cache its output.
+func (n *NodeEntry) encodeRaw(w *bits.Writer) {
 	w.WriteUvarint(uint64(n.NodeID))
 	w.WriteUint(uint64(n.Kind), 3)
 	w.WriteUvarint(uint64(len(n.Lanes)))
@@ -199,20 +236,22 @@ func (n *NodeEntry) encode(w *bits.Writer) {
 	}
 }
 
-// Key returns a canonical encoding of the entry, used for the per-vertex
-// consistency checks ("all incident edges agree on B(G)").
-func (n *NodeEntry) Key() string { return encodeKey(n.encode) }
-
-// encodeKey runs an encoder and returns its output as a comparable key
-// (payload bytes plus the exact bit count, so partial final bytes cannot
-// alias).
-func encodeKey(encode func(*bits.Writer)) string {
-	var w bits.Writer
-	encode(&w)
-	return string(w.Bytes()) + fmt.Sprint(w.Bits())
+// Key returns a canonical encoding of the entry (payload bytes plus the
+// exact bit count, so partial final bytes cannot alias), used for the
+// per-vertex consistency checks ("all incident edges agree on B(G)").
+// The encoding is memoized: repeated calls return the same string instance,
+// so honest-path comparisons are pointer-equal and O(1).
+func (n *NodeEntry) Key() string {
+	n.cache.materialize(n.encodeRaw)
+	return n.cache.key
 }
 
 func (c *CEdgeLabel) encode(w *bits.Writer) {
+	c.cache.materialize(c.encodeRaw)
+	w.WriteChunk(c.cache.data, c.cache.nbits)
+}
+
+func (c *CEdgeLabel) encodeRaw(w *bits.Writer) {
 	w.WriteUvarint(uint64(len(c.Path)))
 	for _, e := range c.Path {
 		e.encode(w)
@@ -220,21 +259,33 @@ func (c *CEdgeLabel) encode(w *bits.Writer) {
 	w.WriteUvarint(uint64(c.OwnerPos))
 }
 
-// Key returns a canonical encoding of the certificate.
-func (c *CEdgeLabel) Key() string { return encodeKey(c.encode) }
+// Key returns a canonical encoding of the certificate, memoized on first use.
+func (c *CEdgeLabel) Key() string {
+	c.cache.materialize(c.encodeRaw)
+	return c.cache.key
+}
 
-// Bits returns the exact encoded size of the label.
+// Bits returns the exact encoded size of the label (memoized).
 func (l *EdgeLabel) Bits() int {
-	var w bits.Writer
-	l.encode(&w)
-	return w.Bits()
+	l.cache.materialize(l.encodeRaw)
+	return l.cache.nbits
 }
 
 // Key returns a canonical encoding of the whole edge label, used for the
-// cross-endpoint agreement check of the distributed simulator.
-func (l *EdgeLabel) Key() string { return encodeKey(l.encode) }
+// cross-endpoint agreement check of the distributed simulator. Memoized, so
+// the honest path (both endpoints holding the same label pointer) compares
+// the same string instance in O(1).
+func (l *EdgeLabel) Key() string {
+	l.cache.materialize(l.encodeRaw)
+	return l.cache.key
+}
 
 func (l *EdgeLabel) encode(w *bits.Writer) {
+	l.cache.materialize(l.encodeRaw)
+	w.WriteChunk(l.cache.data, l.cache.nbits)
+}
+
+func (l *EdgeLabel) encodeRaw(w *bits.Writer) {
 	if l.Own != nil {
 		w.WriteBit(true)
 		l.Own.encode(w)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/cert"
@@ -36,6 +37,27 @@ type Scheme struct {
 	// Reg interns homomorphism classes; it is shared by prover and verifier
 	// exactly as the finite class set C is part of the paper's algorithms.
 	Reg *algebra.Registry
+
+	// Key interning for canonical NodeEntry encodings: all entries the
+	// prover emits share one string instance per distinct encoding, so the
+	// verifier's per-entry agreement checks compare pointer-equal strings
+	// in O(1) instead of re-encoding O(label-bits).
+	keyMu   sync.Mutex
+	keyPool map[string]string
+}
+
+// internKey returns the canonical instance of the key, registering it if new.
+func (s *Scheme) internKey(k string) string {
+	s.keyMu.Lock()
+	defer s.keyMu.Unlock()
+	if s.keyPool == nil {
+		s.keyPool = map[string]string{}
+	}
+	if v, ok := s.keyPool[k]; ok {
+		return v
+	}
+	s.keyPool[k] = k
+	return k
 }
 
 // NewScheme returns a scheme for the property with the given lane budget.
@@ -81,7 +103,11 @@ func (s *Scheme) Prove(cfg *cert.Config, pd *interval.PathDecomposition) (*Label
 		return nil, nil, errors.New("core: graph must be connected")
 	}
 	if pd == nil {
-		pd = interval.Decompose(g)
+		var derr error
+		pd, derr = interval.Decompose(g)
+		if derr != nil {
+			return nil, nil, fmt.Errorf("core: decomposition: %w", derr)
+		}
 	}
 	if err := pd.Validate(g); err != nil {
 		return nil, nil, fmt.Errorf("core: decomposition: %w", err)
@@ -266,6 +292,12 @@ func (s *Scheme) buildEncoder(cfg *cert.Config, orig *graph.Graph, h *lanewidth.
 		}
 		enc.entries[n.ID] = entry
 	}
+	// Intern every entry's canonical encoding: all certificates referencing
+	// an entry share its single key instance, so the verifier's agreement
+	// checks are pointer-equal string compares.
+	for _, e := range enc.entries {
+		e.cache.key = s.internKey(e.Key())
+	}
 	return enc, nil
 }
 
@@ -364,7 +396,15 @@ func (enc *encoder) entryFor(cfg *cert.Config, orig *graph.Graph, n *lanewidth.N
 func (enc *encoder) buildLabels(cfg *cert.Config, orig *graph.Graph, h *lanewidth.Hierarchy,
 	emb lanes.Embedding, c *lanes.Completion) (*Labeling, error) {
 	owners := h.EdgeOwners()
+	// Certificates are memoized per completion edge: the label of a real
+	// edge and every EmbEntry simulating a virtual edge on it reference the
+	// same *CEdgeLabel, so the certificate (and its cached encoding) is
+	// built once no matter how many labels carry it.
+	certs := make(map[graph.Edge]*CEdgeLabel, len(owners))
 	certOf := func(e graph.Edge) (*CEdgeLabel, error) {
+		if cl, ok := certs[e]; ok {
+			return cl, nil
+		}
 		owner, ok := owners[e]
 		if !ok {
 			return nil, fmt.Errorf("core: completion edge %v has no owner", e)
@@ -390,6 +430,7 @@ func (enc *encoder) buildLabels(cfg *cert.Config, orig *graph.Graph, h *lanewidt
 			}
 			cl.OwnerPos = pos
 		}
+		certs[e] = cl
 		return cl, nil
 	}
 

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/algebra"
 	"repro/internal/cert"
 	"repro/internal/graph"
@@ -23,19 +27,63 @@ type VertexView struct {
 func (s *Scheme) Verify(cfg *cert.Config, labeling *Labeling) []bool {
 	verdicts := make([]bool, cfg.G.N())
 	for v := 0; v < cfg.G.N(); v++ {
-		view := &VertexView{ID: cfg.IDs[v], Input: cfg.Input(v), Isolated: cfg.G.Degree(v) == 0}
-		ok := true
-		for _, w := range cfg.G.Neighbors(v) {
-			l, has := labeling.Edges[graph.NewEdge(v, w)]
-			if !has || l == nil {
-				ok = false
-				break
-			}
-			view.Labels = append(view.Labels, l)
-		}
-		verdicts[v] = ok && s.VerifyAt(view)
+		verdicts[v] = s.verifyVertex(cfg, labeling, v)
 	}
 	return verdicts
+}
+
+// VerifyParallel runs the same per-vertex verifier as Verify on a worker
+// pool (verification is embarrassingly parallel: each vertex's check reads
+// only its own view). The verdicts are identical to Verify's.
+func (s *Scheme) VerifyParallel(cfg *cert.Config, labeling *Labeling) []bool {
+	n := cfg.G.N()
+	verdicts := make([]bool, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return s.Verify(cfg, labeling)
+	}
+	// Dynamic chunking: workers claim fixed-size vertex ranges so a few
+	// expensive vertices cannot serialize the round.
+	const chunk = 64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for v := lo; v < hi; v++ {
+					verdicts[v] = s.verifyVertex(cfg, labeling, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return verdicts
+}
+
+// verifyVertex assembles vertex v's view from the labeling and runs VerifyAt.
+func (s *Scheme) verifyVertex(cfg *cert.Config, labeling *Labeling, v graph.Vertex) bool {
+	view := &VertexView{ID: cfg.IDs[v], Input: cfg.Input(v), Isolated: cfg.G.Degree(v) == 0}
+	for _, w := range cfg.G.Neighbors(v) {
+		l, has := labeling.Edges[graph.NewEdge(v, w)]
+		if !has || l == nil {
+			return false
+		}
+		view.Labels = append(view.Labels, l)
+	}
+	return s.VerifyAt(view)
 }
 
 // AllAccept reports whether every verdict is true.

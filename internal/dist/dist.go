@@ -27,11 +27,35 @@ import (
 type Network struct {
 	cfg    *cert.Config
 	scheme *core.Scheme
+
+	// Dart (directed-edge) indexing, precomputed once so each round pays no
+	// per-round map or sort overhead: vertex v's i-th outgoing dart has index
+	// off[v]+i (following cfg.G.Neighbors(v) order), and rev[d] is the index
+	// of d's reverse dart.
+	off []int
+	rev []int
 }
 
 // NewNetwork builds a network over the configuration's graph.
 func NewNetwork(cfg *cert.Config, scheme *core.Scheme) *Network {
-	return &Network{cfg: cfg, scheme: scheme}
+	g := cfg.G
+	n := &Network{cfg: cfg, scheme: scheme, off: make([]int, g.N()+1)}
+	for v := 0; v < g.N(); v++ {
+		n.off[v+1] = n.off[v] + g.Degree(v)
+	}
+	n.rev = make([]int, n.off[g.N()])
+	idx := make(map[dartKey]int, len(n.rev))
+	for v := 0; v < g.N(); v++ {
+		for i, w := range g.Neighbors(v) {
+			idx[dartKey{v, w}] = n.off[v] + i
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for i, w := range g.Neighbors(v) {
+			n.rev[n.off[v]+i] = idx[dartKey{w, v}]
+		}
+	}
+	return n
 }
 
 // Result is the outcome of one verification round.
@@ -46,9 +70,9 @@ type Result struct {
 // acceptance condition).
 func (r Result) Accepted() bool { return len(r.Rejected) == 0 }
 
-// message is what travels over an edge's channel in the exchange round:
-// the sender's copy of that edge's label (nil when the sender's memory
-// holds no label for the edge).
+// message is what a processor publishes into an outbox slot during the
+// exchange round: the sender's copy of that edge's label (nil when the
+// sender's memory holds no label for the edge).
 type message struct {
 	label *core.EdgeLabel
 }
@@ -104,20 +128,23 @@ func (n *Network) RunWithMemoryFault(
 // run executes the round; sideOf selects the label memory vertex v reads
 // its half of edge e from (per-processor memory may diverge under
 // asymmetric corruption).
+//
+// The exchange uses one shared outbox slot per dart instead of per-dart
+// channels: each processor publishes its outgoing copies (each slot has a
+// single writer), all processors synchronize on one barrier, then each
+// reads its neighbors' slots. The barrier is the entire per-round
+// synchronization — no channel allocation, map lookups, or per-message
+// scheduling — and the WaitGroup's happens-before edge makes the reads
+// race-free.
 func (n *Network) run(ctx context.Context, sideOf func(graph.Vertex, graph.Edge) *core.Labeling) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	g := n.cfg.G
 
-	// One buffered channel per directed edge; capacity 1 makes the send
-	// half of the round non-blocking, so the synchronous round cannot
-	// deadlock regardless of goroutine scheduling.
-	chans := make(map[dartKey]chan message, 2*g.M())
-	for _, e := range g.Edges() {
-		chans[dartKey{e.U, e.V}] = make(chan message, 1)
-		chans[dartKey{e.V, e.U}] = make(chan message, 1)
-	}
+	outbox := make([]message, n.off[g.N()])
+	var sent sync.WaitGroup // send-phase barrier, released when all publish
+	sent.Add(g.N())
 
 	verdicts := make([]bool, g.N())
 	errs := make([]error, g.N())
@@ -126,7 +153,7 @@ func (n *Network) run(ctx context.Context, sideOf func(graph.Vertex, graph.Edge)
 		wg.Add(1)
 		go func(v graph.Vertex) {
 			defer wg.Done()
-			verdicts[v], errs[v] = n.runVertex(ctx, v, sideOf, chans)
+			verdicts[v], errs[v] = n.runVertex(ctx, v, sideOf, outbox, &sent)
 		}(v)
 	}
 	wg.Wait()
@@ -145,39 +172,38 @@ func (n *Network) run(ctx context.Context, sideOf func(graph.Vertex, graph.Edge)
 	return res, nil
 }
 
-// runVertex is the processor at vertex v: send phase, receive phase, then
-// the local verification of Theorem 1 on the vertex's own label memory.
+// runVertex is the processor at vertex v: send phase (publish label copies),
+// barrier, receive phase, then the local verification of Theorem 1 on the
+// vertex's own label memory.
 func (n *Network) runVertex(
 	ctx context.Context,
 	v graph.Vertex,
 	sideOf func(graph.Vertex, graph.Edge) *core.Labeling,
-	chans map[dartKey]chan message,
+	outbox []message,
+	sent *sync.WaitGroup,
 ) (bool, error) {
 	g := n.cfg.G
 	neighbors := g.Neighbors(v)
 
-	// Send: one copy of each incident edge label, over that edge's channel.
+	// Send: publish one copy of each incident edge label in this vertex's
+	// outbox slots. Publishing never blocks, so the round cannot deadlock.
 	mine := make([]*core.EdgeLabel, len(neighbors))
 	for i, w := range neighbors {
 		e := graph.NewEdge(v, w)
 		mine[i] = sideOf(v, e).Edges[e]
-		select {
-		case chans[dartKey{v, w}] <- message{label: mine[i]}:
-		case <-ctx.Done():
-			return false, ctx.Err()
-		}
+		outbox[n.off[v]+i] = message{label: mine[i]}
+	}
+	sent.Done()
+	sent.Wait()
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
 
 	// Receive: the neighbor's copy of each shared edge label must agree
 	// with this processor's copy, or the round detects the corruption.
 	consistent := true
-	for i, w := range neighbors {
-		var got message
-		select {
-		case got = <-chans[dartKey{w, v}]:
-		case <-ctx.Done():
-			return false, ctx.Err()
-		}
+	for i := range neighbors {
+		got := outbox[n.rev[n.off[v]+i]]
 		if got.label != mine[i] && labelKey(got.label) != labelKey(mine[i]) {
 			consistent = false
 		}
@@ -200,8 +226,8 @@ func (n *Network) runVertex(
 	return n.scheme.VerifyAt(view), nil
 }
 
-// dartKey identifies a directed edge (the channel from one endpoint to the
-// other).
+// dartKey identifies a directed edge (one endpoint's outgoing half of an
+// edge), used to build the dart index in NewNetwork.
 type dartKey struct{ from, to graph.Vertex }
 
 // labelKey canonically encodes an edge label for the cross-endpoint

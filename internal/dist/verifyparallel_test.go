@@ -1,0 +1,90 @@
+package dist
+
+// Regression pin for the parallel verifier: VerifyParallel must agree with
+// the sequential Verify verdict-for-verdict — on honest labelings of every
+// generator family, and under every fault of the corruption catalog.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+type verifyFamily struct {
+	name string
+	g    *graph.Graph
+	prop algebra.Property
+}
+
+// verifyFamilies pairs one representative graph per internal/gen family with
+// a property that holds on it (bipartite where the family is bipartite;
+// 3-colorability for the triangle-bearing interval and lanewidth families,
+// whose pathwidth ≤ 2 guarantees χ ≤ 3).
+func verifyFamilies(t *testing.T) []verifyFamily {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	ig, _ := gen.IntervalGraph(rng, 40, 2)
+	lb, err := gen.LanewidthGraph(rng, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := algebra.Colorable{Q: 2}
+	three := algebra.Colorable{Q: 3}
+	return []verifyFamily{
+		{"path", graph.PathGraph(40), two},
+		{"cycle", graph.CycleGraph(26), two},
+		{"caterpillar", gen.Caterpillar(9, 2), two},
+		{"lobster", gen.Lobster(7, 1), two},
+		{"ladder", gen.Ladder(8), two},
+		{"interval", ig, three},
+		{"lanewidth", lb.Graph(), three},
+		{"spiderfree", gen.SpiderFreeCaterpillar(rng, 26), two},
+	}
+}
+
+func sameVerdicts(t *testing.T, context string, seq, par []bool) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("%s: verdict count %d vs %d", context, len(seq), len(par))
+	}
+	for v := range seq {
+		if seq[v] != par[v] {
+			t.Fatalf("%s: vertex %d: Verify=%v VerifyParallel=%v", context, v, seq[v], par[v])
+		}
+	}
+}
+
+func TestVerifyParallelMatchesVerify(t *testing.T) {
+	for _, fam := range verifyFamilies(t) {
+		t.Run(fam.name, func(t *testing.T) {
+			s := core.NewScheme(fam.prop, 8)
+			cfg := cert.NewConfig(fam.g)
+			labeling, _, err := s.Prove(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameVerdicts(t, "honest", s.Verify(cfg, labeling), s.VerifyParallel(cfg, labeling))
+
+			rng := rand.New(rand.NewSource(42))
+			for _, fault := range AllFaults {
+				for trial := 0; trial < 8; trial++ {
+					mutated, ok := Inject(rng, labeling, fault)
+					if !ok {
+						continue
+					}
+					seq := s.Verify(cfg, mutated)
+					par := s.VerifyParallel(cfg, mutated)
+					sameVerdicts(t, fault.String(), seq, par)
+					if core.AllAccept(par) {
+						t.Fatalf("fault %s trial %d: corruption accepted", fault, trial)
+					}
+				}
+			}
+		})
+	}
+}

@@ -57,6 +57,10 @@ type Graph struct {
 	n   int
 	adj [][]Vertex
 	set map[Edge]struct{}
+
+	// sorted caches the Edges() result; AddEdge invalidates it, so repeated
+	// Edges() calls between mutations cost O(1) instead of O(m log m).
+	sorted []Edge
 }
 
 // New returns an empty graph on n vertices.
@@ -108,6 +112,7 @@ func (g *Graph) AddEdge(u, v Vertex) error {
 	g.set[e] = struct{}{}
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
+	g.sorted = nil
 	return nil
 }
 
@@ -132,19 +137,24 @@ func (g *Graph) Neighbors(v Vertex) []Vertex { return g.adj[v] }
 // Degree returns the degree of v.
 func (g *Graph) Degree(v Vertex) int { return len(g.adj[v]) }
 
-// Edges returns all edges in deterministic (sorted) order.
+// Edges returns all edges in deterministic (sorted) order. The returned
+// slice is cached by the graph and must not be modified; it is valid until
+// the next AddEdge.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, len(g.set))
-	for e := range g.set {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
+	if g.sorted == nil {
+		out := make([]Edge, 0, len(g.set))
+		for e := range g.set {
+			out = append(out, e)
 		}
-		return out[i].V < out[j].V
-	})
-	return out
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].U != out[j].U {
+				return out[i].U < out[j].U
+			}
+			return out[i].V < out[j].V
+		})
+		g.sorted = out
+	}
+	return g.sorted
 }
 
 // Clone returns a deep copy of g.

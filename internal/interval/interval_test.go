@@ -1,6 +1,7 @@
 package interval
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -167,12 +168,6 @@ func TestExactPathwidthKnownValues(t *testing.T) {
 	}
 }
 
-func TestExactPathwidthTooLarge(t *testing.T) {
-	if _, _, err := ExactPathwidth(graph.PathGraph(MaxExactVertices + 1)); err == nil {
-		t.Fatal("oversized graph accepted")
-	}
-}
-
 func TestHeuristicOrderingValidDecomposition(t *testing.T) {
 	g := graph.CycleGraph(50)
 	order := HeuristicOrdering(g)
@@ -190,16 +185,38 @@ func TestHeuristicOrderingValidDecomposition(t *testing.T) {
 
 func TestDecomposeDispatch(t *testing.T) {
 	small := graph.CycleGraph(8)
-	if w := Decompose(small).Width(); w != 2 {
+	spd, err := Decompose(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := spd.Width(); w != 2 {
 		t.Fatalf("small Decompose width = %d, want exact 2", w)
 	}
 	large := graph.PathGraph(200)
-	pd := Decompose(large)
+	pd, err := Decompose(large)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := pd.Validate(large); err != nil {
 		t.Fatalf("large Decompose invalid: %v", err)
 	}
 	if pd.Width() > 3 {
 		t.Fatalf("path heuristic width %d unexpectedly large", pd.Width())
+	}
+}
+
+func TestExactPathwidthTooLarge(t *testing.T) {
+	big := graph.PathGraph(MaxExactVertices + 1)
+	if _, _, err := ExactPathwidth(big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("ExactPathwidth over the limit: err=%v, want ErrTooLarge", err)
+	}
+	// Decompose treats the size limit as the expected heuristic fallback.
+	pd, err := Decompose(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pd.Validate(big); err != nil {
+		t.Fatalf("fallback decomposition invalid: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package interval
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -11,6 +12,11 @@ import (
 // O(2^n · n) and is only run for graphs up to this many vertices.
 const MaxExactVertices = 20
 
+// ErrTooLarge is returned by ExactPathwidth when the graph exceeds
+// MaxExactVertices. It marks the expected "fall back to the heuristic"
+// condition, as opposed to a genuine failure of the computation.
+var ErrTooLarge = errors.New("interval: graph too large for exact pathwidth")
+
 // ExactPathwidth computes the pathwidth of g exactly via the vertex
 // separation number: pathwidth equals the minimum over vertex orderings of
 // the maximum boundary size, computed by dynamic programming over subsets.
@@ -19,8 +25,7 @@ const MaxExactVertices = 20
 func ExactPathwidth(g *graph.Graph) (int, []graph.Vertex, error) {
 	n := g.N()
 	if n > MaxExactVertices {
-		return 0, nil, fmt.Errorf("interval: exact pathwidth limited to %d vertices, got %d",
-			MaxExactVertices, n)
+		return 0, nil, fmt.Errorf("%w: limit %d vertices, got %d", ErrTooLarge, MaxExactVertices, n)
 	}
 	if n == 0 {
 		return 0, nil, nil
@@ -165,12 +170,18 @@ func OrderingDecomposition(g *graph.Graph, order []graph.Vertex) *PathDecomposit
 }
 
 // Decompose returns a path decomposition of g: exact (optimal width) when
-// g is small enough, heuristic otherwise.
-func Decompose(g *graph.Graph) *PathDecomposition {
+// g is small enough, heuristic otherwise. Only the expected ErrTooLarge
+// condition falls back to the heuristic; any other ExactPathwidth failure
+// is propagated instead of silently degrading the decomposition.
+func Decompose(g *graph.Graph) (*PathDecomposition, error) {
 	if g.N() <= MaxExactVertices {
-		if _, order, err := ExactPathwidth(g); err == nil {
-			return OrderingDecomposition(g, order)
+		_, order, err := ExactPathwidth(g)
+		if err == nil {
+			return OrderingDecomposition(g, order), nil
+		}
+		if !errors.Is(err, ErrTooLarge) {
+			return nil, fmt.Errorf("interval: exact pathwidth failed: %w", err)
 		}
 	}
-	return OrderingDecomposition(g, HeuristicOrdering(g))
+	return OrderingDecomposition(g, HeuristicOrdering(g)), nil
 }

@@ -71,6 +71,11 @@ type TreeVertex struct {
 	Node     *Node
 	Children []*TreeVertex
 	parent   *TreeVertex
+	// depth is the distance to the working tree's root at construction
+	// time. Depths never change while a vertex is in the top tree (detached
+	// subtrees are frozen into T-nodes and their owners redirected), so
+	// treeLCA can level its walks without re-measuring chains.
+	depth int
 }
 
 // Hierarchy is a complete hierarchical decomposition of a graph built from
@@ -118,7 +123,7 @@ func BuildHierarchy(g *graph.Graph, log OpLog) (*Hierarchy, error) {
 			e.Lanes = []int{op.I}
 			e.In[op.I] = op.U
 			e.Out[op.I] = op.V
-			tv := &TreeVertex{Node: e, parent: b.owner[op.I]}
+			tv := &TreeVertex{Node: e, parent: b.owner[op.I], depth: b.owner[op.I].depth + 1}
 			b.owner[op.I].Children = append(b.owner[op.I].Children, tv)
 			b.owner[op.I] = tv
 			designated[op.I] = op.V
@@ -201,7 +206,7 @@ func (b *hBuilder) eInsert(i, j int, u, v graph.Vertex) error {
 		}
 	}
 
-	tv := &TreeVertex{Node: bn, parent: lca}
+	tv := &TreeVertex{Node: bn, parent: lca, depth: lca.depth + 1}
 	lca.Children = append(lca.Children, tv)
 
 	// Ownership: every lane whose owner sat inside a wrapped subtree — or
@@ -258,16 +263,27 @@ func mergedOut(tv *TreeVertex) map[int]graph.Vertex {
 }
 
 func treeLCA(a, c *TreeVertex) *TreeVertex {
-	anc := map[*TreeVertex]bool{}
-	for x := a; x != nil; x = x.parent {
-		anc[x] = true
-	}
-	for x := c; x != nil; x = x.parent {
-		if anc[x] {
-			return x
+	// Allocation-free LCA: level both walks to equal recorded depth, then
+	// climb in lockstep. Costs O(distance to the LCA), not O(tree depth).
+	for a.depth > c.depth {
+		if a.parent == nil {
+			return nil
 		}
+		a = a.parent
 	}
-	return nil
+	for c.depth > a.depth {
+		if c.parent == nil {
+			return nil
+		}
+		c = c.parent
+	}
+	for a != c {
+		if a.parent == nil || c.parent == nil {
+			return nil // different trees
+		}
+		a, c = a.parent, c.parent
+	}
+	return a
 }
 
 // childToward returns the child of lca on the path to desc (desc ≠ lca).
@@ -289,12 +305,12 @@ func detachChild(parent, child *TreeVertex) {
 }
 
 func inSubtree(x, root *TreeVertex) bool {
-	for ; x != nil; x = x.parent {
-		if x == root {
-			return true
-		}
+	// x can only be in root's subtree at a recorded depth ≥ root's, so the
+	// climb stops at root's level instead of walking to the tree root.
+	for x != nil && x.depth > root.depth {
+		x = x.parent
 	}
-	return false
+	return x == root
 }
 
 func unionSorted(a, b []int) []int {

@@ -140,18 +140,40 @@ type MemberInfo struct {
 	MergedOut    map[int]graph.Vertex
 }
 
-// Members returns the member infos of a T-node's tree, root first.
+// Members returns the member infos of a T-node's tree, root first. The
+// merged out-terminals of all members are computed in one post-order pass
+// (each member's map is assembled from its children's already-computed
+// maps), so the whole call is O(members · k) rather than quadratic in the
+// member count.
 func (h *Hierarchy) Members(t *Node) []MemberInfo {
 	if t.Kind != TNode {
 		return nil
 	}
+	merged := map[*TreeVertex]map[int]graph.Vertex{}
+	var fold func(tv *TreeVertex) map[int]graph.Vertex
+	fold = func(tv *TreeVertex) map[int]graph.Vertex {
+		out := make(map[int]graph.Vertex, len(tv.Node.Out))
+		for l, w := range tv.Node.Out {
+			out[l] = w
+		}
+		for _, c := range tv.Children {
+			sub := fold(c)
+			for _, l := range c.Node.Lanes {
+				out[l] = sub[l]
+			}
+		}
+		merged[tv] = out
+		return out
+	}
+	fold(t.Tree)
+
 	var out []MemberInfo
 	var walk func(tv *TreeVertex, parent *Node)
 	walk = func(tv *TreeVertex, parent *Node) {
 		mi := MemberInfo{
 			Node:       tv.Node,
 			TreeParent: parent,
-			MergedOut:  mergedOut(tv),
+			MergedOut:  merged[tv],
 		}
 		for _, c := range tv.Children {
 			mi.TreeChildren = append(mi.TreeChildren, c.Node)
