@@ -143,3 +143,19 @@ func BenchmarkE8ProveAndVerify(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE9BatchAmortization regenerates the multi-property amortization
+// measurement: ProveAll over a shared StructuralProof vs B independent
+// Prove calls (byte-identical labelings, checked inside the harness).
+func BenchmarkE9BatchAmortization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E9Amortization(512, experiments.E9Props)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE9(benchOut, rows)
+			b.ReportMetric(rows[len(rows)-1].Speedup, "speedup@B=7")
+		}
+	}
+}

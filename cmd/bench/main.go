@@ -1,10 +1,11 @@
-// Command bench runs the E1–E8 experiment harness of EXPERIMENTS.md and
+// Command bench runs the E1–E9 experiment harness of EXPERIMENTS.md and
 // prints the measured series. Each experiment regenerates the measurements
 // standing in for one of the paper's quantitative claims:
 //
-//	bench            # run all experiments
-//	bench -exp e1    # run one experiment
-//	bench -exp e8 -json   # also write machine-readable BENCH_E8.json
+//	bench                 # run all experiments
+//	bench -exp e1         # run one experiment
+//	bench -exp e1,e8,e9   # run a comma-separated subset
+//	bench -exp e8,e9 -json   # also write BENCH_E8.json / BENCH_E9.json
 package main
 
 import (
@@ -28,17 +29,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment to run: e1..e8 or all")
+		exp      = fs.String("exp", "all", "experiments to run: comma-separated subset of e1..e9, or all")
 		seed     = fs.Int64("seed", 1, "random seed")
-		jsonOut  = fs.Bool("json", false, "write the E8 series to -json-path as machine-readable JSON")
-		jsonPath = fs.String("json-path", "BENCH_E8.json", "output path for -json")
+		jsonOut  = fs.Bool("json", false, "write the E8/E9 series as machine-readable JSON")
+		jsonPath = fs.String("json-path", "BENCH_E8.json", "output path for the E8 series with -json")
+		e9Path   = fs.String("e9-json-path", "BENCH_E9.json", "output path for the E9 series with -json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	want := func(name string) bool {
-		return *exp == "all" || strings.EqualFold(*exp, name)
+	selected, err := parseExpList(*exp)
+	if err != nil {
+		return err
 	}
+	want := func(name string) bool { return selected[name] || selected["all"] }
 	out := os.Stdout
 	ran := false
 
@@ -125,22 +129,64 @@ func run(args []string) error {
 		experiments.PrintE8(out, rows)
 		fmt.Fprintln(out)
 		if *jsonOut {
-			data, err := json.MarshalIndent(rows, "", "  ")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			if err := writeJSON(*jsonPath, rows); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
 		}
 		ran = true
 	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", *exp)
+	if want("e9") {
+		rows, err := experiments.E9Amortization(4096, experiments.E9Props)
+		if err != nil {
+			return err
+		}
+		experiments.PrintE9(out, rows)
+		fmt.Fprintln(out)
+		if *jsonOut {
+			if err := writeJSON(*e9Path, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *e9Path)
+		}
+		ran = true
 	}
-	if *jsonOut && !want("e8") {
-		return fmt.Errorf("-json requires the e8 experiment (got -exp %s)", *exp)
+	if !ran {
+		return fmt.Errorf("unknown experiment selection %q", *exp)
+	}
+	if *jsonOut && !want("e8") && !want("e9") {
+		return fmt.Errorf("-json requires the e8 or e9 experiment (got -exp %s)", *exp)
 	}
 	return nil
+}
+
+// parseExpList splits the -exp flag on commas and validates every entry.
+func parseExpList(s string) (map[string]bool, error) {
+	known := map[string]bool{
+		"all": true, "e1": true, "e2": true, "e3": true, "e4": true,
+		"e5": true, "e6": true, "e7": true, "e8": true, "e9": true,
+	}
+	out := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name := strings.ToLower(strings.TrimSpace(part))
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown experiment %q", name)
+		}
+		out[name] = true
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty experiment selection %q", s)
+	}
+	return out, nil
+}
+
+func writeJSON(path string, rows any) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

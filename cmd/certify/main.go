@@ -1,21 +1,23 @@
 // Command certify generates a bounded-pathwidth graph, runs the Theorem 1
-// prover for a chosen MSO₂ property, verifies the labels at every vertex
-// (optionally over the goroutine-per-vertex network simulator), and reports
-// label statistics. It is the quickest way to watch the full pipeline run:
+// prover for one or more MSO₂ properties, verifies the labels at every
+// vertex (optionally over the goroutine-per-vertex network simulator), and
+// reports label statistics. With a comma-separated property list the
+// structure is built once and every property is certified against it
+// (core.Batch), and all labelings are distributed over one simulator
+// network. It is the quickest way to watch the full pipeline run:
 //
 //	certify -graph caterpillar -n 64 -prop bipartite
 //	certify -graph cycle -n 33 -prop 3color -dist
+//	certify -graph path -n 64 -prop bipartite,3color,acyclic -dist
 //	certify -graph interval -n 100 -width 3 -prop matching -corrupt flip-class
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/algebra"
@@ -39,7 +41,8 @@ func run(args []string) error {
 		graphKind = fs.String("graph", "caterpillar", "graph family: path|cycle|caterpillar|lobster|ladder|spider|interval")
 		n         = fs.Int("n", 32, "approximate vertex count")
 		width     = fs.Int("width", 2, "interval-graph width (for -graph interval)")
-		propName  = fs.String("prop", "bipartite", "property: bipartite|3color|acyclic|matching|hamiltonian|evenedges|vc:<c>|maxdeg:<d>|dominating|independent")
+		propNames = fs.String("prop", "bipartite",
+			"comma-separated properties: "+strings.Join(algebra.Names(), "|"))
 		markEvery = fs.Int("mark", 2, "for input-set properties: mark every k-th vertex as X")
 		lanesMax  = fs.Int("lanes", 8, "lane budget (certifies pathwidth ≤ lanes-1)")
 		paper     = fs.Bool("paper", false, "use the Proposition 4.6 recursive lane construction")
@@ -55,14 +58,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	prop, err := makeProperty(*propName)
+	names := splitProps(*propNames)
+	props, err := algebra.ByNames(names)
 	if err != nil {
 		return err
 	}
-	scheme := core.NewScheme(prop, *lanesMax)
-	scheme.UsePaperConstruction = *paper
 	cfg := cert.NewConfig(g)
-	if *propName == "dominating" || *propName == "independent" {
+	if needsMarkSet(props) {
 		var marked []graph.Vertex
 		for v := 0; v < g.N(); v += max(1, *markEvery) {
 			marked = append(marked, v)
@@ -70,59 +72,120 @@ func run(args []string) error {
 		cfg.MarkSet(marked)
 		fmt.Printf("marked X: every %d-th vertex (%d vertices)\n", *markEvery, len(marked))
 	}
-	fmt.Printf("graph: %s, n=%d, m=%d\nproperty: %s\n", *graphKind, g.N(), g.M(), prop.Name())
+	fmt.Printf("graph: %s, n=%d, m=%d\nproperties: %s\n", *graphKind, g.N(), g.M(), strings.Join(names, ", "))
 
-	labeling, stats, err := scheme.Prove(cfg, nil)
-	if errors.Is(err, core.ErrPropertyFails) {
-		fmt.Println("prover: property does NOT hold — nothing to certify (completeness vacuous)")
-		return nil
-	}
+	batch, err := core.NewBatch(props, core.BatchOptions{
+		MaxLanes:             *lanesMax,
+		UsePaperConstruction: *paper,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("prover: ok — lanes=%d virtual=%d congestion=%d depth=%d classes=%d max-label=%d bits\n",
-		stats.Lanes, stats.VirtualEdges, stats.Congestion, stats.HierarchyDepth,
-		stats.RegistryClasses, stats.MaxLabelBits)
+	labelings, stats, err := batch.ProveAll(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("structure: lanes=%d virtual=%d congestion=%d depth=%d\n",
+		stats.Lanes, stats.VirtualEdges, stats.Congestion, stats.HierarchyDepth)
+	for _, name := range batch.Properties() {
+		if _, failed := stats.Failed[name]; failed {
+			fmt.Printf("prover %-16s property does NOT hold — nothing to certify (completeness vacuous)\n", name+":")
+			continue
+		}
+		st := stats.PerProperty[name]
+		fmt.Printf("prover %-16s ok — classes=%d max-label=%d bits\n",
+			name+":", st.RegistryClasses, st.MaxLabelBits)
+	}
+	if len(labelings) == 0 {
+		return nil
+	}
 
 	if *corrupt != "" {
 		fault, err := faultByName(*corrupt)
 		if err != nil {
 			return err
 		}
-		mutated, ok := dist.Inject(rng, labeling, fault)
-		if !ok {
-			return fmt.Errorf("fault %s not injectable on this labeling", fault)
+		// Inject in batch order, not map order, so -seed stays reproducible.
+		for _, name := range batch.Properties() {
+			labeling, ok := labelings[name]
+			if !ok {
+				continue
+			}
+			mutated, ok := dist.Inject(rng, labeling, fault)
+			if !ok {
+				return fmt.Errorf("fault %s not injectable on the %s labeling", fault, name)
+			}
+			labelings[name] = mutated
 		}
-		labeling = mutated
-		fmt.Printf("injected fault: %s\n", fault)
+		fmt.Printf("injected fault: %s (into every labeling)\n", fault)
 	}
 
 	if *distFlag {
-		net := dist.NewNetwork(cfg, scheme)
-		res, err := net.Run(context.Background(), labeling)
-		if err != nil {
-			return err
+		// One simulator network serves every property: the topology
+		// precomputation is shared, each labeling runs its own round.
+		net := dist.NewNetwork(cfg, nil)
+		for _, name := range batch.Properties() {
+			labeling, ok := labelings[name]
+			if !ok {
+				continue
+			}
+			res, err := net.RunFor(context.Background(), batch.Scheme(name), labeling)
+			if err != nil {
+				return err
+			}
+			report(name, res.Accepted(), res.Rejected)
 		}
-		report(res.Accepted(), res.Rejected)
 		return nil
 	}
-	verdicts := scheme.VerifyParallel(cfg, labeling)
-	var rejected []graph.Vertex
-	for v, ok := range verdicts {
-		if !ok {
-			rejected = append(rejected, v)
-		}
+	verdictsByProp, err := batch.VerifyAll(cfg, labelings)
+	if err != nil {
+		return err
 	}
-	report(len(rejected) == 0, rejected)
+	for _, name := range batch.Properties() {
+		verdicts, ok := verdictsByProp[name]
+		if !ok {
+			continue
+		}
+		var rejected []graph.Vertex
+		for v, ok := range verdicts {
+			if !ok {
+				rejected = append(rejected, v)
+			}
+		}
+		report(name, len(rejected) == 0, rejected)
+	}
 	return nil
 }
 
-func report(accepted bool, rejected []graph.Vertex) {
+// splitProps splits the -prop flag on commas, trimming blanks.
+func splitProps(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// needsMarkSet reports whether any requested property reads the input set X
+// (the capability lives on the property itself, not in a name list here).
+func needsMarkSet(props []algebra.Property) bool {
+	for _, p := range props {
+		if algebra.ReadsInputSet(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func report(name string, accepted bool, rejected []graph.Vertex) {
 	if accepted {
-		fmt.Println("verifier: ACCEPT at every vertex")
+		fmt.Printf("verifier %-14s ACCEPT at every vertex\n", name+":")
 		return
 	}
-	fmt.Printf("verifier: REJECT at %d vertices %v\n", len(rejected), rejected)
+	fmt.Printf("verifier %-14s REJECT at %d vertices %v\n", name+":", len(rejected), rejected)
 }
 
 func makeGraph(rng *rand.Rand, kind string, n, width int) (*graph.Graph, error) {
@@ -144,41 +207,6 @@ func makeGraph(rng *rand.Rand, kind string, n, width int) (*graph.Graph, error) 
 		return g, nil
 	default:
 		return nil, fmt.Errorf("unknown graph family %q", kind)
-	}
-}
-
-func makeProperty(name string) (algebra.Property, error) {
-	switch {
-	case name == "bipartite":
-		return algebra.Colorable{Q: 2}, nil
-	case name == "3color":
-		return algebra.Colorable{Q: 3}, nil
-	case name == "acyclic":
-		return algebra.Acyclic{}, nil
-	case name == "matching":
-		return algebra.PerfectMatching{}, nil
-	case name == "hamiltonian":
-		return algebra.HamiltonianCycle{}, nil
-	case name == "evenedges":
-		return algebra.EvenEdges{}, nil
-	case name == "dominating":
-		return algebra.DominatingSet{}, nil
-	case name == "independent":
-		return algebra.IndependentSet{}, nil
-	case strings.HasPrefix(name, "vc:"):
-		c, err := strconv.Atoi(strings.TrimPrefix(name, "vc:"))
-		if err != nil {
-			return nil, fmt.Errorf("bad vertex cover bound: %w", err)
-		}
-		return algebra.VertexCoverAtMost{C: c}, nil
-	case strings.HasPrefix(name, "maxdeg:"):
-		d, err := strconv.Atoi(strings.TrimPrefix(name, "maxdeg:"))
-		if err != nil {
-			return nil, fmt.Errorf("bad degree bound: %w", err)
-		}
-		return algebra.MaxDegreeAtMost{D: d}, nil
-	default:
-		return nil, fmt.Errorf("unknown property %q", name)
 	}
 }
 

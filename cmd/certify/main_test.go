@@ -2,22 +2,44 @@ package main
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
+
+	"repro/internal/algebra"
 )
 
-func TestMakeProperty(t *testing.T) {
-	for _, name := range []string{
-		"bipartite", "3color", "acyclic", "matching", "hamiltonian",
-		"evenedges", "vc:3", "maxdeg:2", "dominating", "independent",
+func TestSplitProps(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"bipartite", []string{"bipartite"}},
+		{"bipartite,3color,acyclic", []string{"bipartite", "3color", "acyclic"}},
+		{" bipartite , 3color ", []string{"bipartite", "3color"}},
+		{"bipartite,,acyclic", []string{"bipartite", "acyclic"}},
 	} {
-		if _, err := makeProperty(name); err != nil {
-			t.Errorf("makeProperty(%q): %v", name, err)
+		if got := splitProps(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitProps(%q) = %v, want %v", tc.in, got, tc.want)
 		}
 	}
-	for _, name := range []string{"", "frobnicate", "vc:x", "maxdeg:"} {
-		if _, err := makeProperty(name); err == nil {
-			t.Errorf("makeProperty(%q) should fail", name)
+}
+
+func TestNeedsMarkSet(t *testing.T) {
+	resolve := func(names ...string) []algebra.Property {
+		props, err := algebra.ByNames(names)
+		if err != nil {
+			t.Fatal(err)
 		}
+		return props
+	}
+	if needsMarkSet(resolve("bipartite", "acyclic")) {
+		t.Error("bipartite/acyclic should not need a marked set")
+	}
+	if !needsMarkSet(resolve("bipartite", "dominating")) {
+		t.Error("dominating needs a marked set")
+	}
+	if !needsMarkSet(resolve("independent")) {
+		t.Error("independent needs a marked set")
 	}
 }
 
@@ -44,6 +66,12 @@ func TestRunEndToEnd(t *testing.T) {
 		{"-graph", "cycle", "-n", "8", "-prop", "matching", "-dist"},
 		{"-graph", "caterpillar", "-n", "12", "-prop", "acyclic", "-corrupt", "flip-class"},
 		{"-graph", "cycle", "-n", "7", "-prop", "bipartite"}, // property fails: graceful
+		// Multi-property batch: one structure, all labelings.
+		{"-graph", "path", "-n", "12", "-prop", "bipartite,3color,acyclic"},
+		{"-graph", "path", "-n", "12", "-prop", "bipartite,3color,matching", "-dist"},
+		// Mixed outcome: acyclic fails on the cycle, bipartite holds.
+		{"-graph", "cycle", "-n", "8", "-prop", "bipartite,acyclic"},
+		{"-graph", "path", "-n", "10", "-prop", "bipartite,dominating"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
@@ -51,5 +79,8 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := run([]string{"-prop", "nope"}); err == nil {
 		t.Error("bad property accepted")
+	}
+	if err := run([]string{"-prop", "bipartite,bipartite"}); err == nil {
+		t.Error("duplicate property accepted")
 	}
 }

@@ -1,0 +1,82 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ByName resolves a property from its catalog name — the single source of
+// truth for the property list shared by cmd/certify, cmd/bench and the
+// experiment harness. Parameterized properties take their parameter after a
+// colon: "vc:3" (vertex cover ≤ 3), "maxdeg:2" (maximum degree ≤ 2).
+func ByName(name string) (Property, error) {
+	switch {
+	case name == "bipartite":
+		return Colorable{Q: 2}, nil
+	case name == "3color":
+		return Colorable{Q: 3}, nil
+	case name == "acyclic":
+		return Acyclic{}, nil
+	case name == "matching":
+		return PerfectMatching{}, nil
+	case name == "hamiltonian":
+		return HamiltonianCycle{}, nil
+	case name == "evenedges":
+		return EvenEdges{}, nil
+	case name == "dominating":
+		return DominatingSet{}, nil
+	case name == "independent":
+		return IndependentSet{}, nil
+	case strings.HasPrefix(name, "vc:"):
+		c, err := strconv.Atoi(strings.TrimPrefix(name, "vc:"))
+		if err != nil {
+			return nil, fmt.Errorf("algebra: bad vertex cover bound: %w", err)
+		}
+		return VertexCoverAtMost{C: c}, nil
+	case strings.HasPrefix(name, "maxdeg:"):
+		d, err := strconv.Atoi(strings.TrimPrefix(name, "maxdeg:"))
+		if err != nil {
+			return nil, fmt.Errorf("algebra: bad degree bound: %w", err)
+		}
+		return MaxDegreeAtMost{D: d}, nil
+	default:
+		return nil, fmt.Errorf("algebra: unknown property %q", name)
+	}
+}
+
+// ByNames resolves a list of catalog names (e.g. a comma-split -prop flag).
+func ByNames(names []string) ([]Property, error) {
+	props := make([]Property, 0, len(names))
+	for _, name := range names {
+		p, err := ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		props = append(props, p)
+	}
+	return props, nil
+}
+
+// InputSetReader marks properties whose semantics read the marked vertex
+// set X from the configuration's input labels (e.g. "X is a dominating
+// set"). Catalog consumers use it to decide whether a configuration needs
+// a MarkSet before proving.
+type InputSetReader interface {
+	ReadsInputSet() bool
+}
+
+// ReadsInputSet reports whether the property consumes the marked set X.
+func ReadsInputSet(p Property) bool {
+	r, ok := p.(InputSetReader)
+	return ok && r.ReadsInputSet()
+}
+
+// Names lists the catalog's property names (parameterized entries with
+// their placeholder), for help text and documentation.
+func Names() []string {
+	return []string{
+		"bipartite", "3color", "acyclic", "matching", "hamiltonian",
+		"evenedges", "dominating", "independent", "vc:<c>", "maxdeg:<d>",
+	}
+}

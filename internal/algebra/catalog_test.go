@@ -1,0 +1,61 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByNameResolvesEveryCatalogEntry(t *testing.T) {
+	for _, name := range Names() {
+		// Substitute concrete parameters for the placeholder entries.
+		concrete := name
+		concrete = strings.Replace(concrete, "vc:<c>", "vc:3", 1)
+		concrete = strings.Replace(concrete, "maxdeg:<d>", "maxdeg:2", 1)
+		p, err := ByName(concrete)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", concrete, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("ByName(%q): empty property name", concrete)
+		}
+	}
+}
+
+func TestByNameParameterized(t *testing.T) {
+	p, err := ByName("vc:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc, ok := p.(VertexCoverAtMost); !ok || vc.C != 5 {
+		t.Errorf("vc:5 resolved to %#v", p)
+	}
+	p, err = ByName("maxdeg:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md, ok := p.(MaxDegreeAtMost); !ok || md.D != 4 {
+		t.Errorf("maxdeg:4 resolved to %#v", p)
+	}
+}
+
+func TestByNameRejectsUnknown(t *testing.T) {
+	for _, name := range []string{"", "frobnicate", "vc:x", "maxdeg:", "vc:", "bipartite "} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) should fail", name)
+		}
+	}
+}
+
+func TestByNames(t *testing.T) {
+	props, err := ByNames([]string{"bipartite", "3color", "acyclic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 3 {
+		t.Fatalf("got %d properties", len(props))
+	}
+	if _, err := ByNames([]string{"bipartite", "nope"}); err == nil {
+		t.Error("ByNames with an unknown name should fail")
+	}
+}

@@ -25,6 +25,10 @@ var _ Property = DominatingSet{}
 // Name implements Property.
 func (DominatingSet) Name() string { return "X-dominates" }
 
+// ReadsInputSet implements InputSetReader: the property is about the
+// marked set X.
+func (DominatingSet) ReadsInputSet() bool { return true }
+
 type domTable struct {
 	marked    []bool
 	dominated []bool
@@ -171,6 +175,10 @@ var _ Property = IndependentSet{}
 
 // Name implements Property.
 func (IndependentSet) Name() string { return "X-independent" }
+
+// ReadsInputSet implements InputSetReader: the property is about the
+// marked set X.
+func (IndependentSet) ReadsInputSet() bool { return true }
 
 type indTable struct {
 	marked   []bool

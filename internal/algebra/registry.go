@@ -11,24 +11,32 @@ import "sync"
 type Registry struct {
 	mu      sync.Mutex
 	byKey   map[string]int
+	byPtr   map[*Class]int
 	classes []*Class
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byKey: map[string]int{}}
+	return &Registry{byKey: map[string]int{}, byPtr: map[*Class]int{}}
 }
 
-// Intern returns the id of the class, registering it if new.
+// Intern returns the id of the class, registering it if new. Instances seen
+// before resolve by pointer without re-encoding their key, so schemes that
+// share class instances (memoized algebra evaluations) intern in O(1).
 func (r *Registry) Intern(c *Class) int {
-	key := c.Key()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if id, ok := r.byPtr[c]; ok {
+		return id
+	}
+	key := c.Key()
 	if id, ok := r.byKey[key]; ok {
+		r.byPtr[c] = id
 		return id
 	}
 	id := len(r.classes)
 	r.byKey[key] = id
+	r.byPtr[c] = id
 	r.classes = append(r.classes, c)
 	return id
 }
@@ -37,7 +45,13 @@ func (r *Registry) Intern(c *Class) int {
 func (r *Registry) Lookup(c *Class) (int, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if id, ok := r.byPtr[c]; ok {
+		return id, true
+	}
 	id, ok := r.byKey[c.Key()]
+	if ok {
+		r.byPtr[c] = id
+	}
 	return id, ok
 }
 

@@ -6,6 +6,7 @@ package bits
 import (
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 )
 
 // Writer accumulates bits most-significant-first.
@@ -25,32 +26,60 @@ func (w *Writer) WriteBit(b bool) {
 	w.nbits++
 }
 
+// writeBits appends the n low bits of v, most significant first, merging
+// them into the buffer byte-at-a-time instead of bit-at-a-time. It upholds
+// the Writer's zero-padding invariant (bits past nbits are zero).
+func (w *Writer) writeBits(v uint64, n int) {
+	for n > 0 {
+		if w.nbits%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		free := 8 - w.nbits%8
+		take := free
+		if n < take {
+			take = n
+		}
+		chunk := byte(v>>uint(n-take)) & (1<<uint(take) - 1)
+		w.buf[len(w.buf)-1] |= chunk << uint(free-take)
+		w.nbits += take
+		n -= take
+	}
+}
+
 // WriteUint appends v in exactly width bits (big-endian). It panics if v
 // does not fit, as that is a programming error in the label encoder.
+// Widths beyond 64 pad with leading zero bits.
 func (w *Writer) WriteUint(v uint64, width int) {
 	if width < 64 && v >= 1<<uint(width) {
 		panic(fmt.Sprintf("bits: value %d does not fit in %d bits", v, width))
 	}
-	for i := width - 1; i >= 0; i-- {
-		w.WriteBit(v&(1<<uint(i)) != 0)
+	if width > 64 {
+		w.writeBits(0, width-64)
+		width = 64
 	}
+	w.writeBits(v, width)
 }
 
 // WriteUvarint appends v using a self-delimiting Elias-gamma-style code:
 // a unary length prefix followed by the value bits. Cost: 2⌊log₂(v+1)⌋+1.
 func (w *Writer) WriteUvarint(v uint64) {
 	v++ // encode v+1 ≥ 1
-	width := 0
-	for tmp := v; tmp > 1; tmp >>= 1 {
-		width++
+	width := mathbits.Len64(v) - 1
+	if width < 0 {
+		// v+1 wrapped to zero (v was MaxUint64): a single stop bit, as the
+		// bit-at-a-time encoder emitted.
+		w.writeBits(0, 1)
+		return
 	}
-	for i := 0; i < width; i++ {
-		w.WriteBit(true)
+	if width <= 31 {
+		// Single merged emission: width ones, a zero, then the width value
+		// bits (2·width+1 ≤ 63 bits).
+		prefix := uint64(1)<<uint(width) - 1
+		w.writeBits(prefix<<uint(width+1)|v&(1<<uint(width)-1), 2*width+1)
+		return
 	}
-	w.WriteBit(false)
-	for i := width - 1; i >= 0; i-- {
-		w.WriteBit(v&(1<<uint(i)) != 0)
-	}
+	w.writeBits(1<<uint(width+1)-2, width+1) // width ones, then a zero
+	w.writeBits(v, width)                    // value bits below the leading 1
 }
 
 // WriteChunk appends a pre-encoded bit sequence (buf, nbits) as previously
@@ -80,6 +109,17 @@ func (w *Writer) WriteChunk(buf []byte, nbits int) {
 	// (Bits past nbits are zero by the Writer's zero-padding invariant, so
 	// the retained tail byte carries no stray bits.)
 	w.buf = w.buf[:(w.nbits+7)/8]
+}
+
+// UvarintLen returns the exact bit length WriteUvarint(v) produces
+// (2⌊log₂(v+1)⌋+1), letting label-size accounting run without
+// materializing an encoding.
+func UvarintLen(v uint64) int {
+	width := mathbits.Len64(v+1) - 1
+	if width < 0 {
+		return 1 // v+1 wrapped to zero
+	}
+	return 2*width + 1
 }
 
 // Bits returns the number of bits written.

@@ -22,11 +22,11 @@ type PointingLabel struct {
 	DU, DV   int    // BFS distances of the endpoints from the target
 }
 
-// Bits returns the exact encoded size of the label.
+// Bits returns the exact encoded size of the label, by size accounting
+// (mirrors encode bit for bit without materializing it).
 func (l PointingLabel) Bits() int {
-	var w bits.Writer
-	l.encode(&w)
-	return w.Bits()
+	return bits.UvarintLen(l.X) + bits.UvarintLen(l.UID) + bits.UvarintLen(l.VID) +
+		bits.UvarintLen(uint64(l.DU)) + bits.UvarintLen(uint64(l.DV))
 }
 
 func (l PointingLabel) encode(w *bits.Writer) {

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/algebra"
+	"repro/internal/lanewidth"
+)
+
+// This file memoizes the scheme's algebra evaluations. BaseClass, BridgeMerge
+// and ParentMerge are pure functions of their operands, and on
+// bounded-pathwidth graphs the same local shapes recur thousands of times
+// (every E-node of a lane sees the same two-vertex payload; a T-node chain
+// folds the same (child, parent) class pair over and over). Caching them per
+// scheme turns the per-node algebra of both the prover and the verifier into
+// map hits, and — because cache hits return the *same* *algebra.Class
+// instance — downstream registry interning and merge lookups become pointer
+// hits too. The caches are shared by concurrent verifiers and batch proving
+// workers under algMu.
+
+// baseKey identifies a V-/E-/P-node base payload. V: lane+a(input).
+// E: lane+real+a,b (endpoint inputs). P: extra (lanes, real bits, inputs).
+type baseKey struct {
+	kind  lanewidth.Kind
+	lane  int
+	real  bool
+	a, b  int
+	extra string
+}
+
+// mergePair keys a Parent-merge by operand identity. Operand instances are
+// themselves cache-shared, so honest folds hit on pointer equality.
+type mergePair struct {
+	child, parent *algebra.Class
+}
+
+// bridgeKey keys a Bridge-merge by operand identity, lanes and bridge label.
+type bridgeKey struct {
+	left, right *algebra.Class
+	i, j, label int
+}
+
+// canonicalLocked maps a freshly computed class to the scheme's canonical
+// instance of its value (registering it if new). Merge results that are
+// value-equal across different fold positions thereby collapse to one
+// pointer, which is what lets the pointer-keyed merge caches converge to
+// hits on long chains. Callers hold algMu.
+func (s *Scheme) canonicalLocked(c *algebra.Class) *algebra.Class {
+	if s.canonCache == nil {
+		s.canonCache = map[string]*algebra.Class{}
+	}
+	key := c.Key()
+	if prev, ok := s.canonCache[key]; ok {
+		return prev
+	}
+	s.canonCache[key] = c
+	return c
+}
+
+// cachedBase returns the memoized class for the key, computing it at most
+// once per distinct key (concurrent racers defer to the first stored
+// instance so pointers stay canonical).
+func (s *Scheme) cachedBase(k baseKey, compute func() (*algebra.Class, error)) (*algebra.Class, error) {
+	s.algMu.Lock()
+	if c, ok := s.baseCache[k]; ok {
+		s.algMu.Unlock()
+		return c, nil
+	}
+	s.algMu.Unlock()
+	c, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	s.algMu.Lock()
+	defer s.algMu.Unlock()
+	if s.baseCache == nil {
+		s.baseCache = map[baseKey]*algebra.Class{}
+	}
+	if prev, ok := s.baseCache[k]; ok {
+		return prev, nil
+	}
+	c = s.canonicalLocked(c)
+	s.baseCache[k] = c
+	return c, nil
+}
+
+func (s *Scheme) baseV(lane, input int) (*algebra.Class, error) {
+	return s.cachedBase(baseKey{kind: lanewidth.VNode, lane: lane, a: input},
+		func() (*algebra.Class, error) {
+			return algebra.BaseClass(s.Prop, vNodeBGraph(lane, input))
+		})
+}
+
+func (s *Scheme) baseE(lane int, real bool, inputs []int) (*algebra.Class, error) {
+	k := baseKey{kind: lanewidth.ENode, lane: lane, real: real}
+	if len(inputs) == 2 {
+		k.a, k.b = inputs[0], inputs[1]
+	}
+	return s.cachedBase(k, func() (*algebra.Class, error) {
+		return algebra.BaseClass(s.Prop, eNodeBGraph(lane, real, inputs))
+	})
+}
+
+func (s *Scheme) baseP(lanes []int, realBits []bool, inputs []int) (*algebra.Class, error) {
+	var sb []byte
+	for _, l := range lanes {
+		sb = strconv.AppendInt(sb, int64(l), 10)
+		sb = append(sb, ',')
+	}
+	sb = append(sb, '|')
+	for _, b := range realBits {
+		if b {
+			sb = append(sb, '1')
+		} else {
+			sb = append(sb, '0')
+		}
+	}
+	sb = append(sb, '|')
+	for _, in := range inputs {
+		sb = strconv.AppendInt(sb, int64(in), 10)
+		sb = append(sb, ',')
+	}
+	return s.cachedBase(baseKey{kind: lanewidth.PNode, extra: string(sb)},
+		func() (*algebra.Class, error) {
+			return algebra.BaseClass(s.Prop, pNodeBGraph(lanes, realBits, inputs))
+		})
+}
+
+// parentMerge is algebra.ParentMerge memoized by operand identity.
+func (s *Scheme) parentMerge(child, parent *algebra.Class) (*algebra.Class, error) {
+	k := mergePair{child: child, parent: parent}
+	s.algMu.Lock()
+	if c, ok := s.pMergeCache[k]; ok {
+		s.algMu.Unlock()
+		return c, nil
+	}
+	s.algMu.Unlock()
+	c, err := algebra.ParentMerge(s.Prop, child, parent)
+	if err != nil {
+		return nil, err
+	}
+	s.algMu.Lock()
+	defer s.algMu.Unlock()
+	if s.pMergeCache == nil {
+		s.pMergeCache = map[mergePair]*algebra.Class{}
+	}
+	if prev, ok := s.pMergeCache[k]; ok {
+		return prev, nil
+	}
+	c = s.canonicalLocked(c)
+	s.pMergeCache[k] = c
+	return c, nil
+}
+
+// bridgeMerge is algebra.BridgeMerge memoized by operand identity.
+func (s *Scheme) bridgeMerge(left, right *algebra.Class, i, j, label int) (*algebra.Class, error) {
+	k := bridgeKey{left: left, right: right, i: i, j: j, label: label}
+	s.algMu.Lock()
+	if c, ok := s.bMergeCache[k]; ok {
+		s.algMu.Unlock()
+		return c, nil
+	}
+	s.algMu.Unlock()
+	c, err := algebra.BridgeMerge(s.Prop, left, right, i, j, label)
+	if err != nil {
+		return nil, err
+	}
+	s.algMu.Lock()
+	defer s.algMu.Unlock()
+	if s.bMergeCache == nil {
+		s.bMergeCache = map[bridgeKey]*algebra.Class{}
+	}
+	if prev, ok := s.bMergeCache[k]; ok {
+		return prev, nil
+	}
+	c = s.canonicalLocked(c)
+	s.bMergeCache[k] = c
+	return c, nil
+}

@@ -94,6 +94,10 @@ func TestProveBitIdenticalToNaiveReference(t *testing.T) {
 				if nbits != coldBits || string(data) != string(coldData) {
 					t.Fatalf("edge %v: cached encode differs from raw encode", e)
 				}
+				// Size accounting must agree with the materialized encoding.
+				if el.Bits() != nbits {
+					t.Fatalf("edge %v: Bits()=%d but encoding has %d bits", e, el.Bits(), nbits)
+				}
 			}
 		})
 	}

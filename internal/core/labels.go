@@ -31,6 +31,11 @@ type ChildSummary struct {
 	InIDs         map[int]uint64
 	MergedOutIDs  map[int]uint64
 	MergedClassID int
+
+	// Lane-ordered views of the ID maps, shared with the StructuralProof's
+	// node artifacts when the prover assembled this summary (nil on decoded
+	// or cloned labels, which fall back to the maps).
+	inSeq, mergedOutSeq []uint64
 }
 
 // OperandSummary is the basic information of a B-node operand (a V-node or
@@ -44,6 +49,8 @@ type OperandSummary struct {
 	OutIDs  map[int]uint64
 	ClassID int
 	Input   int // V-node operands: the vertex's input label
+
+	inSeq, outSeq []uint64 // lane-ordered views, see ChildSummary
 }
 
 // encCache memoizes a label component's canonical encoding. Labels are
@@ -55,6 +62,13 @@ type encCache struct {
 	data  []byte
 	nbits int
 	key   string
+
+	// sizeOnce/size memoize the exact encoded bit count computed without
+	// materializing the byte encoding (see EdgeLabel.Bits): proof-size
+	// accounting (Labeling.MaxBits, experiments E1/E8/E9) must not pay for
+	// byte assembly it never reads.
+	sizeOnce sync.Once
+	size     int
 }
 
 // materialize runs the raw encoder once and freezes its output.
@@ -100,6 +114,8 @@ type NodeEntry struct {
 
 	// T-node: summary of its tree's root member.
 	RootMember *ChildSummary
+
+	inSeq, outSeq, mergedOutSeq []uint64 // lane-ordered views, see ChildSummary
 
 	cache encCache
 }
@@ -152,7 +168,17 @@ func (l *Labeling) MaxBits() int {
 
 // --- canonical encodings -------------------------------------------------
 
-func writeIDMap(w *bits.Writer, lanes []int, m map[int]uint64) {
+// writeIDMap emits the map's ids in lane order. When the prover attached a
+// lane-ordered sequence (shared with the structure's artifacts), the ids
+// stream out without per-lane map lookups; the map path serves decoded and
+// cloned labels and is bit-identical.
+func writeIDMap(w *bits.Writer, lanes []int, m map[int]uint64, seq []uint64) {
+	if len(seq) == len(lanes) {
+		for _, id := range seq {
+			w.WriteUvarint(id)
+		}
+		return
+	}
 	for _, l := range lanes {
 		w.WriteUvarint(m[l])
 	}
@@ -164,8 +190,8 @@ func (c *ChildSummary) encode(w *bits.Writer) {
 	for _, l := range c.Lanes {
 		w.WriteUvarint(uint64(l))
 	}
-	writeIDMap(w, c.Lanes, c.InIDs)
-	writeIDMap(w, c.Lanes, c.MergedOutIDs)
+	writeIDMap(w, c.Lanes, c.InIDs, c.inSeq)
+	writeIDMap(w, c.Lanes, c.MergedOutIDs, c.mergedOutSeq)
 	w.WriteUvarint(uint64(c.MergedClassID))
 }
 
@@ -176,8 +202,8 @@ func (o *OperandSummary) encode(w *bits.Writer) {
 	for _, l := range o.Lanes {
 		w.WriteUvarint(uint64(l))
 	}
-	writeIDMap(w, o.Lanes, o.InIDs)
-	writeIDMap(w, o.Lanes, o.OutIDs)
+	writeIDMap(w, o.Lanes, o.InIDs, o.inSeq)
+	writeIDMap(w, o.Lanes, o.OutIDs, o.outSeq)
 	w.WriteUvarint(uint64(o.ClassID))
 	w.WriteUvarint(uint64(o.Input))
 }
@@ -197,12 +223,12 @@ func (n *NodeEntry) encodeRaw(w *bits.Writer) {
 	for _, l := range n.Lanes {
 		w.WriteUvarint(uint64(l))
 	}
-	writeIDMap(w, n.Lanes, n.InIDs)
-	writeIDMap(w, n.Lanes, n.OutIDs)
+	writeIDMap(w, n.Lanes, n.InIDs, n.inSeq)
+	writeIDMap(w, n.Lanes, n.OutIDs, n.outSeq)
 	w.WriteUvarint(uint64(n.ClassID))
 	w.WriteUvarint(uint64(n.ParentID + 1))
 	w.WriteUvarint(uint64(n.MergedClassID))
-	writeIDMap(w, n.Lanes, n.MergedOutIDs)
+	writeIDMap(w, n.Lanes, n.MergedOutIDs, n.mergedOutSeq)
 	w.WriteUvarint(uint64(len(n.Children)))
 	for i := range n.Children {
 		n.Children[i].encode(w)
@@ -265,10 +291,44 @@ func (c *CEdgeLabel) Key() string {
 	return c.cache.key
 }
 
-// Bits returns the exact encoded size of the label (memoized).
+// Bits returns the exact encoded size of the certificate (memoized) by
+// size accounting alone — the entry encodings it splices are already
+// cached, so no byte assembly happens.
+func (c *CEdgeLabel) Bits() int {
+	c.cache.sizeOnce.Do(func() {
+		n := bits.UvarintLen(uint64(len(c.Path)))
+		for _, e := range c.Path {
+			e.cache.materialize(e.encodeRaw)
+			n += e.cache.nbits
+		}
+		n += bits.UvarintLen(uint64(c.OwnerPos))
+		c.cache.size = n
+	})
+	return c.cache.size
+}
+
+// Bits returns the exact encoded size of the label (memoized). The size is
+// computed by accounting, mirroring encodeRaw bit for bit, so calling it
+// never materializes the label's byte encoding.
 func (l *EdgeLabel) Bits() int {
-	l.cache.materialize(l.encodeRaw)
-	return l.cache.nbits
+	l.cache.sizeOnce.Do(func() {
+		n := 1
+		if l.Own != nil {
+			n += l.Own.Bits()
+		}
+		n += bits.UvarintLen(uint64(len(l.Emb)))
+		for _, e := range l.Emb {
+			n += bits.UvarintLen(e.UID) + bits.UvarintLen(e.VID) +
+				bits.UvarintLen(uint64(e.Fwd)) + bits.UvarintLen(uint64(e.Bwd)) +
+				e.Payload.Bits()
+		}
+		n++
+		if l.Pointing != nil {
+			n += l.Pointing.Bits()
+		}
+		l.cache.size = n
+	})
+	return l.cache.size
 }
 
 // Key returns a canonical encoding of the whole edge label, used for the

@@ -9,7 +9,6 @@ import (
 	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/interval"
-	"repro/internal/lanes"
 	"repro/internal/lanewidth"
 )
 
@@ -44,6 +43,17 @@ type Scheme struct {
 	// in O(1) instead of re-encoding O(label-bits).
 	keyMu   sync.Mutex
 	keyPool map[string]string
+
+	// Memoized algebra evaluations (see algebra_cache.go): base classes by
+	// payload and merges by operand identity. The underlying functions are
+	// pure, so the caches are semantically transparent; they turn the
+	// per-node algebra of prover and verifier into map hits whenever the
+	// same local shape recurs (on bounded-pathwidth families almost always).
+	algMu       sync.Mutex
+	baseCache   map[baseKey]*algebra.Class
+	pMergeCache map[mergePair]*algebra.Class
+	bMergeCache map[bridgeKey]*algebra.Class
+	canonCache  map[string]*algebra.Class
 }
 
 // internKey returns the canonical instance of the key, registering it if new.
@@ -66,7 +76,7 @@ func NewScheme(prop algebra.Property, maxLanes int) *Scheme {
 }
 
 // Stats reports measurable quantities of one proving run (experiments
-// E1–E3, E8).
+// E1–E3, E8, E9).
 type Stats struct {
 	Lanes           int
 	VirtualEdges    int
@@ -77,20 +87,31 @@ type Stats struct {
 }
 
 // Prove labels the configuration. The optional decomposition is used when
-// non-nil; otherwise one is computed (exactly for small graphs).
+// non-nil; otherwise one is computed (exactly for small graphs). Prove is a
+// thin wrapper: BuildStructure computes the property-independent structure,
+// ProveWith runs the property's algebra sweep over it.
 // Completeness: on yes-instances of φ ∧ (pathwidth small enough for the lane
 // budget), Prove succeeds and Verify accepts everywhere.
 func (s *Scheme) Prove(cfg *cert.Config, pd *interval.PathDecomposition) (*Labeling, *Stats, error) {
-	if err := cfg.Validate(); err != nil {
+	sp, err := BuildStructureOpts(cfg, pd, StructureOptions{UsePaperConstruction: s.UsePaperConstruction})
+	if err != nil {
 		return nil, nil, err
 	}
-	g := cfg.G
-	if g.N() == 0 {
-		return nil, nil, errors.New("core: empty graph")
+	return s.ProveWith(sp)
+}
+
+// ProveWith runs only the property-dependent half of the prover — class
+// computation, acceptance, certificates and labels (Section 6) — against a
+// shared immutable structure. Its output is byte-identical to Prove on the
+// same configuration. Multiple ProveWith calls (of different schemes) may
+// run concurrently against one StructuralProof.
+func (s *Scheme) ProveWith(sp *StructuralProof) (*Labeling, *Stats, error) {
+	if sp == nil || sp.Cfg == nil {
+		return nil, nil, errors.New("core: nil structural proof")
 	}
-	if g.N() == 1 {
+	if sp.singleVertex {
 		// Single-vertex network: the verifier decides locally; labels empty.
-		ok, err := s.singleVertexAccept(cfg.Input(0))
+		ok, err := s.singleVertexAccept(sp.Cfg.Input(0))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -99,64 +120,16 @@ func (s *Scheme) Prove(cfg *cert.Config, pd *interval.PathDecomposition) (*Label
 		}
 		return &Labeling{Edges: map[graph.Edge]*EdgeLabel{}}, &Stats{}, nil
 	}
-	if !g.Connected() {
-		return nil, nil, errors.New("core: graph must be connected")
-	}
-	if pd == nil {
-		var derr error
-		pd, derr = interval.Decompose(g)
-		if derr != nil {
-			return nil, nil, fmt.Errorf("core: decomposition: %w", derr)
-		}
-	}
-	if err := pd.Validate(g); err != nil {
-		return nil, nil, fmt.Errorf("core: decomposition: %w", err)
-	}
-	r := pd.ToIntervals(g.N())
-
-	// Section 4: lane partition + completion + embedding.
-	var (
-		p   *lanes.Partition
-		c   *lanes.Completion
-		emb lanes.Embedding
-		err error
-	)
-	if s.UsePaperConstruction {
-		p, c, emb, err = lanes.BuildLowCongestion(g, r)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: low-congestion construction: %w", err)
-		}
-	} else {
-		p = lanes.Greedy(r)
-		c = lanes.Complete(g, p, false)
-		emb, err = lanes.EmbedShortestPaths(g, c)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: embedding: %w", err)
-		}
-	}
-	if p.K() > s.MaxLanes {
-		return nil, nil, fmt.Errorf("%w: %d > %d", ErrTooManyLanes, p.K(), s.MaxLanes)
-	}
-
-	// Section 5: lanewidth transcript and hierarchical decomposition.
-	log, err := lanewidth.FromCompletion(g, r, p)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: transcript: %w", err)
-	}
-	h, err := lanewidth.BuildHierarchy(c.Graph, log)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: hierarchy: %w", err)
-	}
-	if err := h.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("core: hierarchy invalid: %w", err)
+	if sp.Partition.K() > s.MaxLanes {
+		return nil, nil, fmt.Errorf("%w: %d > %d", ErrTooManyLanes, sp.Partition.K(), s.MaxLanes)
 	}
 
 	// Section 6: homomorphism classes and certificates.
-	enc, err := s.buildEncoder(cfg, g, h)
+	enc, err := s.buildEncoder(sp)
 	if err != nil {
 		return nil, nil, err
 	}
-	rootClass := s.Reg.Class(enc.entries[h.Root.ID].ClassID)
+	rootClass := s.Reg.Class(enc.entries[sp.Hierarchy.Root.ID].ClassID)
 	accept, err := algebra.Accept(s.Prop, rootClass)
 	if err != nil {
 		return nil, nil, err
@@ -165,15 +138,15 @@ func (s *Scheme) Prove(cfg *cert.Config, pd *interval.PathDecomposition) (*Label
 		return nil, nil, ErrPropertyFails
 	}
 
-	labeling, err := enc.buildLabels(cfg, g, h, emb, c)
+	labeling, err := enc.buildLabels()
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := &Stats{
-		Lanes:           p.K(),
-		VirtualEdges:    len(c.Virtual),
-		Congestion:      emb.Congestion(),
-		HierarchyDepth:  h.Depth(),
+		Lanes:           sp.Partition.K(),
+		VirtualEdges:    len(sp.Completion.Virtual),
+		Congestion:      sp.congestion,
+		HierarchyDepth:  sp.Hierarchy.Depth(),
 		RegistryClasses: s.Reg.Size(),
 		MaxLabelBits:    labeling.MaxBits(),
 	}
@@ -181,7 +154,7 @@ func (s *Scheme) Prove(cfg *cert.Config, pd *interval.PathDecomposition) (*Label
 }
 
 func (s *Scheme) singleVertexAccept(input int) (bool, error) {
-	cls, err := algebra.BaseClass(s.Prop, vNodeBGraph(0, input))
+	cls, err := s.baseV(0, input)
 	if err != nil {
 		return false, err
 	}
@@ -189,44 +162,43 @@ func (s *Scheme) singleVertexAccept(input int) (bool, error) {
 }
 
 // encoder holds the per-node certificate components shared by all edges of
-// each node's subgraph.
+// each node's subgraph, for one property pass over one structure.
 type encoder struct {
 	scheme  *Scheme
+	sp      *StructuralProof
 	classes map[int]*algebra.Class // node id → class
 	merged  map[int]*algebra.Class // member node id → Tree-merge(subtree) class
 	entries map[int]*NodeEntry     // node id → entry
 }
 
 // buildEncoder computes classes bottom-up over the hierarchy and assembles
-// the node entries.
-func (s *Scheme) buildEncoder(cfg *cert.Config, orig *graph.Graph, h *lanewidth.Hierarchy) (*encoder, error) {
+// the node entries from the structure's shared artifacts.
+func (s *Scheme) buildEncoder(sp *StructuralProof) (*encoder, error) {
 	enc := &encoder{
 		scheme:  s,
+		sp:      sp,
 		classes: map[int]*algebra.Class{},
 		merged:  map[int]*algebra.Class{},
 		entries: map[int]*NodeEntry{},
 	}
-	memberInfo := map[int]lanewidth.MemberInfo{}
 
 	var classOf func(n *lanewidth.Node) (*algebra.Class, error)
 	classOf = func(n *lanewidth.Node) (*algebra.Class, error) {
 		if c, ok := enc.classes[n.ID]; ok {
 			return c, nil
 		}
+		a := sp.art[n.ID]
 		var (
 			cls *algebra.Class
 			err error
 		)
 		switch n.Kind {
 		case lanewidth.VNode:
-			cls, err = algebra.BaseClass(s.Prop, vNodeBGraph(n.Lanes[0], cfg.Input(n.Vertex)))
+			cls, err = s.baseV(n.Lanes[0], a.input)
 		case lanewidth.ENode:
-			l := n.Lanes[0]
-			cls, err = algebra.BaseClass(s.Prop, eNodeBGraph(l, edgeReal(orig, n.Edge),
-				[]int{cfg.Input(n.In[l]), cfg.Input(n.Out[l])}))
+			cls, err = s.baseE(n.Lanes[0], a.realBits[0], a.vInputs)
 		case lanewidth.PNode:
-			cls, err = algebra.BaseClass(s.Prop, pNodeBGraph(n.Lanes, pathRealBits(orig, n.PathVs),
-				vertexInputs(cfg, n.PathVs)))
+			cls, err = s.baseP(n.Lanes, a.realBits, a.vInputs)
 		case lanewidth.BNode:
 			var lc, rc *algebra.Class
 			lc, err = classOf(n.Left)
@@ -238,15 +210,12 @@ func (s *Scheme) buildEncoder(cfg *cert.Config, orig *graph.Graph, h *lanewidth.
 				return nil, err
 			}
 			bridgeLabel := 0
-			if edgeReal(orig, n.Bridge) {
+			if a.bridgeReal {
 				bridgeLabel = algebra.EdgeReal
 			}
-			cls, err = algebra.BridgeMerge(s.Prop, lc, rc, n.LaneI, n.LaneJ, bridgeLabel)
+			cls, err = s.bridgeMerge(lc, rc, n.LaneI, n.LaneJ, bridgeLabel)
 		case lanewidth.TNode:
-			members := h.Members(n)
-			for _, mi := range members {
-				memberInfo[mi.Node.ID] = mi
-			}
+			members := sp.members[n.ID]
 			// Process in reverse pre-order so children fold before parents.
 			for i := len(members) - 1; i >= 0; i-- {
 				mi := members[i]
@@ -259,14 +228,14 @@ func (s *Scheme) buildEncoder(cfg *cert.Config, orig *graph.Graph, h *lanewidth.
 					if !ok {
 						return nil, fmt.Errorf("core: member %d folded before child %d", mi.Node.ID, child.ID)
 					}
-					acc, merr = algebra.ParentMerge(s.Prop, childMerged, acc)
+					acc, merr = s.parentMerge(childMerged, acc)
 					if merr != nil {
 						return nil, merr
 					}
 				}
 				enc.merged[mi.Node.ID] = acc
 			}
-			cls = enc.merged[n.RootMember().ID]
+			cls = enc.merged[a.rootMember]
 		default:
 			return nil, fmt.Errorf("core: unknown node kind %v", n.Kind)
 		}
@@ -277,16 +246,16 @@ func (s *Scheme) buildEncoder(cfg *cert.Config, orig *graph.Graph, h *lanewidth.
 		s.Reg.Intern(cls)
 		return cls, nil
 	}
-	if _, err := classOf(h.Root); err != nil {
+	if _, err := classOf(sp.Hierarchy.Root); err != nil {
 		return nil, err
 	}
 
 	// Assemble entries for every node (V-nodes ride inside B summaries).
-	for _, n := range h.Nodes {
+	for _, n := range sp.Hierarchy.Nodes {
 		if n.Kind == lanewidth.VNode {
 			continue
 		}
-		entry, err := enc.entryFor(cfg, orig, n, memberInfo)
+		entry, err := enc.entryFor(n)
 		if err != nil {
 			return nil, err
 		}
@@ -313,89 +282,86 @@ func (enc *encoder) mergedID(nodeID int) int {
 	return enc.scheme.Reg.Intern(cls)
 }
 
-func (enc *encoder) entryFor(cfg *cert.Config, orig *graph.Graph, n *lanewidth.Node,
-	memberInfo map[int]lanewidth.MemberInfo) (*NodeEntry, error) {
-	ids := func(m map[int]graph.Vertex) map[int]uint64 {
-		out := make(map[int]uint64, len(m))
-		for l, v := range m {
-			out[l] = cfg.IDs[v]
-		}
-		return out
+// childSummary assembles the Lemma 6.5 summary of a folded member: its
+// structural maps are shared with the artifact, only the class id is
+// property-specific.
+func (enc *encoder) childSummary(nodeID int) ChildSummary {
+	ca := enc.sp.art[nodeID]
+	return ChildSummary{
+		NodeID:        nodeID,
+		Lanes:         ca.lanes,
+		InIDs:         ca.inIDs,
+		MergedOutIDs:  ca.mergedOutIDs,
+		MergedClassID: enc.mergedID(nodeID),
+		inSeq:         ca.inSeq,
+		mergedOutSeq:  ca.mergedOutSeq,
 	}
+}
+
+// entryFor fills one node's entry: all identifier and payload data aliases
+// the structure's artifact (read-only), the class ids come from this pass.
+func (enc *encoder) entryFor(n *lanewidth.Node) (*NodeEntry, error) {
+	a := enc.sp.art[n.ID]
 	e := &NodeEntry{
 		NodeID:   n.ID,
 		Kind:     n.Kind,
-		Lanes:    sortedLanes(n.Lanes),
-		InIDs:    ids(n.In),
-		OutIDs:   ids(n.Out),
+		Lanes:    a.lanes,
+		InIDs:    a.inIDs,
+		OutIDs:   a.outIDs,
 		ClassID:  enc.classID(n.ID),
 		ParentID: -1,
+		inSeq:    a.inSeq,
+		outSeq:   a.outSeq,
 	}
-	if mi, ok := memberInfo[n.ID]; ok {
-		e.ParentID = n.Parent.ID
-		e.MergedOutIDs = ids(mi.MergedOut)
+	if a.member {
+		e.ParentID = a.parentID
+		e.MergedOutIDs = a.mergedOutIDs
+		e.mergedOutSeq = a.mergedOutSeq
 		e.MergedClassID = enc.mergedID(n.ID)
-		for _, child := range mi.TreeChildren {
-			cmi := memberInfo[child.ID]
-			e.Children = append(e.Children, ChildSummary{
-				NodeID:        child.ID,
-				Lanes:         sortedLanes(child.Lanes),
-				InIDs:         ids(child.In),
-				MergedOutIDs:  ids(cmi.MergedOut),
-				MergedClassID: enc.mergedID(child.ID),
-			})
+		for _, childID := range a.treeChildren {
+			e.Children = append(e.Children, enc.childSummary(childID))
 		}
 	}
 	switch n.Kind {
-	case lanewidth.ENode:
-		l := n.Lanes[0]
-		e.PathIDs = []uint64{cfg.IDs[n.In[l]], cfg.IDs[n.Out[l]]}
-		e.RealBits = []bool{edgeReal(orig, n.Edge)}
-		e.VInputs = []int{cfg.Input(n.In[l]), cfg.Input(n.Out[l])}
-	case lanewidth.PNode:
-		for _, v := range n.PathVs {
-			e.PathIDs = append(e.PathIDs, cfg.IDs[v])
-		}
-		e.RealBits = pathRealBits(orig, n.PathVs)
-		e.VInputs = vertexInputs(cfg, n.PathVs)
+	case lanewidth.ENode, lanewidth.PNode:
+		e.PathIDs = a.pathIDs
+		e.RealBits = a.realBits
+		e.VInputs = a.vInputs
 	case lanewidth.BNode:
 		e.LaneI, e.LaneJ = n.LaneI, n.LaneJ
-		e.BridgeReal = edgeReal(orig, n.Bridge)
+		e.BridgeReal = a.bridgeReal
 		mkOperand := func(op *lanewidth.Node) *OperandSummary {
+			oa := enc.sp.art[op.ID]
 			sum := &OperandSummary{
 				NodeID:  op.ID,
 				Kind:    op.Kind,
-				Lanes:   sortedLanes(op.Lanes),
-				InIDs:   ids(op.In),
-				OutIDs:  ids(op.Out),
+				Lanes:   oa.lanes,
+				InIDs:   oa.inIDs,
+				OutIDs:  oa.outIDs,
 				ClassID: enc.classID(op.ID),
+				inSeq:   oa.inSeq,
+				outSeq:  oa.outSeq,
 			}
 			if op.Kind == lanewidth.VNode {
-				sum.Input = cfg.Input(op.Vertex)
+				sum.Input = oa.input
 			}
 			return sum
 		}
 		e.Left = mkOperand(n.Left)
 		e.Right = mkOperand(n.Right)
 	case lanewidth.TNode:
-		rm := n.RootMember()
-		rmi := memberInfo[rm.ID]
-		e.RootMember = &ChildSummary{
-			NodeID:        rm.ID,
-			Lanes:         sortedLanes(rm.Lanes),
-			InIDs:         ids(rm.In),
-			MergedOutIDs:  ids(rmi.MergedOut),
-			MergedClassID: enc.mergedID(rm.ID),
-		}
+		rm := enc.childSummary(a.rootMember)
+		e.RootMember = &rm
 	}
 	return e, nil
 }
 
 // buildLabels assembles the per-edge labels: own certificates on real
 // edges, embedding entries for virtual edges, and root-anchor pointing.
-func (enc *encoder) buildLabels(cfg *cert.Config, orig *graph.Graph, h *lanewidth.Hierarchy,
-	emb lanes.Embedding, c *lanes.Completion) (*Labeling, error) {
-	owners := h.EdgeOwners()
+func (enc *encoder) buildLabels() (*Labeling, error) {
+	sp := enc.sp
+	orig := sp.Cfg.G
+	owners := sp.owners
 	// Certificates are memoized per completion edge: the label of a real
 	// edge and every EmbEntry simulating a virtual edge on it reference the
 	// same *CEdgeLabel, so the certificate (and its cached encoding) is
@@ -443,18 +409,8 @@ func (enc *encoder) buildLabels(cfg *cert.Config, orig *graph.Graph, h *lanewidt
 		labeling.Edges[e] = &EdgeLabel{Own: cl}
 	}
 	// Embedding certification for virtual completion edges (Theorem 1).
-	for _, ve := range c.Virtual {
-		path := emb[ve]
-		if len(path) < 2 {
-			return nil, fmt.Errorf("core: virtual edge %v lacks an embedding path", ve)
-		}
-		if path[0] != ve.U {
-			rev := make([]graph.Vertex, len(path))
-			for i, v := range path {
-				rev[len(path)-1-i] = v
-			}
-			path = rev
-		}
+	for _, ve := range sp.Completion.Virtual {
+		path := sp.embPaths[ve]
 		payload, err := certOf(ve)
 		if err != nil {
 			return nil, err
@@ -467,22 +423,16 @@ func (enc *encoder) buildLabels(cfg *cert.Config, orig *graph.Graph, h *lanewidt
 				return nil, fmt.Errorf("core: embedding path uses unknown edge %v", re)
 			}
 			el.Emb = append(el.Emb, EmbEntry{
-				UID:     cfg.IDs[ve.U],
-				VID:     cfg.IDs[ve.V],
+				UID:     sp.Cfg.IDs[ve.U],
+				VID:     sp.Cfg.IDs[ve.V],
 				Fwd:     i + 1,
 				Bwd:     total - i,
 				Payload: payload,
 			})
 		}
 	}
-	// Root-anchor pointing scheme (Proposition 2.2).
-	rm := h.Root.RootMember()
-	target := rm.In[sortedLanes(rm.Lanes)[0]]
-	pointing, err := cert.ProvePointing(cfg, target)
-	if err != nil {
-		return nil, err
-	}
-	for e, pl := range pointing {
+	// Root-anchor pointing scheme (Proposition 2.2), shared by the structure.
+	for e, pl := range sp.pointing {
 		p := pl
 		labeling.Edges[e].Pointing = &p
 	}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cert"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/lanes"
+	"repro/internal/lanewidth"
+)
+
+// StructureOptions selects how the property-independent structure is built.
+type StructureOptions struct {
+	// UsePaperConstruction selects the Proposition 4.6 recursive lane
+	// construction (worst-case congestion ≤ H(width)) instead of the greedy
+	// first-fit partition with shortest-path embeddings.
+	UsePaperConstruction bool
+}
+
+// StructuralProof is the property-independent half of the Theorem 1 prover:
+// everything Sections 4–5 derive from the configuration alone — the
+// validated path decomposition, lane partition, completion, embedding,
+// lanewidth transcript, hierarchical decomposition — plus the per-node
+// boundary/order tables and the root-anchor pointing labels that the label
+// encoder consumes. A StructuralProof is immutable once built and safe for
+// concurrent use: Scheme.ProveWith runs only the property-dependent algebra
+// sweep (Section 6) against it, so certifying B properties of one
+// configuration builds the structure once instead of B times (see
+// Batch.ProveAll).
+type StructuralProof struct {
+	Cfg        *cert.Config
+	PD         *interval.PathDecomposition
+	Partition  *lanes.Partition
+	Completion *lanes.Completion
+	Emb        lanes.Embedding
+	Hierarchy  *lanewidth.Hierarchy
+
+	singleVertex bool
+	congestion   int
+
+	// owners maps every completion edge to its owning hierarchy node.
+	owners map[graph.Edge]*lanewidth.Node
+	// members holds each T-node's member infos (pre-order, root first).
+	members map[int][]lanewidth.MemberInfo
+	// embPaths orients each virtual edge's embedding path to start at the
+	// edge's U endpoint, pre-validated against the real edge set.
+	embPaths map[graph.Edge][]graph.Vertex
+	// pointing is the Proposition 2.2 labeling anchoring the hierarchy
+	// root's designated vertex; labelings copy these values per edge.
+	pointing map[graph.Edge]cert.PointingLabel
+	// art holds the property-independent slice of each node's label entry,
+	// indexed by node id.
+	art []*nodeArtifact
+}
+
+// nodeArtifact is the property-independent part of one hierarchy node's
+// NodeEntry: identifier maps, lane sets, payload identifiers, real bits and
+// input labels. The maps and slices are shared read-only by every labeling
+// built from the same StructuralProof — per-property passes fill in only the
+// class ids.
+type nodeArtifact struct {
+	lanes  []int // sorted
+	inIDs  map[int]uint64
+	outIDs map[int]uint64
+
+	// Lane-ordered views of the ID maps, spliced into entries so encoding
+	// streams ids without per-lane map lookups.
+	inSeq, outSeq, mergedOutSeq []uint64
+
+	// Tree-member data (member is false for nodes outside any T-node tree).
+	member       bool
+	parentID     int
+	mergedOutIDs map[int]uint64
+	treeChildren []int
+
+	// E-/P-node payloads.
+	pathIDs  []uint64
+	realBits []bool
+	vInputs  []int
+
+	input      int // V-node: the vertex's input label
+	bridgeReal bool
+	rootMember int // T-node: id of the tree's root member
+}
+
+// SingleVertex reports whether the configuration is the one-vertex network,
+// which carries no labels (the verifier decides locally).
+func (sp *StructuralProof) SingleVertex() bool { return sp.singleVertex }
+
+// Congestion returns the embedding congestion of the structure.
+func (sp *StructuralProof) Congestion() int { return sp.congestion }
+
+// BuildStructure computes the property-independent structure of the
+// configuration. The optional decomposition is used when non-nil; otherwise
+// one is computed. The result can be shared by any number of concurrent
+// Scheme.ProveWith calls.
+func BuildStructure(cfg *cert.Config, pd *interval.PathDecomposition) (*StructuralProof, error) {
+	return BuildStructureOpts(cfg, pd, StructureOptions{})
+}
+
+// BuildStructureOpts is BuildStructure with explicit options.
+func BuildStructureOpts(cfg *cert.Config, pd *interval.PathDecomposition, opts StructureOptions) (*StructuralProof, error) {
+	if cfg == nil {
+		return nil, errors.New("core: nil configuration")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.G
+	if g.N() == 0 {
+		return nil, errors.New("core: empty graph")
+	}
+	if g.N() == 1 {
+		return &StructuralProof{Cfg: cfg, singleVertex: true}, nil
+	}
+	if !g.Connected() {
+		return nil, errors.New("core: graph must be connected")
+	}
+	if pd == nil {
+		var derr error
+		pd, derr = interval.Decompose(g)
+		if derr != nil {
+			return nil, fmt.Errorf("core: decomposition: %w", derr)
+		}
+	}
+	if err := pd.Validate(g); err != nil {
+		return nil, fmt.Errorf("core: decomposition: %w", err)
+	}
+	r := pd.ToIntervals(g.N())
+
+	// Section 4: lane partition + completion + embedding.
+	p, c, emb, err := lanes.Build(g, r, opts.UsePaperConstruction)
+	if err != nil {
+		return nil, fmt.Errorf("core: lane construction: %w", err)
+	}
+
+	// Section 5: lanewidth transcript and hierarchical decomposition.
+	log, err := lanewidth.FromCompletion(g, r, p)
+	if err != nil {
+		return nil, fmt.Errorf("core: transcript: %w", err)
+	}
+	h, err := lanewidth.BuildHierarchy(c.Graph, log)
+	if err != nil {
+		return nil, fmt.Errorf("core: hierarchy: %w", err)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("core: hierarchy invalid: %w", err)
+	}
+
+	sp := &StructuralProof{
+		Cfg:        cfg,
+		PD:         pd,
+		Partition:  p,
+		Completion: c,
+		Emb:        emb,
+		Hierarchy:  h,
+		congestion: emb.Congestion(),
+		owners:     h.EdgeOwners(),
+		members:    h.MembersByTNode(),
+	}
+	// Warm the graph's lazily cached edge list while construction is still
+	// single-threaded; concurrent ProveWith calls then only read it.
+	g.Edges()
+	if err := sp.buildArtifacts(); err != nil {
+		return nil, err
+	}
+	if err := sp.orientEmbedding(); err != nil {
+		return nil, err
+	}
+	if err := sp.buildPointing(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// buildArtifacts derives the per-node boundary/order tables every labeling
+// shares: identifier maps in lane order, member folds, and the E-/P-node
+// path payloads with their real bits and input labels.
+func (sp *StructuralProof) buildArtifacts() error {
+	cfg, g, h := sp.Cfg, sp.Cfg.G, sp.Hierarchy
+	memberInfo := make(map[int]lanewidth.MemberInfo)
+	for _, mis := range sp.members {
+		for _, mi := range mis {
+			memberInfo[mi.Node.ID] = mi
+		}
+	}
+	ids := func(m map[int]graph.Vertex) map[int]uint64 {
+		out := make(map[int]uint64, len(m))
+		for l, v := range m {
+			out[l] = cfg.IDs[v]
+		}
+		return out
+	}
+	seq := func(lanes []int, m map[int]uint64) []uint64 {
+		out := make([]uint64, len(lanes))
+		for i, l := range lanes {
+			out[i] = m[l]
+		}
+		return out
+	}
+	sp.art = make([]*nodeArtifact, len(h.Nodes))
+	for _, n := range h.Nodes {
+		a := &nodeArtifact{
+			lanes:      sortedLanes(n.Lanes),
+			inIDs:      ids(n.In),
+			outIDs:     ids(n.Out),
+			parentID:   -1,
+			rootMember: -1,
+		}
+		a.inSeq = seq(a.lanes, a.inIDs)
+		a.outSeq = seq(a.lanes, a.outIDs)
+		if mi, ok := memberInfo[n.ID]; ok {
+			a.member = true
+			a.parentID = n.Parent.ID
+			a.mergedOutIDs = ids(mi.MergedOut)
+			a.mergedOutSeq = seq(a.lanes, a.mergedOutIDs)
+			for _, child := range mi.TreeChildren {
+				a.treeChildren = append(a.treeChildren, child.ID)
+			}
+		}
+		switch n.Kind {
+		case lanewidth.VNode:
+			a.input = cfg.Input(n.Vertex)
+		case lanewidth.ENode:
+			l := n.Lanes[0]
+			a.pathIDs = []uint64{cfg.IDs[n.In[l]], cfg.IDs[n.Out[l]]}
+			a.realBits = []bool{edgeReal(g, n.Edge)}
+			a.vInputs = []int{cfg.Input(n.In[l]), cfg.Input(n.Out[l])}
+		case lanewidth.PNode:
+			for _, v := range n.PathVs {
+				a.pathIDs = append(a.pathIDs, cfg.IDs[v])
+			}
+			a.realBits = pathRealBits(g, n.PathVs)
+			a.vInputs = vertexInputs(cfg, n.PathVs)
+		case lanewidth.BNode:
+			a.bridgeReal = edgeReal(g, n.Bridge)
+		case lanewidth.TNode:
+			a.rootMember = n.RootMember().ID
+		default:
+			return fmt.Errorf("core: unknown node kind %v", n.Kind)
+		}
+		sp.art[n.ID] = a
+	}
+	return nil
+}
+
+// orientEmbedding fixes every virtual edge's path orientation and validates
+// it against the real edge set, so label assembly never re-derives either.
+func (sp *StructuralProof) orientEmbedding() error {
+	g := sp.Cfg.G
+	sp.embPaths = make(map[graph.Edge][]graph.Vertex, len(sp.Completion.Virtual))
+	for _, ve := range sp.Completion.Virtual {
+		path := sp.Emb.OrientedPath(ve)
+		if len(path) < 2 {
+			return fmt.Errorf("core: virtual edge %v lacks an embedding path", ve)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !g.HasEdge(path[i], path[i+1]) {
+				return fmt.Errorf("core: embedding path uses unknown edge %v", graph.NewEdge(path[i], path[i+1]))
+			}
+		}
+		sp.embPaths[ve] = path
+	}
+	return nil
+}
+
+// buildPointing computes the Proposition 2.2 root-anchor labels for the
+// hierarchy root's designated vertex (the root member's in-terminal on its
+// first lane) — property-independent, shared by every labeling.
+func (sp *StructuralProof) buildPointing() error {
+	rm := sp.Hierarchy.Root.RootMember()
+	target := rm.In[sortedLanes(rm.Lanes)[0]]
+	pointing, err := cert.ProvePointing(sp.Cfg, target)
+	if err != nil {
+		return err
+	}
+	sp.pointing = pointing
+	return nil
+}

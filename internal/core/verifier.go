@@ -350,7 +350,7 @@ func (s *Scheme) checkENode(e *NodeEntry) bool {
 	if e.PathIDs[0] == e.PathIDs[1] || e.InIDs[l] != e.PathIDs[0] || e.OutIDs[l] != e.PathIDs[1] {
 		return false
 	}
-	cls, err := algebra.BaseClass(s.Prop, eNodeBGraph(l, e.RealBits[0], e.VInputs))
+	cls, err := s.baseE(l, e.RealBits[0], e.VInputs)
 	return s.classMatches(e.ClassID, cls, err)
 }
 
@@ -367,7 +367,7 @@ func (s *Scheme) checkPNode(e *NodeEntry) bool {
 		}
 		seen[id] = true
 	}
-	cls, err := algebra.BaseClass(s.Prop, pNodeBGraph(e.Lanes, e.RealBits, e.VInputs))
+	cls, err := s.baseP(e.Lanes, e.RealBits, e.VInputs)
 	return s.classMatches(e.ClassID, cls, err)
 }
 
@@ -388,7 +388,7 @@ func (s *Scheme) checkBNode(e *NodeEntry) bool {
 			if op.InIDs[l] != op.OutIDs[l] {
 				return false
 			}
-			cls, err := algebra.BaseClass(s.Prop, vNodeBGraph(l, op.Input))
+			cls, err := s.baseV(l, op.Input)
 			if !s.classMatches(op.ClassID, cls, err) {
 				return false
 			}
@@ -435,7 +435,7 @@ func (s *Scheme) checkBNode(e *NodeEntry) bool {
 	if e.BridgeReal {
 		bridgeLabel = algebra.EdgeReal
 	}
-	cls, err := algebra.BridgeMerge(s.Prop, lc, rc, e.LaneI, e.LaneJ, bridgeLabel)
+	cls, err := s.bridgeMerge(lc, rc, e.LaneI, e.LaneJ, bridgeLabel)
 	return s.classMatches(e.ClassID, cls, err)
 }
 
@@ -485,7 +485,7 @@ func (s *Scheme) checkMemberFold(e *NodeEntry) bool {
 		if childCls == nil {
 			return false
 		}
-		next, err := algebra.ParentMerge(s.Prop, childCls, acc)
+		next, err := s.parentMerge(childCls, acc)
 		if err != nil {
 			return false
 		}

@@ -83,10 +83,22 @@ type message struct {
 // Run honors ctx: cancellation aborts the round and returns ctx.Err().
 // The labeling is only read, never mutated.
 func (n *Network) Run(ctx context.Context, labeling *core.Labeling) (Result, error) {
+	return n.RunFor(ctx, n.scheme, labeling)
+}
+
+// RunFor runs one verification round with an explicit scheme, overriding
+// the one given at construction. The network's topology precomputation
+// (dart index) depends only on the configuration, so one Network serves
+// many schemes — multi-property batch certification distributes every
+// property's labeling over the same simulator network, one round each.
+func (n *Network) RunFor(ctx context.Context, scheme *core.Scheme, labeling *core.Labeling) (Result, error) {
+	if scheme == nil {
+		return Result{}, fmt.Errorf("dist: nil scheme")
+	}
 	if labeling == nil {
 		return Result{}, fmt.Errorf("dist: nil labeling")
 	}
-	return n.run(ctx, func(graph.Vertex, graph.Edge) *core.Labeling { return labeling })
+	return n.run(ctx, scheme, func(graph.Vertex, graph.Edge) *core.Labeling { return labeling })
 }
 
 // RunWithMemoryFault runs one verification round after corrupting processor
@@ -98,6 +110,9 @@ func (n *Network) Run(ctx context.Context, labeling *core.Labeling) (Result, err
 func (n *Network) RunWithMemoryFault(
 	ctx context.Context, labeling *core.Labeling, rng *rand.Rand, v graph.Vertex, f Fault,
 ) (res Result, ok bool, err error) {
+	if n.scheme == nil {
+		return Result{}, false, fmt.Errorf("dist: network has no scheme (built for RunFor)")
+	}
 	if labeling == nil {
 		return Result{}, false, fmt.Errorf("dist: nil labeling")
 	}
@@ -116,7 +131,7 @@ func (n *Network) RunWithMemoryFault(
 		return Result{}, false, nil
 	}
 	honest := labeling
-	res, err = n.run(ctx, func(u graph.Vertex, _ graph.Edge) *core.Labeling {
+	res, err = n.run(ctx, n.scheme, func(u graph.Vertex, _ graph.Edge) *core.Labeling {
 		if u == v {
 			return corrupt
 		}
@@ -136,7 +151,7 @@ func (n *Network) RunWithMemoryFault(
 // synchronization — no channel allocation, map lookups, or per-message
 // scheduling — and the WaitGroup's happens-before edge makes the reads
 // race-free.
-func (n *Network) run(ctx context.Context, sideOf func(graph.Vertex, graph.Edge) *core.Labeling) (Result, error) {
+func (n *Network) run(ctx context.Context, scheme *core.Scheme, sideOf func(graph.Vertex, graph.Edge) *core.Labeling) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -153,7 +168,7 @@ func (n *Network) run(ctx context.Context, sideOf func(graph.Vertex, graph.Edge)
 		wg.Add(1)
 		go func(v graph.Vertex) {
 			defer wg.Done()
-			verdicts[v], errs[v] = n.runVertex(ctx, v, sideOf, outbox, &sent)
+			verdicts[v], errs[v] = n.runVertex(ctx, v, scheme, sideOf, outbox, &sent)
 		}(v)
 	}
 	wg.Wait()
@@ -178,6 +193,7 @@ func (n *Network) run(ctx context.Context, sideOf func(graph.Vertex, graph.Edge)
 func (n *Network) runVertex(
 	ctx context.Context,
 	v graph.Vertex,
+	scheme *core.Scheme,
 	sideOf func(graph.Vertex, graph.Edge) *core.Labeling,
 	outbox []message,
 	sent *sync.WaitGroup,
@@ -223,7 +239,7 @@ func (n *Network) runVertex(
 		}
 		view.Labels = append(view.Labels, l)
 	}
-	return n.scheme.VerifyAt(view), nil
+	return scheme.VerifyAt(view), nil
 }
 
 // dartKey identifies a directed edge (one endpoint's outgoing half of an

@@ -1,4 +1,4 @@
-// Package experiments implements the E1–E8 experiment harness of DESIGN.md:
+// Package experiments implements the E1–E9 experiment harness of DESIGN.md:
 // each function regenerates the measurements that stand in for one of the
 // paper's quantitative claims (the paper is a theory result with no
 // measurement tables; see EXPERIMENTS.md for the mapping). The functions are
@@ -7,9 +7,11 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/algebra"
@@ -405,5 +407,157 @@ func PrintE8(w io.Writer, rows []E8Row) {
 	fmt.Fprintf(w, "%8s %12s %16s %12s\n", "n", "prove[ms]", "verify[µs/vtx]", "label[bits]")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%8d %12.2f %16.2f %12d\n", r.N, r.ProveMillis, r.VerifyPerVtxUS, r.LabelBits)
+	}
+}
+
+// E9Props is the default multi-property workload of E9: seven properties
+// that all hold on an even path whose every 2nd vertex is marked X. Names
+// resolve through the algebra.ByName catalog (the same source of truth as
+// cmd/certify's -prop flag).
+var E9Props = []string{
+	"bipartite", "3color", "acyclic", "maxdeg:2", "matching",
+	"dominating", "independent",
+}
+
+// E9Row is one point of the multi-property amortization measurement. The
+// JSON tags define the BENCH_E9.json schema tracked across PRs.
+type E9Row struct {
+	N                 int     `json:"n"`
+	B                 int     `json:"b"`
+	Props             string  `json:"props"`
+	IndependentMillis float64 `json:"independent_ms"`
+	BatchMillis       float64 `json:"batch_ms"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// E9Amortization measures multi-property certification: proving B
+// properties of one marked path via core.ProveAll (structure built once,
+// per-property algebra passes against it) versus B independent Prove calls
+// (each rebuilding the full pipeline). Both sides produce byte-identical
+// labelings — pinned here edge by edge — so the speedup is pure
+// amortization of the property-independent structure.
+func E9Amortization(n int, propNames []string) ([]E9Row, error) {
+	g := graph.PathGraph(n)
+	cfg := cert.NewConfig(g)
+	var marked []graph.Vertex
+	for v := 0; v < g.N(); v += 2 {
+		marked = append(marked, v)
+	}
+	cfg.MarkSet(marked)
+	props, err := algebra.ByNames(propNames)
+	if err != nil {
+		return nil, err
+	}
+	var rows []E9Row
+	for b := 1; b <= len(props); b *= 2 {
+		sub := props[:b]
+		if b*2 > len(props) { // last step: take the full set
+			sub = props
+		}
+		row, err := e9Point(cfg, sub)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if len(sub) == len(props) {
+			break
+		}
+	}
+	return rows, nil
+}
+
+// labelingDigest compacts a labeling to per-edge FNV-1a hashes of the
+// canonical encodings, so byte-identity can be checked across the two
+// prover paths without keeping both full labelings alive (retaining B extra
+// labelings would distort the timed side with GC scan work).
+func labelingDigest(l *core.Labeling) map[graph.Edge]uint64 {
+	out := make(map[graph.Edge]uint64, len(l.Edges))
+	for e, el := range l.Edges {
+		h := fnv.New64a()
+		h.Write([]byte(el.Key()))
+		out[e] = h.Sum64()
+	}
+	return out
+}
+
+func e9Point(cfg *cert.Config, props []algebra.Property) (E9Row, error) {
+	// Independent baseline: B full Prove calls, fresh scheme each (exactly
+	// what a naive per-request client would run). Best of two trials per
+	// side, as for any wall-clock microbenchmark.
+	var indMS float64
+	independent := make(map[string]map[graph.Edge]uint64, len(props))
+	for trial := 0; trial < 2; trial++ {
+		var elapsed time.Duration
+		for _, p := range props {
+			s := core.NewScheme(p, core.DefaultMaxLanes)
+			start := time.Now()
+			labeling, _, err := s.Prove(cfg, nil)
+			elapsed += time.Since(start)
+			if err != nil {
+				return E9Row{}, fmt.Errorf("e9 %s: %w", p.Name(), err)
+			}
+			// Digest (and release) outside the timed window — both sides are
+			// charged for proving only.
+			independent[p.Name()] = labelingDigest(labeling)
+		}
+		if ms := float64(elapsed.Microseconds()) / 1000; trial == 0 || ms < indMS {
+			indMS = ms
+		}
+	}
+
+	var (
+		batchMS   float64
+		labelings map[string]*core.Labeling
+	)
+	for trial := 0; trial < 2; trial++ {
+		batch, err := core.NewBatch(props, core.BatchOptions{})
+		if err != nil {
+			return E9Row{}, err
+		}
+		start := time.Now()
+		labelings, _, err = batch.ProveAll(cfg, nil)
+		if err != nil {
+			return E9Row{}, err
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000; trial == 0 || ms < batchMS {
+			batchMS = ms
+		}
+	}
+
+	// Amortization must not change a single bit of any labeling.
+	if len(labelings) != len(independent) {
+		return E9Row{}, fmt.Errorf("e9: batch certified %d of %d properties", len(labelings), len(independent))
+	}
+	names := make([]string, 0, len(props))
+	for _, p := range props {
+		names = append(names, p.Name())
+		ref := independent[p.Name()]
+		got := labelingDigest(labelings[p.Name()])
+		if len(got) != len(ref) {
+			return E9Row{}, fmt.Errorf("e9 %s: edge count differs", p.Name())
+		}
+		for e, h := range ref {
+			if got[e] != h {
+				return E9Row{}, fmt.Errorf("e9 %s: batch labeling differs at edge %v", p.Name(), e)
+			}
+		}
+	}
+	return E9Row{
+		N:                 cfg.G.N(),
+		B:                 len(props),
+		Props:             strings.Join(names, ","),
+		IndependentMillis: indMS,
+		BatchMillis:       batchMS,
+		Speedup:           indMS / batchMS,
+	}, nil
+}
+
+// PrintE9 renders E9 rows.
+func PrintE9(w io.Writer, rows []E9Row) {
+	fmt.Fprintf(w, "E9  Amortization: ProveAll (shared structure) vs B independent Prove calls\n")
+	fmt.Fprintf(w, "%8s %4s %16s %12s %9s  %s\n", "n", "B", "independent[ms]", "batch[ms]", "speedup", "properties")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %4d %16.1f %12.1f %8.2fx  %s\n",
+			r.N, r.B, r.IndependentMillis, r.BatchMillis, r.Speedup, r.Props)
 	}
 }

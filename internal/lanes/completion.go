@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/interval"
 )
 
 // Completion is the result of completing a k-lane partition
@@ -180,4 +181,42 @@ func EmbedShortestPaths(g *graph.Graph, c *Completion) (Embedding, error) {
 		}
 	}
 	return emb, nil
+}
+
+// Build constructs the Section 4 artifacts of (g, r) in one call: a lane
+// partition, its completion, and an embedding of every virtual completion
+// edge. usePaper selects the Proposition 4.6 recursive construction (with
+// its worst-case lane and congestion bounds) over the default greedy
+// first-fit partition with shortest-path embeddings. It is the single
+// entry point the property-independent prover layer builds on.
+func Build(g *graph.Graph, r *interval.Representation, usePaper bool) (*Partition, *Completion, Embedding, error) {
+	if usePaper {
+		return BuildLowCongestion(g, r)
+	}
+	p := Greedy(r)
+	c := Complete(g, p, false)
+	emb, err := EmbedShortestPaths(g, c)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return p, c, emb, nil
+}
+
+// OrientedPath returns e's embedding path oriented to start at e.U. Paths
+// are stored in arbitrary orientation; certification ranks the path's real
+// edges relative to a fixed endpoint, so consumers need a deterministic
+// orientation. Returns nil when e has no path.
+func (emb Embedding) OrientedPath(e graph.Edge) []graph.Vertex {
+	path := emb[e]
+	if len(path) == 0 {
+		return nil
+	}
+	if path[0] == e.U {
+		return path
+	}
+	rev := make([]graph.Vertex, len(path))
+	for i, v := range path {
+		rev[len(path)-1-i] = v
+	}
+	return rev
 }

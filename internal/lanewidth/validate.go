@@ -400,3 +400,18 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// MembersByTNode computes Members for every T-node of the hierarchy in one
+// pass, keyed by T-node id. It is the bulk accessor backing the
+// property-independent StructuralProof layer in core: the member tables are
+// computed once per structure and shared read-only by every per-property
+// labeling pass instead of being re-derived per property.
+func (h *Hierarchy) MembersByTNode() map[int][]MemberInfo {
+	out := make(map[int][]MemberInfo)
+	for _, n := range h.Nodes {
+		if n.Kind == TNode {
+			out[n.ID] = h.Members(n)
+		}
+	}
+	return out
+}
