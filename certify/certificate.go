@@ -1,0 +1,406 @@
+package certify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// Certificate is a proved labeling for one or more properties of one
+// configuration — the artifact that crosses the wire in the prove-once /
+// verify-everywhere deployment. It marshals to a self-describing versioned
+// binary container:
+//
+//	magic "PLSC" | version (1 byte) | lane budget | n | m |
+//	graph fingerprint (8 bytes) | property count |
+//	per property: name, edge count, per edge (u, v, bit count, label bytes) |
+//	CRC32-IEEE trailer (4 bytes)
+//
+// Integers are unsigned varints; edges are sorted by endpoints, and each
+// label's bytes are the exact core.EncodeLabel bit stream. Decoding is
+// strict — wrong magic, unknown version, truncation, trailing bytes, CRC
+// mismatch, or non-canonical label bytes all fail with ErrBadCertificate —
+// and a decoded certificate re-marshals byte-identically.
+type Certificate struct {
+	maxLanes    int
+	n, m        int
+	fingerprint uint64
+	props       []string // batch order
+	labelings   map[string]*core.Labeling
+
+	// schemes are the per-property verification schemes. Proving fills them
+	// with the prover's own schemes (shared registries); for decoded
+	// certificates they are rebuilt under schemeMu on first verification,
+	// reconstructing each registry from the labels (core.RebuildRegistry),
+	// so concurrent Verify calls on one decoded certificate are safe.
+	schemeMu sync.Mutex
+	schemes  map[string]*core.Scheme
+}
+
+// Wire-format constants.
+const (
+	certMagic   = "PLSC" // Proof Labeling Scheme Certificate
+	certVersion = 1
+
+	// Decode plausibility bounds; anything larger is rejected outright.
+	maxCertProps    = 1 << 10
+	maxCertNameLen  = 1 << 8
+	maxCertVertices = 1 << 30
+	maxCertEdges    = 1 << 26
+	maxLabelBits    = 1 << 30
+)
+
+// Properties returns the certified property names in batch order.
+func (c *Certificate) Properties() []string {
+	return append([]string(nil), c.props...)
+}
+
+// MaxLanes returns the lane budget the certificate was proved under (the
+// certificate proves φ ∧ pathwidth ≤ MaxLanes−1).
+func (c *Certificate) MaxLanes() int { return c.maxLanes }
+
+// N returns the vertex count of the certified configuration.
+func (c *Certificate) N() int { return c.n }
+
+// M returns the edge count of the certified configuration.
+func (c *Certificate) M() int { return c.m }
+
+// MaxBits returns the proof size of one property's labeling — the largest
+// edge label in bits — or 0 for properties the certificate does not carry.
+func (c *Certificate) MaxBits(property string) int {
+	l, ok := c.labelings[property]
+	if !ok {
+		return 0
+	}
+	return l.MaxBits()
+}
+
+// fingerprint hashes the certified configuration: vertex count, identifier
+// assignment, input labels, and the sorted edge set. A certificate binds to
+// this value, so verification against any other configuration (different
+// topology, identifiers, or marked set) fails with ErrWrongGraph.
+func fingerprint(cfg *cert.Config) uint64 {
+	h := fnv.New64a()
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	put(uint64(cfg.G.N()))
+	for _, id := range cfg.IDs {
+		put(id)
+	}
+	for v := 0; v < cfg.G.N(); v++ {
+		put(uint64(cfg.Input(v)))
+	}
+	edges := cfg.G.Edges()
+	put(uint64(len(edges)))
+	for _, e := range edges {
+		put(uint64(e.U))
+		put(uint64(e.V))
+	}
+	return h.Sum64()
+}
+
+// MarshalBinary encodes the certificate into the versioned wire format.
+func (c *Certificate) MarshalBinary() ([]byte, error) {
+	if len(c.props) == 0 {
+		return nil, fmt.Errorf("certify: cannot marshal an empty certificate")
+	}
+	out := []byte(certMagic)
+	out = append(out, certVersion)
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		out = append(out, buf[:n]...)
+	}
+	put(uint64(c.maxLanes))
+	put(uint64(c.n))
+	put(uint64(c.m))
+	var fp [8]byte
+	binary.BigEndian.PutUint64(fp[:], c.fingerprint)
+	out = append(out, fp[:]...)
+	put(uint64(len(c.props)))
+	for _, name := range c.props {
+		l, ok := c.labelings[name]
+		if !ok {
+			return nil, fmt.Errorf("certify: certificate lists property %q without a labeling", name)
+		}
+		put(uint64(len(name)))
+		out = append(out, name...)
+		edges := make([]graph.Edge, 0, len(l.Edges))
+		for e := range l.Edges {
+			edges = append(edges, e)
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].U != edges[j].U {
+				return edges[i].U < edges[j].U
+			}
+			return edges[i].V < edges[j].V
+		})
+		put(uint64(len(edges)))
+		for _, e := range edges {
+			data, nbits := core.EncodeLabel(l.Edges[e])
+			put(uint64(e.U))
+			put(uint64(e.V))
+			put(uint64(nbits))
+			out = append(out, data...)
+		}
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(out))
+	return append(out, crc[:]...), nil
+}
+
+// UnmarshalBinary strictly decodes a certificate previously produced by
+// MarshalBinary. Any deviation from the canonical encoding — wrong magic or
+// version, truncation, bit flips (caught by the CRC trailer), non-canonical
+// label payloads, duplicate edges or properties, or trailing bytes — fails
+// with an error matching ErrBadCertificate. On success the receiver
+// re-marshals byte-identically.
+func (c *Certificate) UnmarshalBinary(data []byte) error {
+	bad := func(format string, args ...any) error {
+		return wrapErr(ErrBadCertificate, fmt.Errorf(format, args...))
+	}
+	if len(data) < len(certMagic)+1+8+4 {
+		return bad("short blob (%d bytes)", len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return bad("CRC mismatch")
+	}
+	if string(body[:len(certMagic)]) != certMagic {
+		return bad("bad magic %q", body[:len(certMagic)])
+	}
+	if v := body[len(certMagic)]; v != certVersion {
+		return bad("unsupported format version %d (want %d)", v, certVersion)
+	}
+	r := body[len(certMagic)+1:]
+	take := func(field string) (uint64, error) {
+		v, n := binary.Uvarint(r)
+		if n <= 0 {
+			return 0, bad("truncated %s", field)
+		}
+		r = r[n:]
+		return v, nil
+	}
+	maxLanes, err := take("lane budget")
+	if err != nil {
+		return err
+	}
+	n, err := take("vertex count")
+	if err != nil {
+		return err
+	}
+	m, err := take("edge count")
+	if err != nil {
+		return err
+	}
+	if maxLanes == 0 || maxLanes > 1<<12 || n == 0 || n > maxCertVertices || m > maxCertEdges {
+		return bad("implausible header (lanes=%d n=%d m=%d)", maxLanes, n, m)
+	}
+	if len(r) < 8 {
+		return bad("truncated fingerprint")
+	}
+	fp := binary.BigEndian.Uint64(r[:8])
+	r = r[8:]
+	nProps, err := take("property count")
+	if err != nil {
+		return err
+	}
+	if nProps == 0 || nProps > maxCertProps {
+		return bad("implausible property count %d", nProps)
+	}
+	var out decodedCertificate
+	out.maxLanes = int(maxLanes)
+	out.n = int(n)
+	out.m = int(m)
+	out.fingerprint = fp
+	out.labelings = make(map[string]*core.Labeling, nProps)
+	for p := uint64(0); p < nProps; p++ {
+		nameLen, err := take("property name length")
+		if err != nil {
+			return err
+		}
+		if nameLen == 0 || nameLen > maxCertNameLen {
+			return bad("implausible property name length %d", nameLen)
+		}
+		if uint64(len(r)) < nameLen {
+			return bad("truncated property name")
+		}
+		name := string(r[:nameLen])
+		r = r[nameLen:]
+		if !utf8.ValidString(name) {
+			return bad("property name is not valid UTF-8")
+		}
+		if _, dup := out.labelings[name]; dup {
+			return bad("duplicate property %q", name)
+		}
+		nEdges, err := take("edge count")
+		if err != nil {
+			return err
+		}
+		if nEdges > maxCertEdges || nEdges != m {
+			return bad("labeling for %q covers %d edges, configuration has %d", name, nEdges, m)
+		}
+		l := &core.Labeling{Edges: make(map[graph.Edge]*core.EdgeLabel, nEdges)}
+		prev := graph.Edge{U: -1, V: -1}
+		for i := uint64(0); i < nEdges; i++ {
+			u, err := take("edge endpoint")
+			if err != nil {
+				return err
+			}
+			v, err := take("edge endpoint")
+			if err != nil {
+				return err
+			}
+			if u >= v || v >= n {
+				return bad("invalid edge {%d,%d}", u, v)
+			}
+			e := graph.Edge{U: int(u), V: int(v)}
+			if e.U < prev.U || (e.U == prev.U && e.V <= prev.V) {
+				return bad("edge %v out of canonical order", e)
+			}
+			prev = e
+			nbits, err := take("label bit count")
+			if err != nil {
+				return err
+			}
+			if nbits > maxLabelBits {
+				return bad("implausible label size %d bits", nbits)
+			}
+			nbytes := (nbits + 7) / 8
+			if uint64(len(r)) < nbytes {
+				return bad("truncated label payload")
+			}
+			payload := r[:nbytes]
+			r = r[nbytes:]
+			el, derr := core.DecodeLabel(payload, int(nbits))
+			if derr != nil {
+				return bad("label for edge %v: %v", e, derr)
+			}
+			// Canonicality: the payload must be the exact re-encoding, so a
+			// decoded certificate re-marshals byte-identically and labels
+			// cannot smuggle unread trailing bits or dirty padding.
+			back, backBits := core.EncodeLabel(el)
+			if backBits != int(nbits) || string(back) != string(payload) {
+				return bad("label for edge %v is not canonically encoded", e)
+			}
+			l.Edges[e] = el
+		}
+		out.props = append(out.props, name)
+		out.labelings[name] = l
+	}
+	if len(r) != 0 {
+		return bad("%d trailing bytes", len(r))
+	}
+	c.schemeMu.Lock()
+	defer c.schemeMu.Unlock()
+	c.maxLanes = out.maxLanes
+	c.n = out.n
+	c.m = out.m
+	c.fingerprint = out.fingerprint
+	c.props = out.props
+	c.labelings = out.labelings
+	c.schemes = nil
+	return nil
+}
+
+// decodedCertificate carries UnmarshalBinary's in-flight fields (the
+// receiver is only written after full validation, and without copying its
+// mutex).
+type decodedCertificate struct {
+	maxLanes    int
+	n, m        int
+	fingerprint uint64
+	props       []string
+	labelings   map[string]*core.Labeling
+}
+
+// ensureSchemes builds the per-property verification schemes of a decoded
+// certificate: each property resolves through the catalog and its class
+// registry is reconstructed from the labeling (fresh certificates keep the
+// prover's schemes and skip this). An unresolvable property name fails with
+// ErrUnknownProperty; a labeling that does not determine a consistent
+// registry fails verification (ErrVerifyFailed).
+func (c *Certificate) ensureSchemes() error {
+	c.schemeMu.Lock()
+	defer c.schemeMu.Unlock()
+	if c.schemes != nil {
+		return nil
+	}
+	schemes := make(map[string]*core.Scheme, len(c.props))
+	for _, name := range c.props {
+		p, err := PropertyByName(name)
+		if err != nil {
+			return err
+		}
+		s := core.NewScheme(p.p, c.maxLanes)
+		if err := s.RebuildRegistry(c.labelings[name]); err != nil {
+			return newVerifyError(name, nil)
+		}
+		schemes[name] = s
+	}
+	c.schemes = schemes
+	return nil
+}
+
+// FaultNames lists the transient-fault catalog of the self-stabilization
+// model, in the order the corruption experiments document.
+func FaultNames() []string {
+	out := make([]string, len(dist.AllFaults))
+	for i, f := range dist.AllFaults {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// Corrupt returns a copy of the certificate with the named transient fault
+// injected into every property's labeling (seeded, so corruption is
+// reproducible). The receiver is unchanged. Soundness of the scheme means
+// one verification round rejects every corrupted certificate; Corrupt
+// exists to demonstrate exactly that.
+func (c *Certificate) Corrupt(seed int64, fault string) (*Certificate, error) {
+	var f dist.Fault
+	found := false
+	for _, k := range dist.AllFaults {
+		if k.String() == fault {
+			f, found = k, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("certify: unknown fault %q (have %v)", fault, FaultNames())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c.schemeMu.Lock()
+	schemes := c.schemes
+	c.schemeMu.Unlock()
+	out := &Certificate{
+		maxLanes:    c.maxLanes,
+		n:           c.n,
+		m:           c.m,
+		fingerprint: c.fingerprint,
+		props:       append([]string(nil), c.props...),
+		labelings:   make(map[string]*core.Labeling, len(c.labelings)),
+		schemes:     schemes,
+	}
+	for _, name := range c.props {
+		mutated, ok := dist.Inject(rng, c.labelings[name], f)
+		if !ok {
+			return nil, fmt.Errorf("certify: fault %s not injectable on the %s labeling", fault, name)
+		}
+		out.labelings[name] = mutated
+	}
+	return out, nil
+}

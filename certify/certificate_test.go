@@ -1,0 +1,180 @@
+package certify
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// fixCRC rewrites the blob's CRC32 trailer to match its body, so tests can
+// probe checks past the checksum.
+func fixCRC(blob []byte) {
+	binary.BigEndian.PutUint32(blob[len(blob)-4:], crc32.ChecksumIEEE(blob[:len(blob)-4]))
+}
+
+// honestBlob proves a small two-property certificate and marshals it.
+func honestBlob(t testing.TB) []byte {
+	t.Helper()
+	props, err := PropertiesByName("bipartite", "acyclic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(WithProperties(props...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, _, err := c.ProveBatch(context.Background(), Caterpillar(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := crt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestCertificateTruncationSweep rejects every strict prefix of an honest
+// blob.
+func TestCertificateTruncationSweep(t *testing.T) {
+	blob := honestBlob(t)
+	for cut := 0; cut < len(blob); cut++ {
+		var c Certificate
+		if err := c.UnmarshalBinary(blob[:cut]); !errors.Is(err, ErrBadCertificate) {
+			t.Fatalf("truncation to %d of %d bytes: err=%v, want ErrBadCertificate", cut, len(blob), err)
+		}
+	}
+}
+
+// TestCertificateBitFlipSweep rejects every single-bit corruption of an
+// honest blob (the CRC32 trailer catches all of them; flips inside the
+// trailer mismatch the body).
+func TestCertificateBitFlipSweep(t *testing.T) {
+	blob := honestBlob(t)
+	for i := 0; i < len(blob); i++ {
+		for b := 0; b < 8; b++ {
+			mutated := append([]byte(nil), blob...)
+			mutated[i] ^= 1 << b
+			var c Certificate
+			if err := c.UnmarshalBinary(mutated); !errors.Is(err, ErrBadCertificate) {
+				t.Fatalf("bit flip at byte %d bit %d accepted: err=%v", i, b, err)
+			}
+		}
+	}
+}
+
+// TestCertificateRoundTripIdentity pins marshal → unmarshal → re-marshal
+// byte identity.
+func TestCertificateRoundTripIdentity(t *testing.T) {
+	blob := honestBlob(t)
+	var c Certificate
+	if err := c.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(blob) {
+		t.Fatal("re-marshal differs")
+	}
+	// And once more through a second generation.
+	var c2 Certificate
+	if err := c2.UnmarshalBinary(again); err != nil {
+		t.Fatal(err)
+	}
+	third, err := c2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(third) != string(blob) {
+		t.Fatal("third-generation marshal differs")
+	}
+}
+
+func TestCertificateRejectsEmptyAndGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{},
+		[]byte("PLSC"),
+		[]byte("NOPE this is not a certificate at all, padding padding"),
+		make([]byte, 64),
+	} {
+		var c Certificate
+		if err := c.UnmarshalBinary(data); !errors.Is(err, ErrBadCertificate) {
+			t.Fatalf("garbage accepted: %v", err)
+		}
+	}
+}
+
+// TestCertificateVersionPinned rejects a blob whose version byte was bumped
+// (with the CRC recomputed, so only the version check can catch it).
+func TestCertificateVersionPinned(t *testing.T) {
+	blob := honestBlob(t)
+	mutated := append([]byte(nil), blob...)
+	mutated[4] = certVersion + 1
+	fixCRC(mutated)
+	var c Certificate
+	if err := c.UnmarshalBinary(mutated); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+// TestCertificateTrailingBytesRejected rejects a blob with valid CRC over a
+// body that has appended garbage.
+func TestCertificateTrailingBytesRejected(t *testing.T) {
+	blob := honestBlob(t)
+	mutated := append(append([]byte(nil), blob[:len(blob)-4]...), 0xAB, 0xCD)
+	mutated = append(mutated, 0, 0, 0, 0)
+	fixCRC(mutated)
+	var c Certificate
+	if err := c.UnmarshalBinary(mutated); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("trailing bytes accepted: %v", err)
+	}
+}
+
+// TestConcurrentVerifyOnDecodedCertificate exercises the lazy scheme
+// rebuild from several goroutines (the CI race step watches this).
+func TestConcurrentVerifyOnDecodedCertificate(t *testing.T) {
+	blob := honestBlob(t)
+	var c Certificate
+	if err := c.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	verifier, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Caterpillar(4, 1)
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() { errs <- verifier.Verify(context.Background(), g, &c) }()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMarkOutOfRange pins that a bad marked vertex surfaces as an error
+// from the consuming call instead of a panic deep in the pipeline.
+func TestMarkOutOfRange(t *testing.T) {
+	props, err := PropertiesByName("dominating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(WithProperties(props...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{10, -1} {
+		g := Path(10)
+		g.Mark(v)
+		if _, _, err := c.ProveBatch(context.Background(), g); err == nil {
+			t.Fatalf("marked vertex %d accepted", v)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+// Package certify is the public entry point to the library: O(log n)-bit
+// proof labeling schemes for MSO₂ properties on graphs of bounded pathwidth
+// ("Optimal local certification on graphs of bounded pathwidth", Baterisna &
+// Chang, PODC 2025, arXiv:2502.00676).
+//
+// A Certifier is configured once with functional options and then proves and
+// verifies certificates:
+//
+//	prop, _ := certify.PropertyByName("bipartite")
+//	c, _ := certify.New(certify.WithProperty(prop))
+//	cert, stats, _ := c.Prove(ctx, certify.Caterpillar(10, 2))
+//	err := c.Verify(ctx, g, cert) // nil: every vertex accepted
+//
+// Certificates marshal to a versioned binary wire format (MarshalBinary /
+// UnmarshalBinary), so a labeling proved once can be stored, shipped, and
+// verified by a different process — the prove-once / verify-everywhere
+// deployment the paper's self-stabilization motivation calls for. All
+// methods take a context.Context; cancellation reaches the internal worker
+// pools and returns ctx.Err() promptly.
+package certify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/interval"
+)
+
+// DefaultMaxLanes is the default lane budget: certificates prove
+// φ ∧ (pathwidth ≤ DefaultMaxLanes−1), enough for every built-in family.
+const DefaultMaxLanes = core.DefaultMaxLanes
+
+// Certifier proves and verifies certificates for a fixed set of properties
+// under a fixed lane budget. A Certifier is immutable after New and safe for
+// concurrent use.
+type Certifier struct {
+	props       []Property
+	maxLanes    int
+	paper       bool
+	parallel    bool
+	concurrency int
+}
+
+// Option configures a Certifier.
+type Option func(*Certifier) error
+
+// WithProperty adds one property to the certifier. Prove requires exactly
+// one configured property; ProveBatch accepts any number ≥ 1.
+func WithProperty(p Property) Option {
+	return func(c *Certifier) error {
+		if !p.valid() {
+			return wrapErr(ErrUnknownProperty, errors.New("zero-value Property"))
+		}
+		c.props = append(c.props, p)
+		return nil
+	}
+}
+
+// WithProperties adds several properties in order.
+func WithProperties(ps ...Property) Option {
+	return func(c *Certifier) error {
+		for _, p := range ps {
+			if err := WithProperty(p)(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// WithMaxLanes sets the lane budget k: certificates prove
+// φ ∧ (pathwidth ≤ k−1), and proving fails with ErrTooWide on graphs whose
+// lane partition exceeds it. The default is DefaultMaxLanes.
+func WithMaxLanes(k int) Option {
+	return func(c *Certifier) error {
+		if k < 1 {
+			return fmt.Errorf("certify: lane budget must be ≥ 1, got %d", k)
+		}
+		c.maxLanes = k
+		return nil
+	}
+}
+
+// WithPaperConstruction selects the Proposition 4.6 recursive lane
+// construction (worst-case congestion ≤ H(width)) instead of the default
+// greedy first-fit partition with shortest-path embeddings.
+func WithPaperConstruction(on bool) Option {
+	return func(c *Certifier) error {
+		c.paper = on
+		return nil
+	}
+}
+
+// WithParallelism toggles the parallel per-vertex verifier (a worker pool
+// over vertex chunks; verdict-identical to the sequential sweep). On by
+// default; turn it off to verify on the calling goroutine only.
+func WithParallelism(on bool) Option {
+	return func(c *Certifier) error {
+		c.parallel = on
+		return nil
+	}
+}
+
+// WithConcurrency bounds the number of property labeling passes ProveBatch
+// runs concurrently against the shared structure. 0 (the default) means
+// GOMAXPROCS.
+func WithConcurrency(workers int) Option {
+	return func(c *Certifier) error {
+		if workers < 0 {
+			return fmt.Errorf("certify: concurrency must be ≥ 0, got %d", workers)
+		}
+		c.concurrency = workers
+		return nil
+	}
+}
+
+// New builds a Certifier from the options. A Certifier with no properties is
+// valid for Verify/VerifyDistributed (certificates are self-describing);
+// Prove and ProveBatch require configured properties.
+func New(opts ...Option) (*Certifier, error) {
+	c := &Certifier{maxLanes: DefaultMaxLanes, parallel: true}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range c.props {
+		name := p.Name()
+		if seen[name] {
+			return nil, fmt.Errorf("certify: duplicate property %q", name)
+		}
+		seen[name] = true
+	}
+	return c, nil
+}
+
+// Properties returns the configured properties' names in order.
+func (c *Certifier) Properties() []string {
+	out := make([]string, len(c.props))
+	for i, p := range c.props {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// Stats reports measurable quantities of one property's proving run.
+type Stats struct {
+	// Lanes is the size of the lane partition (pathwidth ≤ Lanes−1).
+	Lanes int
+	// VirtualEdges counts the completion edges embedded over real paths.
+	VirtualEdges int
+	// Congestion is the embedding congestion of the structure.
+	Congestion int
+	// HierarchyDepth is the hierarchical decomposition's depth (≤ 2k).
+	HierarchyDepth int
+	// RegistryClasses is the number of distinct homomorphism classes used.
+	RegistryClasses int
+	// MaxLabelBits is the proof size: the largest edge label in bits.
+	MaxLabelBits int
+}
+
+// BatchStats reports one multi-property batch: the shared structure's
+// quantities plus each certified property's stats and the properties that
+// do not hold.
+type BatchStats struct {
+	Lanes          int
+	VirtualEdges   int
+	Congestion     int
+	HierarchyDepth int
+	// PerProperty holds each certified property's stats, identical to what
+	// an independent Prove of that property would report.
+	PerProperty map[string]*Stats
+	// Failed lists (in batch order) the properties the configuration does
+	// not satisfy. They are absent from the certificate; the rest of the
+	// batch proceeds.
+	Failed []string
+}
+
+func statsFrom(st *core.Stats) *Stats {
+	return &Stats{
+		Lanes:           st.Lanes,
+		VirtualEdges:    st.VirtualEdges,
+		Congestion:      st.Congestion,
+		HierarchyDepth:  st.HierarchyDepth,
+		RegistryClasses: st.RegistryClasses,
+		MaxLabelBits:    st.MaxLabelBits,
+	}
+}
+
+// translateProveErr maps internal proving failures onto the public taxonomy.
+func translateProveErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrPropertyFails):
+		return wrapErr(ErrPropertyFails, err)
+	case errors.Is(err, core.ErrTooManyLanes), errors.Is(err, interval.ErrTooLarge):
+		return wrapErr(ErrTooWide, err)
+	default:
+		return err
+	}
+}
+
+// newBatch assembles the core batch for the certifier's property set.
+func (c *Certifier) newBatch() (*core.Batch, error) {
+	if len(c.props) == 0 {
+		return nil, errors.New("certify: no properties configured (use WithProperty)")
+	}
+	props := make([]algebra.Property, len(c.props))
+	for i, p := range c.props {
+		props[i] = p.p
+	}
+	return core.NewBatch(props, core.BatchOptions{
+		MaxLanes:             c.maxLanes,
+		UsePaperConstruction: c.paper,
+		Workers:              c.concurrency,
+	})
+}
+
+// Prove certifies the certifier's single configured property on the graph
+// and returns the certificate with the run's stats. It fails with
+// ErrPropertyFails when the property does not hold (nothing to certify),
+// ErrTooWide when the graph exceeds the lane budget, and ctx.Err() on
+// cancellation.
+func (c *Certifier) Prove(ctx context.Context, g *Graph) (*Certificate, *Stats, error) {
+	if len(c.props) != 1 {
+		return nil, nil, fmt.Errorf("certify: Prove needs exactly one configured property, have %d (use ProveBatch)", len(c.props))
+	}
+	crt, bst, err := c.ProveBatch(ctx, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	name := c.props[0].Name()
+	if len(bst.Failed) > 0 {
+		return nil, nil, wrapErr(ErrPropertyFails, fmt.Errorf("property %s", name))
+	}
+	return crt, bst.PerProperty[name], nil
+}
+
+// ProveBatch certifies every configured property on the graph against one
+// shared structure (the property-independent pipeline runs once; each
+// property then runs only its algebra sweep, on a worker pool bounded by
+// WithConcurrency). Properties that do not hold are reported in
+// BatchStats.Failed and omitted from the certificate; if no property holds,
+// the certificate is nil. Labelings are byte-identical to independent Prove
+// runs of each property.
+func (c *Certifier) ProveBatch(ctx context.Context, g *Graph) (*Certificate, *BatchStats, error) {
+	st, err := c.BuildStructure(ctx, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.ProveBatchOn(ctx, st)
+}
+
+// Verify checks the certificate against the graph: every property, at every
+// vertex, using the parallel verifier unless WithParallelism(false). It
+// returns nil when all vertices accept, ErrWrongGraph when the certificate
+// was issued for a different configuration, a *VerifyError (matching
+// ErrVerifyFailed) naming the rejecting vertices otherwise, and ctx.Err()
+// on cancellation. Certificates decoded from the wire verify exactly like
+// freshly proved ones: the class registry is reconstructed from the labels.
+func (c *Certifier) Verify(ctx context.Context, g *Graph, crt *Certificate) error {
+	cfg, err := c.bindCertificate(g, crt)
+	if err != nil {
+		return err
+	}
+	for _, name := range crt.props {
+		scheme := crt.schemes[name]
+		var verdicts []bool
+		var verr error
+		if c.parallel {
+			verdicts, verr = scheme.VerifyParallelCtx(ctx, cfg, crt.labelings[name])
+		} else {
+			verdicts, verr = scheme.VerifyCtx(ctx, cfg, crt.labelings[name])
+		}
+		if verr != nil {
+			return verr
+		}
+		if rejected := rejecting(verdicts); len(rejected) > 0 {
+			return newVerifyError(name, rejected)
+		}
+	}
+	return nil
+}
+
+// VerifyDistributed checks the certificate on the goroutine-per-vertex
+// network simulator: one synchronous label-exchange round per property, then
+// the Theorem 1 verifier at every processor. Semantics match Verify; the
+// network's topology precomputation is shared across the properties.
+func (c *Certifier) VerifyDistributed(ctx context.Context, g *Graph, crt *Certificate) error {
+	cfg, err := c.bindCertificate(g, crt)
+	if err != nil {
+		return err
+	}
+	net := dist.NewNetwork(cfg, nil)
+	for _, name := range crt.props {
+		res, rerr := net.RunFor(ctx, crt.schemes[name], crt.labelings[name])
+		if rerr != nil {
+			return rerr
+		}
+		if !res.Accepted() {
+			return newVerifyError(name, append([]int(nil), res.Rejected...))
+		}
+	}
+	return nil
+}
+
+// bindCertificate validates the certificate against the graph and ensures
+// its per-property schemes exist (building them — including the registry
+// reconstruction — for certificates decoded from the wire).
+func (c *Certifier) bindCertificate(g *Graph, crt *Certificate) (*cert.Config, error) {
+	if g == nil || g.g == nil {
+		return nil, errors.New("certify: nil graph")
+	}
+	if crt == nil {
+		return nil, errors.New("certify: nil certificate")
+	}
+	cfg, err := g.config()
+	if err != nil {
+		return nil, err
+	}
+	if crt.n != g.N() || crt.m != g.M() || crt.fingerprint != fingerprint(cfg) {
+		return nil, wrapErr(ErrWrongGraph, fmt.Errorf("certificate is for n=%d m=%d fp=%016x", crt.n, crt.m, crt.fingerprint))
+	}
+	if err := crt.ensureSchemes(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func rejecting(verdicts []bool) []int {
+	var out []int
+	for v, ok := range verdicts {
+		if !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Structure is the reusable property-independent half of the prover (path
+// decomposition, lane partition, completion, embedding, hierarchy) for one
+// graph: a service certifying many property sets of the same configuration
+// builds it once and runs any number of batches against it.
+type Structure struct {
+	g  *Graph
+	sp *core.StructuralProof
+}
+
+// BuildStructure computes the property-independent structure of the graph.
+func (c *Certifier) BuildStructure(ctx context.Context, g *Graph) (*Structure, error) {
+	if g == nil || g.g == nil {
+		return nil, errors.New("certify: nil graph")
+	}
+	cfg, err := g.config()
+	if err != nil {
+		return nil, err
+	}
+	sp, err := core.BuildStructureCtx(ctx, cfg, nil, core.StructureOptions{UsePaperConstruction: c.paper})
+	if err != nil {
+		return nil, translateProveErr(err)
+	}
+	return &Structure{g: g, sp: sp}, nil
+}
+
+// ProveBatchOn is ProveBatch against a prebuilt structure (the graph is the
+// one the structure was built from).
+func (c *Certifier) ProveBatchOn(ctx context.Context, st *Structure) (*Certificate, *BatchStats, error) {
+	if st == nil || st.sp == nil {
+		return nil, nil, errors.New("certify: nil structure")
+	}
+	batch, err := c.newBatch()
+	if err != nil {
+		return nil, nil, err
+	}
+	labelings, stats, err := batch.ProveAllWithCtx(ctx, st.sp)
+	if err != nil {
+		return nil, nil, translateProveErr(err)
+	}
+	bst := &BatchStats{
+		Lanes:          stats.Lanes,
+		VirtualEdges:   stats.VirtualEdges,
+		Congestion:     stats.Congestion,
+		HierarchyDepth: stats.HierarchyDepth,
+		PerProperty:    make(map[string]*Stats, len(stats.PerProperty)),
+	}
+	for _, p := range c.props {
+		if pst, ok := stats.PerProperty[p.p.Name()]; ok {
+			bst.PerProperty[p.Name()] = statsFrom(pst)
+		}
+	}
+	// The certificate binds to the configuration the labelings were proved
+	// against — the one frozen inside the structure, not a fresh snapshot of
+	// the Graph (which may have been marked since BuildStructure).
+	crt := &Certificate{
+		maxLanes:    c.maxLanes,
+		n:           st.sp.Cfg.G.N(),
+		m:           st.sp.Cfg.G.M(),
+		fingerprint: fingerprint(st.sp.Cfg),
+		labelings:   map[string]*core.Labeling{},
+		schemes:     map[string]*core.Scheme{},
+	}
+	// The core batch keys results by the algebra's display names; the public
+	// surface (stats, certificates, the wire format) speaks catalog names.
+	for _, p := range c.props {
+		name, display := p.Name(), p.p.Name()
+		l, ok := labelings[display]
+		if !ok {
+			bst.Failed = append(bst.Failed, name)
+			continue
+		}
+		crt.props = append(crt.props, name)
+		crt.labelings[name] = l
+		crt.schemes[name] = batch.Scheme(display)
+	}
+	if len(crt.props) == 0 {
+		return nil, bst, nil
+	}
+	return crt, bst, nil
+}

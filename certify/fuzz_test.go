@@ -1,0 +1,71 @@
+package certify
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// FuzzCertificateDecode drives UnmarshalBinary over arbitrary bytes: every
+// malformed input must surface as ErrBadCertificate — never a panic, hang,
+// or silent partial decode — and every accepted input must re-marshal
+// byte-identically (the canonical-encoding invariant). The committed seed
+// corpus (testdata/fuzz) includes an honest certificate, its mutations, and
+// structural edge cases; `go test` replays it as regular tests, mirroring
+// the internal/bits fuzz setup.
+func FuzzCertificateDecode(f *testing.F) {
+	// Honest blob and systematic mutations of its regions.
+	blob := honestBlob(f)
+	f.Add(blob)
+	for _, cut := range []int{0, 4, 5, len(blob) / 2, len(blob) - 5, len(blob) - 1} {
+		f.Add(blob[:cut])
+	}
+	for _, i := range []int{0, 4, 6, len(blob) / 2, len(blob) - 2} {
+		mutated := append([]byte(nil), blob...)
+		mutated[i] ^= 0x40
+		f.Add(mutated)
+	}
+	corrected := append([]byte(nil), blob...)
+	corrected[5] ^= 0x01 // header field, CRC fixed: strict checks must catch it
+	fixCRC(corrected)
+	f.Add(corrected)
+	f.Add([]byte{})
+	f.Add([]byte("PLSC\x01"))
+	f.Add(make([]byte, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Certificate
+		err := c.UnmarshalBinary(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadCertificate) {
+				t.Fatalf("decode error is not ErrBadCertificate: %v", err)
+			}
+			return
+		}
+		again, merr := c.MarshalBinary()
+		if merr != nil {
+			t.Fatalf("accepted blob does not re-marshal: %v", merr)
+		}
+		if string(again) != string(data) {
+			t.Fatalf("accepted blob is not canonical: re-marshal differs (%d vs %d bytes)", len(again), len(data))
+		}
+	})
+}
+
+// TestFuzzSeedHonestBlobAccepted pins that the corpus' honest seed decodes,
+// verifies, and round-trips — so the fuzz target's accept path is exercised
+// by the committed corpus, not only its reject path.
+func TestFuzzSeedHonestBlobAccepted(t *testing.T) {
+	blob := honestBlob(t)
+	var c Certificate
+	if err := c.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	verifier, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.Verify(context.Background(), Caterpillar(4, 1), &c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package certify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cert"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Graph is a network configuration under certification: an undirected
+// connected graph plus the optional marked vertex set X (part of each
+// vertex's state, read by input-set properties such as "X dominates G").
+// Construct graphs with the family constructors below or FromEdges, then
+// optionally Mark vertices.
+type Graph struct {
+	g      *graph.Graph
+	marked []int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.g.N() }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.g.M() }
+
+// Mark adds the vertices to the marked set X (the conventional encoding of
+// a vertex subset the property talks about). Marking changes the
+// configuration: certificates are issued for — and verified against — the
+// graph together with its marks. Out-of-range vertices are reported as an
+// error by the Prove/Verify call that consumes the graph.
+func (g *Graph) Mark(vs ...int) {
+	g.marked = append(g.marked, vs...)
+}
+
+// Marked returns the marked vertex set X in the order it was marked.
+func (g *Graph) Marked() []int {
+	return append([]int(nil), g.marked...)
+}
+
+// HasMinor reports whether g contains h as a minor (brute force; intended
+// for small pattern graphs, e.g. Corollary 1.2's forest minors).
+func (g *Graph) HasMinor(h *Graph) bool {
+	return g.g.HasMinor(h.g)
+}
+
+// config builds the cert.Config the internal pipeline consumes: canonical
+// O(log n)-bit identifiers plus the marked-set input labels.
+func (g *Graph) config() (*cert.Config, error) {
+	cfg := cert.NewConfig(g.g)
+	if len(g.marked) > 0 {
+		vs := make([]graph.Vertex, len(g.marked))
+		for i, v := range g.marked {
+			if v < 0 || v >= g.g.N() {
+				return nil, fmt.Errorf("certify: marked vertex %d: %w (graph has %d vertices)", v, graph.ErrVertexRange, g.g.N())
+			}
+			vs[i] = v
+		}
+		cfg.MarkSet(vs)
+	}
+	return cfg, nil
+}
+
+// Path returns the path on n vertices (pathwidth 1).
+func Path(n int) *Graph { return &Graph{g: graph.PathGraph(n)} }
+
+// Cycle returns the cycle on n vertices (pathwidth 2).
+func Cycle(n int) *Graph { return &Graph{g: graph.CycleGraph(n)} }
+
+// Caterpillar returns a caterpillar: a spine path with legs pendant
+// vertices per spine vertex (the canonical pathwidth-1 family).
+func Caterpillar(spine, legs int) *Graph { return &Graph{g: gen.Caterpillar(spine, legs)} }
+
+// Lobster returns a lobster: a caterpillar whose legs grow one extra hop.
+func Lobster(spine, legs int) *Graph { return &Graph{g: gen.Lobster(spine, legs)} }
+
+// Ladder returns the 2×n ladder (pathwidth 2).
+func Ladder(n int) *Graph { return &Graph{g: gen.Ladder(n)} }
+
+// Spider returns the 3-leg spider S(legLen, legLen, legLen).
+func Spider(legLen int) *Graph { return &Graph{g: graph.Spider(legLen)} }
+
+// CompleteBipartite returns K_{a,b} (e.g. K₁,₃, the claw).
+func CompleteBipartite(a, b int) *Graph { return &Graph{g: graph.CompleteBipartite(a, b)} }
+
+// Interval returns a random connected interval graph on about n vertices
+// whose clique number is bounded by width+1, generated deterministically
+// from the seed.
+func Interval(seed int64, n, width int) *Graph {
+	g, _ := gen.IntervalGraph(rand.New(rand.NewSource(seed)), n, width)
+	return &Graph{g: g}
+}
+
+// FromEdges builds a graph on vertices 0..n-1 with the given edges. Edges
+// are vertex pairs; loops, out-of-range endpoints and duplicates are errors.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	es := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("certify: loop edge {%d,%d}", e[0], e[1])
+		}
+		es[i] = graph.NewEdge(e[0], e[1])
+	}
+	g, err := graph.FromEdges(n, es)
+	if err != nil {
+		return nil, fmt.Errorf("certify: %w", err)
+	}
+	return &Graph{g: g}, nil
+}

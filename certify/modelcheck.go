@@ -1,0 +1,74 @@
+package certify
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/graph"
+	"repro/internal/mso"
+)
+
+// MaxMSOEvalVertices bounds the brute-force MSO₂ model checker ModelCheck
+// prefers on small graphs (set quantifiers enumerate subsets).
+const MaxMSOEvalVertices = mso.MaxEvalVertices
+
+// ModelCheck decides the property on the graph by ground truth, independent
+// of the certification pipeline: the brute-force MSO₂ model checker when the
+// property has a formula and the graph is small enough, a direct
+// combinatorial oracle otherwise. It reports supported=false for properties
+// with neither (e.g. input-set properties, whose semantics depend on the
+// marked set). Examples and tests use it to cross-check certificates.
+func ModelCheck(g *Graph, p Property) (holds, supported bool) {
+	return modelCheck(g.g, p.p)
+}
+
+func modelCheck(g *graph.Graph, p algebra.Property) (bool, bool) {
+	if f := msoFormulaFor(p); f != nil && g.N() <= mso.MaxEvalVertices {
+		holds, err := mso.Eval(g, f)
+		if err == nil {
+			return holds, true
+		}
+	}
+	switch q := p.(type) {
+	case algebra.Colorable:
+		return algebra.OracleQColorable(g, q.Q), true
+	case algebra.Acyclic:
+		return algebra.OracleAcyclic(g), true
+	case algebra.PerfectMatching:
+		return algebra.OraclePerfectMatching(g), true
+	case algebra.HamiltonianCycle:
+		return algebra.OracleHamiltonianCycle(g), true
+	case algebra.EvenEdges:
+		return algebra.OracleEvenEdges(g), true
+	case algebra.VertexCoverAtMost:
+		return algebra.OracleVertexCoverAtMost(g, q.C), true
+	case algebra.MaxDegreeAtMost:
+		return algebra.OracleMaxDegreeAtMost(g, q.D), true
+	case algebra.And:
+		h1, ok1 := modelCheck(g, q.P1)
+		h2, ok2 := modelCheck(g, q.P2)
+		return h1 && h2, ok1 && ok2
+	default:
+		return false, false
+	}
+}
+
+// msoFormulaFor returns the property's MSO₂ formula when the logic library
+// defines one (the model checker is the stronger cross-check: it evaluates
+// the paper's actual logical sentence, not a reimplementation).
+func msoFormulaFor(p algebra.Property) mso.Formula {
+	switch q := p.(type) {
+	case algebra.Colorable:
+		switch q.Q {
+		case 2:
+			return mso.BipartiteFormula()
+		case 3:
+			return mso.ThreeColorableFormula()
+		}
+	case algebra.Acyclic:
+		return mso.AcyclicFormula()
+	case algebra.PerfectMatching:
+		return mso.PerfectMatchingFormula()
+	case algebra.HamiltonianCycle:
+		return mso.HamiltonianCycleFormula()
+	}
+	return nil
+}

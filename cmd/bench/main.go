@@ -52,7 +52,13 @@ func run(args []string) error {
 			return err
 		}
 		experiments.PrintE1(out, rows)
-		for _, prop := range []algebra.Property{algebra.Colorable{Q: 3}, algebra.Acyclic{}} {
+		// The E1b sweep resolves its properties through the shared catalog —
+		// the same name vocabulary cmd/certify and the certify package use.
+		e1bProps, err := algebra.ByNames([]string{"3color", "acyclic"})
+		if err != nil {
+			return err
+		}
+		for _, prop := range e1bProps {
 			rows, err := experiments.E1LabelSizeFor(prop, []int{32, 128, 512, 2048})
 			if err != nil {
 				return err

@@ -1,37 +1,55 @@
 // Command certify generates a bounded-pathwidth graph, runs the Theorem 1
-// prover for one or more MSO₂ properties, verifies the labels at every
-// vertex (optionally over the goroutine-per-vertex network simulator), and
-// reports label statistics. With a comma-separated property list the
-// structure is built once and every property is certified against it
-// (core.Batch), and all labelings are distributed over one simulator
-// network. It is the quickest way to watch the full pipeline run:
+// prover for one or more MSO₂ properties through the public certify API,
+// verifies the certificate at every vertex (optionally over the
+// goroutine-per-vertex network simulator), and reports label statistics.
+// With a comma-separated property list the structure is built once and
+// every property is certified against it, in one multi-property
+// certificate. Certificates can be saved to disk (-out) and loaded for
+// verification by a different process (-in) — the prove-once /
+// verify-everywhere flow of the wire format:
 //
 //	certify -graph caterpillar -n 64 -prop bipartite
 //	certify -graph cycle -n 33 -prop 3color -dist
 //	certify -graph path -n 64 -prop bipartite,3color,acyclic -dist
-//	certify -graph interval -n 100 -width 3 -prop matching -corrupt flip-class
+//	certify -graph interval -n 100 -width 3 -prop matching -out proof.plsc
+//	certify -graph interval -n 100 -width 3 -prop matching -in proof.plsc
+//	certify -graph caterpillar -n 32 -prop acyclic -corrupt flip-class
+//
+// Exit codes separate the failure classes: 0 success, 2 when a requested
+// property does not hold on the graph (nothing to certify — completeness is
+// vacuous), 3 when a certificate is rejected by verification, 1 for every
+// other error (unknown property, malformed certificate, wrong graph, ...).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 
-	"repro/internal/algebra"
-	"repro/internal/cert"
-	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/gen"
-	"repro/internal/graph"
+	"repro/certify"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "certify:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode maps the public error taxonomy onto the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, certify.ErrPropertyFails):
+		return 2
+	case errors.Is(err, certify.ErrVerifyFailed):
+		return 3
+	default:
+		return 1
 	}
 }
 
@@ -42,181 +60,189 @@ func run(args []string) error {
 		n         = fs.Int("n", 32, "approximate vertex count")
 		width     = fs.Int("width", 2, "interval-graph width (for -graph interval)")
 		propNames = fs.String("prop", "bipartite",
-			"comma-separated properties: "+strings.Join(algebra.Names(), "|"))
+			"comma-separated properties: "+strings.Join(certify.Names(), "|"))
 		markEvery = fs.Int("mark", 2, "for input-set properties: mark every k-th vertex as X")
-		lanesMax  = fs.Int("lanes", 8, "lane budget (certifies pathwidth ≤ lanes-1)")
+		lanesMax  = fs.Int("lanes", certify.DefaultMaxLanes, "lane budget (certifies pathwidth ≤ lanes-1)")
 		paper     = fs.Bool("paper", false, "use the Proposition 4.6 recursive lane construction")
 		distFlag  = fs.Bool("dist", false, "verify on the goroutine-per-vertex network simulator")
-		corrupt   = fs.String("corrupt", "", "inject a fault after proving: flip-class|flip-real-bit|shift-terminal|rank-skew|erase-label")
-		seed      = fs.Int64("seed", 1, "random seed")
+		corrupt   = fs.String("corrupt", "", "inject a fault after proving: "+strings.Join(certify.FaultNames(), "|"))
+		seed      = fs.Int64("seed", 1, "random seed (interval generation and fault placement)")
+		outPath   = fs.String("out", "", "write the certificate to this file after proving")
+		inPath    = fs.String("in", "", "load a certificate from this file and verify it (skips proving; pass the same -graph/-n/-prop/-mark flags the certificate was issued with)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	g, err := makeGraph(rng, *graphKind, *n, *width)
+	ctx := context.Background()
+	if *inPath != "" && (*corrupt != "" || *outPath != "") {
+		return errors.New("-in verifies an existing certificate; it cannot be combined with -corrupt or -out")
+	}
+
+	props, err := certify.PropertiesByName(certify.SplitPropList(*propNames)...)
 	if err != nil {
 		return err
 	}
-	names := splitProps(*propNames)
-	props, err := algebra.ByNames(names)
+	if len(props) == 0 {
+		return errors.New("no properties requested")
+	}
+	g, err := makeGraph(*graphKind, *n, *width, *seed)
 	if err != nil {
 		return err
 	}
-	cfg := cert.NewConfig(g)
 	if needsMarkSet(props) {
-		var marked []graph.Vertex
+		var marked []int
 		for v := 0; v < g.N(); v += max(1, *markEvery) {
 			marked = append(marked, v)
 		}
-		cfg.MarkSet(marked)
+		g.Mark(marked...)
 		fmt.Printf("marked X: every %d-th vertex (%d vertices)\n", *markEvery, len(marked))
 	}
-	fmt.Printf("graph: %s, n=%d, m=%d\nproperties: %s\n", *graphKind, g.N(), g.M(), strings.Join(names, ", "))
+	fmt.Printf("graph: %s, n=%d, m=%d\n", *graphKind, g.N(), g.M())
 
-	batch, err := core.NewBatch(props, core.BatchOptions{
-		MaxLanes:             *lanesMax,
-		UsePaperConstruction: *paper,
-	})
+	if *inPath != "" {
+		return verifyFromFile(ctx, g, *inPath, *distFlag)
+	}
+
+	c, err := certify.New(
+		certify.WithProperties(props...),
+		certify.WithMaxLanes(*lanesMax),
+		certify.WithPaperConstruction(*paper),
+	)
 	if err != nil {
 		return err
 	}
-	labelings, stats, err := batch.ProveAll(cfg, nil)
+	fmt.Printf("properties: %s\n", strings.Join(c.Properties(), ", "))
+	crt, stats, err := c.ProveBatch(ctx, g)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("structure: lanes=%d virtual=%d congestion=%d depth=%d\n",
 		stats.Lanes, stats.VirtualEdges, stats.Congestion, stats.HierarchyDepth)
-	for _, name := range batch.Properties() {
-		if _, failed := stats.Failed[name]; failed {
-			fmt.Printf("prover %-16s property does NOT hold — nothing to certify (completeness vacuous)\n", name+":")
-			continue
-		}
-		st := stats.PerProperty[name]
-		fmt.Printf("prover %-16s ok — classes=%d max-label=%d bits\n",
-			name+":", st.RegistryClasses, st.MaxLabelBits)
+	failed := map[string]bool{}
+	for _, name := range stats.Failed {
+		failed[name] = true
+		fmt.Printf("prover %-16s property does NOT hold — nothing to certify (completeness vacuous)\n", name+":")
 	}
-	if len(labelings) == 0 {
-		return nil
+	for _, p := range props {
+		if st, ok := stats.PerProperty[p.Name()]; ok {
+			fmt.Printf("prover %-16s ok — classes=%d max-label=%d bits\n",
+				p.Name()+":", st.RegistryClasses, st.MaxLabelBits)
+		}
+	}
+	var failErr error
+	if len(stats.Failed) > 0 {
+		failErr = fmt.Errorf("%w: %s", certify.ErrPropertyFails, strings.Join(stats.Failed, ", "))
+	}
+	if crt == nil {
+		return failErr
 	}
 
 	if *corrupt != "" {
-		fault, err := faultByName(*corrupt)
+		crt, err = crt.Corrupt(*seed, *corrupt)
 		if err != nil {
 			return err
 		}
-		// Inject in batch order, not map order, so -seed stays reproducible.
-		for _, name := range batch.Properties() {
-			labeling, ok := labelings[name]
-			if !ok {
-				continue
-			}
-			mutated, ok := dist.Inject(rng, labeling, fault)
-			if !ok {
-				return fmt.Errorf("fault %s not injectable on the %s labeling", fault, name)
-			}
-			labelings[name] = mutated
-		}
-		fmt.Printf("injected fault: %s (into every labeling)\n", fault)
+		fmt.Printf("injected fault: %s (into every labeling)\n", *corrupt)
 	}
 
-	if *distFlag {
-		// One simulator network serves every property: the topology
-		// precomputation is shared, each labeling runs its own round.
-		net := dist.NewNetwork(cfg, nil)
-		for _, name := range batch.Properties() {
-			labeling, ok := labelings[name]
-			if !ok {
-				continue
-			}
-			res, err := net.RunFor(context.Background(), batch.Scheme(name), labeling)
-			if err != nil {
-				return err
-			}
-			report(name, res.Accepted(), res.Rejected)
+	if *outPath != "" {
+		blob, err := crt.MarshalBinary()
+		if err != nil {
+			return err
 		}
-		return nil
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote certificate: %s (%d bytes, %d properties)\n", *outPath, len(blob), len(crt.Properties()))
 	}
-	verdictsByProp, err := batch.VerifyAll(cfg, labelings)
+
+	if err := verifyAndReport(ctx, c, g, crt, *distFlag, *corrupt != ""); err != nil {
+		return err
+	}
+	return failErr
+}
+
+// verifyFromFile is the -in flow: a different process loads the certificate
+// blob and verifies it against the locally regenerated configuration.
+func verifyFromFile(ctx context.Context, g *certify.Graph, path string, distributed bool) error {
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	for _, name := range batch.Properties() {
-		verdicts, ok := verdictsByProp[name]
-		if !ok {
-			continue
-		}
-		var rejected []graph.Vertex
-		for v, ok := range verdicts {
-			if !ok {
-				rejected = append(rejected, v)
-			}
-		}
-		report(name, len(rejected) == 0, rejected)
+	var crt certify.Certificate
+	if err := crt.UnmarshalBinary(blob); err != nil {
+		return err
 	}
-	return nil
+	fmt.Printf("loaded certificate: %s (%d bytes, properties: %s, lane budget %d)\n",
+		path, len(blob), strings.Join(crt.Properties(), ", "), crt.MaxLanes())
+	c, err := certify.New() // certificates are self-describing
+	if err != nil {
+		return err
+	}
+	return verifyAndReport(ctx, c, g, &crt, distributed, false)
 }
 
-// splitProps splits the -prop flag on commas, trimming blanks.
-func splitProps(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part != "" {
-			out = append(out, part)
-		}
+// verifyAndReport runs the verification round and prints per-property
+// verdicts. With expectReject (a fault was injected), a rejection is the
+// demonstrated outcome and an acceptance is a soundness failure.
+func verifyAndReport(ctx context.Context, c *certify.Certifier, g *certify.Graph, crt *certify.Certificate, distributed, expectReject bool) error {
+	var err error
+	if distributed {
+		err = c.VerifyDistributed(ctx, g, crt)
+	} else {
+		err = c.Verify(ctx, g, crt)
 	}
-	return out
+	var ve *certify.VerifyError
+	switch {
+	case err == nil:
+		for _, name := range crt.Properties() {
+			fmt.Printf("verifier %-14s ACCEPT at every vertex\n", name+":")
+		}
+		if expectReject {
+			return errors.New("injected fault went UNDETECTED — soundness violated")
+		}
+		return nil
+	case errors.As(err, &ve):
+		fmt.Printf("verifier %-14s REJECT at %d vertices %v\n", ve.Property+":", len(ve.Rejected), ve.Rejected)
+		if expectReject {
+			fmt.Println("fault detected within one verification round")
+			return nil
+		}
+		return err
+	default:
+		return err
+	}
 }
 
-// needsMarkSet reports whether any requested property reads the input set X
-// (the capability lives on the property itself, not in a name list here).
-func needsMarkSet(props []algebra.Property) bool {
+// needsMarkSet reports whether any requested property reads the input set X.
+func needsMarkSet(props []certify.Property) bool {
 	for _, p := range props {
-		if algebra.ReadsInputSet(p) {
+		if certify.ReadsInputSet(p) {
 			return true
 		}
 	}
 	return false
 }
 
-func report(name string, accepted bool, rejected []graph.Vertex) {
-	if accepted {
-		fmt.Printf("verifier %-14s ACCEPT at every vertex\n", name+":")
-		return
-	}
-	fmt.Printf("verifier %-14s REJECT at %d vertices %v\n", name+":", len(rejected), rejected)
-}
-
-func makeGraph(rng *rand.Rand, kind string, n, width int) (*graph.Graph, error) {
+func makeGraph(kind string, n, width int, seed int64) (*certify.Graph, error) {
 	switch kind {
 	case "path":
-		return graph.PathGraph(n), nil
+		return certify.Path(n), nil
 	case "cycle":
-		return graph.CycleGraph(n), nil
+		return certify.Cycle(n), nil
 	case "caterpillar":
-		return gen.Caterpillar(max(1, n/2), 1), nil
+		return certify.Caterpillar(max(1, n/2), 1), nil
 	case "lobster":
-		return gen.Lobster(max(1, n/3), 1), nil
+		return certify.Lobster(max(1, n/3), 1), nil
 	case "ladder":
-		return gen.Ladder(max(1, n/2)), nil
+		return certify.Ladder(max(1, n/2)), nil
 	case "spider":
-		return graph.Spider(max(1, n/3)), nil
+		return certify.Spider(max(1, n/3)), nil
 	case "interval":
-		g, _ := gen.IntervalGraph(rng, n, width)
-		return g, nil
+		return certify.Interval(seed, n, width), nil
 	default:
 		return nil, fmt.Errorf("unknown graph family %q", kind)
 	}
-}
-
-func faultByName(name string) (dist.Fault, error) {
-	for _, f := range dist.AllFaults {
-		if f.String() == name {
-			return f, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown fault %q", name)
 }
 
 func max(a, b int) int {

@@ -1,14 +1,16 @@
 package main
 
 import (
-	"math/rand"
+	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
-	"repro/internal/algebra"
+	"repro/certify"
 )
 
-func TestSplitProps(t *testing.T) {
+func TestSplitPropList(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
 		want []string
@@ -17,16 +19,19 @@ func TestSplitProps(t *testing.T) {
 		{"bipartite,3color,acyclic", []string{"bipartite", "3color", "acyclic"}},
 		{" bipartite , 3color ", []string{"bipartite", "3color"}},
 		{"bipartite,,acyclic", []string{"bipartite", "acyclic"}},
+		// Conjunctions keep their internal commas.
+		{"and(bipartite,evenedges),acyclic", []string{"and(bipartite,evenedges)", "acyclic"}},
+		{"and(and(bipartite,evenedges),acyclic)", []string{"and(and(bipartite,evenedges),acyclic)"}},
 	} {
-		if got := splitProps(tc.in); !reflect.DeepEqual(got, tc.want) {
-			t.Errorf("splitProps(%q) = %v, want %v", tc.in, got, tc.want)
+		if got := certify.SplitPropList(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitPropList(%q) = %v, want %v", tc.in, got, tc.want)
 		}
 	}
 }
 
 func TestNeedsMarkSet(t *testing.T) {
-	resolve := func(names ...string) []algebra.Property {
-		props, err := algebra.ByNames(names)
+	resolve := func(names ...string) []certify.Property {
+		props, err := certify.PropertiesByName(names...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,9 +49,8 @@ func TestNeedsMarkSet(t *testing.T) {
 }
 
 func TestMakeGraph(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
 	for _, kind := range []string{"path", "cycle", "caterpillar", "lobster", "ladder", "spider", "interval"} {
-		g, err := makeGraph(rng, kind, 12, 2)
+		g, err := makeGraph(kind, 12, 2, 1)
 		if err != nil {
 			t.Errorf("makeGraph(%q): %v", kind, err)
 			continue
@@ -55,7 +59,7 @@ func TestMakeGraph(t *testing.T) {
 			t.Errorf("makeGraph(%q): empty graph", kind)
 		}
 	}
-	if _, err := makeGraph(rng, "torus", 12, 2); err == nil {
+	if _, err := makeGraph("torus", 12, 2, 1); err == nil {
 		t.Error("unknown family accepted")
 	}
 }
@@ -65,22 +69,110 @@ func TestRunEndToEnd(t *testing.T) {
 		{"-graph", "path", "-n", "10", "-prop", "bipartite"},
 		{"-graph", "cycle", "-n", "8", "-prop", "matching", "-dist"},
 		{"-graph", "caterpillar", "-n", "12", "-prop", "acyclic", "-corrupt", "flip-class"},
-		{"-graph", "cycle", "-n", "7", "-prop", "bipartite"}, // property fails: graceful
-		// Multi-property batch: one structure, all labelings.
+		// Multi-property batch: one structure, one certificate.
 		{"-graph", "path", "-n", "12", "-prop", "bipartite,3color,acyclic"},
 		{"-graph", "path", "-n", "12", "-prop", "bipartite,3color,matching", "-dist"},
-		// Mixed outcome: acyclic fails on the cycle, bipartite holds.
-		{"-graph", "cycle", "-n", "8", "-prop", "bipartite,acyclic"},
 		{"-graph", "path", "-n", "10", "-prop", "bipartite,dominating"},
+		// Conjunction through the catalog syntax.
+		{"-graph", "cycle", "-n", "8", "-prop", "and(bipartite,evenedges)"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
 	}
-	if err := run([]string{"-prop", "nope"}); err == nil {
+	if err := run([]string{"-prop", "nope"}); !errors.Is(err, certify.ErrUnknownProperty) {
 		t.Error("bad property accepted")
 	}
 	if err := run([]string{"-prop", "bipartite,bipartite"}); err == nil {
 		t.Error("duplicate property accepted")
+	}
+}
+
+// TestExitCodes is the error-hygiene table: "property fails on this graph"
+// (exit 2) and "certificate rejected" (exit 3) are distinct failure classes,
+// distinguishable by the typed errors run() returns.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	corrupted := filepath.Join(dir, "corrupted.plsc")
+	if err := run([]string{"-graph", "path", "-n", "12", "-prop", "bipartite",
+		"-corrupt", "flip-class", "-out", corrupted}); err != nil {
+		t.Fatalf("preparing corrupted certificate: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"-graph", "path", "-n", "10", "-prop", "bipartite"}, 0},
+		{"property fails", []string{"-graph", "cycle", "-n", "7", "-prop", "bipartite"}, 2},
+		{"property fails in mixed batch", []string{"-graph", "cycle", "-n", "8", "-prop", "bipartite,acyclic"}, 2},
+		{"certificate rejected", []string{"-graph", "path", "-n", "12", "-prop", "bipartite", "-in", corrupted}, 3},
+		{"unknown property", []string{"-prop", "nope"}, 1},
+		{"unknown fault", []string{"-graph", "path", "-n", "10", "-prop", "bipartite", "-corrupt", "nope"}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if got := exitCode(err); got != tc.want {
+				t.Fatalf("run(%v): exit %d (err=%v), want %d", tc.args, got, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSaveLoadEveryFamily is the wire-format acceptance walk: -out then -in
+// on every generator family, the -in invocation decoding and verifying with
+// no prover state carried over.
+func TestSaveLoadEveryFamily(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		family string
+		prop   string
+	}{
+		{"path", "acyclic"},
+		{"cycle", "bipartite"},
+		{"caterpillar", "acyclic"},
+		{"lobster", "acyclic"},
+		{"ladder", "maxdeg:3"},
+		{"spider", "maxdeg:3"},
+		{"interval", "vc:64"},
+	} {
+		t.Run(tc.family, func(t *testing.T) {
+			path := filepath.Join(dir, tc.family+".plsc")
+			base := []string{"-graph", tc.family, "-n", "24", "-prop", tc.prop}
+			if err := run(append(base, "-out", path)); err != nil {
+				t.Fatalf("prove+save: %v", err)
+			}
+			if err := run(append(base, "-in", path)); err != nil {
+				t.Fatalf("load+verify: %v", err)
+			}
+			// Distributed verification of the loaded certificate.
+			if err := run(append(base, "-in", path, "-dist")); err != nil {
+				t.Fatalf("load+verify -dist: %v", err)
+			}
+		})
+	}
+}
+
+// TestLoadRejectsWrongGraphAndGarbage covers the remaining -in error paths.
+func TestLoadRejectsWrongGraphAndGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.plsc")
+	if err := run([]string{"-graph", "path", "-n", "16", "-prop", "bipartite", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Same family, different size: fingerprint mismatch.
+	err := run([]string{"-graph", "path", "-n", "18", "-prop", "bipartite", "-in", path})
+	if !errors.Is(err, certify.ErrWrongGraph) {
+		t.Fatalf("wrong graph: %v", err)
+	}
+	// Garbage file: strict decode.
+	garbage := filepath.Join(dir, "garbage.plsc")
+	if err := os.WriteFile(garbage, []byte("not a certificate"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-graph", "path", "-n", "16", "-prop", "bipartite", "-in", garbage})
+	if !errors.Is(err, certify.ErrBadCertificate) {
+		t.Fatalf("garbage certificate: %v", err)
 	}
 }

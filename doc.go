@@ -4,7 +4,17 @@
 // MSO₂ property on bounded-pathwidth graphs, with all substrates implemented
 // from scratch.
 //
-// The library lives in internal/ packages (see DESIGN.md for the map);
-// cmd/certify and cmd/bench are the executables, examples/ holds runnable
-// walkthroughs, and bench_test.go regenerates the EXPERIMENTS.md series.
+// The public API is the certify package: a Certifier built with functional
+// options proves, serializes, and verifies certificates with context-aware
+// Prove / ProveBatch / Verify / VerifyDistributed methods and a typed error
+// taxonomy (certify.ErrUnknownProperty, ErrTooWide, ErrPropertyFails,
+// ErrVerifyFailed, ErrBadCertificate, ErrWrongGraph). Certificates marshal
+// to a versioned binary wire format, so a labeling proved once can be
+// written to disk, shipped over a network, and verified by a different
+// process — see the runnable Example in the certify package docs.
+//
+// The implementation lives in internal/ packages behind the facade (see
+// DESIGN.md for the map); cmd/certify and cmd/bench are the executables,
+// examples/ holds runnable walkthroughs built exclusively on the certify
+// API, and bench_test.go regenerates the EXPERIMENTS.md series.
 package repro

@@ -8,72 +8,81 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 
-	"repro/internal/algebra"
-	"repro/internal/cert"
-	"repro/internal/core"
-	"repro/internal/gen"
-	"repro/internal/graph"
+	"repro/certify"
 )
 
 func main() {
-	// The network: a caterpillar — spine routers with leaf hosts.
-	g := gen.Caterpillar(7, 2)
-	spine := []graph.Vertex{0, 1, 2, 3, 4, 5, 6}
+	ctx := context.Background()
 
-	// Claim 1: the spine dominates the network (every host is adjacent to a
-	// router).
-	cfg := cert.NewConfig(g)
-	cfg.MarkSet(spine)
-	dom := core.NewScheme(algebra.DominatingSet{}, 6)
-	labeling, stats, err := dom.Prove(cfg, nil)
+	// The network: a caterpillar — spine routers with leaf hosts.
+	newGraph := func() *certify.Graph { return certify.Caterpillar(7, 2) }
+	g := newGraph()
+	spine := []int{0, 1, 2, 3, 4, 5, 6}
+
+	dominating, err := certify.PropertyByName("dominating")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !core.AllAccept(dom.Verify(cfg, labeling)) {
-		log.Fatal("honest dominating-set labels rejected")
+	independent, err := certify.PropertyByName("independent")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dom, err := certify.New(certify.WithProperty(dominating), certify.WithMaxLanes(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ind, err := certify.New(certify.WithProperty(independent), certify.WithMaxLanes(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Claim 1: the spine dominates the network (every host is adjacent to a
+	// router).
+	g.Mark(spine...)
+	cert, stats, err := dom.Prove(ctx, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dom.Verify(ctx, g, cert); err != nil {
+		log.Fatal("honest dominating-set labels rejected: ", err)
 	}
 	fmt.Printf("certified %q on n=%d with %d-bit labels\n",
 		"X (the spine) dominates G", g.N(), stats.MaxLabelBits)
 
 	// Claim 2: the same X is NOT independent (the spine is a path) — the
 	// prover refuses, as completeness only covers true claims.
-	ind := core.NewScheme(algebra.IndependentSet{}, 6)
-	if _, _, err := ind.Prove(cfg, nil); errors.Is(err, core.ErrPropertyFails) {
+	if _, _, err := ind.Prove(ctx, g); errors.Is(err, certify.ErrPropertyFails) {
 		fmt.Println("prover refuses \"X is independent\": adjacent spine routers (correct)")
 	} else {
 		log.Fatalf("expected refusal, got %v", err)
 	}
 
 	// Claim 3: the hosts form an independent set — certified.
-	var hosts []graph.Vertex
-	for v := len(spine); v < g.N(); v++ {
-		hosts = append(hosts, v)
+	gHosts := newGraph()
+	for v := len(spine); v < gHosts.N(); v++ {
+		gHosts.Mark(v)
 	}
-	cfgHosts := cert.NewConfig(g)
-	cfgHosts.MarkSet(hosts)
-	labeling, stats, err = ind.Prove(cfgHosts, nil)
+	certHosts, stats, err := ind.Prove(ctx, gHosts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !core.AllAccept(ind.Verify(cfgHosts, labeling)) {
-		log.Fatal("honest independent-set labels rejected")
+	if err := ind.Verify(ctx, gHosts, certHosts); err != nil {
+		log.Fatal("honest independent-set labels rejected: ", err)
 	}
 	fmt.Printf("certified %q with %d-bit labels\n", "the hosts are independent", stats.MaxLabelBits)
 
 	// Fault story: a router silently leaves X (state change). The old
-	// labels no longer match the state and verification catches it.
-	cfgDegraded := cert.NewConfig(g)
-	cfgDegraded.MarkSet(spine[:3]) // routers 3..6 dropped out
-	stale, _, err := dom.Prove(cfg, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if core.AllAccept(dom.Verify(cfgDegraded, stale)) {
-		log.Fatal("stale labels accepted after routers left X — soundness violated")
+	// certificate no longer matches the state — it binds to (G, X) via the
+	// configuration fingerprint — and verification refuses in one round.
+	gDegraded := newGraph()
+	gDegraded.Mark(spine[:3]...) // routers 3..6 dropped out
+	if err := dom.Verify(ctx, gDegraded, cert); err == nil {
+		log.Fatal("stale certificate accepted after routers left X — soundness violated")
 	}
 	fmt.Println("after routers leave X, stale certificates are rejected in one round")
 }

@@ -13,37 +13,41 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 
-	"repro/internal/algebra"
-	"repro/internal/cert"
-	"repro/internal/core"
-	"repro/internal/gen"
-	"repro/internal/graph"
+	"repro/certify"
 )
 
 func main() {
-	star := graph.CompleteBipartite(1, 3) // K₁,₃
-	prop := algebra.MaxDegreeAtMost{D: 2} // ⇔ K₁,₃-minor-free on connected graphs
+	ctx := context.Background()
+	star := certify.CompleteBipartite(1, 3) // K₁,₃
+	// maxdeg:2 ⇔ K₁,₃-minor-free on connected graphs.
+	prop, err := certify.PropertyByName("maxdeg:2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := certify.New(certify.WithProperty(prop), certify.WithMaxLanes(6))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cases := []struct {
 		name string
-		g    *graph.Graph
+		g    *certify.Graph
 	}{
-		{"path on 40 vertices", graph.PathGraph(40)},
-		{"cycle on 30 vertices", graph.CycleGraph(30)},
-		{"3-spider S(2,2,2)", graph.Spider(2)},
-		{"caterpillar with legs", gen.Caterpillar(5, 1)},
+		{"path on 40 vertices", certify.Path(40)},
+		{"cycle on 30 vertices", certify.Cycle(30)},
+		{"3-spider S(2,2,2)", certify.Spider(2)},
+		{"caterpillar with legs", certify.Caterpillar(5, 1)},
 	}
 	for _, tc := range cases {
 		oracle := !tc.g.HasMinor(star)
-		scheme := core.NewScheme(prop, 6)
-		cfg := cert.NewConfig(tc.g)
-		labeling, stats, err := scheme.Prove(cfg, nil)
+		cert, stats, err := c.Prove(ctx, tc.g)
 		switch {
-		case errors.Is(err, core.ErrPropertyFails):
+		case errors.Is(err, certify.ErrPropertyFails):
 			fmt.Printf("%-24s K1,3-minor-free=%v  prover: refused (graph has the minor)\n",
 				tc.name, oracle)
 			if oracle {
@@ -52,10 +56,10 @@ func main() {
 		case err != nil:
 			log.Fatal(err)
 		default:
-			ok := core.AllAccept(scheme.Verify(cfg, labeling))
+			verr := c.Verify(ctx, tc.g, cert)
 			fmt.Printf("%-24s K1,3-minor-free=%v  certified with %d-bit labels, verified=%v\n",
-				tc.name, oracle, stats.MaxLabelBits, ok)
-			if !oracle || !ok {
+				tc.name, oracle, stats.MaxLabelBits, verr == nil)
+			if !oracle || verr != nil {
 				log.Fatalf("%s: certification disagrees with the minor oracle", tc.name)
 			}
 		}
@@ -64,17 +68,23 @@ func main() {
 	// The Excluding Forest Theorem side of the corollary: every graph of
 	// pathwidth ≤ 1 is S(2,2,2)-minor-free, so certifying a caterpillar's
 	// structure (2 lanes) also certifies spider-minor-freeness.
-	cat := gen.Caterpillar(8, 2)
+	cat := certify.Caterpillar(8, 2)
 	fmt.Printf("\ncaterpillar n=%d: pathwidth-1 family ⇒ S(2,2,2)-minor-free = %v (oracle agrees)\n",
-		cat.N(), !cat.HasMinor(graph.Spider(2)))
-	scheme := core.NewScheme(algebra.Acyclic{}, 4)
-	cfg := cert.NewConfig(cat)
-	labeling, stats, err := scheme.Prove(cfg, nil)
+		cat.N(), !cat.HasMinor(certify.Spider(2)))
+	acyclic, err := certify.PropertyByName("acyclic")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !core.AllAccept(scheme.Verify(cfg, labeling)) {
-		log.Fatal("caterpillar certification failed")
+	ca, err := certify.New(certify.WithProperty(acyclic), certify.WithMaxLanes(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, stats, err := ca.Prove(ctx, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ca.Verify(ctx, cat, cert); err != nil {
+		log.Fatal("caterpillar certification failed: ", err)
 	}
 	fmt.Printf("certified acyclic ∧ pathwidth ≤ 3 with %d-bit labels (lanes=%d)\n",
 		stats.MaxLabelBits, stats.Lanes)

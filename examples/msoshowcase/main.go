@@ -1,83 +1,72 @@
 // MSO₂ showcase: one graph, many certified properties. Theorem 1 is a
 // meta-theorem — a single scheme template covers every MSO₂-expressible
 // property, including conjunctions. This example certifies Hamiltonicity,
-// perfect matching, 3-colorability, vertex cover bounds, and a conjunction,
-// on cycles and caterpillars, and cross-checks each against the MSO₂
-// brute-force model checker where the graph is small enough.
+// perfect matching, colorability, vertex cover bounds, and a conjunction,
+// on cycles, and cross-checks each verdict against ground truth
+// (certify.ModelCheck: the brute-force MSO₂ model checker on small graphs,
+// combinatorial oracles otherwise).
 //
 //	go run ./examples/msoshowcase
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 
-	"repro/internal/algebra"
-	"repro/internal/cert"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/mso"
+	"repro/certify"
 )
 
 func main() {
-	c8 := graph.CycleGraph(8)
-	showcase(c8, "C8", []namedProp{
-		{algebra.HamiltonianCycle{}, mso.HamiltonianCycleFormula()},
-		{algebra.PerfectMatching{}, mso.PerfectMatchingFormula()},
-		{algebra.Colorable{Q: 2}, mso.BipartiteFormula()},
-		{algebra.Colorable{Q: 3}, mso.ThreeColorableFormula()},
-		{algebra.VertexCoverAtMost{C: 4}, nil},
-		{algebra.VertexCoverAtMost{C: 3}, nil},
-		{algebra.And{P1: algebra.Colorable{Q: 2}, P2: algebra.EvenEdges{}}, nil},
+	c8 := certify.Cycle(8)
+	showcase(c8, "C8", []string{
+		"hamiltonian", "matching", "bipartite", "3color",
+		"vc:4", "vc:3", "and(bipartite,evenedges)",
 	})
 
-	c7 := graph.CycleGraph(7)
-	showcase(c7, "C7", []namedProp{
-		{algebra.HamiltonianCycle{}, mso.HamiltonianCycleFormula()},
-		{algebra.Colorable{Q: 2}, mso.BipartiteFormula()},
-		{algebra.Colorable{Q: 3}, mso.ThreeColorableFormula()},
-		{algebra.PerfectMatching{}, mso.PerfectMatchingFormula()},
+	c7 := certify.Cycle(7)
+	showcase(c7, "C7", []string{
+		"hamiltonian", "bipartite", "3color", "matching",
 	})
 }
 
-type namedProp struct {
-	prop    algebra.Property
-	formula mso.Formula
-}
-
-func showcase(g *graph.Graph, name string, props []namedProp) {
+func showcase(g *certify.Graph, name string, propNames []string) {
+	ctx := context.Background()
 	fmt.Printf("── %s (n=%d, m=%d)\n", name, g.N(), g.M())
-	for _, np := range props {
-		scheme := core.NewScheme(np.prop, 6)
-		cfg := cert.NewConfig(g)
-		labeling, stats, err := scheme.Prove(cfg, nil)
+	for _, propName := range propNames {
+		prop, err := certify.PropertyByName(propName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := certify.New(certify.WithProperty(prop), certify.WithMaxLanes(6))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cert, stats, err := c.Prove(ctx, g)
 		holds := true
-		if errors.Is(err, core.ErrPropertyFails) {
+		if errors.Is(err, certify.ErrPropertyFails) {
 			holds = false
 		} else if err != nil {
 			log.Fatal(err)
 		}
 		status := "does not hold — prover refuses"
 		if holds {
-			if !core.AllAccept(scheme.Verify(cfg, labeling)) {
-				log.Fatalf("%s: honest labels rejected", np.prop.Name())
+			if err := c.Verify(ctx, g, cert); err != nil {
+				log.Fatalf("%s: honest labels rejected: %v", propName, err)
 			}
 			status = fmt.Sprintf("certified, %d-bit labels, verified at all vertices", stats.MaxLabelBits)
 		}
-		fmt.Printf("   %-32s %s\n", np.prop.Name(), status)
+		fmt.Printf("   %-32s %s\n", propName, status)
 
-		// Cross-check against the MSO₂ logic itself when available.
-		if np.formula != nil && g.N() <= mso.MaxEvalVertices {
-			logical, err := mso.Eval(g, np.formula)
-			if err != nil {
-				log.Fatal(err)
+		// Cross-check against ground truth: the MSO₂ model checker evaluates
+		// the property's logical sentence itself on graphs small enough for
+		// its set quantifiers.
+		if truth, supported := certify.ModelCheck(g, prop); supported {
+			if truth != holds {
+				log.Fatalf("%s: scheme says %v but ground truth says %v", propName, holds, truth)
 			}
-			if logical != holds {
-				log.Fatalf("%s: scheme says %v but the MSO₂ model checker says %v",
-					np.prop.Name(), holds, logical)
-			}
-			fmt.Printf("   %-32s agrees with MSO₂ model checker (%v)\n", "", logical)
+			fmt.Printf("   %-32s agrees with model checker (%v)\n", "", truth)
 		}
 	}
 	fmt.Println()

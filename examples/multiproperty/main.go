@@ -1,83 +1,78 @@
 // Multiproperty: certify several MSO₂ properties of one graph at once.
 // The property-independent structure of Theorem 1's prover (path
 // decomposition → lanes → completion → embedding → hierarchy) is built
-// once as a core.StructuralProof; every property then runs only its
-// homomorphism-class sweep against it (core.Batch.ProveAll), producing
-// labelings byte-identical to independent core.Scheme.Prove calls.
+// once; every property then runs only its homomorphism-class sweep against
+// it, producing one multi-property certificate whose labelings are
+// byte-identical to independent single-property runs.
 //
 //	go run ./examples/multiproperty
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/algebra"
-	"repro/internal/cert"
-	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/certify"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// An even path with every 2nd vertex marked X: bipartite, 3-colorable,
 	// acyclic, degree ≤ 2, perfectly matchable, and X is both dominating
 	// and independent — seven properties, one graph.
-	g := graph.PathGraph(64)
-	cfg := cert.NewConfig(g)
-	var marked []graph.Vertex
+	g := certify.Path(64)
 	for v := 0; v < g.N(); v += 2 {
-		marked = append(marked, v)
+		g.Mark(v)
 	}
-	cfg.MarkSet(marked)
 
 	// Resolve the property list through the shared catalog (the same names
 	// cmd/certify's -prop flag accepts).
-	props, err := algebra.ByNames([]string{
+	props, err := certify.PropertiesByName(
 		"bipartite", "3color", "acyclic", "maxdeg:2", "matching",
 		"dominating", "independent",
-	})
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// One batch = one shared structure + one scheme (and class registry)
-	// per property.
-	batch, err := core.NewBatch(props, core.BatchOptions{})
+	// One certifier = one shared structure per batch + one scheme (and
+	// class registry) per property.
+	c, err := certify.New(certify.WithProperties(props...))
 	if err != nil {
 		log.Fatal(err)
 	}
-	labelings, stats, err := batch.ProveAll(cfg, nil)
+	cert, stats, err := c.ProveBatch(ctx, g)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(stats.Failed) > 0 {
+		log.Fatalf("properties unexpectedly fail: %v", stats.Failed)
 	}
 	fmt.Printf("structure built once: %d lanes, %d virtual edges, hierarchy depth %d\n",
 		stats.Lanes, stats.VirtualEdges, stats.HierarchyDepth)
 
-	// Every labeling verifies independently — each property's verifier
-	// runs against its own scheme, exactly as in the single-property flow.
-	verdicts, err := batch.VerifyAll(cfg, labelings)
-	if err != nil {
+	// Every labeling verifies independently — each property's verifier runs
+	// against its own scheme, exactly as in the single-property flow.
+	if err := c.Verify(ctx, g, cert); err != nil {
 		log.Fatal(err)
 	}
-	for _, name := range batch.Properties() {
-		st := stats.PerProperty[name]
-		if !core.AllAccept(verdicts[name]) {
-			log.Fatalf("%s: rejected", name)
-		}
+	for _, name := range cert.Properties() {
 		fmt.Printf("%-18s certified and verified at every vertex (max label %d bits)\n",
-			name, st.MaxLabelBits)
+			name, stats.PerProperty[name].MaxLabelBits)
 	}
 
 	// The structure outlives the batch: serving another certification
 	// request for the same graph reuses it (the amortization experiment E9
 	// measures the effect at scale).
-	sp, err := core.BuildStructure(cfg, nil)
+	st, err := c.BuildStructure(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	again, _, err := batch.ProveAllWith(sp)
+	again, _, err := c.ProveBatchOn(ctx, st)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("re-proved %d properties against a reused structure\n", len(again))
+	fmt.Printf("re-proved %d properties against a reused structure\n", len(again.Properties()))
 }

@@ -1,34 +1,38 @@
 // Quickstart: certify an MSO₂ property on a bounded-pathwidth graph with
-// O(log n)-bit labels (Theorem 1), then verify it locally at every vertex.
+// O(log n)-bit labels (Theorem 1) through the public certify API, then
+// verify the certificate locally at every vertex.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/algebra"
-	"repro/internal/cert"
-	"repro/internal/core"
-	"repro/internal/gen"
+	"repro/certify"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A caterpillar: the canonical pathwidth-1 graph family.
-	g := gen.Caterpillar(10, 2)
+	g := certify.Caterpillar(10, 2)
 
 	// The scheme certifies φ ∧ (pathwidth ≤ lanes-1); here φ = bipartite.
-	scheme := core.NewScheme(algebra.Colorable{Q: 2}, 4)
+	bipartite, err := certify.PropertyByName("bipartite")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := certify.New(certify.WithProperty(bipartite), certify.WithMaxLanes(4))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// The configuration equips vertices with O(log n)-bit identifiers.
-	cfg := cert.NewConfig(g)
-
-	// The centralized prover runs the full pipeline of the paper:
-	// path decomposition → lane partition → completion → lanewidth
-	// transcript → hierarchical decomposition → homomorphism classes →
-	// per-edge certificates.
-	labeling, stats, err := scheme.Prove(cfg, nil)
+	// The prover runs the full pipeline of the paper: path decomposition →
+	// lane partition → completion → lanewidth transcript → hierarchical
+	// decomposition → homomorphism classes → per-edge certificates.
+	cert, stats, err := c.Prove(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,10 +42,16 @@ func main() {
 	fmt.Printf("  max label = %d bits (Θ(log n))\n", stats.MaxLabelBits)
 
 	// One round of label exchange, then each vertex decides locally.
-	verdicts := scheme.Verify(cfg, labeling)
-	if core.AllAccept(verdicts) {
-		fmt.Println("all vertices ACCEPT")
-		return
+	if err := c.Verify(ctx, g, cert); err != nil {
+		log.Fatalf("some vertex rejected — this should never happen on honest labels: %v", err)
 	}
-	fmt.Println("some vertex rejected — this should never happen on honest labels")
+	fmt.Println("all vertices ACCEPT")
+
+	// The certificate is a durable artifact: marshal it, ship it, verify it
+	// in another process (see cmd/certify -out / -in for the CLI flow).
+	blob, err := cert.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wire certificate: %d bytes\n", len(blob))
 }

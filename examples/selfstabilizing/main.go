@@ -2,71 +2,67 @@
 // maintains a certified invariant; transient faults corrupt label memory;
 // the one-round verification detects the corruption so the system can
 // re-run the prover. This example runs the loop on the goroutine-per-vertex
-// network simulator, injecting every fault kind in turn.
+// network simulator, injecting every fault of the catalog in turn.
 //
 //	go run ./examples/selfstabilizing
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/algebra"
-	"repro/internal/cert"
-	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/gen"
+	"repro/certify"
 )
 
 func main() {
-	g := gen.Lobster(6, 1)
-	scheme := core.NewScheme(algebra.Acyclic{}, 6)
-	cfg := cert.NewConfig(g)
-	net := dist.NewNetwork(cfg, scheme)
 	ctx := context.Background()
-	rng := rand.New(rand.NewSource(42))
+	g := certify.Lobster(6, 1)
+	acyclic, err := certify.PropertyByName("acyclic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := certify.New(certify.WithProperty(acyclic), certify.WithMaxLanes(6))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	labeling, stats, err := scheme.Prove(cfg, nil)
+	cert, stats, err := c.Prove(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("network of %d processors certified %q (%d-bit labels)\n",
 		g.N(), "spanning structure is a tree", stats.MaxLabelBits)
 
-	res, err := net.Run(ctx, labeling)
-	if err != nil {
+	if err := c.VerifyDistributed(ctx, g, cert); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("steady state: accepted=%v\n\n", res.Accepted())
+	fmt.Printf("steady state: accepted=true\n\n")
 
-	for round, fault := range dist.AllFaults {
-		mutated, ok := dist.Inject(rng, labeling, fault)
-		if !ok {
-			log.Fatalf("fault %v not injectable", fault)
-		}
-		res, err := net.Run(ctx, mutated)
+	for round, fault := range certify.FaultNames() {
+		corrupted, err := cert.Corrupt(int64(42+round), fault)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("fault %v not injectable: %v", fault, err)
 		}
-		if res.Accepted() {
+		verr := c.VerifyDistributed(ctx, g, corrupted)
+		if verr == nil {
 			log.Fatalf("round %d: fault %v went UNDETECTED — soundness violated", round, fault)
 		}
+		var ve *certify.VerifyError
+		if !errors.As(verr, &ve) {
+			log.Fatal(verr)
+		}
 		fmt.Printf("round %d: transient fault %-16s detected by processors %v\n",
-			round, fault, res.Rejected)
+			round, fault, ve.Rejected)
 
 		// Recovery: the self-stabilizing system re-runs the prover.
-		labeling, _, err = scheme.Prove(cfg, nil)
+		cert, _, err = c.Prove(ctx, g)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err = net.Run(ctx, labeling)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !res.Accepted() {
-			log.Fatalf("round %d: recovery failed", round)
+		if err := c.VerifyDistributed(ctx, g, cert); err != nil {
+			log.Fatalf("round %d: recovery failed: %v", round, err)
 		}
 		fmt.Printf("round %d: re-proved, network stable again\n", round)
 	}

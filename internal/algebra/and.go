@@ -12,8 +12,11 @@ type And struct {
 
 var _ Property = And{}
 
-// Name implements Property.
-func (p And) Name() string { return fmt.Sprintf("(%s ∧ %s)", p.P1.Name(), p.P2.Name()) }
+// Name implements Property. The shape mirrors the catalog's and(...) syntax
+// but composes the operands' *display* names, which are not catalog names —
+// it does not resolve back through ByName. Wire certificates therefore
+// carry the certify package's catalog-name tracking, not this string.
+func (p And) Name() string { return fmt.Sprintf("and(%s,%s)", p.P1.Name(), p.P2.Name()) }
 
 type pairTable struct {
 	t1, t2 Table

@@ -40,9 +40,55 @@ func ByName(name string) (Property, error) {
 			return nil, fmt.Errorf("algebra: bad degree bound: %w", err)
 		}
 		return MaxDegreeAtMost{D: d}, nil
+	case strings.HasPrefix(name, "and(") && strings.HasSuffix(name, ")"):
+		parts, balanced := SplitTopLevel(name[len("and(") : len(name)-1])
+		if !balanced || len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("algebra: malformed conjunction %q", name)
+		}
+		p1, err := ByName(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		p2, err := ByName(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return And{P1: p1, P2: p2}, nil
 	default:
 		return nil, fmt.Errorf("algebra: unknown property %q", name)
 	}
+}
+
+// SplitTopLevel splits s at its top-level commas — commas inside
+// parentheses do not separate, so conjunctions nest: "and(x,y),z" splits
+// into ["and(x,y)", "z"]. It is the one scanner behind the catalog's
+// and(...) grammar and the comma-separated property lists CLIs accept
+// (certify.SplitPropList). balanced reports whether every ')' had a
+// matching '('.
+func SplitTopLevel(s string) (parts []string, balanced bool) {
+	depth, start := 0, 0
+	balanced = true
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				balanced = false
+				depth = 0
+			}
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		balanced = false
+	}
+	return append(parts, s[start:]), balanced
 }
 
 // ByNames resolves a list of catalog names (e.g. a comma-split -prop flag).
@@ -78,5 +124,6 @@ func Names() []string {
 	return []string{
 		"bipartite", "3color", "acyclic", "matching", "hamiltonian",
 		"evenedges", "dominating", "independent", "vc:<c>", "maxdeg:<d>",
+		"and(<p>,<q>)",
 	}
 }

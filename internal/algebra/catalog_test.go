@@ -11,6 +11,7 @@ func TestByNameResolvesEveryCatalogEntry(t *testing.T) {
 		concrete := name
 		concrete = strings.Replace(concrete, "vc:<c>", "vc:3", 1)
 		concrete = strings.Replace(concrete, "maxdeg:<d>", "maxdeg:2", 1)
+		concrete = strings.Replace(concrete, "and(<p>,<q>)", "and(bipartite,evenedges)", 1)
 		p, err := ByName(concrete)
 		if err != nil {
 			t.Errorf("ByName(%q): %v", concrete, err)
@@ -57,5 +58,31 @@ func TestByNames(t *testing.T) {
 	}
 	if _, err := ByNames([]string{"bipartite", "nope"}); err == nil {
 		t.Error("ByNames with an unknown name should fail")
+	}
+}
+
+func TestByNameConjunction(t *testing.T) {
+	p, err := ByName("and(bipartite,evenedges)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := p.(And)
+	if !ok {
+		t.Fatalf("resolved to %#v", p)
+	}
+	if _, ok := and.P1.(Colorable); !ok {
+		t.Errorf("P1 = %#v", and.P1)
+	}
+	if _, ok := and.P2.(EvenEdges); !ok {
+		t.Errorf("P2 = %#v", and.P2)
+	}
+	// Nested conjunctions parse at the top-level comma.
+	if _, err := ByName("and(and(bipartite,evenedges),acyclic)"); err != nil {
+		t.Errorf("nested conjunction: %v", err)
+	}
+	for _, bad := range []string{"and()", "and(,)", "and(bipartite)", "and(bipartite,)", "and(,acyclic)", "and(bipartite,nope)", "and(bipartite,evenedges"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) should fail", bad)
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package algebra
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Registry interns classes to compact integer ids. The finite class set C of
 // Proposition 2.4 is part of the verification algorithm, not of the proof;
@@ -39,6 +42,43 @@ func (r *Registry) Intern(c *Class) int {
 	r.byPtr[c] = id
 	r.classes = append(r.classes, c)
 	return id
+}
+
+// RegistryFromTable builds a registry whose id assignment is fixed by the
+// given table instead of by interning order. It is the substrate of
+// cross-process verification: a verifier that reconstructed the prover's
+// class table from a decoded certificate (core.RebuildRegistry) seeds its
+// registry with it, so the class ids claimed by the labels resolve exactly
+// as they did in the proving process. Ids absent from the table stay holes:
+// Class returns nil for them and Intern never reuses them (fresh classes get
+// ids past the table), so a forged label referencing a hole is rejected.
+// Two table entries sharing a class value are an error — an honest prover's
+// registry never aliases.
+func RegistryFromTable(classes map[int]*Class) (*Registry, error) {
+	maxID := -1
+	for id := range classes {
+		if id < 0 {
+			return nil, fmt.Errorf("algebra: negative class id %d in table", id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	r := NewRegistry()
+	r.classes = make([]*Class, maxID+1)
+	for id, c := range classes {
+		if c == nil {
+			return nil, fmt.Errorf("algebra: nil class for id %d in table", id)
+		}
+		key := c.Key()
+		if dup, ok := r.byKey[key]; ok {
+			return nil, fmt.Errorf("algebra: class ids %d and %d alias the same class", dup, id)
+		}
+		r.byKey[key] = id
+		r.byPtr[c] = id
+		r.classes[id] = c
+	}
+	return r, nil
 }
 
 // Lookup returns the id of the class if it is already registered.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -102,11 +103,17 @@ type BatchStats struct {
 // ProveAll builds the structure once and labels every property of the
 // batch against it. The optional decomposition is used when non-nil.
 func (b *Batch) ProveAll(cfg *cert.Config, pd *interval.PathDecomposition) (map[string]*Labeling, *BatchStats, error) {
-	sp, err := BuildStructureOpts(cfg, pd, StructureOptions{UsePaperConstruction: b.opts.UsePaperConstruction})
+	return b.ProveAllCtx(context.Background(), cfg, pd)
+}
+
+// ProveAllCtx is ProveAll honoring a context: cancellation reaches the
+// structure build and the per-property worker pool.
+func (b *Batch) ProveAllCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathDecomposition) (map[string]*Labeling, *BatchStats, error) {
+	sp, err := BuildStructureCtx(ctx, cfg, pd, StructureOptions{UsePaperConstruction: b.opts.UsePaperConstruction})
 	if err != nil {
 		return nil, nil, err
 	}
-	return b.ProveAllWith(sp)
+	return b.ProveAllWithCtx(ctx, sp)
 }
 
 // ProveAllWith labels every property of the batch against an existing
@@ -114,6 +121,13 @@ func (b *Batch) ProveAll(cfg *cert.Config, pd *interval.PathDecomposition) (map[
 // reuse one StructuralProof across any number of batches. Per-property
 // passes run on a worker pool bounded by BatchOptions.Workers.
 func (b *Batch) ProveAllWith(sp *StructuralProof) (map[string]*Labeling, *BatchStats, error) {
+	return b.ProveAllWithCtx(context.Background(), sp)
+}
+
+// ProveAllWithCtx is ProveAllWith honoring a context: workers poll the
+// context before starting each property's pass and inside the class sweeps,
+// so cancellation drains the pool promptly and returns ctx.Err().
+func (b *Batch) ProveAllWithCtx(ctx context.Context, sp *StructuralProof) (map[string]*Labeling, *BatchStats, error) {
 	if sp == nil {
 		return nil, nil, errors.New("core: nil structural proof")
 	}
@@ -140,12 +154,24 @@ func (b *Batch) ProveAllWith(sp *StructuralProof) (map[string]*Labeling, *BatchS
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			l, st, err := b.schemes[name].ProveWith(sp)
+			if err := ctx.Err(); err != nil {
+				mu.Lock()
+				defer mu.Unlock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			l, st, err := b.schemes[name].ProveWithCtx(ctx, sp)
 			mu.Lock()
 			defer mu.Unlock()
 			switch {
 			case errors.Is(err, ErrPropertyFails):
 				stats.Failed[name] = err
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				if firstErr == nil {
+					firstErr = err
+				}
 			case err != nil:
 				if firstErr == nil {
 					firstErr = fmt.Errorf("core: batch property %s: %w", name, err)
@@ -168,6 +194,12 @@ func (b *Batch) ProveAllWith(sp *StructuralProof) (map[string]*Labeling, *BatchS
 // property name. Labelings must come from this batch's ProveAll: each
 // property's labels refer to its scheme's registry.
 func (b *Batch) VerifyAll(cfg *cert.Config, labelings map[string]*Labeling) (map[string][]bool, error) {
+	return b.VerifyAllCtx(context.Background(), cfg, labelings)
+}
+
+// VerifyAllCtx is VerifyAll honoring a context: cancellation drains each
+// property's verification pool and returns ctx.Err().
+func (b *Batch) VerifyAllCtx(ctx context.Context, cfg *cert.Config, labelings map[string]*Labeling) (map[string][]bool, error) {
 	for name := range labelings {
 		if _, known := b.schemes[name]; !known {
 			return nil, fmt.Errorf("core: no scheme in batch for property %q", name)
@@ -179,7 +211,11 @@ func (b *Batch) VerifyAll(cfg *cert.Config, labelings map[string]*Labeling) (map
 		if !ok {
 			continue
 		}
-		out[name] = b.schemes[name].VerifyParallel(cfg, l)
+		verdicts, err := b.schemes[name].VerifyParallelCtx(ctx, cfg, l)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = verdicts
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -93,11 +94,18 @@ type Stats struct {
 // Completeness: on yes-instances of φ ∧ (pathwidth small enough for the lane
 // budget), Prove succeeds and Verify accepts everywhere.
 func (s *Scheme) Prove(cfg *cert.Config, pd *interval.PathDecomposition) (*Labeling, *Stats, error) {
-	sp, err := BuildStructureOpts(cfg, pd, StructureOptions{UsePaperConstruction: s.UsePaperConstruction})
+	return s.ProveCtx(context.Background(), cfg, pd)
+}
+
+// ProveCtx is Prove honoring a context: cancellation is observed between the
+// structure-building stages and periodically inside the class sweep, and the
+// call returns ctx.Err() promptly instead of completing the labeling.
+func (s *Scheme) ProveCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathDecomposition) (*Labeling, *Stats, error) {
+	sp, err := BuildStructureCtx(ctx, cfg, pd, StructureOptions{UsePaperConstruction: s.UsePaperConstruction})
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.ProveWith(sp)
+	return s.ProveWithCtx(ctx, sp)
 }
 
 // ProveWith runs only the property-dependent half of the prover — class
@@ -106,6 +114,15 @@ func (s *Scheme) Prove(cfg *cert.Config, pd *interval.PathDecomposition) (*Label
 // same configuration. Multiple ProveWith calls (of different schemes) may
 // run concurrently against one StructuralProof.
 func (s *Scheme) ProveWith(sp *StructuralProof) (*Labeling, *Stats, error) {
+	return s.ProveWithCtx(context.Background(), sp)
+}
+
+// ProveWithCtx is ProveWith honoring a context; the class sweep checks for
+// cancellation every few hundred hierarchy nodes.
+func (s *Scheme) ProveWithCtx(ctx context.Context, sp *StructuralProof) (*Labeling, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if sp == nil || sp.Cfg == nil {
 		return nil, nil, errors.New("core: nil structural proof")
 	}
@@ -125,7 +142,7 @@ func (s *Scheme) ProveWith(sp *StructuralProof) (*Labeling, *Stats, error) {
 	}
 
 	// Section 6: homomorphism classes and certificates.
-	enc, err := s.buildEncoder(sp)
+	enc, err := s.buildEncoder(ctx, sp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -172,8 +189,9 @@ type encoder struct {
 }
 
 // buildEncoder computes classes bottom-up over the hierarchy and assembles
-// the node entries from the structure's shared artifacts.
-func (s *Scheme) buildEncoder(sp *StructuralProof) (*encoder, error) {
+// the node entries from the structure's shared artifacts. The context is
+// polled every few hundred nodes so cancellation aborts long sweeps.
+func (s *Scheme) buildEncoder(ctx context.Context, sp *StructuralProof) (*encoder, error) {
 	enc := &encoder{
 		scheme:  s,
 		sp:      sp,
@@ -182,8 +200,14 @@ func (s *Scheme) buildEncoder(sp *StructuralProof) (*encoder, error) {
 		entries: map[int]*NodeEntry{},
 	}
 
+	steps := 0
 	var classOf func(n *lanewidth.Node) (*algebra.Class, error)
 	classOf = func(n *lanewidth.Node) (*algebra.Class, error) {
+		if steps++; steps&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if c, ok := enc.classes[n.ID]; ok {
 			return c, nil
 		}
@@ -252,6 +276,11 @@ func (s *Scheme) buildEncoder(sp *StructuralProof) (*encoder, error) {
 
 	// Assemble entries for every node (V-nodes ride inside B summaries).
 	for _, n := range sp.Hierarchy.Nodes {
+		if steps++; steps&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if n.Kind == lanewidth.VNode {
 			continue
 		}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/lanewidth"
+)
+
+// ErrRegistryRebuild is returned by RebuildRegistry when a labeling does not
+// determine a consistent class table: two entries pin the same class id to
+// different classes, or a referenced id has no recomputable definition. An
+// honest certificate never trips it — the prover's registry is a function of
+// the labeling's own contents — so callers treat it as a rejected proof.
+var ErrRegistryRebuild = errors.New("core: labeling does not determine a consistent class registry")
+
+// RebuildRegistry reconstructs the proving scheme's class registry from the
+// labelings alone and installs it on this scheme, enabling verification in a
+// process that never ran the prover (the prove-once / verify-everywhere
+// deployment of a wire certificate).
+//
+// The class set C is part of the verification algorithm (Proposition 2.4) —
+// only the *naming* of classes by compact ids is private prover state. Every
+// id a label claims is, however, definitionally pinned by the label's own
+// payload: E-/P-node entries and V-node operand summaries carry the data of
+// their base class, B-node entries name the operand ids of their fB merge,
+// member entries name the child ids of their Lemma 6.5 fP fold, and T-node
+// entries alias their root member's merged id. RebuildRegistry collects these
+// definitions, resolves them to classes by fixpoint iteration (recomputing
+// with the scheme's own algebra, so instances are canonical), and seeds the
+// registry with the resulting id table. Soundness is unaffected: the
+// verifier still recomputes every class from first principles, and any
+// inconsistent or unresolvable table — which no honest prover produces — is
+// rejected here, before a single vertex runs.
+func (s *Scheme) RebuildRegistry(labelings ...*Labeling) error {
+	defs, refs := s.collectClassDefs(labelings)
+
+	resolved := map[int]*algebra.Class{}
+	for {
+		progress := false
+		remaining := defs[:0]
+		for _, d := range defs {
+			ready := true
+			for _, dep := range d.deps {
+				if _, ok := resolved[dep]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				remaining = append(remaining, d)
+				continue
+			}
+			cls, err := d.build(resolved)
+			progress = true
+			if err != nil {
+				// Unbuildable definitions come only from corrupted entries;
+				// dropping them either leaves the id to an honest definition
+				// or leaves it unresolved (rejected below). The corrupted
+				// entry itself still fails its per-vertex checks.
+				continue
+			}
+			if prev, ok := resolved[d.id]; ok {
+				if prev != cls && prev.Key() != cls.Key() {
+					return fmt.Errorf("%w: id %d is claimed by two distinct classes", ErrRegistryRebuild, d.id)
+				}
+				continue
+			}
+			resolved[d.id] = cls
+		}
+		defs = remaining
+		if !progress {
+			break
+		}
+	}
+
+	for id := range refs {
+		if _, ok := resolved[id]; !ok {
+			return fmt.Errorf("%w: class id %d has no definition", ErrRegistryRebuild, id)
+		}
+	}
+	reg, err := algebra.RegistryFromTable(resolved)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRegistryRebuild, err)
+	}
+	s.Reg = reg
+	return nil
+}
+
+// classDef is one recomputable definition of a claimed class id: build runs
+// once every dependency id is resolved.
+type classDef struct {
+	id    int
+	deps  []int
+	build func(resolved map[int]*algebra.Class) (*algebra.Class, error)
+}
+
+// collectClassDefs walks every certificate path of the labelings and gathers
+// the class definitions and the set of all referenced ids. Entries are
+// deduplicated by canonical encoding — byte-identical copies yield identical
+// definitions.
+func (s *Scheme) collectClassDefs(labelings []*Labeling) ([]classDef, map[int]bool) {
+	var defs []classDef
+	refs := map[int]bool{}
+	seen := map[string]bool{}
+
+	addEntry := func(e *NodeEntry) {
+		refs[e.ClassID] = true
+		switch e.Kind {
+		case lanewidth.ENode:
+			if len(e.Lanes) == 1 && len(e.RealBits) == 1 && len(e.VInputs) == 2 {
+				lane, real, inputs := e.Lanes[0], e.RealBits[0], e.VInputs
+				defs = append(defs, classDef{id: e.ClassID,
+					build: func(map[int]*algebra.Class) (*algebra.Class, error) {
+						return s.baseE(lane, real, inputs)
+					}})
+			}
+		case lanewidth.PNode:
+			if len(e.Lanes) > 0 && len(e.RealBits) == len(e.PathIDs)-1 && len(e.VInputs) == len(e.PathIDs) {
+				lanes, realBits, inputs := e.Lanes, e.RealBits, e.VInputs
+				defs = append(defs, classDef{id: e.ClassID,
+					build: func(map[int]*algebra.Class) (*algebra.Class, error) {
+						return s.baseP(lanes, realBits, inputs)
+					}})
+			}
+		case lanewidth.BNode:
+			if e.Left != nil && e.Right != nil {
+				for _, op := range []*OperandSummary{e.Left, e.Right} {
+					refs[op.ClassID] = true
+					if op.Kind == lanewidth.VNode && len(op.Lanes) == 1 {
+						lane, input := op.Lanes[0], op.Input
+						defs = append(defs, classDef{id: op.ClassID,
+							build: func(map[int]*algebra.Class) (*algebra.Class, error) {
+								return s.baseV(lane, input)
+							}})
+					}
+				}
+				id, li, lj := e.ClassID, e.LaneI, e.LaneJ
+				left, right, bridgeReal := e.Left.ClassID, e.Right.ClassID, e.BridgeReal
+				defs = append(defs, classDef{id: id, deps: []int{left, right},
+					build: func(resolved map[int]*algebra.Class) (*algebra.Class, error) {
+						label := 0
+						if bridgeReal {
+							label = algebra.EdgeReal
+						}
+						return s.bridgeMerge(resolved[left], resolved[right], li, lj, label)
+					}})
+			}
+		case lanewidth.TNode:
+			// checkTNode pins ClassID == RootMember.MergedClassID, whose
+			// definition lives at the root member's own entry; recording the
+			// alias keeps the id resolvable when the two numbers agree.
+			if e.RootMember != nil {
+				refs[e.RootMember.MergedClassID] = true
+				id, src := e.ClassID, e.RootMember.MergedClassID
+				defs = append(defs, classDef{id: id, deps: []int{src},
+					build: func(resolved map[int]*algebra.Class) (*algebra.Class, error) {
+						return resolved[src], nil
+					}})
+			}
+		}
+		if e.ParentID != -1 {
+			// Lemma 6.5 member fold: merged = fP(children..., own).
+			refs[e.MergedClassID] = true
+			deps := []int{e.ClassID}
+			for i := range e.Children {
+				refs[e.Children[i].MergedClassID] = true
+				deps = append(deps, e.Children[i].MergedClassID)
+			}
+			id, own, children := e.MergedClassID, e.ClassID, e.Children
+			defs = append(defs, classDef{id: id, deps: deps,
+				build: func(resolved map[int]*algebra.Class) (*algebra.Class, error) {
+					acc := resolved[own]
+					for i := range children {
+						next, err := s.parentMerge(resolved[children[i].MergedClassID], acc)
+						if err != nil {
+							return nil, err
+						}
+						acc = next
+					}
+					return acc, nil
+				}})
+		}
+	}
+
+	addCert := func(c *CEdgeLabel) {
+		if c == nil {
+			return
+		}
+		for _, e := range c.Path {
+			if e == nil {
+				continue
+			}
+			k := e.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			addEntry(e)
+		}
+	}
+	for _, l := range labelings {
+		if l == nil {
+			continue
+		}
+		for _, el := range l.Edges {
+			if el == nil {
+				continue
+			}
+			addCert(el.Own)
+			for i := range el.Emb {
+				addCert(el.Emb[i].Payload)
+			}
+		}
+	}
+	return defs, refs
+}

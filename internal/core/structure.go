@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -102,6 +103,16 @@ func BuildStructure(cfg *cert.Config, pd *interval.PathDecomposition) (*Structur
 
 // BuildStructureOpts is BuildStructure with explicit options.
 func BuildStructureOpts(cfg *cert.Config, pd *interval.PathDecomposition, opts StructureOptions) (*StructuralProof, error) {
+	return BuildStructureCtx(context.Background(), cfg, pd, opts)
+}
+
+// BuildStructureCtx is BuildStructureOpts honoring a context: cancellation
+// is observed between the pipeline stages (decomposition, lane construction,
+// transcript, hierarchy, artifact tables) and aborts the build with ctx.Err().
+func BuildStructureCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathDecomposition, opts StructureOptions) (*StructuralProof, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg == nil {
 		return nil, errors.New("core: nil configuration")
 	}
@@ -129,11 +140,17 @@ func BuildStructureOpts(cfg *cert.Config, pd *interval.PathDecomposition, opts S
 		return nil, fmt.Errorf("core: decomposition: %w", err)
 	}
 	r := pd.ToIntervals(g.N())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Section 4: lane partition + completion + embedding.
 	p, c, emb, err := lanes.Build(g, r, opts.UsePaperConstruction)
 	if err != nil {
 		return nil, fmt.Errorf("core: lane construction: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Section 5: lanewidth transcript and hierarchical decomposition.
@@ -147,6 +164,9 @@ func BuildStructureOpts(cfg *cert.Config, pd *interval.PathDecomposition, opts S
 	}
 	if err := h.Validate(); err != nil {
 		return nil, fmt.Errorf("core: hierarchy invalid: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	sp := &StructuralProof{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,17 +26,37 @@ type VertexView struct {
 // Verify runs the local verifier at every vertex and returns the verdicts.
 // The scheme accepts iff all verdicts are true.
 func (s *Scheme) Verify(cfg *cert.Config, labeling *Labeling) []bool {
+	verdicts, _ := s.VerifyCtx(context.Background(), cfg, labeling)
+	return verdicts
+}
+
+// VerifyCtx is Verify honoring a context: cancellation between per-vertex
+// checks aborts the sweep and returns ctx.Err() with a nil verdict slice.
+func (s *Scheme) VerifyCtx(ctx context.Context, cfg *cert.Config, labeling *Labeling) ([]bool, error) {
 	verdicts := make([]bool, cfg.G.N())
 	for v := 0; v < cfg.G.N(); v++ {
+		if v&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		verdicts[v] = s.verifyVertex(cfg, labeling, v)
 	}
-	return verdicts
+	return verdicts, nil
 }
 
 // VerifyParallel runs the same per-vertex verifier as Verify on a worker
 // pool (verification is embarrassingly parallel: each vertex's check reads
 // only its own view). The verdicts are identical to Verify's.
 func (s *Scheme) VerifyParallel(cfg *cert.Config, labeling *Labeling) []bool {
+	verdicts, _ := s.VerifyParallelCtx(context.Background(), cfg, labeling)
+	return verdicts
+}
+
+// VerifyParallelCtx is VerifyParallel honoring a context: workers poll the
+// context between the vertex chunks they claim, so cancellation drains the
+// pool promptly and the call returns ctx.Err() with a nil verdict slice.
+func (s *Scheme) VerifyParallelCtx(ctx context.Context, cfg *cert.Config, labeling *Labeling) ([]bool, error) {
 	n := cfg.G.N()
 	verdicts := make([]bool, n)
 	workers := runtime.GOMAXPROCS(0)
@@ -43,7 +64,7 @@ func (s *Scheme) VerifyParallel(cfg *cert.Config, labeling *Labeling) []bool {
 		workers = n
 	}
 	if workers <= 1 {
-		return s.Verify(cfg, labeling)
+		return s.VerifyCtx(ctx, cfg, labeling)
 	}
 	// Dynamic chunking: workers claim fixed-size vertex ranges so a few
 	// expensive vertices cannot serialize the round.
@@ -55,6 +76,9 @@ func (s *Scheme) VerifyParallel(cfg *cert.Config, labeling *Labeling) []bool {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				lo := int(next.Add(chunk)) - chunk
 				if lo >= n {
 					return
@@ -70,7 +94,10 @@ func (s *Scheme) VerifyParallel(cfg *cert.Config, labeling *Labeling) []bool {
 		}()
 	}
 	wg.Wait()
-	return verdicts
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return verdicts, nil
 }
 
 // verifyVertex assembles vertex v's view from the labeling and runs VerifyAt.
