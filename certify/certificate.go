@@ -47,6 +47,12 @@ type Certificate struct {
 	schemes  map[string]*core.Scheme
 }
 
+// MaxLaneBudget is the largest lane budget the certificate wire format can
+// carry: WithMaxLanes rejects larger budgets so every issued certificate
+// round-trips through MarshalBinary/UnmarshalBinary. (The paper's schemes
+// target small constant k; 4096 is far beyond any practical pathwidth.)
+const MaxLaneBudget = 1 << 12
+
 // Wire-format constants.
 const (
 	certMagic   = "PLSC" // Proof Labeling Scheme Certificate
@@ -58,6 +64,12 @@ const (
 	maxCertVertices = 1 << 30
 	maxCertEdges    = 1 << 26
 	maxLabelBits    = 1 << 30
+
+	// Minimum wire cost of one property entry (name-length varint, one name
+	// byte, edge-count varint) and one edge entry (u, v, bit-count varints) —
+	// the divisors that bound declared counts by the remaining buffer.
+	minPropBytes = 3
+	minEdgeBytes = 3
 )
 
 // Properties returns the certified property names in batch order.
@@ -74,6 +86,11 @@ func (c *Certificate) N() int { return c.n }
 
 // M returns the edge count of the certified configuration.
 func (c *Certificate) M() int { return c.m }
+
+// Fingerprint returns the configuration fingerprint the certificate binds
+// to — the same value Graph.Fingerprint reports for the graph it was issued
+// for. Services key certificate storage and lookup by this value.
+func (c *Certificate) Fingerprint() uint64 { return c.fingerprint }
 
 // MaxBits returns the proof size of one property's labeling — the largest
 // edge label in bits — or 0 for properties the certificate does not carry.
@@ -103,9 +120,8 @@ func fingerprint(cfg *cert.Config) uint64 {
 	for v := 0; v < cfg.G.N(); v++ {
 		put(uint64(cfg.Input(v)))
 	}
-	edges := cfg.G.Edges()
-	put(uint64(len(edges)))
-	for _, e := range edges {
+	put(uint64(cfg.G.M()))
+	for e := range cfg.G.EdgesSeq() {
 		put(uint64(e.U))
 		put(uint64(e.V))
 	}
@@ -206,7 +222,7 @@ func (c *Certificate) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if maxLanes == 0 || maxLanes > 1<<12 || n == 0 || n > maxCertVertices || m > maxCertEdges {
+	if maxLanes == 0 || maxLanes > MaxLaneBudget || n == 0 || n > maxCertVertices || m > maxCertEdges {
 		return bad("implausible header (lanes=%d n=%d m=%d)", maxLanes, n, m)
 	}
 	if len(r) < 8 {
@@ -220,6 +236,14 @@ func (c *Certificate) UnmarshalBinary(data []byte) error {
 	}
 	if nProps == 0 || nProps > maxCertProps {
 		return bad("implausible property count %d", nProps)
+	}
+	// Every declared size field below is attacker-controlled: before any
+	// size-hinted allocation, cap it against the bytes actually remaining in
+	// the buffer (each property costs ≥ minPropBytes, each edge entry
+	// ≥ minEdgeBytes on the wire), so a 100-byte blob declaring 2²⁶ edges is
+	// rejected as truncated instead of reserving gigabytes.
+	if nProps > uint64(len(r))/minPropBytes {
+		return bad("property count %d exceeds the %d remaining bytes", nProps, len(r))
 	}
 	var out decodedCertificate
 	out.maxLanes = int(maxLanes)
@@ -252,6 +276,9 @@ func (c *Certificate) UnmarshalBinary(data []byte) error {
 		}
 		if nEdges > maxCertEdges || nEdges != m {
 			return bad("labeling for %q covers %d edges, configuration has %d", name, nEdges, m)
+		}
+		if nEdges > uint64(len(r))/minEdgeBytes {
+			return bad("labeling for %q declares %d edges, only %d bytes remain", name, nEdges, len(r))
 		}
 		l := &core.Labeling{Edges: make(map[graph.Edge]*core.EdgeLabel, nEdges)}
 		prev := graph.Edge{U: -1, V: -1}

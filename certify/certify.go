@@ -75,11 +75,16 @@ func WithProperties(ps ...Property) Option {
 
 // WithMaxLanes sets the lane budget k: certificates prove
 // φ ∧ (pathwidth ≤ k−1), and proving fails with ErrTooWide on graphs whose
-// lane partition exceeds it. The default is DefaultMaxLanes.
+// lane partition exceeds it. The default is DefaultMaxLanes; budgets above
+// MaxLaneBudget are rejected because the wire format could not carry the
+// resulting certificates.
 func WithMaxLanes(k int) Option {
 	return func(c *Certifier) error {
 		if k < 1 {
 			return fmt.Errorf("certify: lane budget must be ≥ 1, got %d", k)
+		}
+		if k > MaxLaneBudget {
+			return fmt.Errorf("certify: lane budget %d exceeds the wire format's maximum %d", k, MaxLaneBudget)
 		}
 		c.maxLanes = k
 		return nil

@@ -1,0 +1,133 @@
+package certify
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestCertifierConcurrentUse hammers one Certifier and one Graph from many
+// goroutines doing Prove, ProveBatch, Verify, VerifyDistributed and
+// MarshalBinary simultaneously — the exact sharing pattern certifyd relies
+// on (one stored graph, many requests). Run under -race in CI, it pins that
+// the memoized scheme state (canonical encodings, interned keys, the
+// graph's cached edge order) is safe to share: every goroutine must see
+// byte-identical certificates.
+func TestCertifierConcurrentUse(t *testing.T) {
+	props, err := PropertiesByName("bipartite", "acyclic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(WithProperty(props[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := New(WithProperties(props...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Caterpillar(6, 1)
+	ctx := context.Background()
+
+	// Reference artifacts, proved before any concurrency.
+	refCrt, _, err := batch.ProveBatch(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBlob, err := refCrt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*4)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 4 {
+			case 0: // prove a single property on the shared graph
+				if _, _, err := single.Prove(ctx, g); err != nil {
+					errs <- err
+				}
+			case 1: // prove the batch and compare the wire bytes
+				crt, _, err := batch.ProveBatch(ctx, g)
+				if err != nil {
+					errs <- err
+					return
+				}
+				blob, err := crt.MarshalBinary()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(blob) != string(refBlob) {
+					t.Error("concurrent prove produced different certificate bytes")
+				}
+			case 2: // verify the shared reference certificate
+				if err := batch.Verify(ctx, g, refCrt); err != nil {
+					errs <- err
+				}
+			case 3: // marshal the shared certificate and verify on the simulator
+				if _, err := refCrt.MarshalBinary(); err != nil {
+					errs <- err
+					return
+				}
+				if err := batch.VerifyDistributed(ctx, g, refCrt); err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDecodedCertificateConcurrentUse is the same hammer against a
+// certificate decoded from the wire (lazy scheme rebuild) while other
+// goroutines re-marshal it — the daemon's verify-upload path.
+func TestDecodedCertificateConcurrentUse(t *testing.T) {
+	blob := honestBlob(t)
+	var crt Certificate
+	if err := crt.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	verifier, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Caterpillar(4, 1)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				if err := verifier.Verify(ctx, g, &crt); err != nil {
+					errs <- err
+				}
+				return
+			}
+			again, err := crt.MarshalBinary()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(again) != string(blob) {
+				t.Error("concurrent re-marshal diverged from the original blob")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -32,6 +32,12 @@ func FuzzCertificateDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("PLSC\x01"))
 	f.Add(make([]byte, 32))
+	// Hostile headers: CRC-valid blobs whose declared sizes exceed the bytes
+	// that follow (the resource-exhaustion class the decoder caps against the
+	// remaining buffer).
+	for _, hostile := range hostileBlobs() {
+		f.Add(hostile)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var c Certificate

@@ -39,6 +39,28 @@ func (g *Graph) Marked() []int {
 	return append([]int(nil), g.marked...)
 }
 
+// Edges returns the edge set in deterministic sorted order, as vertex
+// pairs with u < v. The slice is the caller's to keep.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.g.M())
+	for e := range g.g.EdgesSeq() {
+		out = append(out, [2]int{e.U, e.V})
+	}
+	return out
+}
+
+// Fingerprint returns the 64-bit fingerprint of the configuration (topology,
+// identifiers, and marked set). Certificates bind to this value: it is the
+// storage and lookup key of the prove-once / verify-everywhere flow. It
+// fails only when the marked set references out-of-range vertices.
+func (g *Graph) Fingerprint() (uint64, error) {
+	cfg, err := g.config()
+	if err != nil {
+		return 0, err
+	}
+	return fingerprint(cfg), nil
+}
+
 // HasMinor reports whether g contains h as a minor (brute force; intended
 // for small pattern graphs, e.g. Corollary 1.2's forest minors).
 func (g *Graph) HasMinor(h *Graph) bool {

@@ -1,0 +1,466 @@
+// Package graphio reads and writes certify graphs in two line-oriented
+// interchange formats, with the strict validation an untrusted-input surface
+// needs: every size is capped by Limits before anything is allocated, every
+// malformed line fails with a position-carrying error wrapping ErrFormat,
+// and nothing is inferred from unparsed bytes.
+//
+// The edge-list format is the native one:
+//
+//	# comment
+//	n 6            optional vertex-count directive (else max endpoint + 1)
+//	x 0 3          marked vertices (the input set X), any number of lines
+//	0 1            one edge per line, 0-based endpoints
+//	1 2
+//
+// The DIMACS format is the classic challenge format — "c" comments, one
+// "p edge <n> <m>" problem line, then exactly m "e <u> <v>" lines with
+// 1-based endpoints. DIMACS has no notion of a marked set, so WriteDIMACS
+// rejects marked graphs.
+//
+// Both readers stream line by line (bounded line length, no whole-input
+// buffering beyond the edges themselves) and reject loops, duplicate edges,
+// out-of-range endpoints, over- and under-declared edge counts, and
+// anything else that deviates from the grammar. They are shared by
+// cmd/certify and the certifyd ingestion endpoint.
+package graphio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/certify"
+)
+
+// Format names a supported interchange format.
+type Format string
+
+const (
+	// FormatEdgeList is the native "u v" edge-list format with optional
+	// n/x directives.
+	FormatEdgeList Format = "edgelist"
+	// FormatDIMACS is the DIMACS challenge format (p edge / e lines).
+	FormatDIMACS Format = "dimacs"
+	// FormatAuto detects the format from the first meaningful line: DIMACS
+	// when it is a "c" or "p" line, edge list otherwise.
+	FormatAuto Format = "auto"
+)
+
+// ParseFormat resolves a format name (e.g. a CLI flag or query parameter).
+func ParseFormat(s string) (Format, error) {
+	switch Format(strings.ToLower(strings.TrimSpace(s))) {
+	case FormatEdgeList:
+		return FormatEdgeList, nil
+	case FormatDIMACS:
+		return FormatDIMACS, nil
+	case FormatAuto, Format(""):
+		return FormatAuto, nil
+	}
+	return "", fmt.Errorf("graphio: unknown format %q (have edgelist, dimacs, auto)", s)
+}
+
+// ErrFormat is the sentinel every malformed-input error wraps; callers
+// branch on errors.Is(err, ErrFormat) to distinguish bad input from I/O
+// failure.
+var ErrFormat = errors.New("graphio: malformed graph input")
+
+// Limits bounds what a reader will accept from an untrusted stream. The
+// zero value of any field means the corresponding DefaultLimits entry.
+type Limits struct {
+	// MaxVertices caps the vertex count (declared or inferred).
+	MaxVertices int
+	// MaxEdges caps the edge count.
+	MaxEdges int
+	// MaxLineBytes caps one line's length.
+	MaxLineBytes int
+}
+
+// DefaultLimits is the reader default: generous for real workloads, small
+// enough that a hostile stream cannot reserve unbounded memory.
+var DefaultLimits = Limits{
+	MaxVertices:  1 << 22,
+	MaxEdges:     1 << 24,
+	MaxLineBytes: 1 << 16,
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxVertices <= 0 {
+		l.MaxVertices = DefaultLimits.MaxVertices
+	}
+	if l.MaxEdges <= 0 {
+		l.MaxEdges = DefaultLimits.MaxEdges
+	}
+	if l.MaxLineBytes <= 0 {
+		l.MaxLineBytes = DefaultLimits.MaxLineBytes
+	}
+	return l
+}
+
+// badLine builds an ErrFormat-wrapping error carrying the 1-based line
+// number.
+func badLine(line int, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrFormat, line, fmt.Sprintf(format, args...))
+}
+
+// Read decodes a graph under DefaultLimits.
+func Read(r io.Reader, format Format) (*certify.Graph, error) {
+	return ReadLimited(r, format, DefaultLimits)
+}
+
+// ReadLimited decodes a graph in the given format under explicit limits.
+func ReadLimited(r io.Reader, format Format, lim Limits) (*certify.Graph, error) {
+	lim = lim.withDefaults()
+	switch format {
+	case FormatEdgeList:
+		return readEdgeList(r, lim)
+	case FormatDIMACS:
+		return readDIMACS(r, lim)
+	case FormatAuto:
+		br := bufio.NewReaderSize(r, lim.MaxLineBytes)
+		if peekDIMACS(br) {
+			return readDIMACS(br, lim)
+		}
+		return readEdgeList(br, lim)
+	}
+	return nil, fmt.Errorf("graphio: unknown format %q", format)
+}
+
+// peekDIMACS inspects the stream's first meaningful line without consuming
+// it: DIMACS streams open with a "c" comment or the "p" problem line. The
+// decision is made within the reader's buffer; a mis-detection (e.g. a
+// preamble longer than the buffer) surfaces as a parse error from the
+// chosen reader, never as silent acceptance.
+func peekDIMACS(br *bufio.Reader) bool {
+	peeked, _ := br.Peek(br.Size())
+	for _, line := range strings.Split(string(peeked), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		tok := strings.Fields(trimmed)[0]
+		return tok == "c" || tok == "p"
+	}
+	return false
+}
+
+// lineScanner wraps bufio.Scanner with the line-length limit and 1-based
+// line numbers.
+type lineScanner struct {
+	s    *bufio.Scanner
+	line int
+}
+
+func newLineScanner(r io.Reader, lim Limits) *lineScanner {
+	s := bufio.NewScanner(r)
+	// The scanner's cap is max(limit, cap(buf)): keep the initial buffer no
+	// larger than the limit so small limits actually bind.
+	s.Buffer(make([]byte, 0, min(4096, lim.MaxLineBytes)), lim.MaxLineBytes)
+	return &lineScanner{s: s}
+}
+
+func (ls *lineScanner) next() (string, bool) {
+	if !ls.s.Scan() {
+		return "", false
+	}
+	ls.line++
+	return ls.s.Text(), true
+}
+
+func (ls *lineScanner) err() error {
+	if err := ls.s.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return badLine(ls.line+1, "line exceeds the %v limit", err)
+		}
+		return err
+	}
+	return nil
+}
+
+// parseVertex parses one strictly decimal endpoint token.
+func parseVertex(tok string, line int) (int, error) {
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, badLine(line, "bad vertex %q", tok)
+	}
+	if v < 0 {
+		return 0, badLine(line, "negative vertex %d", v)
+	}
+	return v, nil
+}
+
+// edgeAccum accumulates validated edges with duplicate/loop/range/limit
+// checking shared by both readers.
+type edgeAccum struct {
+	lim   Limits
+	edges [][2]int
+	seen  map[[2]int]int // normalized edge -> first line
+}
+
+func (a *edgeAccum) add(u, v, line int) error {
+	if u == v {
+		return badLine(line, "loop edge {%d,%d}", u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int{u, v}
+	if first, dup := a.seen[key]; dup {
+		return badLine(line, "duplicate edge {%d,%d} (first on line %d)", u, v, first)
+	}
+	if len(a.edges) >= a.lim.MaxEdges {
+		return badLine(line, "more than %d edges", a.lim.MaxEdges)
+	}
+	if a.seen == nil {
+		a.seen = map[[2]int]int{}
+	}
+	a.seen[key] = line
+	a.edges = append(a.edges, key)
+	return nil
+}
+
+// ReadEdgeList decodes the edge-list format under DefaultLimits.
+func ReadEdgeList(r io.Reader) (*certify.Graph, error) {
+	return readEdgeList(r, DefaultLimits.withDefaults())
+}
+
+func readEdgeList(r io.Reader, lim Limits) (*certify.Graph, error) {
+	ls := newLineScanner(r, lim)
+	declaredN := -1
+	maxV := -1
+	var marks []int
+	acc := edgeAccum{lim: lim}
+	sawContent := false
+	for {
+		raw, ok := ls.next()
+		if !ok {
+			break
+		}
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if sawContent || declaredN >= 0 {
+				return nil, badLine(ls.line, "n directive must come first, once")
+			}
+			if len(fields) != 2 {
+				return nil, badLine(ls.line, "n directive wants one count")
+			}
+			n, err := parseVertex(fields[1], ls.line)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 || n > lim.MaxVertices {
+				return nil, badLine(ls.line, "vertex count %d out of range [1,%d]", n, lim.MaxVertices)
+			}
+			declaredN = n
+			continue
+		case "x":
+			if len(fields) < 2 {
+				return nil, badLine(ls.line, "x directive wants at least one vertex")
+			}
+			for _, tok := range fields[1:] {
+				v, err := parseVertex(tok, ls.line)
+				if err != nil {
+					return nil, err
+				}
+				if v >= lim.MaxVertices {
+					return nil, badLine(ls.line, "marked vertex %d exceeds the %d-vertex limit", v, lim.MaxVertices)
+				}
+				marks = append(marks, v)
+				if v > maxV {
+					maxV = v
+				}
+			}
+			sawContent = true
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, badLine(ls.line, "want %q, got %q", "u v", line)
+		}
+		u, err := parseVertex(fields[0], ls.line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseVertex(fields[1], ls.line)
+		if err != nil {
+			return nil, err
+		}
+		if u >= lim.MaxVertices || v >= lim.MaxVertices {
+			return nil, badLine(ls.line, "endpoint exceeds the %d-vertex limit", lim.MaxVertices)
+		}
+		if err := acc.add(u, v, ls.line); err != nil {
+			return nil, err
+		}
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+		sawContent = true
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	n := declaredN
+	if n < 0 {
+		n = maxV + 1
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: empty input (no vertices)", ErrFormat)
+	}
+	if maxV >= n {
+		return nil, fmt.Errorf("%w: vertex %d out of range (n=%d)", ErrFormat, maxV, n)
+	}
+	return build(n, acc.edges, marks)
+}
+
+// ReadDIMACS decodes the DIMACS format under DefaultLimits.
+func ReadDIMACS(r io.Reader) (*certify.Graph, error) {
+	return readDIMACS(r, DefaultLimits.withDefaults())
+}
+
+func readDIMACS(r io.Reader, lim Limits) (*certify.Graph, error) {
+	ls := newLineScanner(r, lim)
+	n, m := -1, -1
+	acc := edgeAccum{lim: lim}
+	for {
+		raw, ok := ls.next()
+		if !ok {
+			break
+		}
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "c":
+			continue
+		case "p":
+			if n >= 0 {
+				return nil, badLine(ls.line, "second problem line")
+			}
+			if len(fields) != 4 || fields[1] != "edge" {
+				return nil, badLine(ls.line, "want %q, got %q", "p edge <n> <m>", line)
+			}
+			var err error
+			if n, err = parseVertex(fields[2], ls.line); err != nil {
+				return nil, err
+			}
+			if m, err = parseVertex(fields[3], ls.line); err != nil {
+				return nil, err
+			}
+			if n == 0 || n > lim.MaxVertices {
+				return nil, badLine(ls.line, "vertex count %d out of range [1,%d]", n, lim.MaxVertices)
+			}
+			if m > lim.MaxEdges {
+				return nil, badLine(ls.line, "edge count %d exceeds the %d-edge limit", m, lim.MaxEdges)
+			}
+		case "e":
+			if n < 0 {
+				return nil, badLine(ls.line, "edge before the problem line")
+			}
+			if len(fields) != 3 {
+				return nil, badLine(ls.line, "want %q, got %q", "e <u> <v>", line)
+			}
+			u, err := parseVertex(fields[1], ls.line)
+			if err != nil {
+				return nil, err
+			}
+			v, err := parseVertex(fields[2], ls.line)
+			if err != nil {
+				return nil, err
+			}
+			// DIMACS endpoints are 1-based.
+			if u == 0 || v == 0 || u > n || v > n {
+				return nil, badLine(ls.line, "endpoint out of range [1,%d]", n)
+			}
+			if len(acc.edges) >= m {
+				return nil, badLine(ls.line, "more than the declared %d edges", m)
+			}
+			if err := acc.add(u-1, v-1, ls.line); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, badLine(ls.line, "unknown line type %q", fields[0])
+		}
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%w: no problem line", ErrFormat)
+	}
+	if len(acc.edges) != m {
+		return nil, fmt.Errorf("%w: %d edges declared, %d present", ErrFormat, m, len(acc.edges))
+	}
+	return build(n, acc.edges, nil)
+}
+
+// build assembles the validated graph; edge validity was already enforced,
+// so a construction error here indicates a reader bug.
+func build(n int, edges [][2]int, marks []int) (*certify.Graph, error) {
+	g, err := certify.FromEdges(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	for _, v := range marks {
+		if v >= n {
+			return nil, fmt.Errorf("%w: marked vertex %d out of range (n=%d)", ErrFormat, v, n)
+		}
+	}
+	g.Mark(marks...)
+	return g, nil
+}
+
+// Write encodes the graph in the given format (FormatAuto means edge list).
+func Write(w io.Writer, g *certify.Graph, format Format) error {
+	switch format {
+	case FormatDIMACS:
+		return WriteDIMACS(w, g)
+	case FormatEdgeList, FormatAuto:
+		return WriteEdgeList(w, g)
+	}
+	return fmt.Errorf("graphio: unknown format %q", format)
+}
+
+// WriteEdgeList encodes the graph — vertex count, marked set, then sorted
+// edges — such that ReadEdgeList reproduces the same configuration
+// (identical fingerprint).
+func WriteEdgeList(w io.Writer, g *certify.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d\n", g.N())
+	if marked := g.Marked(); len(marked) > 0 {
+		fmt.Fprint(bw, "x")
+		for _, v := range marked {
+			fmt.Fprintf(bw, " %d", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d\n", e[0], e[1])
+	}
+	return bw.Flush()
+}
+
+// WriteDIMACS encodes the graph as "p edge" DIMACS. The format cannot carry
+// a marked set, so marked graphs are rejected rather than silently
+// stripped.
+func WriteDIMACS(w io.Writer, g *certify.Graph) error {
+	if len(g.Marked()) > 0 {
+		return errors.New("graphio: DIMACS cannot carry a marked vertex set (use the edge-list format)")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p edge %d %d\n", g.N(), g.M())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "e %d %d\n", e[0]+1, e[1]+1)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,197 @@
+package graphio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/certify"
+)
+
+func mustRead(t *testing.T, format Format, in string) *certify.Graph {
+	t.Helper()
+	g, err := Read(strings.NewReader(in), format)
+	if err != nil {
+		t.Fatalf("Read(%s, %q): %v", format, in, err)
+	}
+	return g
+}
+
+func TestReadEdgeList(t *testing.T) {
+	g := mustRead(t, FormatEdgeList, `
+# a marked path on four vertices
+n 4
+x 0 2
+0 1
+1 2
+2 3
+`)
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if marked := g.Marked(); len(marked) != 2 || marked[0] != 0 || marked[1] != 2 {
+		t.Fatalf("marked = %v", marked)
+	}
+}
+
+func TestReadEdgeListInfersN(t *testing.T) {
+	g := mustRead(t, FormatEdgeList, "0 1\n1 2\n")
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadDIMACS(t *testing.T) {
+	g := mustRead(t, FormatDIMACS, `c a triangle
+p edge 3 3
+e 1 2
+e 2 3
+e 1 3
+`)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestAutoDetect(t *testing.T) {
+	dimacs := "c comment\np edge 2 1\ne 1 2\n"
+	edgelist := "# comment\n0 1\n"
+	if g := mustRead(t, FormatAuto, dimacs); g.N() != 2 {
+		t.Fatal("DIMACS mis-detected")
+	}
+	if g := mustRead(t, FormatAuto, edgelist); g.N() != 2 {
+		t.Fatal("edge list mis-detected")
+	}
+}
+
+// TestMalformedInputs is the strict-validation table: every deviation fails
+// with an error wrapping ErrFormat (and a line position), never a silent
+// partial graph.
+func TestMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		format Format
+		in     string
+	}{
+		{"empty edge list", FormatEdgeList, ""},
+		{"comment-only edge list", FormatEdgeList, "# nothing\n\n"},
+		{"loop", FormatEdgeList, "0 0\n"},
+		{"duplicate", FormatEdgeList, "0 1\n1 0\n"},
+		{"three fields", FormatEdgeList, "0 1 2\n"},
+		{"one field", FormatEdgeList, "7\n"},
+		{"negative vertex", FormatEdgeList, "-1 2\n"},
+		{"not a number", FormatEdgeList, "a b\n"},
+		{"float vertex", FormatEdgeList, "0.5 1\n"},
+		{"hex vertex", FormatEdgeList, "0x1 2\n"},
+		{"n after edges", FormatEdgeList, "0 1\nn 5\n"},
+		{"n twice", FormatEdgeList, "n 3\nn 3\n0 1\n"},
+		{"n zero", FormatEdgeList, "n 0\n"},
+		{"endpoint beyond declared n", FormatEdgeList, "n 2\n0 5\n"},
+		{"mark beyond declared n", FormatEdgeList, "n 2\nx 4\n0 1\n"},
+		{"bare x", FormatEdgeList, "x\n0 1\n"},
+		{"dimacs no problem line", FormatDIMACS, "e 1 2\n"},
+		{"dimacs second problem line", FormatDIMACS, "p edge 2 1\np edge 2 1\ne 1 2\n"},
+		{"dimacs wrong kind", FormatDIMACS, "p col 3 2\ne 1 2\n"},
+		{"dimacs undercount", FormatDIMACS, "p edge 3 3\ne 1 2\n"},
+		{"dimacs overcount", FormatDIMACS, "p edge 3 1\ne 1 2\ne 2 3\n"},
+		{"dimacs 0-based endpoint", FormatDIMACS, "p edge 2 1\ne 0 1\n"},
+		{"dimacs out of range", FormatDIMACS, "p edge 2 1\ne 1 3\n"},
+		{"dimacs loop", FormatDIMACS, "p edge 2 1\ne 1 1\n"},
+		{"dimacs duplicate", FormatDIMACS, "p edge 2 2\ne 1 2\ne 2 1\n"},
+		{"dimacs unknown line", FormatDIMACS, "p edge 2 1\nq 1 2\n"},
+		{"dimacs empty", FormatDIMACS, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.in), tc.format)
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("want ErrFormat, got %v", err)
+			}
+		})
+	}
+}
+
+// TestLimitsEnforced pins that hostile sizes are rejected before the graph
+// is built.
+func TestLimitsEnforced(t *testing.T) {
+	lim := Limits{MaxVertices: 8, MaxEdges: 2, MaxLineBytes: 32}
+	for name, in := range map[string]string{
+		"declared n over limit": "n 9\n0 1\n",
+		"inferred n over limit": "0 20\n",
+		"edge count over limit": "0 1\n1 2\n2 3\n",
+		"line too long":         "# " + strings.Repeat("x", 64) + "\n0 1\n",
+		"dimacs n over limit":   "p edge 9 1\ne 1 2\n",
+		"dimacs m over limit":   "p edge 4 3\ne 1 2\ne 2 3\ne 3 4\n",
+		"marked vertex huge":    "x 4096\n0 1\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadLimited(strings.NewReader(in), FormatEdgeList, lim); err == nil {
+				t.Fatal("hostile input accepted")
+			}
+		})
+	}
+	// DIMACS cases through the DIMACS reader.
+	for _, in := range []string{"p edge 9 1\ne 1 2\n", "p edge 4 3\ne 1 2\ne 2 3\ne 3 4\n"} {
+		if _, err := ReadLimited(strings.NewReader(in), FormatDIMACS, lim); err == nil {
+			t.Fatal("hostile DIMACS accepted")
+		}
+	}
+}
+
+// TestRoundTripFingerprint pins that write→read reproduces the exact
+// configuration (same fingerprint, the service's storage key) for both
+// formats, marks included where representable.
+func TestRoundTripFingerprint(t *testing.T) {
+	g := certify.Caterpillar(5, 2)
+	g.Mark(0, 3, 7)
+	want, err := g.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := WriteEdgeList(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	back := mustRead(t, FormatAuto, sb.String())
+	got, err := back.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("edge-list round trip changed the fingerprint: %016x != %016x", got, want)
+	}
+
+	// DIMACS: unmarked graphs round-trip; marked graphs are rejected.
+	plain := certify.Cycle(9)
+	var db strings.Builder
+	if err := WriteDIMACS(&db, plain); err != nil {
+		t.Fatal(err)
+	}
+	back = mustRead(t, FormatAuto, db.String())
+	wantPlain, _ := plain.Fingerprint()
+	gotPlain, _ := back.Fingerprint()
+	if gotPlain != wantPlain {
+		t.Fatalf("DIMACS round trip changed the fingerprint")
+	}
+	if err := WriteDIMACS(&db, g); err == nil {
+		t.Fatal("DIMACS accepted a marked graph")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{
+		"edgelist": FormatEdgeList,
+		"DIMACS":   FormatDIMACS,
+		" auto ":   FormatAuto,
+		"":         FormatAuto,
+	} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("graphml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

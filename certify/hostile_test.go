@@ -1,0 +1,136 @@
+package certify
+
+import (
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// blobWriter assembles raw certificate wire bytes for hostile-input tests,
+// finishing with a valid CRC trailer so every structural check past the
+// checksum is reachable.
+type blobWriter struct{ b []byte }
+
+func newBlobWriter() *blobWriter {
+	return &blobWriter{b: append([]byte(certMagic), certVersion)}
+}
+
+func (w *blobWriter) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.b = append(w.b, buf[:n]...)
+}
+
+func (w *blobWriter) raw(p []byte) { w.b = append(w.b, p...) }
+
+// header writes the lane budget, n, m and a dummy fingerprint.
+func (w *blobWriter) header(lanes, n, m uint64) {
+	w.uvarint(lanes)
+	w.uvarint(n)
+	w.uvarint(m)
+	w.raw(make([]byte, 8))
+}
+
+func (w *blobWriter) finish() []byte {
+	out := append([]byte(nil), w.b...)
+	out = append(out, 0, 0, 0, 0)
+	fixCRC(out)
+	return out
+}
+
+// hostileBlobs builds CRC-valid blobs whose size fields lie: declared
+// counts vastly exceeding the bytes that follow. They double as fuzz seeds.
+func hostileBlobs() map[string][]byte {
+	out := map[string][]byte{}
+
+	// One property declaring 2²⁶ edges backed by zero bytes of table. Before
+	// decode capped declared sizes against the remaining buffer, the
+	// labeling map's size hint alone reserved gigabytes.
+	w := newBlobWriter()
+	w.header(5, 16, maxCertEdges)
+	w.uvarint(1) // property count
+	w.uvarint(uint64(len("bipartite")))
+	w.raw([]byte("bipartite"))
+	w.uvarint(maxCertEdges) // edge count, then nothing
+	out["huge edge table, empty body"] = w.finish()
+
+	// Maximum property count with a near-empty body.
+	w = newBlobWriter()
+	w.header(5, 16, 0)
+	w.uvarint(maxCertProps)
+	w.raw([]byte{0x01})
+	out["huge property count, empty body"] = w.finish()
+
+	// Huge name length against a tiny remainder.
+	w = newBlobWriter()
+	w.header(5, 16, 0)
+	w.uvarint(1)
+	w.uvarint(maxCertNameLen)
+	w.raw([]byte("ab"))
+	out["huge name length"] = w.finish()
+
+	// Label bit count claiming 2³⁰ bits backed by two bytes.
+	w = newBlobWriter()
+	w.header(5, 16, 1)
+	w.uvarint(1)
+	w.uvarint(uint64(len("acyclic")))
+	w.raw([]byte("acyclic"))
+	w.uvarint(1) // edge count
+	w.uvarint(0) // u
+	w.uvarint(1) // v
+	w.uvarint(maxLabelBits)
+	w.raw([]byte{0xFF, 0xFF})
+	out["huge label bit count"] = w.finish()
+
+	// Vertex count over the plausibility cap.
+	w = newBlobWriter()
+	w.header(5, maxCertVertices+1, 0)
+	w.uvarint(1)
+	out["implausible vertex count"] = w.finish()
+
+	// Edge count over the plausibility cap.
+	w = newBlobWriter()
+	w.header(5, 16, maxCertEdges+1)
+	w.uvarint(1)
+	out["implausible edge count"] = w.finish()
+
+	return out
+}
+
+// TestHostileHeadersRejected is the table test for attacker-controlled size
+// fields: every declared count must be capped against the remaining buffer
+// (or the plausibility bounds) and rejected as ErrBadCertificate.
+func TestHostileHeadersRejected(t *testing.T) {
+	for name, blob := range hostileBlobs() {
+		t.Run(strings.ReplaceAll(name, " ", "-"), func(t *testing.T) {
+			var c Certificate
+			err := c.UnmarshalBinary(blob)
+			if !errors.Is(err, ErrBadCertificate) {
+				t.Fatalf("hostile blob accepted or misclassified: %v", err)
+			}
+		})
+	}
+}
+
+// TestHostileHeaderAllocationBounded pins the actual resource-exhaustion
+// fix: decoding a blob that declares a 2²⁶-edge labeling over an empty body
+// must allocate a trivial amount of memory, not size-hint a map by the
+// declared count. (Before the fix this single decode reserved >1 GiB.)
+func TestHostileHeaderAllocationBounded(t *testing.T) {
+	blob := hostileBlobs()["huge edge table, empty body"]
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 8; i++ {
+		var c Certificate
+		if err := c.UnmarshalBinary(blob); !errors.Is(err, ErrBadCertificate) {
+			t.Fatalf("hostile blob accepted: %v", err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("8 hostile decodes allocated %d bytes, want < 1 MiB", grew)
+	}
+}

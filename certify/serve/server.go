@@ -1,0 +1,610 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/certify"
+	"repro/certify/graphio"
+)
+
+// Options configures a Server. The zero value of any field means its
+// documented default.
+type Options struct {
+	// Workers bounds the prover worker pool (default GOMAXPROCS): at most
+	// this many prove requests run concurrently, the rest queue.
+	Workers int
+	// QueueDepth bounds the pending prove queue (default 64). When the
+	// queue is full the service answers 429 instead of buffering without
+	// bound — backpressure, not collapse.
+	QueueDepth int
+	// ProveTimeout is the per-request proving budget (default 60s);
+	// cancellation reaches the prover's worker pools through the request
+	// context.
+	ProveTimeout time.Duration
+	// MaxBodyBytes caps any request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxLanes is the default lane budget for prove requests that do not
+	// set max_lanes (default certify.DefaultMaxLanes).
+	MaxLanes int
+	// StoreShards is the certificate store's shard count (default 16).
+	StoreShards int
+	// MaxGraphs caps the number of stored configurations (default 4096);
+	// further ingests answer 507 until capacity is freed by a restart.
+	// Negative means unlimited.
+	MaxGraphs int
+	// MaxDistributedN caps the graph size the goroutine-per-vertex
+	// distributed verifier may be asked to run on (default 4096): the
+	// simulator spawns one goroutine per vertex, so it is bounded like the
+	// prover rather than left client-controlled. Negative means unlimited.
+	MaxDistributedN int
+	// ReadLimits bounds graph ingestion (default graphio.DefaultLimits).
+	ReadLimits graphio.Limits
+
+	// testProveGate, when set (tests only), makes every worker block on a
+	// receive from the gate before processing a job — the deterministic way
+	// to hold the pool busy and observe queue backpressure.
+	testProveGate chan struct{}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.ProveTimeout <= 0 {
+		o.ProveTimeout = 60 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.MaxLanes <= 0 {
+		o.MaxLanes = certify.DefaultMaxLanes
+	}
+	if o.StoreShards <= 0 {
+		o.StoreShards = 16
+	}
+	if o.MaxGraphs == 0 {
+		o.MaxGraphs = 4096
+	}
+	if o.MaxDistributedN == 0 {
+		o.MaxDistributedN = 4096
+	}
+	return o
+}
+
+// Server is the certifyd HTTP handler: graph ingestion, certification
+// through a bounded prover pool, certificate fetch, and verification of
+// uploaded certificates against stored graphs. Create with New, serve with
+// any http.Server, stop the workers with Close.
+//
+//	POST /v1/graphs?format=auto      ingest a graph (edge list or DIMACS)
+//	GET  /v1/graphs/{fp}             stored graph summary + certificate keys
+//	POST /v1/prove                   {"fingerprint","properties",["max_lanes"]}
+//	POST /v1/verify                  {"fingerprint","certificate",["distributed"]}
+//	GET  /v1/certificates/{fp}       fetch a stored PLSC blob (?props=...)
+//	GET  /v1/properties              the property catalog and fault names
+//	GET  /healthz                    liveness + queue occupancy
+type Server struct {
+	opts  Options
+	store *Store
+	// base is the property-less certifier every request shares: structure
+	// builds and certificate verification (certificates are
+	// self-describing). Per-request property sets get their own Certifier,
+	// which is just configuration.
+	base  *certify.Certifier
+	queue chan *proveJob
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	mux   *http.ServeMux
+
+	// distSem bounds concurrent distributed verifications (one network
+	// simulator spawns a goroutine per vertex; Workers of them at most).
+	distSem chan struct{}
+
+	// gateParked counts workers parked on testProveGate (tests only).
+	gateParked atomic.Int32
+}
+
+type proveJob struct {
+	ctx       context.Context
+	entry     *Entry
+	certifier *certify.Certifier
+	reply     chan proveOutcome // buffered: a worker never blocks on a gone handler
+}
+
+type proveOutcome struct {
+	crt   *certify.Certificate
+	stats *certify.BatchStats
+	err   error
+}
+
+// New builds the service and starts its worker pool. A default lane budget
+// the wire format cannot carry is an operator misconfiguration and is
+// rejected here, not blamed on clients one request at a time.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.MaxLanes > certify.MaxLaneBudget {
+		return nil, fmt.Errorf("serve: default lane budget %d exceeds the wire format's maximum %d", opts.MaxLanes, certify.MaxLaneBudget)
+	}
+	base, err := certify.New()
+	if err != nil {
+		return nil, err
+	}
+	maxGraphs := opts.MaxGraphs
+	if maxGraphs < 0 {
+		maxGraphs = 0 // unlimited
+	}
+	s := &Server{
+		opts:    opts,
+		store:   NewStore(opts.StoreShards, maxGraphs),
+		base:    base,
+		queue:   make(chan *proveJob, opts.QueueDepth),
+		quit:    make(chan struct{}),
+		distSem: make(chan struct{}, opts.Workers),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/properties", s.handleProperties)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/graphs/{fp}", s.handleGraphInfo)
+	s.mux.HandleFunc("POST /v1/prove", s.handleProve)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("GET /v1/certificates/{fp}", s.handleFetch)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Store exposes the underlying certificate store (the load generator and
+// tests read it directly).
+func (s *Server) Store() *Store { return s.store }
+
+// Close stops the worker pool. In-flight jobs finish; queued jobs whose
+// handlers already gave up are drained by their buffered reply channels.
+func (s *Server) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case job := <-s.queue:
+			job.reply <- s.process(job)
+		}
+	}
+}
+
+// process runs one prove job: shared structure (built once per stored
+// graph), then the per-property batch against it.
+func (s *Server) process(job *proveJob) proveOutcome {
+	if gate := s.opts.testProveGate; gate != nil {
+		s.gateParked.Add(1)
+		select {
+		case <-gate:
+		case <-job.ctx.Done():
+		}
+		s.gateParked.Add(-1)
+	}
+	// A request cancelled while queued is dropped before any proving work.
+	if err := job.ctx.Err(); err != nil {
+		return proveOutcome{err: err}
+	}
+	st, err := job.entry.Structure(job.ctx, s.base)
+	if err != nil {
+		return proveOutcome{err: err}
+	}
+	crt, stats, err := job.certifier.ProveBatchOn(job.ctx, st)
+	return proveOutcome{crt: crt, stats: stats, err: err}
+}
+
+// ---- wire types ----
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type graphResponse struct {
+	Fingerprint string   `json:"fingerprint"`
+	N           int      `json:"n"`
+	M           int      `json:"m"`
+	Marked      int      `json:"marked,omitempty"`
+	Keys        []string `json:"certificates,omitempty"`
+}
+
+type proveRequest struct {
+	Fingerprint string   `json:"fingerprint"`
+	Properties  []string `json:"properties"`
+	MaxLanes    int      `json:"max_lanes"`
+}
+
+type propStatsJSON struct {
+	RegistryClasses int `json:"registry_classes"`
+	MaxLabelBits    int `json:"max_label_bits"`
+}
+
+type batchStatsJSON struct {
+	Lanes          int                      `json:"lanes"`
+	VirtualEdges   int                      `json:"virtual_edges"`
+	Congestion     int                      `json:"congestion"`
+	HierarchyDepth int                      `json:"hierarchy_depth"`
+	PerProperty    map[string]propStatsJSON `json:"per_property,omitempty"`
+}
+
+type proveResponse struct {
+	Fingerprint    string          `json:"fingerprint"`
+	Properties     []string        `json:"properties,omitempty"`
+	Failed         []string        `json:"failed,omitempty"`
+	Stats          *batchStatsJSON `json:"stats,omitempty"`
+	CertificateKey string          `json:"certificate_key,omitempty"`
+	Certificate    []byte          `json:"certificate,omitempty"` // base64 in JSON
+}
+
+type verifyRequest struct {
+	Fingerprint string `json:"fingerprint"`
+	Certificate []byte `json:"certificate"`
+	Distributed bool   `json:"distributed"`
+}
+
+type verifyResponse struct {
+	Verdict  string `json:"verdict"` // "accept" or "reject"
+	Property string `json:"property,omitempty"`
+	Rejected []int  `json:"rejected,omitempty"`
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func parseFingerprint(s string) (uint64, error) {
+	if s == "" || len(s) > 16 {
+		return 0, fmt.Errorf("bad fingerprint %q", s)
+	}
+	fp, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad fingerprint %q", s)
+	}
+	return fp, nil
+}
+
+func fpString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// decodeRequest strictly decodes a JSON request body under the body cap.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data")
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"graphs":    s.store.Len(),
+		"queue_len": len(s.queue),
+		"queue_cap": cap(s.queue),
+		"workers":   s.opts.Workers,
+	})
+}
+
+func (s *Server) handleProperties(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"properties": certify.Names(),
+		"faults":     certify.FaultNames(),
+	})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	format, err := graphio.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	g, err := graphio.ReadLimited(body, format, s.opts.ReadLimits)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		case errors.Is(err, graphio.ErrFormat):
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	entry, err := s.store.PutGraph(g)
+	if err != nil {
+		if errors.Is(err, ErrStoreFull) {
+			writeError(w, http.StatusInsufficientStorage, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, graphResponse{
+		Fingerprint: fpString(entry.Fingerprint()),
+		N:           g.N(),
+		M:           g.M(),
+		Marked:      len(g.Marked()),
+	})
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	fp, err := parseFingerprint(r.PathValue("fp"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, ok := s.store.Get(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %s", fpString(fp)))
+		return
+	}
+	g := entry.Graph()
+	writeJSON(w, http.StatusOK, graphResponse{
+		Fingerprint: fpString(fp),
+		N:           g.N(),
+		M:           g.M(),
+		Marked:      len(g.Marked()),
+		Keys:        entry.CertificateKeys(),
+	})
+}
+
+func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	var req proveRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp, err := parseFingerprint(req.Fingerprint)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Properties) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no properties requested"))
+		return
+	}
+	props, err := certify.PropertiesByName(req.Properties...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	maxLanes := req.MaxLanes
+	if maxLanes <= 0 {
+		maxLanes = s.opts.MaxLanes
+	}
+	// Building the Certifier here keeps every malformed-request failure —
+	// duplicate properties, a max_lanes the wire format cannot carry — an
+	// immediate 400 that never consumes a queue slot or a prover worker.
+	certifier, err := certify.New(
+		certify.WithProperties(props...),
+		certify.WithMaxLanes(maxLanes),
+	)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, ok := s.store.Get(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %s (submit it via POST /v1/graphs first)", fpString(fp)))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.ProveTimeout)
+	defer cancel()
+	job := &proveJob{
+		ctx:       ctx,
+		entry:     entry,
+		certifier: certifier,
+		reply:     make(chan proveOutcome, 1),
+	}
+	// Backpressure: a full queue answers immediately instead of holding the
+	// connection open behind an unbounded backlog.
+	select {
+	case s.queue <- job:
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("prove queue is full, retry later"))
+		return
+	}
+	var out proveOutcome
+	select {
+	case out = <-job.reply:
+	case <-ctx.Done():
+		out = proveOutcome{err: ctx.Err()}
+	}
+	if out.err != nil {
+		switch {
+		case errors.Is(out.err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("proving exceeded the %s budget", s.opts.ProveTimeout))
+		case errors.Is(out.err, context.Canceled):
+			writeError(w, statusClientClosedRequest, out.err)
+		case errors.Is(out.err, certify.ErrTooWide):
+			writeError(w, http.StatusUnprocessableEntity, out.err)
+		default:
+			writeError(w, http.StatusInternalServerError, out.err)
+		}
+		return
+	}
+
+	resp := proveResponse{Fingerprint: fpString(fp), Failed: out.stats.Failed}
+	resp.Stats = &batchStatsJSON{
+		Lanes:          out.stats.Lanes,
+		VirtualEdges:   out.stats.VirtualEdges,
+		Congestion:     out.stats.Congestion,
+		HierarchyDepth: out.stats.HierarchyDepth,
+		PerProperty:    make(map[string]propStatsJSON, len(out.stats.PerProperty)),
+	}
+	for name, st := range out.stats.PerProperty {
+		resp.Stats.PerProperty[name] = propStatsJSON{
+			RegistryClasses: st.RegistryClasses,
+			MaxLabelBits:    st.MaxLabelBits,
+		}
+	}
+	if out.crt != nil {
+		blob, err := out.crt.MarshalBinary()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		key := PropsKey(out.crt.Properties())
+		entry.PutCertificate(key, out.crt)
+		resp.Properties = out.crt.Properties()
+		resp.CertificateKey = key
+		resp.Certificate = blob
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusClientClosedRequest is nginx's conventional status for a request
+// whose client went away; there is no stdlib constant.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp, err := parseFingerprint(req.Fingerprint)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, ok := s.store.Get(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %s", fpString(fp)))
+		return
+	}
+	var crt certify.Certificate
+	if err := crt.UnmarshalBinary(req.Certificate); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.ProveTimeout)
+	defer cancel()
+	if req.Distributed {
+		// The simulator spawns a goroutine per vertex: bound both the graph
+		// size and the number of concurrent simulations rather than letting
+		// clients multiply the two without limit.
+		if s.opts.MaxDistributedN > 0 && entry.Graph().N() > s.opts.MaxDistributedN {
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("distributed verification is limited to n ≤ %d (graph has %d vertices); use the default verifier", s.opts.MaxDistributedN, entry.Graph().N()))
+			return
+		}
+		select {
+		case s.distSem <- struct{}{}:
+		case <-ctx.Done():
+			writeError(w, http.StatusServiceUnavailable, ctx.Err())
+			return
+		}
+		err = s.base.VerifyDistributed(ctx, entry.Graph(), &crt)
+		<-s.distSem
+	} else {
+		err = s.base.Verify(ctx, entry.Graph(), &crt)
+	}
+	var ve *certify.VerifyError
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, verifyResponse{Verdict: "accept"})
+	case errors.As(err, &ve):
+		writeJSON(w, http.StatusOK, verifyResponse{
+			Verdict:  "reject",
+			Property: ve.Property,
+			Rejected: ve.Rejected,
+		})
+	case errors.Is(err, certify.ErrWrongGraph):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, certify.ErrUnknownProperty):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	fp, err := parseFingerprint(r.PathValue("fp"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, ok := s.store.Get(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %s", fpString(fp)))
+		return
+	}
+	var key string
+	if props := r.URL.Query().Get("props"); props != "" {
+		key = PropsKey(certify.SplitPropList(props))
+	} else {
+		keys := entry.CertificateKeys()
+		switch len(keys) {
+		case 0:
+			writeError(w, http.StatusNotFound, errors.New("no certificates stored for this graph"))
+			return
+		case 1:
+			key = keys[0]
+		default:
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":        "several certificates stored, pick one with ?props=",
+				"certificates": keys,
+			})
+			return
+		}
+	}
+	crt, ok := entry.Certificate(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no certificate %q for graph %s", key, fpString(fp)))
+		return
+	}
+	blob, err := crt.MarshalBinary()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Certificate-Key", key)
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
+}

@@ -1,0 +1,232 @@
+// Package serve implements certifyd, the HTTP/JSON certification service,
+// on top of the certify facade: graphs are ingested from the graphio
+// interchange formats, keyed by their configuration fingerprint in an
+// in-process sharded store, and certified by a bounded prover worker pool
+// with per-request cancellation and queue-full backpressure. The package
+// exports the handler and store so cmd/certifyd stays a thin flag-parsing
+// main and the cmd/bench load generator can drive an in-process instance.
+//
+// The service realizes the paper's prove-once / verify-everywhere workload
+// at service scale: many independent prove/verify requests against a few
+// stored configurations amortize over one shared property-independent
+// structure per graph (the same amortization EXPERIMENTS.md E9 measures for
+// batches), and every certificate that crosses the wire is the strict PLSC
+// container.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/certify"
+)
+
+// ErrStoreFull reports that the store's graph capacity is exhausted; the
+// service maps it to 507 Insufficient Storage. The bound exists because
+// ingestion takes untrusted input: without it a client looping over
+// distinct graphs grows the process without limit.
+var ErrStoreFull = errors.New("serve: graph store is full")
+
+// Store is the in-process certificate store: graph configurations and their
+// proved certificates, keyed by the configuration fingerprint and spread
+// over 2^k lock shards so concurrent requests for different graphs never
+// contend.
+type Store struct {
+	shards []storeShard
+	mask   uint64
+	// maxGraphs caps the stored graph count (0 = unlimited); count tracks
+	// it exactly across shards.
+	maxGraphs int
+	count     atomic.Int64
+}
+
+type storeShard struct {
+	mu      sync.RWMutex
+	entries map[uint64]*Entry
+}
+
+// NewStore builds a store with at least the given shard count (rounded up
+// to a power of two; values < 1 mean 16) holding at most maxGraphs graphs
+// (0 = unlimited).
+func NewStore(shards, maxGraphs int) *Store {
+	if shards < 1 {
+		shards = 16
+	}
+	size := 1
+	for size < shards {
+		size <<= 1
+	}
+	s := &Store{shards: make([]storeShard, size), mask: uint64(size - 1), maxGraphs: maxGraphs}
+	for i := range s.shards {
+		s.shards[i].entries = map[uint64]*Entry{}
+	}
+	return s
+}
+
+func (s *Store) shard(fp uint64) *storeShard {
+	// Fingerprints are FNV hashes: the low bits are already well mixed.
+	return &s.shards[fp&s.mask]
+}
+
+// PutGraph stores the graph under its fingerprint and returns the entry.
+// The put is idempotent: re-submitting the same configuration returns the
+// existing entry with its cached structure and certificates intact. A new
+// configuration beyond the capacity bound fails with ErrStoreFull.
+func (s *Store) PutGraph(g *certify.Graph) (*Entry, error) {
+	fp, err := g.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	sh := s.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[fp]; ok {
+		return e, nil
+	}
+	if s.maxGraphs > 0 && s.count.Add(1) > int64(s.maxGraphs) {
+		s.count.Add(-1)
+		return nil, ErrStoreFull
+	}
+	e := &Entry{fp: fp, g: g, certs: map[string]*certify.Certificate{}}
+	sh.entries[fp] = e
+	return e, nil
+}
+
+// Get returns the entry stored under the fingerprint.
+func (s *Store) Get(fp uint64) (*Entry, bool) {
+	sh := s.shard(fp)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[fp]
+	return e, ok
+}
+
+// Len counts the stored graphs.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].entries)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Entry is one stored configuration: the graph, its lazily built shared
+// structure, and the certificates proved for it so far, keyed by property
+// set. All methods are safe for concurrent use; the graph itself is
+// immutable once stored.
+type Entry struct {
+	fp uint64
+	g  *certify.Graph
+
+	// The property-independent structure is built at most once per entry
+	// and shared by every prove request for this graph — the service-side
+	// amortization. stErr caches deterministic build failures (e.g.
+	// ErrTooWide) so a hopeless graph fails fast; cancellation and timeout
+	// are not cached and the next request retries.
+	stMu       sync.Mutex
+	stBuilding bool
+	stDone     chan struct{}
+	st         *certify.Structure
+	stErr      error
+
+	certMu sync.RWMutex
+	certs  map[string]*certify.Certificate
+}
+
+// Fingerprint returns the configuration fingerprint the entry is keyed by.
+func (e *Entry) Fingerprint() uint64 { return e.fp }
+
+// Graph returns the stored configuration.
+func (e *Entry) Graph() *certify.Graph { return e.g }
+
+// Structure returns the entry's shared property-independent structure,
+// building it on first use. Concurrent callers during the build wait on the
+// builder (or their own context, whichever ends first) and then share the
+// result.
+func (e *Entry) Structure(ctx context.Context, c *certify.Certifier) (*certify.Structure, error) {
+	for {
+		e.stMu.Lock()
+		switch {
+		case e.st != nil:
+			st := e.st
+			e.stMu.Unlock()
+			return st, nil
+		case e.stErr != nil:
+			err := e.stErr
+			e.stMu.Unlock()
+			return nil, err
+		case e.stBuilding:
+			done := e.stDone
+			e.stMu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-done:
+			}
+			continue
+		}
+		e.stBuilding = true
+		done := make(chan struct{})
+		e.stDone = done
+		e.stMu.Unlock()
+
+		st, err := c.BuildStructure(ctx, e.g)
+
+		e.stMu.Lock()
+		e.stBuilding = false
+		if err == nil {
+			e.st = st
+		} else if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			// Deterministic for this graph: every retry would fail identically.
+			e.stErr = err
+		}
+		e.stMu.Unlock()
+		close(done)
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+}
+
+// PutCertificate stores a certificate under the property-set key.
+func (e *Entry) PutCertificate(key string, crt *certify.Certificate) {
+	e.certMu.Lock()
+	defer e.certMu.Unlock()
+	e.certs[key] = crt
+}
+
+// Certificate returns the certificate stored under the property-set key.
+func (e *Entry) Certificate(key string) (*certify.Certificate, bool) {
+	e.certMu.RLock()
+	defer e.certMu.RUnlock()
+	crt, ok := e.certs[key]
+	return crt, ok
+}
+
+// CertificateKeys lists the stored property-set keys in sorted order.
+func (e *Entry) CertificateKeys() []string {
+	e.certMu.RLock()
+	defer e.certMu.RUnlock()
+	keys := make([]string, 0, len(e.certs))
+	for k := range e.certs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PropsKey canonicalizes a property set into its storage key: sorted
+// catalog names joined by commas, so the key is independent of request
+// order.
+func PropsKey(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, ",")
+}

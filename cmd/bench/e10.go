@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/certify"
+	"repro/certify/graphio"
+	"repro/certify/serve"
+)
+
+// E10 is the service experiment: the load generator drives a certifyd
+// instance — an in-process one by default, or a live daemon via -url — with
+// concurrent prove→fetch→verify round trips against one stored graph and
+// measures throughput and per-phase latency at increasing client
+// concurrency. Every request re-proves its property set, so the series
+// quantifies the service-side amortization: the property-independent
+// structure is built once per stored graph and shared by all requests (the
+// E9 effect, at request granularity), while backpressure (429) bounds the
+// queue instead of collapsing it.
+
+// E10Row is one concurrency level's measurement.
+type E10Row struct {
+	Concurrency int     `json:"concurrency"`
+	RoundTrips  int     `json:"round_trips"`
+	Throughput  float64 `json:"round_trips_per_sec"`
+	ProveP50Ms  float64 `json:"prove_p50_ms"`
+	ProveP95Ms  float64 `json:"prove_p95_ms"`
+	FetchP50Ms  float64 `json:"fetch_p50_ms"`
+	VerifyP50Ms float64 `json:"verify_p50_ms"`
+	VerifyP95Ms float64 `json:"verify_p95_ms"`
+	Backoffs429 int     `json:"backoffs_429"`
+}
+
+// e10PropSets rotate across round trips so the store holds several
+// certificate keys and the prover sees mixed property batches.
+var e10PropSets = [][]string{
+	{"bipartite"},
+	{"acyclic"},
+	{"bipartite", "acyclic"},
+	{"maxdeg:3"},
+}
+
+// runE10 executes the sweep. With url == "" it boots an in-process service
+// (workers = GOMAXPROCS, queue depth 64); otherwise it targets the running
+// daemon at url (the CI round-trip step does this against a booted
+// certifyd).
+func runE10(out io.Writer, url string, levels []int, perWorker, n int) ([]E10Row, error) {
+	if url == "" {
+		s, err := serve.New(serve.Options{})
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s)
+		defer ts.Close()
+		url = ts.URL
+	}
+	client := &http.Client{Timeout: 120 * time.Second}
+
+	// Ingest the workload graph once; every round trip targets it.
+	g := certify.Caterpillar(max(1, n/2), 1)
+	var sb strings.Builder
+	if err := graphio.WriteEdgeList(&sb, g); err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(url+"/v1/graphs?format=edgelist", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		return nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("E10 ingest: %d %s", resp.StatusCode, body)
+	}
+	var ingest struct {
+		Fingerprint string `json:"fingerprint"`
+		N           int    `json:"n"`
+		M           int    `json:"m"`
+	}
+	if err := json.Unmarshal(body, &ingest); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "E10  service throughput/latency: %s, graph n=%d m=%d fp=%s, %d round trips per client\n",
+		url, ingest.N, ingest.M, ingest.Fingerprint, perWorker)
+	fmt.Fprintf(out, "%8s %12s %12s %12s %12s %12s %12s %12s %8s\n",
+		"clients", "roundtrips", "rt/s", "prove p50", "prove p95", "fetch p50", "verify p50", "verify p95", "429s")
+
+	var rows []E10Row
+	for _, c := range levels {
+		row, err := runE10Level(client, url, ingest.Fingerprint, c, perWorker)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(out, "%8d %12d %12.1f %10.2fms %10.2fms %10.2fms %10.2fms %10.2fms %8d\n",
+			row.Concurrency, row.RoundTrips, row.Throughput,
+			row.ProveP50Ms, row.ProveP95Ms, row.FetchP50Ms, row.VerifyP50Ms, row.VerifyP95Ms,
+			row.Backoffs429)
+	}
+	return rows, nil
+}
+
+type e10Durations struct {
+	mu                   sync.Mutex
+	prove, fetch, verify []time.Duration
+	backoffs             int
+}
+
+func runE10Level(client *http.Client, url, fp string, clients, perWorker int) (E10Row, error) {
+	var d e10Durations
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				props := e10PropSets[(w+i)%len(e10PropSets)]
+				if err := e10RoundTrip(client, url, fp, props, &d); err != nil {
+					errCh <- fmt.Errorf("client %d trip %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return E10Row{}, err
+	default:
+	}
+	trips := clients * perWorker
+	return E10Row{
+		Concurrency: clients,
+		RoundTrips:  trips,
+		Throughput:  float64(trips) / elapsed.Seconds(),
+		ProveP50Ms:  quantileMs(d.prove, 0.50),
+		ProveP95Ms:  quantileMs(d.prove, 0.95),
+		FetchP50Ms:  quantileMs(d.fetch, 0.50),
+		VerifyP50Ms: quantileMs(d.verify, 0.50),
+		VerifyP95Ms: quantileMs(d.verify, 0.95),
+		Backoffs429: d.backoffs,
+	}, nil
+}
+
+// e10RoundTrip is one prove→fetch→verify cycle, retrying on backpressure.
+func e10RoundTrip(client *http.Client, url, fp string, props []string, d *e10Durations) error {
+	proveBody, err := json.Marshal(map[string]any{"fingerprint": fp, "properties": props})
+	if err != nil {
+		return err
+	}
+	var proveDur time.Duration
+	backoffs := 0
+	// Backpressure retries are bounded: a daemon that answers 429 for 30s
+	// straight is saturated or wedged, and the generator should fail with a
+	// diagnosable error instead of spinning forever (CI drives this path).
+	const maxBackoffWait = 30 * time.Second
+	retryStart := time.Now()
+	for {
+		t0 := time.Now()
+		resp, err := client.Post(url+"/v1/prove", "application/json", bytes.NewReader(proveBody))
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if time.Since(retryStart) > maxBackoffWait {
+				return fmt.Errorf("prove %v: still backpressured (429) after %s and %d retries", props, maxBackoffWait, backoffs)
+			}
+			// Backpressure: the queue is full; yield and retry.
+			backoffs++
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("prove %v: %d %s", props, resp.StatusCode, body)
+		}
+		proveDur = time.Since(t0)
+		break
+	}
+
+	t0 := time.Now()
+	fetchResp, err := client.Get(url + "/v1/certificates/" + fp + "?props=" + strings.Join(props, ","))
+	if err != nil {
+		return err
+	}
+	blob, _ := io.ReadAll(fetchResp.Body)
+	fetchResp.Body.Close()
+	if fetchResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch: %d %s", fetchResp.StatusCode, blob)
+	}
+	fetchDur := time.Since(t0)
+
+	verifyBody, err := json.Marshal(map[string]any{"fingerprint": fp, "certificate": blob})
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	verifyResp, err := client.Post(url+"/v1/verify", "application/json", bytes.NewReader(verifyBody))
+	if err != nil {
+		return err
+	}
+	vbody, _ := io.ReadAll(verifyResp.Body)
+	verifyResp.Body.Close()
+	var verdict struct {
+		Verdict string `json:"verdict"`
+	}
+	if err := json.Unmarshal(vbody, &verdict); err != nil {
+		return fmt.Errorf("verify: %d %s", verifyResp.StatusCode, vbody)
+	}
+	if verifyResp.StatusCode != http.StatusOK || verdict.Verdict != "accept" {
+		return fmt.Errorf("verify: %d %s", verifyResp.StatusCode, vbody)
+	}
+	verifyDur := time.Since(t0)
+
+	d.mu.Lock()
+	d.prove = append(d.prove, proveDur)
+	d.fetch = append(d.fetch, fetchDur)
+	d.verify = append(d.verify, verifyDur)
+	d.backoffs += backoffs
+	d.mu.Unlock()
+	return nil
+}
+
+func quantileMs(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx].Microseconds()) / 1000
+}

@@ -1,4 +1,4 @@
-// Command bench runs the E1–E9 experiment harness of EXPERIMENTS.md and
+// Command bench runs the E1–E10 experiment harness of EXPERIMENTS.md and
 // prints the measured series. Each experiment regenerates the measurements
 // standing in for one of the paper's quantitative claims:
 //
@@ -6,6 +6,14 @@
 //	bench -exp e1         # run one experiment
 //	bench -exp e1,e8,e9   # run a comma-separated subset
 //	bench -exp e8,e9 -json   # also write BENCH_E8.json / BENCH_E9.json
+//
+// E10 is the certifyd load generator: it boots an in-process service (or
+// targets a running daemon with -url) and drives concurrent
+// prove→fetch→verify round trips:
+//
+//	bench -exp e10 -json                         # in-process service
+//	bench -exp e10 -url http://127.0.0.1:8080    # a booted certifyd
+//	bench -exp e10 -e10-levels 1 -e10-requests 1 # one CI round trip
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/algebra"
@@ -29,11 +38,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments to run: comma-separated subset of e1..e9, or all")
+		exp      = fs.String("exp", "all", "experiments to run: comma-separated subset of e1..e10, or all")
 		seed     = fs.Int64("seed", 1, "random seed")
-		jsonOut  = fs.Bool("json", false, "write the E8/E9 series as machine-readable JSON")
+		jsonOut  = fs.Bool("json", false, "write the E8/E9/E10 series as machine-readable JSON")
 		jsonPath = fs.String("json-path", "BENCH_E8.json", "output path for the E8 series with -json")
 		e9Path   = fs.String("e9-json-path", "BENCH_E9.json", "output path for the E9 series with -json")
+		e10Path  = fs.String("e10-json-path", "BENCH_E10.json", "output path for the E10 series with -json")
+		url      = fs.String("url", "", "E10: drive the certifyd at this base URL instead of an in-process service")
+		e10Level = fs.String("e10-levels", "1,2,4,8", "E10: comma-separated client concurrency levels")
+		e10Reqs  = fs.Int("e10-requests", 12, "E10: prove→fetch→verify round trips per client")
+		e10N     = fs.Int("e10-n", 256, "E10: approximate vertex count of the workload graph")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -157,13 +171,51 @@ func run(args []string) error {
 		}
 		ran = true
 	}
+	if want("e10") {
+		levels, err := parseLevels(*e10Level)
+		if err != nil {
+			return err
+		}
+		rows, err := runE10(out, *url, levels, *e10Reqs, *e10N)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if *jsonOut {
+			if err := writeJSON(*e10Path, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *e10Path)
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment selection %q", *exp)
 	}
-	if *jsonOut && !want("e8") && !want("e9") {
-		return fmt.Errorf("-json requires the e8 or e9 experiment (got -exp %s)", *exp)
+	if *jsonOut && !want("e8") && !want("e9") && !want("e10") {
+		return fmt.Errorf("-json requires the e8, e9 or e10 experiment (got -exp %s)", *exp)
 	}
 	return nil
+}
+
+// parseLevels parses the E10 concurrency-level list.
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty concurrency level list %q", s)
+	}
+	return out, nil
 }
 
 // parseExpList splits the -exp flag on commas and validates every entry.
@@ -171,6 +223,7 @@ func parseExpList(s string) (map[string]bool, error) {
 	known := map[string]bool{
 		"all": true, "e1": true, "e2": true, "e3": true, "e4": true,
 		"e5": true, "e6": true, "e7": true, "e8": true, "e9": true,
+		"e10": true,
 	}
 	out := map[string]bool{}
 	for _, part := range strings.Split(s, ",") {

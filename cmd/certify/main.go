@@ -14,11 +14,17 @@
 //	certify -graph interval -n 100 -width 3 -prop matching -out proof.plsc
 //	certify -graph interval -n 100 -width 3 -prop matching -in proof.plsc
 //	certify -graph caterpillar -n 32 -prop acyclic -corrupt flip-class
+//	certify -graph-file g.txt -prop bipartite        # edge-list or DIMACS file
+//	certify -graph ladder -n 20 -graph-out g.txt     # export for certifyd
 //
-// Exit codes separate the failure classes: 0 success, 2 when a requested
-// property does not hold on the graph (nothing to certify — completeness is
-// vacuous), 3 when a certificate is rejected by verification, 1 for every
-// other error (unknown property, malformed certificate, wrong graph, ...).
+// Graph files are read and written through the certify/graphio formats —
+// the same strictly validated readers the certifyd service ingests with.
+//
+// Exit codes separate the failure classes: 0 success (including -h), 2 when
+// a requested property does not hold on the graph (nothing to certify —
+// completeness is vacuous), 3 when a certificate is rejected by
+// verification, and 1 for every other error: unknown properties or flags,
+// unreadable or malformed graph and certificate files, wrong graph, I/O.
 package main
 
 import (
@@ -30,19 +36,26 @@ import (
 	"strings"
 
 	"repro/certify"
+	"repro/certify/graphio"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "certify:", err)
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "certify:", err)
+		}
 		os.Exit(exitCode(err))
 	}
 }
 
 // exitCode maps the public error taxonomy onto the documented exit codes.
+// Only the two semantic outcomes get distinguished codes — a property that
+// fails on the graph (2) and a certificate some vertex rejects (3); every
+// I/O, flag, parse, or format error is a plain 1 so scripts never mistake
+// an unreadable file for a refuted property.
 func exitCode(err error) int {
 	switch {
-	case err == nil:
+	case err == nil, errors.Is(err, flag.ErrHelp):
 		return 0
 	case errors.Is(err, certify.ErrPropertyFails):
 		return 2
@@ -69,6 +82,9 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "random seed (interval generation and fault placement)")
 		outPath   = fs.String("out", "", "write the certificate to this file after proving")
 		inPath    = fs.String("in", "", "load a certificate from this file and verify it (skips proving; pass the same -graph/-n/-prop/-mark flags the certificate was issued with)")
+		graphFile = fs.String("graph-file", "", "read the graph from this file instead of generating one (see -format)")
+		format    = fs.String("format", "auto", "graph file format: auto|edgelist|dimacs")
+		graphOut  = fs.String("graph-out", "", "also write the graph to this file (edge list unless -format dimacs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,11 +101,23 @@ func run(args []string) error {
 	if len(props) == 0 {
 		return errors.New("no properties requested")
 	}
-	g, err := makeGraph(*graphKind, *n, *width, *seed)
+	ioFormat, err := graphio.ParseFormat(*format)
 	if err != nil {
 		return err
 	}
-	if needsMarkSet(props) {
+	var g *certify.Graph
+	kind := *graphKind
+	if *graphFile != "" {
+		if g, err = loadGraph(*graphFile, ioFormat); err != nil {
+			return err
+		}
+		kind = *graphFile
+	} else if g, err = makeGraph(*graphKind, *n, *width, *seed); err != nil {
+		return err
+	}
+	// Auto-mark X for input-set properties unless the graph file already
+	// carries a marked set.
+	if needsMarkSet(props) && len(g.Marked()) == 0 {
 		var marked []int
 		for v := 0; v < g.N(); v += max(1, *markEvery) {
 			marked = append(marked, v)
@@ -97,7 +125,13 @@ func run(args []string) error {
 		g.Mark(marked...)
 		fmt.Printf("marked X: every %d-th vertex (%d vertices)\n", *markEvery, len(marked))
 	}
-	fmt.Printf("graph: %s, n=%d, m=%d\n", *graphKind, g.N(), g.M())
+	fmt.Printf("graph: %s, n=%d, m=%d\n", kind, g.N(), g.M())
+	if *graphOut != "" {
+		if err := saveGraph(*graphOut, g, ioFormat); err != nil {
+			return err
+		}
+		fmt.Printf("wrote graph: %s\n", *graphOut)
+	}
 
 	if *inPath != "" {
 		return verifyFromFile(ctx, g, *inPath, *distFlag)
@@ -224,6 +258,34 @@ func needsMarkSet(props []certify.Property) bool {
 	return false
 }
 
+// loadGraph reads a graph file through the strict graphio readers.
+func loadGraph(path string, format graphio.Format) (*certify.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := graphio.Read(f, format)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// saveGraph writes the graph in the chosen interchange format (auto means
+// the edge-list format, which can carry the marked set).
+func saveGraph(path string, g *certify.Graph, format graphio.Format) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graphio.Write(f, g, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func makeGraph(kind string, n, width int, seed int64) (*certify.Graph, error) {
 	switch kind {
 	case "path":
@@ -243,11 +305,4 @@ func makeGraph(kind string, n, width int, seed int64) (*certify.Graph, error) {
 	default:
 		return nil, fmt.Errorf("unknown graph family %q", kind)
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

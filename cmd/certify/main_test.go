@@ -176,3 +176,87 @@ func TestLoadRejectsWrongGraphAndGarbage(t *testing.T) {
 		t.Fatalf("garbage certificate: %v", err)
 	}
 }
+
+// TestGraphFileFlows covers the graphio migration: prove from an edge-list
+// or DIMACS file, export a generated graph with -graph-out, and round-trip
+// a certificate between the two graph sources (same fingerprint).
+func TestGraphFileFlows(t *testing.T) {
+	dir := t.TempDir()
+
+	edgeList := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(edgeList, []byte("n 6\n0 1\n1 2\n2 3\n3 4\n4 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph-file", edgeList, "-prop", "bipartite,acyclic"}); err != nil {
+		t.Fatalf("prove from edge-list file: %v", err)
+	}
+
+	dimacs := filepath.Join(dir, "g.col")
+	if err := os.WriteFile(dimacs, []byte("c path\np edge 4 3\ne 1 2\ne 2 3\ne 3 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph-file", dimacs, "-format", "dimacs", "-prop", "acyclic"}); err != nil {
+		t.Fatalf("prove from DIMACS file: %v", err)
+	}
+
+	// Export a generated graph, then prove/save from the family flags and
+	// verify -in against the exported file: identical fingerprints.
+	exported := filepath.Join(dir, "ladder.txt")
+	cert := filepath.Join(dir, "ladder.plsc")
+	if err := run([]string{"-graph", "ladder", "-n", "12", "-prop", "bipartite",
+		"-graph-out", exported, "-out", cert}); err != nil {
+		t.Fatalf("prove+export: %v", err)
+	}
+	if err := run([]string{"-graph-file", exported, "-prop", "bipartite", "-in", cert}); err != nil {
+		t.Fatalf("verify against exported graph: %v", err)
+	}
+
+	// A marked graph file carries X through the round trip (no auto-mark).
+	markedFile := filepath.Join(dir, "marked.txt")
+	if err := os.WriteFile(markedFile, []byte("n 4\nx 0 2\n0 1\n1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph-file", markedFile, "-prop", "dominating"}); err != nil {
+		t.Fatalf("prove dominating from marked file: %v", err)
+	}
+}
+
+// TestExitCodesIOAndFlagErrors is the audit table for the non-semantic
+// failure classes: unreadable or malformed inputs and flag errors must all
+// exit 1 — never 2 ("property fails") or 3 ("certificate rejected") — and
+// -h exits 0.
+func TestExitCodesIOAndFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	malformedGraph := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(malformedGraph, []byte("0 0\nnot an edge\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truncatedCert := filepath.Join(dir, "trunc.plsc")
+	if err := os.WriteFile(truncatedCert, []byte("PLSC\x01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 1},
+		{"nonexistent -in file", []string{"-graph", "path", "-n", "10", "-prop", "bipartite", "-in", filepath.Join(dir, "nope.plsc")}, 1},
+		{"-in is a directory", []string{"-graph", "path", "-n", "10", "-prop", "bipartite", "-in", dir}, 1},
+		{"truncated certificate file", []string{"-graph", "path", "-n", "10", "-prop", "bipartite", "-in", truncatedCert}, 1},
+		{"nonexistent graph file", []string{"-graph-file", filepath.Join(dir, "nope.txt"), "-prop", "bipartite"}, 1},
+		{"malformed graph file", []string{"-graph-file", malformedGraph, "-prop", "bipartite"}, 1},
+		{"graph file is a directory", []string{"-graph-file", dir, "-prop", "bipartite"}, 1},
+		{"bad -format", []string{"-graph-file", malformedGraph, "-format", "graphml", "-prop", "bipartite"}, 1},
+		{"unwritable -graph-out", []string{"-graph", "path", "-n", "8", "-prop", "bipartite", "-graph-out", filepath.Join(dir, "no", "such", "dir", "g.txt")}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if got := exitCode(err); got != tc.want {
+				t.Fatalf("run(%v): exit %d (err=%v), want %d", tc.args, got, err, tc.want)
+			}
+		})
+	}
+}

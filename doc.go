@@ -13,8 +13,25 @@
 // written to disk, shipped over a network, and verified by a different
 // process — see the runnable Example in the certify package docs.
 //
+// The library also runs as a service: cmd/certifyd is a long-running HTTP
+// daemon (package repro/certify/serve) that ingests graphs in the
+// repro/certify/graphio interchange formats (strictly validated edge-list
+// and DIMACS), proves catalog properties through a bounded prover worker
+// pool with queue backpressure, stores certificates in an in-process
+// sharded store keyed by configuration fingerprint, and verifies uploaded
+// certificates against stored graphs. Quickstart:
+//
+//	go run ./cmd/certifyd &
+//	go run ./cmd/certify -graph ladder -n 20 -graph-out /tmp/g.txt
+//	curl -X POST --data-binary @/tmp/g.txt 'localhost:8080/v1/graphs?format=auto'
+//	curl -X POST -d '{"fingerprint":"<fp>","properties":["bipartite"]}' localhost:8080/v1/prove
+//	curl 'localhost:8080/v1/certificates/<fp>?props=bipartite' -o proof.plsc
+//
+// The cmd/bench -exp e10 load generator drives a certifyd concurrently and
+// records the throughput/latency series in BENCH_E10.json.
+//
 // The implementation lives in internal/ packages behind the facade (see
-// DESIGN.md for the map); cmd/certify and cmd/bench are the executables,
-// examples/ holds runnable walkthroughs built exclusively on the certify
-// API, and bench_test.go regenerates the EXPERIMENTS.md series.
+// DESIGN.md for the map); cmd/certify, cmd/certifyd and cmd/bench are the
+// executables, examples/ holds runnable walkthroughs built exclusively on
+// the certify API, and bench_test.go regenerates the EXPERIMENTS.md series.
 package repro

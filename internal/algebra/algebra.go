@@ -38,7 +38,7 @@ type BGraph struct {
 // RealSubgraph returns the subgraph of real edges.
 func (bg *BGraph) RealSubgraph() *graph.Graph {
 	sub := graph.New(bg.G.N())
-	for _, e := range bg.G.Edges() {
+	for e := range bg.G.EdgesSeq() {
 		if bg.ELabel[e] == EdgeReal {
 			sub.MustAddEdge(e.U, e.V)
 		}

@@ -209,7 +209,7 @@ func (t *indTable) Permute(perm []int) Table {
 func (IndependentSet) Base(bg *BGraph, boundary []graph.Vertex) (Table, error) {
 	real := bg.RealSubgraph()
 	t := &indTable{marked: make([]bool, len(boundary))}
-	for _, e := range real.Edges() {
+	for e := range real.EdgesSeq() {
 		if bg.VLabel[e.U] == VertexMarked && bg.VLabel[e.V] == VertexMarked {
 			t.violated = true
 		}
@@ -292,7 +292,7 @@ func OracleDominatingSet(g *graph.Graph, marked []bool) bool {
 
 // OracleIndependentSet reports whether the marked set is independent in g.
 func OracleIndependentSet(g *graph.Graph, marked []bool) bool {
-	for _, e := range g.Edges() {
+	for e := range g.EdgesSeq() {
 		if marked[e.U] && marked[e.V] {
 			return false
 		}

@@ -32,7 +32,7 @@ func (t parityTable) Permute([]int) Table { return t }
 // Base implements Property.
 func (EvenEdges) Base(bg *BGraph, _ []graph.Vertex) (Table, error) {
 	count := 0
-	for _, e := range bg.G.Edges() {
+	for e := range bg.G.EdgesSeq() {
 		if bg.ELabel[e] == EdgeReal {
 			count++
 		}

@@ -45,7 +45,7 @@ func ProvePointing(cfg *Config, target graph.Vertex) (map[graph.Edge]PointingLab
 	}
 	_, dist := cfg.G.BFSFrom(target)
 	labels := make(map[graph.Edge]PointingLabel, cfg.G.M())
-	for _, e := range cfg.G.Edges() {
+	for e := range cfg.G.EdgesSeq() {
 		if dist[e.U] < 0 || dist[e.V] < 0 {
 			return nil, fmt.Errorf("cert: graph disconnected at edge %v", e)
 		}

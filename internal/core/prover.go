@@ -430,7 +430,7 @@ func (enc *encoder) buildLabels() (*Labeling, error) {
 	}
 
 	labeling := &Labeling{Edges: make(map[graph.Edge]*EdgeLabel, orig.M())}
-	for _, e := range orig.Edges() {
+	for e := range orig.EdgesSeq() {
 		cl, err := certOf(e)
 		if err != nil {
 			return nil, err

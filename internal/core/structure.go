@@ -180,9 +180,9 @@ func BuildStructureCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathD
 		owners:     h.EdgeOwners(),
 		members:    h.MembersByTNode(),
 	}
-	// Warm the graph's lazily cached edge list while construction is still
+	// Warm the graph's lazily cached edge order while construction is still
 	// single-threaded; concurrent ProveWith calls then only read it.
-	g.Edges()
+	g.EdgesSeq()
 	if err := sp.buildArtifacts(); err != nil {
 		return nil, err
 	}

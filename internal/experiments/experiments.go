@@ -287,7 +287,7 @@ func E6LowerBound(ns []int) ([]E6Row, error) {
 		cycleG := graph.CycleGraph(n)
 		cfgCycle := cert.NewConfig(cycleG)
 		caught := 0
-		for _, donor := range pathG.Edges() {
+		for donor := range pathG.EdgesSeq() {
 			forged := labeling.Clone()
 			forged.Edges[graph.NewEdge(0, n-1)] = forged.Edges[donor]
 			if !core.AllAccept(s.Verify(cfgCycle, forged)) {

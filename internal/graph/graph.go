@@ -10,7 +10,9 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
+	"sync/atomic"
 )
 
 // Vertex is a dense vertex index in 0..N()-1.
@@ -58,9 +60,13 @@ type Graph struct {
 	adj [][]Vertex
 	set map[Edge]struct{}
 
-	// sorted caches the Edges() result; AddEdge invalidates it, so repeated
-	// Edges() calls between mutations cost O(1) instead of O(m log m).
-	sorted []Edge
+	// sorted caches the deterministic edge order behind Edges/EdgesSeq;
+	// AddEdge invalidates it, so repeated reads between mutations cost O(1)
+	// instead of O(m log m). The cache is an atomic pointer so that any
+	// number of goroutines may read a quiescent graph concurrently (the
+	// service workload: one stored graph, many prove/verify requests);
+	// mutation remains single-threaded by contract.
+	sorted atomic.Pointer[[]Edge]
 }
 
 // New returns an empty graph on n vertices.
@@ -112,7 +118,7 @@ func (g *Graph) AddEdge(u, v Vertex) error {
 	g.set[e] = struct{}{}
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
-	g.sorted = nil
+	g.sorted.Store(nil)
 	return nil
 }
 
@@ -138,23 +144,45 @@ func (g *Graph) Neighbors(v Vertex) []Vertex { return g.adj[v] }
 func (g *Graph) Degree(v Vertex) int { return len(g.adj[v]) }
 
 // Edges returns all edges in deterministic (sorted) order. The returned
-// slice is cached by the graph and must not be modified; it is valid until
-// the next AddEdge.
+// slice is the caller's to keep: mutating or re-sorting it cannot corrupt
+// the graph's internal cache.
 func (g *Graph) Edges() []Edge {
-	if g.sorted == nil {
-		out := make([]Edge, 0, len(g.set))
-		for e := range g.set {
-			out = append(out, e)
-		}
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].U != out[j].U {
-				return out[i].U < out[j].U
+	return append([]Edge(nil), g.sortedEdges()...)
+}
+
+// EdgesSeq iterates the edges in the same deterministic order as Edges
+// without copying the cached slice — the allocation-free form for read-only
+// sweeps on hot paths.
+func (g *Graph) EdgesSeq() iter.Seq[Edge] {
+	sorted := g.sortedEdges()
+	return func(yield func(Edge) bool) {
+		for _, e := range sorted {
+			if !yield(e) {
+				return
 			}
-			return out[i].V < out[j].V
-		})
-		g.sorted = out
+		}
 	}
-	return g.sorted
+}
+
+// sortedEdges returns the cached sorted edge slice, building it on first
+// use. Concurrent readers may race to build it; both compute the identical
+// slice and the atomic publish keeps every reader on a fully built one.
+func (g *Graph) sortedEdges() []Edge {
+	if p := g.sorted.Load(); p != nil {
+		return *p
+	}
+	out := make([]Edge, 0, len(g.set))
+	for e := range g.set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	g.sorted.Store(&out)
+	return out
 }
 
 // Clone returns a deep copy of g.

@@ -2,6 +2,9 @@ package graph
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -303,5 +306,83 @@ func TestNamedGraphs(t *testing.T) {
 	}
 	if c := CycleGraph(3); c.M() != 3 {
 		t.Fatalf("C3: m=%d", c.M())
+	}
+}
+
+// TestEdgesDefensiveCopy pins that Edges hands out a slice the caller owns:
+// mutating or re-sorting it must not corrupt the graph's cached edge order
+// (a service caller sorting the result by V once silently broke every later
+// deterministic sweep before Edges copied).
+func TestEdgesDefensiveCopy(t *testing.T) {
+	g := CycleGraph(6)
+	want := append([]Edge(nil), g.Edges()...)
+
+	got := g.Edges()
+	for i := range got {
+		got[i] = Edge{U: -99, V: -98}
+	}
+	sort.Slice(got, func(i, j int) bool { return i > j })
+
+	again := g.Edges()
+	if !reflect.DeepEqual(again, want) {
+		t.Fatalf("cache corrupted by caller mutation:\n got %v\nwant %v", again, want)
+	}
+	// The iterator sees the same pristine order.
+	i := 0
+	for e := range g.EdgesSeq() {
+		if e != want[i] {
+			t.Fatalf("EdgesSeq[%d] = %v, want %v", i, e, want[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("EdgesSeq yielded %d edges, want %d", i, len(want))
+	}
+}
+
+// TestEdgesSeqEarlyStop pins that breaking out of the iterator is safe and
+// does not poison later full sweeps.
+func TestEdgesSeqEarlyStop(t *testing.T) {
+	g := PathGraph(8)
+	for range g.EdgesSeq() {
+		break
+	}
+	if n := len(g.Edges()); n != g.M() {
+		t.Fatalf("after early stop: %d edges, want %d", n, g.M())
+	}
+}
+
+// TestEdgesConcurrentReaders races many first readers of one quiescent
+// graph; the atomic cache publish must keep every reader on a fully built
+// sorted slice (run under -race).
+func TestEdgesConcurrentReaders(t *testing.T) {
+	g := CycleGraph(64)
+	want := append([]Edge(nil), g.Edges()...)
+	for trial := 0; trial < 8; trial++ {
+		fresh := g.Clone() // cold cache each trial
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if got := fresh.Edges(); !reflect.DeepEqual(got, want) {
+					t.Errorf("concurrent Edges diverged: %v", got)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestAddEdgeInvalidatesEdgeCache pins cache invalidation across mutation.
+func TestAddEdgeInvalidatesEdgeCache(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	if n := len(g.Edges()); n != 1 {
+		t.Fatalf("1 edge, got %d", n)
+	}
+	g.MustAddEdge(1, 2)
+	if n := len(g.Edges()); n != 2 {
+		t.Fatalf("2 edges after AddEdge, got %d", n)
 	}
 }

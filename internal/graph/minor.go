@@ -146,7 +146,7 @@ func (g *Graph) contract(e Edge) *Graph {
 func graphKey(g *Graph) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d:", g.n)
-	for _, e := range g.Edges() {
+	for e := range g.EdgesSeq() {
 		fmt.Fprintf(&sb, "%d-%d,", e.U, e.V)
 	}
 	return sb.String()
@@ -214,7 +214,7 @@ func CompleteBipartite(a, b int) *Graph {
 func Diamond() *Graph {
 	g := Complete(4)
 	d := New(4)
-	for _, e := range g.Edges() {
+	for e := range g.EdgesSeq() {
 		if e.U == 0 && e.V == 1 {
 			continue
 		}

@@ -63,7 +63,7 @@ func (r *Representation) Validate(g *graph.Graph) error {
 			return fmt.Errorf("interval: vertex %d has empty interval", v)
 		}
 	}
-	for _, e := range g.Edges() {
+	for e := range g.EdgesSeq() {
 		if !r.Ivs[e.U].Overlaps(r.Ivs[e.V]) {
 			return fmt.Errorf("interval: edge %v endpoints have disjoint intervals %v, %v",
 				e, r.Ivs[e.U], r.Ivs[e.V])

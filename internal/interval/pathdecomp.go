@@ -55,7 +55,7 @@ func (pd *PathDecomposition) Validate(g *graph.Graph) error {
 	}
 	// (P1): each edge inside some bag ⇔ intervals [first,last] intersect and
 	// both endpoints co-occur; contiguity makes interval overlap sufficient.
-	for _, e := range g.Edges() {
+	for e := range g.EdgesSeq() {
 		lo := max(first[e.U], first[e.V])
 		hi := min(last[e.U], last[e.V])
 		if lo > hi {

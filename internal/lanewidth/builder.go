@@ -219,7 +219,7 @@ func FromCompletion(gPrime *graph.Graph, r *interval.Representation, p *lanes.Pa
 			items = append(items, item{isVertex: true, value: r.Ivs[v].L, v: v})
 		}
 	}
-	for _, e := range gPrime.Edges() {
+	for e := range gPrime.EdgesSeq() {
 		val := r.Ivs[e.U].L
 		if r.Ivs[e.V].L > val {
 			val = r.Ivs[e.V].L

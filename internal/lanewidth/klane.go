@@ -80,10 +80,10 @@ func BridgeMerge(a, b *KLane, i, j int) (*KLane, error) {
 	}
 	shift := a.G.N()
 	g := graph.New(shift + b.G.N())
-	for _, e := range a.G.Edges() {
+	for e := range a.G.EdgesSeq() {
 		g.MustAddEdge(e.U, e.V)
 	}
-	for _, e := range b.G.Edges() {
+	for e := range b.G.EdgesSeq() {
 		g.MustAddEdge(e.U+shift, e.V+shift)
 	}
 	g.MustAddEdge(a.Out[i], b.Out[j]+shift)
@@ -127,10 +127,10 @@ func ParentMerge(child, parent *KLane) (*KLane, []graph.Vertex, error) {
 		}
 	}
 	g := graph.New(n)
-	for _, e := range parent.G.Edges() {
+	for e := range parent.G.EdgesSeq() {
 		g.MustAddEdge(e.U, e.V)
 	}
-	for _, e := range child.G.Edges() {
+	for e := range child.G.EdgesSeq() {
 		u, v := childMap[e.U], childMap[e.V]
 		if g.HasEdge(u, v) {
 			return nil, nil, fmt.Errorf("lanewidth: Parent-merge identifies child edge %v with a parent edge", e)

@@ -219,7 +219,7 @@ func (h *Hierarchy) Validate() error {
 			owned[e]++
 		}
 	}
-	for _, e := range h.Graph.Edges() {
+	for e := range h.Graph.EdgesSeq() {
 		if owned[e] != 1 {
 			return fmt.Errorf("lanewidth: edge %v owned %d times", e, owned[e])
 		}
