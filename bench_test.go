@@ -159,3 +159,19 @@ func BenchmarkE9BatchAmortization(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE11IncrementalRecertification regenerates the incremental
+// recertification series at a reduced size (the fallback pinning and the
+// byte-identity spot check run inside the harness either way).
+func BenchmarkE11IncrementalRecertification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E11Recertification([]int{512}, []int{1, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintE11(benchOut, rows)
+			b.ReportMetric(rows[len(rows)-1].Speedup, "speedup@tail")
+		}
+	}
+}

@@ -31,6 +31,11 @@ var (
 	// ErrWrongGraph reports a certificate presented against a configuration
 	// other than the one it was issued for (fingerprint mismatch).
 	ErrWrongGraph = errors.New("certify: certificate was issued for a different configuration")
+	// ErrBadEdit reports an invalid incremental edit batch: an endpoint out
+	// of range, a self-loop, adding a present edge, removing an absent one,
+	// or a batch that disconnects the graph. The Updater rolls back — a
+	// failed batch leaves the previous generation fully intact.
+	ErrBadEdit = errors.New("certify: invalid edit")
 )
 
 // wrapped attaches a sentinel to an underlying cause: errors.Is matches the

@@ -1,0 +1,83 @@
+package graphio_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/certify"
+	"repro/certify/graphio"
+)
+
+// fuzzLimits keeps hostile inputs cheap: the round-trip property is about
+// format fidelity, not scale, and small caps let the fuzzer exercise the
+// limit-rejection paths too.
+var fuzzLimits = graphio.Limits{MaxVertices: 1 << 10, MaxEdges: 1 << 12, MaxLineBytes: 1 << 10}
+
+// FuzzRoundTrip drives the decode→encode→decode loop on arbitrary bytes:
+// whatever a reader accepts, the matching writer must reproduce exactly
+// (same vertices, edges and marked set), and every rejection must wrap
+// ErrFormat — a byte reader cannot fail with I/O errors, so anything else
+// escaping Read is a reader bug. Seeds cover both formats; the committed
+// corpus under testdata/fuzz/FuzzRoundTrip pins past findings.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("n 6\nx 0 3\n0 1\n1 2\n2 3\n3 4\n4 5\n"))
+	f.Add([]byte("# comment\nn 3\n0 2\n"))
+	f.Add([]byte("c comment\np edge 3 2\ne 1 2\ne 2 3\n"))
+	f.Add([]byte("p edge 2 1\ne 1 2\n"))
+	f.Add([]byte("n 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := graphio.ReadLimited(bytes.NewReader(data), graphio.FormatAuto, fuzzLimits)
+		if err != nil {
+			if !errors.Is(err, graphio.ErrFormat) {
+				t.Fatalf("non-format error on byte input: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := graphio.WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write edge list of accepted graph: %v", err)
+		}
+		g2, err := graphio.ReadLimited(bytes.NewReader(buf.Bytes()), graphio.FormatEdgeList, fuzzLimits)
+		if err != nil {
+			t.Fatalf("re-read own edge-list output: %v\noutput:\n%s", err, buf.Bytes())
+		}
+		requireSameGraph(t, "edgelist", g, g2)
+		if len(g.Marked()) > 0 {
+			return // DIMACS cannot carry a marked set (WriteDIMACS rejects it).
+		}
+		buf.Reset()
+		if err := graphio.WriteDIMACS(&buf, g); err != nil {
+			t.Fatalf("write DIMACS of unmarked graph: %v", err)
+		}
+		g3, err := graphio.ReadLimited(bytes.NewReader(buf.Bytes()), graphio.FormatDIMACS, fuzzLimits)
+		if err != nil {
+			t.Fatalf("re-read own DIMACS output: %v\noutput:\n%s", err, buf.Bytes())
+		}
+		requireSameGraph(t, "dimacs", g, g3)
+	})
+}
+
+func requireSameGraph(t *testing.T, format string, want, got *certify.Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("%s round trip: got %d vertices / %d edges, want %d / %d",
+			format, got.N(), got.M(), want.N(), want.M())
+	}
+	we, ge := want.Edges(), got.Edges()
+	for i := range we {
+		if we[i] != ge[i] {
+			t.Fatalf("%s round trip: edge %d is %v, want %v", format, i, ge[i], we[i])
+		}
+	}
+	wm, gm := want.Marked(), got.Marked()
+	if len(wm) != len(gm) {
+		t.Fatalf("%s round trip: marked set %v, want %v", format, gm, wm)
+	}
+	for i := range wm {
+		if wm[i] != gm[i] {
+			t.Fatalf("%s round trip: marked set %v, want %v", format, gm, wm)
+		}
+	}
+}

@@ -582,6 +582,171 @@ func TestResourceGuards(t *testing.T) {
 	// test pins, the accept path is covered by TestServiceRoundTrip).
 }
 
+func patchJSON(t *testing.T, url string, req any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPatch, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestPatchRoundTrip is the PATCH flow: ingest → edit+recertify → the store
+// is re-keyed to the new fingerprint, the returned certificate verifies
+// against the new generation, and the inverse edit brings the configuration
+// (and hence its fingerprint) back — incrementally, through the carried
+// updater, without a fallback.
+func TestPatchRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	fp0 := ingest(t, ts.URL, certify.Ladder(8))
+
+	req := patchRequest{
+		Edits:      []editJSON{{Op: "remove", U: 2, V: 3}},
+		Properties: []string{"bipartite"},
+		MaxLanes:   4,
+	}
+	resp, body := patchJSON(t, ts.URL+"/v1/graphs/"+fp0+"/edges", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch: %d %s", resp.StatusCode, body)
+	}
+	var pr patchResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.OldFingerprint != fp0 || pr.Fingerprint == fp0 {
+		t.Fatalf("fingerprints: old=%s new=%s (ingested %s)", pr.OldFingerprint, pr.Fingerprint, fp0)
+	}
+	if pr.M != certify.Ladder(8).M()-1 || pr.Update == nil || pr.Update.Fallback {
+		t.Fatalf("patch response: m=%d update=%+v", pr.M, pr.Update)
+	}
+	if pr.CertificateKey != "bipartite" || len(pr.Certificate) == 0 {
+		t.Fatalf("certificate: key=%q len=%d", pr.CertificateKey, len(pr.Certificate))
+	}
+
+	// The store is re-keyed: the old fingerprint is gone, the new one
+	// resolves and lists the certificate.
+	if _, ok := s.store.Get(mustParseFP(t, fp0)); ok {
+		t.Fatal("old fingerprint still stored after PATCH")
+	}
+	info, err := http.Get(ts.URL + "/v1/graphs/" + pr.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gr graphResponse
+	if err := json.NewDecoder(info.Body).Decode(&gr); err != nil {
+		t.Fatal(err)
+	}
+	info.Body.Close()
+	if info.StatusCode != http.StatusOK || gr.M != pr.M || len(gr.Keys) != 1 || gr.Keys[0] != "bipartite" {
+		t.Fatalf("new-generation info: %d %+v", info.StatusCode, gr)
+	}
+
+	// The returned certificate verifies against the new generation.
+	vresp, vbody := postJSON(t, ts.URL+"/v1/verify", verifyRequest{
+		Fingerprint: pr.Fingerprint, Certificate: pr.Certificate,
+	})
+	var vr verifyResponse
+	if err := json.Unmarshal(vbody, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vresp.StatusCode != http.StatusOK || vr.Verdict != "accept" {
+		t.Fatalf("verify new generation: %d %s", vresp.StatusCode, vbody)
+	}
+
+	// The inverse edit restores the original configuration: same fingerprint
+	// as the ingest, served incrementally by the carried updater.
+	req.Edits = []editJSON{{Op: "add", U: 2, V: 3}}
+	resp, body = patchJSON(t, ts.URL+"/v1/graphs/"+pr.Fingerprint+"/edges", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inverse patch: %d %s", resp.StatusCode, body)
+	}
+	var pr2 patchResponse
+	if err := json.Unmarshal(body, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if pr2.Fingerprint != fp0 {
+		t.Fatalf("inverse edit fingerprint %s, want the original %s", pr2.Fingerprint, fp0)
+	}
+	if pr2.Update.TotalSources > 0 && pr2.Update.ReusedSources == 0 {
+		t.Fatalf("second PATCH reused no embedding sources: %+v", pr2.Update)
+	}
+	entry, ok := s.store.Get(mustParseFP(t, fp0))
+	if !ok {
+		t.Fatal("restored configuration not stored under the original fingerprint")
+	}
+	if entry.upd == nil {
+		t.Fatal("updater not carried to the successor entry")
+	}
+}
+
+// TestPatchErrors is the PATCH status-code table. Every rejected batch must
+// leave the stored generation untouched.
+func TestPatchErrors(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	fp := ingest(t, ts.URL, certify.Ladder(6))
+	url := ts.URL + "/v1/graphs/" + fp + "/edges"
+	ok := patchRequest{Properties: []string{"bipartite"}, MaxLanes: 4}
+
+	cases := []struct {
+		name string
+		url  string
+		req  patchRequest
+		want int
+	}{
+		{"unknown fingerprint", ts.URL + "/v1/graphs/00000000deadbeef/edges",
+			patchRequest{Edits: []editJSON{{Op: "remove", U: 2, V: 3}}, Properties: []string{"bipartite"}}, http.StatusNotFound},
+		{"no edits", url, ok, http.StatusBadRequest},
+		{"no properties", url,
+			patchRequest{Edits: []editJSON{{Op: "remove", U: 2, V: 3}}}, http.StatusBadRequest},
+		{"unknown op", url,
+			patchRequest{Edits: []editJSON{{Op: "toggle", U: 2, V: 3}}, Properties: []string{"bipartite"}}, http.StatusBadRequest},
+		{"unknown property", url,
+			patchRequest{Edits: []editJSON{{Op: "remove", U: 2, V: 3}}, Properties: []string{"nope"}}, http.StatusBadRequest},
+		{"remove absent edge", url,
+			patchRequest{Edits: []editJSON{{Op: "remove", U: 0, V: 3}}, Properties: []string{"bipartite"}, MaxLanes: 4}, http.StatusUnprocessableEntity},
+		{"add present edge", url,
+			patchRequest{Edits: []editJSON{{Op: "add", U: 0, V: 1}}, Properties: []string{"bipartite"}, MaxLanes: 4}, http.StatusUnprocessableEntity},
+		{"endpoint out of range", url,
+			patchRequest{Edits: []editJSON{{Op: "add", U: 0, V: 99}}, Properties: []string{"bipartite"}, MaxLanes: 4}, http.StatusUnprocessableEntity},
+		{"property no longer holds", url,
+			patchRequest{Edits: []editJSON{{Op: "add", U: 0, V: 3}}, Properties: []string{"bipartite"}, MaxLanes: 4}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := patchJSON(t, tc.url, tc.req)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d %s, want %d", resp.StatusCode, body, tc.want)
+			}
+		})
+	}
+
+	// Every rejection rolled back: the original generation is still stored
+	// under its original fingerprint and still certifiable.
+	if _, ok := s.store.Get(mustParseFP(t, fp)); !ok {
+		t.Fatal("stored entry lost after rejected batches")
+	}
+	resp, body := patchJSON(t, url, patchRequest{
+		Edits: []editJSON{{Op: "remove", U: 2, V: 3}}, Properties: []string{"bipartite"}, MaxLanes: 4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid patch after rejections: %d %s", resp.StatusCode, body)
+	}
+}
+
 // TestMalformedProveConfigRejectedEarly pins that configuration errors a
 // client controls (duplicate properties) answer 400 before consuming a
 // queue slot, and that an operator-level lane misconfiguration fails at

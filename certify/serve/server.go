@@ -91,6 +91,7 @@ func (o Options) withDefaults() Options {
 //	POST /v1/graphs?format=auto      ingest a graph (edge list or DIMACS)
 //	GET  /v1/graphs/{fp}             stored graph summary + certificate keys
 //	POST /v1/prove                   {"fingerprint","properties",["max_lanes"]}
+//	PATCH /v1/graphs/{fp}/edges      apply an edit batch and re-certify incrementally
 //	POST /v1/verify                  {"fingerprint","certificate",["distributed"]}
 //	GET  /v1/certificates/{fp}       fetch a stored PLSC blob (?props=...)
 //	GET  /v1/properties              the property catalog and fault names
@@ -116,17 +117,30 @@ type Server struct {
 	gateParked atomic.Int32
 }
 
+// proveJob is one unit of prover-pool work: a closure run by a worker under
+// the request context. Prove and PATCH requests share the pool (and hence
+// its backpressure) by enqueueing different closures.
 type proveJob struct {
-	ctx       context.Context
-	entry     *Entry
-	certifier *certify.Certifier
-	reply     chan proveOutcome // buffered: a worker never blocks on a gone handler
+	ctx   context.Context
+	run   func(ctx context.Context) proveOutcome
+	reply chan proveOutcome // buffered: a worker never blocks on a gone handler
 }
 
 type proveOutcome struct {
 	crt   *certify.Certificate
 	stats *certify.BatchStats
+	patch *patchOutcome
 	err   error
+}
+
+// patchOutcome is the committed result of one PATCH job.
+type patchOutcome struct {
+	newFp uint64
+	n, m  int
+	us    *certify.UpdateStats
+	crt   *certify.Certificate
+	key   string
+	props []string
 }
 
 // New builds the service and starts its worker pool. A default lane budget
@@ -159,6 +173,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/graphs", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/graphs/{fp}", s.handleGraphInfo)
 	s.mux.HandleFunc("POST /v1/prove", s.handleProve)
+	s.mux.HandleFunc("PATCH /v1/graphs/{fp}/edges", s.handlePatch)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("GET /v1/certificates/{fp}", s.handleFetch)
 	for i := 0; i < opts.Workers; i++ {
@@ -195,8 +210,8 @@ func (s *Server) worker() {
 	}
 }
 
-// process runs one prove job: shared structure (built once per stored
-// graph), then the per-property batch against it.
+// process runs one queued job under the pool's test gate and cancellation
+// discipline.
 func (s *Server) process(job *proveJob) proveOutcome {
 	if gate := s.opts.testProveGate; gate != nil {
 		s.gateParked.Add(1)
@@ -210,12 +225,27 @@ func (s *Server) process(job *proveJob) proveOutcome {
 	if err := job.ctx.Err(); err != nil {
 		return proveOutcome{err: err}
 	}
-	st, err := job.entry.Structure(job.ctx, s.base)
-	if err != nil {
-		return proveOutcome{err: err}
+	return job.run(job.ctx)
+}
+
+// dispatch enqueues a job on the prover pool and waits for its outcome (or
+// the context). It reports ok=false after answering 429 itself when the
+// queue is full — backpressure, not buffering without bound.
+func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, run func(context.Context) proveOutcome) (proveOutcome, bool) {
+	job := &proveJob{ctx: ctx, run: run, reply: make(chan proveOutcome, 1)}
+	select {
+	case s.queue <- job:
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("prove queue is full, retry later"))
+		return proveOutcome{}, false
 	}
-	crt, stats, err := job.certifier.ProveBatchOn(job.ctx, st)
-	return proveOutcome{crt: crt, stats: stats, err: err}
+	select {
+	case out := <-job.reply:
+		return out, true
+	case <-ctx.Done():
+		return proveOutcome{err: ctx.Err()}, true
+	}
 }
 
 // ---- wire types ----
@@ -258,6 +288,40 @@ type proveResponse struct {
 	Stats          *batchStatsJSON `json:"stats,omitempty"`
 	CertificateKey string          `json:"certificate_key,omitempty"`
 	Certificate    []byte          `json:"certificate,omitempty"` // base64 in JSON
+}
+
+type editJSON struct {
+	Op string `json:"op"` // "add" or "remove"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+type patchRequest struct {
+	Edits      []editJSON `json:"edits"`
+	Properties []string   `json:"properties"`
+	MaxLanes   int        `json:"max_lanes"`
+}
+
+type updateStatsJSON struct {
+	Fallback      bool `json:"fallback"`
+	DirtyOps      int  `json:"dirty_ops"`
+	ReusedEntries int  `json:"reused_entries"`
+	TotalEntries  int  `json:"total_entries"`
+	ReusedLabels  int  `json:"reused_labels"`
+	TotalLabels   int  `json:"total_labels"`
+	ReusedSources int  `json:"reused_sources"`
+	TotalSources  int  `json:"total_sources"`
+}
+
+type patchResponse struct {
+	Fingerprint    string           `json:"fingerprint"`
+	OldFingerprint string           `json:"old_fingerprint"`
+	N              int              `json:"n"`
+	M              int              `json:"m"`
+	Properties     []string         `json:"properties"`
+	Update         *updateStatsJSON `json:"update"`
+	CertificateKey string           `json:"certificate_key"`
+	Certificate    []byte           `json:"certificate"` // base64 in JSON
 }
 
 type verifyRequest struct {
@@ -428,26 +492,16 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.ProveTimeout)
 	defer cancel()
-	job := &proveJob{
-		ctx:       ctx,
-		entry:     entry,
-		certifier: certifier,
-		reply:     make(chan proveOutcome, 1),
-	}
-	// Backpressure: a full queue answers immediately instead of holding the
-	// connection open behind an unbounded backlog.
-	select {
-	case s.queue <- job:
-	default:
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, errors.New("prove queue is full, retry later"))
+	out, ok := s.dispatch(w, ctx, func(ctx context.Context) proveOutcome {
+		st, err := entry.Structure(ctx, s.base)
+		if err != nil {
+			return proveOutcome{err: err}
+		}
+		crt, stats, err := certifier.ProveBatchOn(ctx, st)
+		return proveOutcome{crt: crt, stats: stats, err: err}
+	})
+	if !ok {
 		return
-	}
-	var out proveOutcome
-	select {
-	case out = <-job.reply:
-	case <-ctx.Done():
-		out = proveOutcome{err: ctx.Err()}
 	}
 	if out.err != nil {
 		switch {
@@ -495,6 +549,142 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 // statusClientClosedRequest is nginx's conventional status for a request
 // whose client went away; there is no stdlib constant.
 const statusClientClosedRequest = 499
+
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	fp, err := parseFingerprint(r.PathValue("fp"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req patchRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Edits) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no edits in batch"))
+		return
+	}
+	if len(req.Properties) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no properties requested"))
+		return
+	}
+	edits := make([]certify.Edit, len(req.Edits))
+	for i, e := range req.Edits {
+		var op certify.EditOp
+		switch e.Op {
+		case "add":
+			op = certify.EditAdd
+		case "remove":
+			op = certify.EditRemove
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("edit %d: unknown op %q (want \"add\" or \"remove\")", i, e.Op))
+			return
+		}
+		edits[i] = certify.Edit{Op: op, U: e.U, V: e.V}
+	}
+	props, err := certify.PropertiesByName(req.Properties...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	maxLanes := req.MaxLanes
+	if maxLanes <= 0 {
+		maxLanes = s.opts.MaxLanes
+	}
+	certifier, err := certify.New(
+		certify.WithProperties(props...),
+		certify.WithMaxLanes(maxLanes),
+	)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, ok := s.store.Get(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %s (submit it via POST /v1/graphs first)", fpString(fp)))
+		return
+	}
+	// The updater key canonicalizes the certification configuration: an
+	// entry's cached incremental engine is reused only for the exact
+	// property-set/lane-budget pair it was built for.
+	names := make([]string, len(props))
+	for i, p := range props {
+		names[i] = p.Name()
+	}
+	updKey := PropsKey(names) + "|" + strconv.Itoa(maxLanes)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.ProveTimeout)
+	defer cancel()
+	out, ok := s.dispatch(w, ctx, func(ctx context.Context) proveOutcome {
+		upd, us, crt, gSnap, err := entry.UpdateEdges(ctx, certifier, updKey, edits)
+		if err != nil {
+			return proveOutcome{err: err}
+		}
+		newFp, err := gSnap.Fingerprint()
+		if err != nil {
+			return proveOutcome{err: err}
+		}
+		certKey := PropsKey(crt.Properties())
+		// Commit: the edited graph takes over the store slot under its new
+		// fingerprint, carrying the updater so the next PATCH is incremental.
+		next := entry.successor(newFp, gSnap, upd, updKey, certKey, crt)
+		s.store.Replace(fp, next)
+		return proveOutcome{patch: &patchOutcome{
+			newFp: newFp,
+			n:     gSnap.N(),
+			m:     gSnap.M(),
+			us:    us,
+			crt:   crt,
+			key:   certKey,
+			props: crt.Properties(),
+		}}
+	})
+	if !ok {
+		return
+	}
+	if out.err != nil {
+		switch {
+		case errors.Is(out.err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("recertification exceeded the %s budget", s.opts.ProveTimeout))
+		case errors.Is(out.err, context.Canceled):
+			writeError(w, statusClientClosedRequest, out.err)
+		case errors.Is(out.err, certify.ErrBadEdit),
+			errors.Is(out.err, certify.ErrPropertyFails),
+			errors.Is(out.err, certify.ErrTooWide):
+			// The engine rolled back: the stored generation is untouched.
+			writeError(w, http.StatusUnprocessableEntity, out.err)
+		default:
+			writeError(w, http.StatusInternalServerError, out.err)
+		}
+		return
+	}
+	p := out.patch
+	blob, err := p.crt.MarshalBinary()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, patchResponse{
+		Fingerprint:    fpString(p.newFp),
+		OldFingerprint: fpString(fp),
+		N:              p.n,
+		M:              p.m,
+		Properties:     p.props,
+		Update: &updateStatsJSON{
+			Fallback:      p.us.Fallback,
+			DirtyOps:      p.us.DirtyOps,
+			ReusedEntries: p.us.ReusedEntries,
+			TotalEntries:  p.us.TotalEntries,
+			ReusedLabels:  p.us.ReusedLabels,
+			TotalLabels:   p.us.TotalLabels,
+			ReusedSources: p.us.ReusedSources,
+			TotalSources:  p.us.TotalSources,
+		},
+		CertificateKey: p.key,
+		Certificate:    blob,
+	})
+}
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req verifyRequest

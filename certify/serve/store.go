@@ -96,6 +96,42 @@ func (s *Store) PutGraph(g *certify.Graph) (*Entry, error) {
 	return e, nil
 }
 
+// Replace installs e under its own fingerprint and removes the entry stored
+// under oldFp — the store-side commit of one PATCH generation: the edited
+// graph takes over the old configuration's slot under its new key, so later
+// requests find it by the fingerprint the PATCH response reported. Shards
+// are locked in index order, making concurrent Replace calls deadlock-free;
+// the capacity count is conserved (a move is not an ingest).
+func (s *Store) Replace(oldFp uint64, e *Entry) {
+	iOld, iNew := oldFp&s.mask, e.fp&s.mask
+	first, second := &s.shards[iOld], &s.shards[iNew]
+	if iNew < iOld {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	if second != first {
+		second.mu.Lock()
+	}
+	_, hadOld := s.shards[iOld].entries[oldFp]
+	delete(s.shards[iOld].entries, oldFp)
+	_, hadNew := s.shards[iNew].entries[e.fp]
+	s.shards[iNew].entries[e.fp] = e
+	if second != first {
+		second.mu.Unlock()
+	}
+	first.mu.Unlock()
+	delta := 0
+	if hadOld {
+		delta--
+	}
+	if !hadNew {
+		delta++
+	}
+	if delta != 0 {
+		s.count.Add(int64(delta))
+	}
+}
+
 // Get returns the entry stored under the fingerprint.
 func (s *Store) Get(fp uint64) (*Entry, bool) {
 	sh := s.shard(fp)
@@ -137,6 +173,15 @@ type Entry struct {
 
 	certMu sync.RWMutex
 	certs  map[string]*certify.Certificate
+
+	// The incremental updater behind PATCH /v1/graphs/{fp}/edges. It is
+	// built on the first PATCH (or when the requested property set or lane
+	// budget changes, which updKey detects) and then carried from generation
+	// to generation as Replace re-keys the entry, so successive PATCHes pay
+	// only the dirty-region re-prove.
+	updMu  sync.Mutex
+	upd    *certify.Updater
+	updKey string
 }
 
 // Fingerprint returns the configuration fingerprint the entry is keyed by.
@@ -193,6 +238,42 @@ func (e *Entry) Structure(ctx context.Context, c *certify.Certifier) (*certify.S
 		}
 		return st, nil
 	}
+}
+
+// UpdateEdges applies an edit batch through the entry's persistent
+// incremental updater, building the updater (a full initial prove) when
+// none exists yet or when key — the requested property-set/lane-budget
+// combination — differs from the one the cached updater was built for.
+// On success it returns the updater (for the successor entry to carry), the
+// update's stats, and the new generation's certificate and graph snapshot,
+// drawn atomically with the edit commit. On failure the updater keeps its
+// previous generation (the engine rolls back) and stays cached.
+func (e *Entry) UpdateEdges(ctx context.Context, c *certify.Certifier, key string, edits []certify.Edit) (*certify.Updater, *certify.UpdateStats, *certify.Certificate, *certify.Graph, error) {
+	e.updMu.Lock()
+	defer e.updMu.Unlock()
+	upd := e.upd
+	if upd == nil || e.updKey != key {
+		fresh, err := c.NewUpdater(ctx, e.g)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		upd, e.upd, e.updKey = fresh, fresh, key
+	}
+	us, crt, g, err := upd.UpdateCertified(ctx, edits...)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return upd, us, crt, g, nil
+}
+
+// successor builds the entry that replaces e after a committed PATCH: the
+// new generation's graph and certificate under the new fingerprint, carrying
+// the updater forward.
+func (e *Entry) successor(fp uint64, g *certify.Graph, upd *certify.Updater, updKey, certKey string, crt *certify.Certificate) *Entry {
+	next := &Entry{fp: fp, g: g, certs: map[string]*certify.Certificate{certKey: crt}}
+	next.upd = upd
+	next.updKey = updKey
+	return next
 }
 
 // PutCertificate stores a certificate under the property-set key.

@@ -1,4 +1,4 @@
-// Command bench runs the E1–E10 experiment harness of EXPERIMENTS.md and
+// Command bench runs the E1–E11 experiment harness of EXPERIMENTS.md and
 // prints the measured series. Each experiment regenerates the measurements
 // standing in for one of the paper's quantitative claims:
 //
@@ -6,6 +6,7 @@
 //	bench -exp e1         # run one experiment
 //	bench -exp e1,e8,e9   # run a comma-separated subset
 //	bench -exp e8,e9 -json   # also write BENCH_E8.json / BENCH_E9.json
+//	bench -exp e11 -json     # incremental recertification → BENCH_E11.json
 //
 // E10 is the certifyd load generator: it boots an in-process service (or
 // targets a running daemon with -url) and drives concurrent
@@ -38,12 +39,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments to run: comma-separated subset of e1..e10, or all")
+		exp      = fs.String("exp", "all", "experiments to run: comma-separated subset of e1..e11, or all")
 		seed     = fs.Int64("seed", 1, "random seed")
 		jsonOut  = fs.Bool("json", false, "write the E8/E9/E10 series as machine-readable JSON")
 		jsonPath = fs.String("json-path", "BENCH_E8.json", "output path for the E8 series with -json")
 		e9Path   = fs.String("e9-json-path", "BENCH_E9.json", "output path for the E9 series with -json")
 		e10Path  = fs.String("e10-json-path", "BENCH_E10.json", "output path for the E10 series with -json")
+		e11Path  = fs.String("e11-json-path", "BENCH_E11.json", "output path for the E11 series with -json")
+		e11N     = fs.String("e11-ns", "1024,4096,16384", "E11: comma-separated graph sizes")
 		url      = fs.String("url", "", "E10: drive the certifyd at this base URL instead of an in-process service")
 		e10Level = fs.String("e10-levels", "1,2,4,8", "E10: comma-separated client concurrency levels")
 		e10Reqs  = fs.Int("e10-requests", 12, "E10: prove→fetch→verify round trips per client")
@@ -189,11 +192,30 @@ func run(args []string) error {
 		}
 		ran = true
 	}
+	if want("e11") {
+		ns, err := parseLevels(*e11N)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.E11Recertification(ns, []int{1, 4, 16, 64})
+		if err != nil {
+			return err
+		}
+		experiments.PrintE11(out, rows)
+		fmt.Fprintln(out)
+		if *jsonOut {
+			if err := writeJSON(*e11Path, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *e11Path)
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment selection %q", *exp)
 	}
-	if *jsonOut && !want("e8") && !want("e9") && !want("e10") {
-		return fmt.Errorf("-json requires the e8, e9 or e10 experiment (got -exp %s)", *exp)
+	if *jsonOut && !want("e8") && !want("e9") && !want("e10") && !want("e11") {
+		return fmt.Errorf("-json requires the e8, e9, e10 or e11 experiment (got -exp %s)", *exp)
 	}
 	return nil
 }
@@ -218,12 +240,18 @@ func parseLevels(s string) ([]int, error) {
 	return out, nil
 }
 
-// parseExpList splits the -exp flag on commas and validates every entry.
+// knownExps lists every -exp name in display order; "all" selects them all.
+var knownExps = []string{
+	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+}
+
+// parseExpList splits the -exp flag on commas and validates every entry. An
+// unknown name fails before any experiment runs, and the error lists the
+// valid names so a typo is a one-glance fix.
 func parseExpList(s string) (map[string]bool, error) {
-	known := map[string]bool{
-		"all": true, "e1": true, "e2": true, "e3": true, "e4": true,
-		"e5": true, "e6": true, "e7": true, "e8": true, "e9": true,
-		"e10": true,
+	known := map[string]bool{"all": true}
+	for _, name := range knownExps {
+		known[name] = true
 	}
 	out := map[string]bool{}
 	for _, part := range strings.Split(s, ",") {
@@ -232,7 +260,8 @@ func parseExpList(s string) (map[string]bool, error) {
 			continue
 		}
 		if !known[name] {
-			return nil, fmt.Errorf("unknown experiment %q", name)
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s, all)",
+				name, strings.Join(knownExps, ", "))
 		}
 		out[name] = true
 	}

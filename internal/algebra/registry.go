@@ -2,6 +2,8 @@ package algebra
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
 )
 
@@ -11,16 +13,36 @@ import (
 // The registry is shared between the prover and the verifier of a scheme
 // (they run the same algorithm) and is safe for concurrent use by the
 // distributed verifier.
+//
+// Ids are content hashes of the class's canonical key (32-bit FNV-1a), not
+// interning-order sequence numbers. Two provers that derive the same class —
+// in any order, on any graph — agree on its id, which is what makes
+// incremental re-proving effective: a local edit that adds or removes a few
+// distinct classes leaves the ids of every other class untouched, so the
+// entries and labels outside the dirty region keep their exact bytes. The
+// price is a wider id (≤32 bits instead of ⌈log₂|C|⌉), a constant that the
+// varint wire encoding and the O(log n) label bound absorb. Hash collisions
+// between distinct keys are resolved by stacking colliding classes at
+// rank<<32 offsets; Canonicalize fixes the rank order by key content so the
+// resolution, too, is independent of interning order.
 type Registry struct {
-	mu      sync.Mutex
-	byKey   map[string]int
-	byPtr   map[*Class]int
-	classes []*Class
+	mu    sync.Mutex
+	byKey map[string]int
+	byPtr map[*Class]int
+	byID  map[int]*Class
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byKey: map[string]int{}, byPtr: map[*Class]int{}}
+	return &Registry{byKey: map[string]int{}, byPtr: map[*Class]int{}, byID: map[int]*Class{}}
+}
+
+// idBase is the content hash an id is derived from: the low 32 bits of every
+// id for a class with this key. Colliding keys stack above at rank<<32.
+func idBase(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32())
 }
 
 // Intern returns the id of the class, registering it if new. Instances seen
@@ -37,36 +59,34 @@ func (r *Registry) Intern(c *Class) int {
 		r.byPtr[c] = id
 		return id
 	}
-	id := len(r.classes)
+	id := idBase(key)
+	for {
+		if _, taken := r.byID[id]; !taken {
+			break
+		}
+		id += 1 << 32
+	}
 	r.byKey[key] = id
 	r.byPtr[c] = id
-	r.classes = append(r.classes, c)
+	r.byID[id] = c
 	return id
 }
 
 // RegistryFromTable builds a registry whose id assignment is fixed by the
-// given table instead of by interning order. It is the substrate of
+// given table instead of by content hashing. It is the substrate of
 // cross-process verification: a verifier that reconstructed the prover's
 // class table from a decoded certificate (core.RebuildRegistry) seeds its
 // registry with it, so the class ids claimed by the labels resolve exactly
-// as they did in the proving process. Ids absent from the table stay holes:
-// Class returns nil for them and Intern never reuses them (fresh classes get
-// ids past the table), so a forged label referencing a hole is rejected.
-// Two table entries sharing a class value are an error — an honest prover's
-// registry never aliases.
+// as they did in the proving process. Ids absent from the table resolve to
+// nil, so a forged label referencing an undefined id is rejected. Two table
+// entries sharing a class value are an error — an honest prover's registry
+// never aliases.
 func RegistryFromTable(classes map[int]*Class) (*Registry, error) {
-	maxID := -1
-	for id := range classes {
+	r := NewRegistry()
+	for id, c := range classes {
 		if id < 0 {
 			return nil, fmt.Errorf("algebra: negative class id %d in table", id)
 		}
-		if id > maxID {
-			maxID = id
-		}
-	}
-	r := NewRegistry()
-	r.classes = make([]*Class, maxID+1)
-	for id, c := range classes {
 		if c == nil {
 			return nil, fmt.Errorf("algebra: nil class for id %d in table", id)
 		}
@@ -76,9 +96,54 @@ func RegistryFromTable(classes map[int]*Class) (*Registry, error) {
 		}
 		r.byKey[key] = id
 		r.byPtr[c] = id
-		r.classes[id] = c
+		r.byID[id] = c
 	}
 	return r, nil
+}
+
+// Canonicalize fixes the ids of hash-colliding classes into content order:
+// within each set of distinct keys sharing a 32-bit hash, ranks (the id bits
+// above 32) are reassigned by sorting the keys, replacing the
+// first-interned-first ranks Intern handed out. The prover calls this once
+// per pass, after the class sweep has interned every class the proof
+// mentions and before any id is encoded into an entry; afterwards every id —
+// collision or not — depends only on the set of distinct classes, never on
+// traversal order, so a fresh prove and an incremental re-prove of the same
+// graph encode identical ids. Non-colliding classes (in practice: all of
+// them) already hold their content hash and are untouched. Canonicalize must
+// not be called on a table-seeded registry; table registries belong to
+// verifiers, which never call it.
+func (r *Registry) Canonicalize() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	buckets := map[int][]string{}
+	for key, id := range r.byKey {
+		base := id & (1<<32 - 1)
+		buckets[base] = append(buckets[base], key)
+	}
+	for base, keys := range buckets {
+		if len(keys) < 2 {
+			continue
+		}
+		sort.Strings(keys)
+		// Reassign in two phases: old and new ids overlap within a bucket,
+		// so writing while reading would clobber entries.
+		classes := make([]*Class, len(keys))
+		for i, key := range keys {
+			classes[i] = r.byID[r.byKey[key]]
+		}
+		for _, key := range keys {
+			delete(r.byID, r.byKey[key])
+		}
+		for rank, key := range keys {
+			id := base + rank<<32
+			r.byKey[key] = id
+			r.byID[id] = classes[rank]
+		}
+	}
+	for p := range r.byPtr {
+		r.byPtr[p] = r.byKey[p.Key()]
+	}
 }
 
 // Lookup returns the id of the class if it is already registered.
@@ -95,19 +160,16 @@ func (r *Registry) Lookup(c *Class) (int, bool) {
 	return id, ok
 }
 
-// Class returns the class with the given id, or nil if out of range.
+// Class returns the class with the given id, or nil if unregistered.
 func (r *Registry) Class(id int) *Class {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if id < 0 || id >= len(r.classes) {
-		return nil
-	}
-	return r.classes[id]
+	return r.byID[id]
 }
 
 // Size returns the number of distinct classes observed.
 func (r *Registry) Size() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.classes)
+	return len(r.byID)
 }

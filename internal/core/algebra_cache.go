@@ -2,6 +2,7 @@ package core
 
 import (
 	"strconv"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/lanewidth"
@@ -40,20 +41,61 @@ type bridgeKey struct {
 	i, j, label int
 }
 
+// schemeCaches bundles every memo table of one property's scheme(s): the
+// canonical-key string pool and the algebra caches. All entries are pure
+// functions of their keys (merge keys use canonical class pointers, which
+// the canonCache itself keeps stable), so the struct can outlive any single
+// Scheme and be shared across scheme generations of the same property.
+type schemeCaches struct {
+	// Key interning for canonical NodeEntry encodings: all entries the
+	// prover emits share one string instance per distinct encoding, so the
+	// verifier's per-entry agreement checks compare pointer-equal strings
+	// in O(1) instead of re-encoding O(label-bits).
+	keyMu   sync.Mutex
+	keyPool map[string]string
+
+	// Memoized algebra evaluations: base classes by payload and merges by
+	// operand identity. The underlying functions are pure, so the caches are
+	// semantically transparent; they turn the per-node algebra of prover and
+	// verifier into map hits whenever the same local shape recurs (on
+	// bounded-pathwidth families almost always).
+	algMu       sync.Mutex
+	baseCache   map[baseKey]*algebra.Class
+	pMergeCache map[mergePair]*algebra.Class
+	bMergeCache map[bridgeKey]*algebra.Class
+	canonCache  map[string]*algebra.Class
+}
+
+func newSchemeCaches() *schemeCaches { return &schemeCaches{} }
+
+// internKey returns the canonical instance of the key, registering it if new.
+func (sc *schemeCaches) internKey(k string) string {
+	sc.keyMu.Lock()
+	defer sc.keyMu.Unlock()
+	if sc.keyPool == nil {
+		sc.keyPool = map[string]string{}
+	}
+	if v, ok := sc.keyPool[k]; ok {
+		return v
+	}
+	sc.keyPool[k] = k
+	return k
+}
+
 // canonicalLocked maps a freshly computed class to the scheme's canonical
 // instance of its value (registering it if new). Merge results that are
 // value-equal across different fold positions thereby collapse to one
 // pointer, which is what lets the pointer-keyed merge caches converge to
 // hits on long chains. Callers hold algMu.
 func (s *Scheme) canonicalLocked(c *algebra.Class) *algebra.Class {
-	if s.canonCache == nil {
-		s.canonCache = map[string]*algebra.Class{}
+	if s.caches.canonCache == nil {
+		s.caches.canonCache = map[string]*algebra.Class{}
 	}
 	key := c.Key()
-	if prev, ok := s.canonCache[key]; ok {
+	if prev, ok := s.caches.canonCache[key]; ok {
 		return prev
 	}
-	s.canonCache[key] = c
+	s.caches.canonCache[key] = c
 	return c
 }
 
@@ -61,26 +103,26 @@ func (s *Scheme) canonicalLocked(c *algebra.Class) *algebra.Class {
 // once per distinct key (concurrent racers defer to the first stored
 // instance so pointers stay canonical).
 func (s *Scheme) cachedBase(k baseKey, compute func() (*algebra.Class, error)) (*algebra.Class, error) {
-	s.algMu.Lock()
-	if c, ok := s.baseCache[k]; ok {
-		s.algMu.Unlock()
+	s.caches.algMu.Lock()
+	if c, ok := s.caches.baseCache[k]; ok {
+		s.caches.algMu.Unlock()
 		return c, nil
 	}
-	s.algMu.Unlock()
+	s.caches.algMu.Unlock()
 	c, err := compute()
 	if err != nil {
 		return nil, err
 	}
-	s.algMu.Lock()
-	defer s.algMu.Unlock()
-	if s.baseCache == nil {
-		s.baseCache = map[baseKey]*algebra.Class{}
+	s.caches.algMu.Lock()
+	defer s.caches.algMu.Unlock()
+	if s.caches.baseCache == nil {
+		s.caches.baseCache = map[baseKey]*algebra.Class{}
 	}
-	if prev, ok := s.baseCache[k]; ok {
+	if prev, ok := s.caches.baseCache[k]; ok {
 		return prev, nil
 	}
 	c = s.canonicalLocked(c)
-	s.baseCache[k] = c
+	s.caches.baseCache[k] = c
 	return c, nil
 }
 
@@ -129,51 +171,51 @@ func (s *Scheme) baseP(lanes []int, realBits []bool, inputs []int) (*algebra.Cla
 // parentMerge is algebra.ParentMerge memoized by operand identity.
 func (s *Scheme) parentMerge(child, parent *algebra.Class) (*algebra.Class, error) {
 	k := mergePair{child: child, parent: parent}
-	s.algMu.Lock()
-	if c, ok := s.pMergeCache[k]; ok {
-		s.algMu.Unlock()
+	s.caches.algMu.Lock()
+	if c, ok := s.caches.pMergeCache[k]; ok {
+		s.caches.algMu.Unlock()
 		return c, nil
 	}
-	s.algMu.Unlock()
+	s.caches.algMu.Unlock()
 	c, err := algebra.ParentMerge(s.Prop, child, parent)
 	if err != nil {
 		return nil, err
 	}
-	s.algMu.Lock()
-	defer s.algMu.Unlock()
-	if s.pMergeCache == nil {
-		s.pMergeCache = map[mergePair]*algebra.Class{}
+	s.caches.algMu.Lock()
+	defer s.caches.algMu.Unlock()
+	if s.caches.pMergeCache == nil {
+		s.caches.pMergeCache = map[mergePair]*algebra.Class{}
 	}
-	if prev, ok := s.pMergeCache[k]; ok {
+	if prev, ok := s.caches.pMergeCache[k]; ok {
 		return prev, nil
 	}
 	c = s.canonicalLocked(c)
-	s.pMergeCache[k] = c
+	s.caches.pMergeCache[k] = c
 	return c, nil
 }
 
 // bridgeMerge is algebra.BridgeMerge memoized by operand identity.
 func (s *Scheme) bridgeMerge(left, right *algebra.Class, i, j, label int) (*algebra.Class, error) {
 	k := bridgeKey{left: left, right: right, i: i, j: j, label: label}
-	s.algMu.Lock()
-	if c, ok := s.bMergeCache[k]; ok {
-		s.algMu.Unlock()
+	s.caches.algMu.Lock()
+	if c, ok := s.caches.bMergeCache[k]; ok {
+		s.caches.algMu.Unlock()
 		return c, nil
 	}
-	s.algMu.Unlock()
+	s.caches.algMu.Unlock()
 	c, err := algebra.BridgeMerge(s.Prop, left, right, i, j, label)
 	if err != nil {
 		return nil, err
 	}
-	s.algMu.Lock()
-	defer s.algMu.Unlock()
-	if s.bMergeCache == nil {
-		s.bMergeCache = map[bridgeKey]*algebra.Class{}
+	s.caches.algMu.Lock()
+	defer s.caches.algMu.Unlock()
+	if s.caches.bMergeCache == nil {
+		s.caches.bMergeCache = map[bridgeKey]*algebra.Class{}
 	}
-	if prev, ok := s.bMergeCache[k]; ok {
+	if prev, ok := s.caches.bMergeCache[k]; ok {
 		return prev, nil
 	}
 	c = s.canonicalLocked(c)
-	s.bMergeCache[k] = c
+	s.caches.bMergeCache[k] = c
 	return c, nil
 }

@@ -150,8 +150,11 @@ func TestLabelBitsGrowLogarithmically(t *testing.T) {
 		}
 		pts = append(pts, point{n, stats.MaxLabelBits})
 	}
+	// The intercept absorbs the fixed per-entry overhead of content-hashed
+	// class ids (32-bit, order-independent across generations); the slope is
+	// the genuinely n-dependent part (observed ≈200 bits per doubling).
 	for _, p := range pts {
-		bound := 250*int(math.Log2(float64(p.n))) + 600
+		bound := 250*int(math.Log2(float64(p.n))) + 2400
 		if p.bits > bound {
 			t.Fatalf("n=%d: %d bits exceeds O(log n) envelope %d", p.n, p.bits, bound)
 		}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/cert"
@@ -22,6 +21,12 @@ var ErrPropertyFails = errors.New("core: property does not hold on this configur
 // within the scheme's lane budget.
 var ErrTooManyLanes = errors.New("core: lane partition exceeds the scheme's lane budget")
 
+// ErrStaleStructure is returned by ProveWith when the structural proof was
+// built against an earlier generation of the graph: the graph mutated after
+// BuildStructure, so the structure's decomposition, embedding and artifact
+// tables no longer describe it.
+var ErrStaleStructure = errors.New("core: structural proof is stale (graph mutated since build)")
+
 // Scheme is the Theorem 1 proof labeling scheme for φ ∧ (pathwidth ≤ k),
 // parameterized by the property's homomorphism-class algebra and a lane
 // budget. Structurally the scheme certifies that the graph embeds in a
@@ -38,42 +43,31 @@ type Scheme struct {
 	// exactly as the finite class set C is part of the paper's algorithms.
 	Reg *algebra.Registry
 
-	// Key interning for canonical NodeEntry encodings: all entries the
-	// prover emits share one string instance per distinct encoding, so the
-	// verifier's per-entry agreement checks compare pointer-equal strings
-	// in O(1) instead of re-encoding O(label-bits).
-	keyMu   sync.Mutex
-	keyPool map[string]string
-
-	// Memoized algebra evaluations (see algebra_cache.go): base classes by
-	// payload and merges by operand identity. The underlying functions are
-	// pure, so the caches are semantically transparent; they turn the
-	// per-node algebra of prover and verifier into map hits whenever the
-	// same local shape recurs (on bounded-pathwidth families almost always).
-	algMu       sync.Mutex
-	baseCache   map[baseKey]*algebra.Class
-	pMergeCache map[mergePair]*algebra.Class
-	bMergeCache map[bridgeKey]*algebra.Class
-	canonCache  map[string]*algebra.Class
+	// caches holds the scheme's memoized pure evaluations (key interning and
+	// algebra memo tables, see algebra_cache.go). The tables are content- or
+	// canonical-pointer-keyed and carry no per-run state, so several schemes
+	// for the same property may share one instance: the incremental engine
+	// threads the caches of one generation's scheme into the next, turning
+	// clean re-derivations into pointer hits while class IDs still come from
+	// each generation's own fresh Registry.
+	caches *schemeCaches
 }
 
 // internKey returns the canonical instance of the key, registering it if new.
 func (s *Scheme) internKey(k string) string {
-	s.keyMu.Lock()
-	defer s.keyMu.Unlock()
-	if s.keyPool == nil {
-		s.keyPool = map[string]string{}
-	}
-	if v, ok := s.keyPool[k]; ok {
-		return v
-	}
-	s.keyPool[k] = k
-	return k
+	return s.caches.internKey(k)
 }
 
 // NewScheme returns a scheme for the property with the given lane budget.
 func NewScheme(prop algebra.Property, maxLanes int) *Scheme {
-	return &Scheme{Prop: prop, MaxLanes: maxLanes, Reg: algebra.NewRegistry()}
+	return newSchemeShared(prop, maxLanes, newSchemeCaches())
+}
+
+// newSchemeShared returns a scheme backed by an existing cache set. The
+// caches must have been populated only by schemes of the same property —
+// base classes and merges are property-dependent evaluations.
+func newSchemeShared(prop algebra.Property, maxLanes int, caches *schemeCaches) *Scheme {
+	return &Scheme{Prop: prop, MaxLanes: maxLanes, Reg: algebra.NewRegistry(), caches: caches}
 }
 
 // Stats reports measurable quantities of one proving run (experiments
@@ -120,44 +114,61 @@ func (s *Scheme) ProveWith(sp *StructuralProof) (*Labeling, *Stats, error) {
 // ProveWithCtx is ProveWith honoring a context; the class sweep checks for
 // cancellation every few hundred hierarchy nodes.
 func (s *Scheme) ProveWithCtx(ctx context.Context, sp *StructuralProof) (*Labeling, *Stats, error) {
+	labeling, stats, _, err := s.proveWith(ctx, sp, nil, nil, nil)
+	return labeling, stats, err
+}
+
+// proveWith is the full property pass with optional incremental reuse: when
+// prev (the previous generation's encoder over the previous structure of
+// the same graph) is non-nil, node entries, certificates and edge labels
+// whose content provably did not change are carried over by pointer —
+// cached canonical encodings included — instead of being re-derived. The
+// output is byte-identical to a fresh pass either way; reuse counters are
+// accumulated into ru when non-nil. The returned encoder feeds the next
+// generation's reuse.
+func (s *Scheme) proveWith(ctx context.Context, sp *StructuralProof, prev *encoder, prevLab *Labeling, ru *reuseCounters) (*Labeling, *Stats, *encoder, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if sp == nil || sp.Cfg == nil {
-		return nil, nil, errors.New("core: nil structural proof")
+		return nil, nil, nil, errors.New("core: nil structural proof")
+	}
+	if gen := sp.Cfg.G.Generation(); gen != sp.graphGen {
+		return nil, nil, nil, fmt.Errorf("%w: built at generation %d, graph now at %d",
+			ErrStaleStructure, sp.graphGen, gen)
 	}
 	if sp.singleVertex {
 		// Single-vertex network: the verifier decides locally; labels empty.
 		ok, err := s.singleVertexAccept(sp.Cfg.Input(0))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if !ok {
-			return nil, nil, ErrPropertyFails
+			return nil, nil, nil, ErrPropertyFails
 		}
-		return &Labeling{Edges: map[graph.Edge]*EdgeLabel{}}, &Stats{}, nil
+		return &Labeling{Edges: map[graph.Edge]*EdgeLabel{}}, &Stats{}, nil, nil
 	}
 	if sp.Partition.K() > s.MaxLanes {
-		return nil, nil, fmt.Errorf("%w: %d > %d", ErrTooManyLanes, sp.Partition.K(), s.MaxLanes)
+		return nil, nil, nil, fmt.Errorf("%w: %d > %d", ErrTooManyLanes, sp.Partition.K(), s.MaxLanes)
 	}
 
 	// Section 6: homomorphism classes and certificates.
-	enc, err := s.buildEncoder(ctx, sp)
+	enc, err := s.buildEncoderReuse(ctx, sp, prev, ru)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rootClass := s.Reg.Class(enc.entries[sp.Hierarchy.Root.ID].ClassID)
 	accept, err := algebra.Accept(s.Prop, rootClass)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if !accept {
-		return nil, nil, ErrPropertyFails
+		return nil, nil, nil, ErrPropertyFails
 	}
 
-	labeling, err := enc.buildLabels()
+	labeling, err := enc.buildLabels(prev, prevLab, ru)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	stats := &Stats{
 		Lanes:           sp.Partition.K(),
@@ -167,7 +178,7 @@ func (s *Scheme) ProveWithCtx(ctx context.Context, sp *StructuralProof) (*Labeli
 		RegistryClasses: s.Reg.Size(),
 		MaxLabelBits:    labeling.MaxBits(),
 	}
-	return labeling, stats, nil
+	return labeling, stats, enc, nil
 }
 
 func (s *Scheme) singleVertexAccept(input int) (bool, error) {
@@ -181,23 +192,34 @@ func (s *Scheme) singleVertexAccept(input int) (bool, error) {
 // encoder holds the per-node certificate components shared by all edges of
 // each node's subgraph, for one property pass over one structure.
 type encoder struct {
-	scheme  *Scheme
-	sp      *StructuralProof
-	classes map[int]*algebra.Class // node id → class
-	merged  map[int]*algebra.Class // member node id → Tree-merge(subtree) class
-	entries map[int]*NodeEntry     // node id → entry
+	scheme *Scheme
+	sp     *StructuralProof
+	// Node ids are dense (creation order), so the per-node tables are
+	// slices indexed by id; nil marks "not computed" (classes, merged) or
+	// "no entry" (entries — V-nodes ride inside B summaries).
+	classes []*algebra.Class // node id → class
+	merged  []*algebra.Class // member node id → Tree-merge(subtree) class
+	entries []*NodeEntry     // node id → entry
+	// certs memoizes the completion-edge certificates buildLabels
+	// assembled, so the next incremental generation can reuse any whose
+	// root-to-owner entry path is unchanged.
+	certs map[graph.Edge]*CEdgeLabel
 }
 
-// buildEncoder computes classes bottom-up over the hierarchy and assembles
-// the node entries from the structure's shared artifacts. The context is
-// polled every few hundred nodes so cancellation aborts long sweeps.
-func (s *Scheme) buildEncoder(ctx context.Context, sp *StructuralProof) (*encoder, error) {
+// buildEncoderReuse computes classes bottom-up over the hierarchy and
+// assembles the node entries from the structure's shared artifacts. The
+// context is polled every few hundred nodes so cancellation aborts long
+// sweeps. When prev is non-nil (incremental re-proving), entries whose
+// encoded content is provably unchanged are carried over from the previous
+// generation by pointer — see entryReusable for the exact conditions.
+func (s *Scheme) buildEncoderReuse(ctx context.Context, sp *StructuralProof, prev *encoder, ru *reuseCounters) (*encoder, error) {
+	nn := len(sp.Hierarchy.Nodes)
 	enc := &encoder{
 		scheme:  s,
 		sp:      sp,
-		classes: map[int]*algebra.Class{},
-		merged:  map[int]*algebra.Class{},
-		entries: map[int]*NodeEntry{},
+		classes: make([]*algebra.Class, nn),
+		merged:  make([]*algebra.Class, nn),
+		entries: make([]*NodeEntry, nn),
 	}
 
 	steps := 0
@@ -208,7 +230,7 @@ func (s *Scheme) buildEncoder(ctx context.Context, sp *StructuralProof) (*encode
 				return nil, err
 			}
 		}
-		if c, ok := enc.classes[n.ID]; ok {
+		if c := enc.classes[n.ID]; c != nil {
 			return c, nil
 		}
 		a := sp.art[n.ID]
@@ -248,8 +270,8 @@ func (s *Scheme) buildEncoder(ctx context.Context, sp *StructuralProof) (*encode
 					return nil, merr
 				}
 				for _, child := range mi.TreeChildren {
-					childMerged, ok := enc.merged[child.ID]
-					if !ok {
+					childMerged := enc.merged[child.ID]
+					if childMerged == nil {
 						return nil, fmt.Errorf("core: member %d folded before child %d", mi.Node.ID, child.ID)
 					}
 					acc, merr = s.parentMerge(childMerged, acc)
@@ -273,8 +295,21 @@ func (s *Scheme) buildEncoder(ctx context.Context, sp *StructuralProof) (*encode
 	if _, err := classOf(sp.Hierarchy.Root); err != nil {
 		return nil, err
 	}
+	// Intern the member-merge intermediates too (entry assembly references
+	// them via mergedID), then fix the registry numbering by class content.
+	// After this point every id the entries and labels encode depends only on
+	// the set of distinct classes in this proof — not on traversal order — so
+	// a local edit that introduces no new class leaves every id, and with it
+	// every clean entry and label byte, unchanged across generations.
+	for _, cls := range enc.merged {
+		if cls != nil {
+			s.Reg.Intern(cls)
+		}
+	}
+	s.Reg.Canonicalize()
 
 	// Assemble entries for every node (V-nodes ride inside B summaries).
+	numEntries := 0
 	for _, n := range sp.Hierarchy.Nodes {
 		if steps++; steps&255 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -284,19 +319,102 @@ func (s *Scheme) buildEncoder(ctx context.Context, sp *StructuralProof) (*encode
 		if n.Kind == lanewidth.VNode {
 			continue
 		}
+		numEntries++
+		if prev != nil && n.ID < len(prev.entries) {
+			if pe := prev.entries[n.ID]; pe != nil && enc.entryReusable(n, pe, prev) {
+				enc.entries[n.ID] = pe
+				if ru != nil {
+					ru.ReusedEntries++
+				}
+				continue
+			}
+		}
 		entry, err := enc.entryFor(n)
 		if err != nil {
 			return nil, err
 		}
 		enc.entries[n.ID] = entry
 	}
+	if ru != nil {
+		ru.TotalEntries += numEntries
+	}
 	// Intern every entry's canonical encoding: all certificates referencing
 	// an entry share its single key instance, so the verifier's agreement
-	// checks are pointer-equal string compares.
+	// checks are pointer-equal string compares. Entries carried over from
+	// the previous generation already hold their canonical key (the pool is
+	// shared across generations), so only fresh entries pay for encoding.
 	for _, e := range enc.entries {
+		if e == nil || e.cache.key != "" {
+			continue
+		}
 		e.cache.key = s.internKey(e.Key())
 	}
 	return enc, nil
+}
+
+// entryReusable reports whether the previous generation's entry for node n
+// can stand in for the one entryFor would build now: every encoded field
+// must be provably equal. The artifact pointers compare equal exactly when
+// the incremental structure build canonicalized them (content-equal across
+// generations), which covers all property-independent payloads; what
+// remains is the node kind, the property-dependent class ids, and the
+// identity of referenced operands/children. Class ids are canonical (content
+// order, see Registry.Canonicalize), so the id comparisons below succeed
+// exactly when the previous generation's encoded ids are still valid now.
+func (enc *encoder) entryReusable(n *lanewidth.Node, pe *NodeEntry, prev *encoder) bool {
+	art, prevArt := enc.sp.art, prev.sp.art
+	clean := func(id int) bool {
+		return id < len(prevArt) && art[id] == prevArt[id]
+	}
+	if !clean(n.ID) || pe.Kind != n.Kind {
+		return false
+	}
+	a := art[n.ID]
+	if pe.ClassID != enc.classID(n.ID) {
+		return false
+	}
+	if a.member {
+		if pe.MergedClassID != enc.mergedID(n.ID) {
+			return false
+		}
+		if len(pe.Children) != len(a.treeChildren) {
+			return false
+		}
+		for i, childID := range a.treeChildren {
+			if pe.Children[i].NodeID != childID || !clean(childID) {
+				return false
+			}
+			if pe.Children[i].MergedClassID != enc.mergedID(childID) {
+				return false
+			}
+		}
+	}
+	switch n.Kind {
+	case lanewidth.BNode:
+		if pe.LaneI != n.LaneI || pe.LaneJ != n.LaneJ {
+			return false
+		}
+		for idx, op := range []*lanewidth.Node{n.Left, n.Right} {
+			sum := pe.Left
+			if idx == 1 {
+				sum = pe.Right
+			}
+			if sum == nil || sum.NodeID != op.ID || sum.Kind != op.Kind || !clean(op.ID) {
+				return false
+			}
+			if sum.ClassID != enc.classID(op.ID) {
+				return false
+			}
+		}
+	case lanewidth.TNode:
+		if pe.RootMember == nil || pe.RootMember.NodeID != a.rootMember || !clean(a.rootMember) {
+			return false
+		}
+		if pe.RootMember.MergedClassID != enc.mergedID(a.rootMember) {
+			return false
+		}
+	}
+	return true
 }
 
 func (enc *encoder) classID(nodeID int) int {
@@ -304,8 +422,8 @@ func (enc *encoder) classID(nodeID int) int {
 }
 
 func (enc *encoder) mergedID(nodeID int) int {
-	cls, ok := enc.merged[nodeID]
-	if !ok {
+	cls := enc.merged[nodeID]
+	if cls == nil {
 		return 0
 	}
 	return enc.scheme.Reg.Intern(cls)
@@ -387,7 +505,11 @@ func (enc *encoder) entryFor(n *lanewidth.Node) (*NodeEntry, error) {
 
 // buildLabels assembles the per-edge labels: own certificates on real
 // edges, embedding entries for virtual edges, and root-anchor pointing.
-func (enc *encoder) buildLabels() (*Labeling, error) {
+// When prev/prevLab are non-nil (incremental re-proving), certificates and
+// whole edge labels that came out content-identical to the previous
+// generation's are swapped for the previous instances, so their memoized
+// canonical encodings carry over; the labeling is byte-identical either way.
+func (enc *encoder) buildLabels(prev *encoder, prevLab *Labeling, ru *reuseCounters) (*Labeling, error) {
 	sp := enc.sp
 	orig := sp.Cfg.G
 	owners := sp.owners
@@ -396,6 +518,7 @@ func (enc *encoder) buildLabels() (*Labeling, error) {
 	// same *CEdgeLabel, so the certificate (and its cached encoding) is
 	// built once no matter how many labels carry it.
 	certs := make(map[graph.Edge]*CEdgeLabel, len(owners))
+	enc.certs = certs
 	certOf := func(e graph.Edge) (*CEdgeLabel, error) {
 		if cl, ok := certs[e]; ok {
 			return cl, nil
@@ -406,8 +529,8 @@ func (enc *encoder) buildLabels() (*Labeling, error) {
 		}
 		cl := &CEdgeLabel{}
 		for _, n := range owner.NodePath() {
-			entry, ok := enc.entries[n.ID]
-			if !ok {
+			entry := enc.entries[n.ID]
+			if entry == nil {
 				return nil, fmt.Errorf("core: node %d has no entry", n.ID)
 			}
 			cl.Path = append(cl.Path, entry)
@@ -424,6 +547,11 @@ func (enc *encoder) buildLabels() (*Labeling, error) {
 				return nil, fmt.Errorf("core: edge %v not on owner path", e)
 			}
 			cl.OwnerPos = pos
+		}
+		if prev != nil {
+			if pcl, ok := prev.certs[e]; ok && certShallowEqual(cl, pcl) {
+				cl = pcl
+			}
 		}
 		certs[e] = cl
 		return cl, nil
@@ -465,7 +593,58 @@ func (enc *encoder) buildLabels() (*Labeling, error) {
 		p := pl
 		labeling.Edges[e].Pointing = &p
 	}
+	// Final incremental pass: a label whose every component survived from
+	// the previous generation is replaced by the previous label instance, so
+	// its memoized encoding (and key) is not recomputed.
+	if prevLab != nil {
+		for e, el := range labeling.Edges {
+			if pe, ok := prevLab.Edges[e]; ok && labelShallowEqual(el, pe) {
+				labeling.Edges[e] = pe
+				if ru != nil {
+					ru.ReusedLabels++
+				}
+			}
+		}
+	}
+	if ru != nil {
+		ru.TotalLabels += len(labeling.Edges)
+	}
 	return labeling, nil
+}
+
+// certShallowEqual reports whether two certificates are content-identical
+// given that entries are canonical pointers within and across generations:
+// same path of entry instances, same owner position.
+func certShallowEqual(a, b *CEdgeLabel) bool {
+	if a.OwnerPos != b.OwnerPos || len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelShallowEqual reports whether two edge labels are content-identical
+// given that certificates are canonical pointers (see certShallowEqual).
+func labelShallowEqual(a, b *EdgeLabel) bool {
+	if a.Own != b.Own || len(a.Emb) != len(b.Emb) {
+		return false
+	}
+	for i := range a.Emb {
+		if a.Emb[i] != b.Emb[i] {
+			return false
+		}
+	}
+	switch {
+	case a.Pointing == nil && b.Pointing == nil:
+		return true
+	case a.Pointing == nil || b.Pointing == nil:
+		return false
+	}
+	return *a.Pointing == *b.Pointing
 }
 
 func edgeReal(orig *graph.Graph, e graph.Edge) bool {

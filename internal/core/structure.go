@@ -41,6 +41,12 @@ type StructuralProof struct {
 	singleVertex bool
 	congestion   int
 
+	// graphGen is the graph's mutation generation at build time; proving
+	// against a structure whose graph has since mutated is refused (see
+	// ErrStaleStructure) instead of silently emitting labels for a graph
+	// that no longer exists.
+	graphGen uint64
+
 	// owners maps every completion edge to its owning hierarchy node.
 	owners map[graph.Edge]*lanewidth.Node
 	// members holds each T-node's member infos (pre-order, root first).
@@ -124,7 +130,7 @@ func BuildStructureCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathD
 		return nil, errors.New("core: empty graph")
 	}
 	if g.N() == 1 {
-		return &StructuralProof{Cfg: cfg, singleVertex: true}, nil
+		return &StructuralProof{Cfg: cfg, singleVertex: true, graphGen: g.Generation()}, nil
 	}
 	if !g.Connected() {
 		return nil, errors.New("core: graph must be connected")
@@ -169,6 +175,31 @@ func BuildStructureCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathD
 		return nil, err
 	}
 
+	return assembleStructure(cfg, pd, p, c, emb, h)
+}
+
+// assembleStructure packs the pipeline stages into a StructuralProof and
+// derives the shared per-node tables. It is the single assembly point for
+// both the fresh build above and the incremental engine's dirty-region
+// rebuild (incremental.go), so the two produce identical structures from
+// identical stages.
+func assembleStructure(cfg *cert.Config, pd *interval.PathDecomposition, p *lanes.Partition, c *lanes.Completion, emb lanes.Embedding, h *lanewidth.Hierarchy) (*StructuralProof, error) {
+	return assembleStructureReuse(cfg, pd, p, c, emb, h, nil, 0, nil)
+}
+
+// assembleStructureReuse is assembleStructure carrying per-node state over
+// from a previous generation's structure: nodes below the first mark (see
+// lanewidth.BuildHierarchyMark) whose artifacts provably cannot have changed
+// take the previous artifact pointer without being rebuilt or compared, and
+// frozen T-nodes skip their member folds. dirty is the set of graph edges
+// the generation's edit batch touched (in either direction); any node owning
+// one is rebuilt regardless of the mark, since its real bits read the edited
+// adjacency. With prev nil the call is exactly assembleStructure.
+func assembleStructureReuse(cfg *cert.Config, pd *interval.PathDecomposition, p *lanes.Partition, c *lanes.Completion, emb lanes.Embedding, h *lanewidth.Hierarchy, prev *StructuralProof, first int, dirty map[graph.Edge]bool) (*StructuralProof, error) {
+	g := cfg.G
+	if prev == nil {
+		first = 0
+	}
 	sp := &StructuralProof{
 		Cfg:        cfg,
 		PD:         pd,
@@ -177,13 +208,14 @@ func BuildStructureCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathD
 		Emb:        emb,
 		Hierarchy:  h,
 		congestion: emb.Congestion(),
+		graphGen:   g.Generation(),
 		owners:     h.EdgeOwners(),
-		members:    h.MembersByTNode(),
+		members:    h.MembersByTNodeFrom(first),
 	}
 	// Warm the graph's lazily cached edge order while construction is still
 	// single-threaded; concurrent ProveWith calls then only read it.
 	g.EdgesSeq()
-	if err := sp.buildArtifacts(); err != nil {
+	if err := sp.buildArtifactsReuse(prev, first, dirty); err != nil {
 		return nil, err
 	}
 	if err := sp.orientEmbedding(); err != nil {
@@ -199,12 +231,65 @@ func BuildStructureCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathD
 // shares: identifier maps in lane order, member folds, and the E-/P-node
 // path payloads with their real bits and input labels.
 func (sp *StructuralProof) buildArtifacts() error {
+	return sp.buildArtifactsReuse(nil, 0, nil)
+}
+
+// buildArtifactsReuse is buildArtifacts with three escalating levels of
+// carry-over from a previous generation (nil prev disables all three):
+//
+//   - A node below the first mark whose tree membership is frozen (it is not
+//     a member, or its parent T-node is itself below the mark) and whose
+//     owned edges avoid the dirty set takes the previous artifact pointer
+//     outright: every field is derived from frozen state, so nothing is
+//     rebuilt or even compared.
+//   - A rebuilt node below the mark whose parent T-node is frozen copies its
+//     member fold (merged-out terminals, tree children, parent id) from the
+//     previous artifact — the fold reads only the frozen subtree — and
+//     re-derives just the payload the dirty edge invalidated.
+//   - Any other rebuilt node with a same-id predecessor is content-compared
+//     and canonicalized to the previous pointer on equality, which is what
+//     entryReusable's pointer test keys on.
+func (sp *StructuralProof) buildArtifactsReuse(prev *StructuralProof, first int, dirty map[graph.Edge]bool) error {
 	cfg, g, h := sp.Cfg, sp.Cfg.G, sp.Hierarchy
+	var prevArt []*nodeArtifact
+	if prev != nil {
+		prevArt = prev.art
+	}
+	if first > len(prevArt) {
+		first = len(prevArt)
+	}
 	memberInfo := make(map[int]lanewidth.MemberInfo)
-	for _, mis := range sp.members {
+	rootMember := map[int]bool{}
+	for tid, mis := range sp.members {
+		if tid < first && tid != h.Root.ID {
+			// Frozen T-nodes carry shallow member infos (no merged-out fold);
+			// their members' folds come from the previous artifacts below.
+			continue
+		}
 		for _, mi := range mis {
 			memberInfo[mi.Node.ID] = mi
+			if tid == h.Root.ID {
+				rootMember[mi.Node.ID] = true
+			}
 		}
+	}
+	ownsDirty := func(n *lanewidth.Node) bool {
+		if len(dirty) == 0 {
+			return false
+		}
+		switch n.Kind {
+		case lanewidth.ENode:
+			return dirty[n.Edge]
+		case lanewidth.BNode:
+			return dirty[n.Bridge]
+		case lanewidth.PNode:
+			for i := 0; i+1 < len(n.PathVs); i++ {
+				if dirty[graph.NewEdge(n.PathVs[i], n.PathVs[i+1])] {
+					return true
+				}
+			}
+		}
+		return false
 	}
 	ids := func(m map[int]graph.Vertex) map[int]uint64 {
 		out := make(map[int]uint64, len(m))
@@ -221,7 +306,35 @@ func (sp *StructuralProof) buildArtifacts() error {
 		return out
 	}
 	sp.art = make([]*nodeArtifact, len(h.Nodes))
+	rootID := h.Root.ID
+	// A member's fold is frozen exactly when its parent T-node was created by
+	// a clean op. The root is never that T-node: its id is reserved below any
+	// mark (see BuildHierarchyMark) but its tree is rebuilt every generation,
+	// so root members — like the root itself — must be re-derived and can at
+	// most canonicalize to the previous pointer by content comparison.
+	frozenParent := func(pa *nodeArtifact) bool {
+		return !pa.member || (pa.parentID < first && pa.parentID != rootID)
+	}
 	for _, n := range h.Nodes {
+		var pa *nodeArtifact
+		if n.ID < first && n != h.Root {
+			pa = prevArt[n.ID]
+		}
+		if pa != nil && frozenParent(pa) && !ownsDirty(n) {
+			sp.art[n.ID] = pa
+			continue
+		}
+		// Root members dominate the rebuilt set but rarely change: their
+		// payload halves are frozen (id below the mark), so the previous
+		// artifact stands whenever the member's fold — parent, tree children,
+		// merged out-terminals — matches the fresh member info. Comparing
+		// against the previous artifact directly skips building throwaway
+		// maps for the overwhelmingly common unchanged case.
+		if pa != nil && pa.member && pa.parentID == rootID && rootMember[n.ID] && !ownsDirty(n) &&
+			memberFoldEqual(pa, memberInfo[n.ID], cfg) {
+			sp.art[n.ID] = pa
+			continue
+		}
 		a := &nodeArtifact{
 			lanes:      sortedLanes(n.Lanes),
 			inIDs:      ids(n.In),
@@ -231,7 +344,13 @@ func (sp *StructuralProof) buildArtifacts() error {
 		}
 		a.inSeq = seq(a.lanes, a.inIDs)
 		a.outSeq = seq(a.lanes, a.outIDs)
-		if mi, ok := memberInfo[n.ID]; ok {
+		if pa != nil && pa.member && pa.parentID < first && pa.parentID != rootID {
+			a.member = true
+			a.parentID = pa.parentID
+			a.mergedOutIDs = pa.mergedOutIDs
+			a.mergedOutSeq = pa.mergedOutSeq
+			a.treeChildren = pa.treeChildren
+		} else if mi, ok := memberInfo[n.ID]; ok {
 			a.member = true
 			a.parentID = n.Parent.ID
 			a.mergedOutIDs = ids(mi.MergedOut)
@@ -261,9 +380,38 @@ func (sp *StructuralProof) buildArtifacts() error {
 		default:
 			return fmt.Errorf("core: unknown node kind %v", n.Kind)
 		}
+		if n.ID < len(prevArt) && artifactEqual(a, prevArt[n.ID]) {
+			a = prevArt[n.ID]
+		}
 		sp.art[n.ID] = a
 	}
 	return nil
+}
+
+// memberFoldEqual reports whether a previous artifact's member fold matches
+// a freshly derived member info: same tree children (by id, in order) and
+// the same merged out-terminal identifier per lane. Payload fields are not
+// compared — callers only consult it for nodes below the mark, whose payload
+// halves are frozen by construction.
+func memberFoldEqual(pa *nodeArtifact, mi lanewidth.MemberInfo, cfg *cert.Config) bool {
+	if len(pa.treeChildren) != len(mi.TreeChildren) {
+		return false
+	}
+	for i, c := range mi.TreeChildren {
+		if pa.treeChildren[i] != c.ID {
+			return false
+		}
+	}
+	if len(pa.mergedOutIDs) != len(mi.MergedOut) {
+		return false
+	}
+	for l, v := range mi.MergedOut {
+		id, ok := pa.mergedOutIDs[l]
+		if !ok || id != cfg.IDs[v] {
+			return false
+		}
+	}
+	return true
 }
 
 // orientEmbedding fixes every virtual edge's path orientation and validates

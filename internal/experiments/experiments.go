@@ -1,11 +1,13 @@
-// Package experiments implements the E1–E9 experiment harness of DESIGN.md:
-// each function regenerates the measurements that stand in for one of the
-// paper's quantitative claims (the paper is a theory result with no
+// Package experiments implements the E1–E9 and E11 experiment harness of
+// DESIGN.md: each function regenerates the measurements that stand in for one
+// of the paper's quantitative claims (the paper is a theory result with no
 // measurement tables; see EXPERIMENTS.md for the mapping). The functions are
-// shared between cmd/bench and the root testing.B benchmarks.
+// shared between cmd/bench and the root testing.B benchmarks. E10, the
+// service load generator, lives in cmd/bench because it drives HTTP.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -550,6 +552,139 @@ func e9Point(cfg *cert.Config, props []algebra.Property) (E9Row, error) {
 		BatchMillis:       batchMS,
 		Speedup:           indMS / batchMS,
 	}, nil
+}
+
+// E11Row is one point of the incremental-recertification measurement. The
+// JSON tags define the BENCH_E11.json schema tracked across PRs.
+type E11Row struct {
+	N            int     `json:"n"`
+	Locality     string  `json:"locality"`
+	Edits        int     `json:"edits"`
+	FullMillis   float64 `json:"full_ms"`
+	UpdateMillis float64 `json:"update_ms"`
+	Speedup      float64 `json:"speedup"`
+	DirtyOps     int     `json:"dirty_ops"`
+	Fallback     bool    `json:"fallback"`
+}
+
+// E11Recertification measures incremental re-certification against the full
+// re-prove it replaces. The workload is a ladder (2×k grid, pathwidth 2)
+// certified bipartite: for each locality (head, middle, tail of the lane
+// order) and batch size, a batch of rung removals is applied through
+// core.Incremental and timed, then the inverse batch restores the graph. The
+// baseline is a fresh Prove of the same configuration — what every edit would
+// cost without the engine. Rung edits stay covered by the retained path
+// decomposition, so none of these updates falls back; the Fallback column
+// pins that. After each size's sweep the engine's labeling is compared
+// edge-by-edge against the fresh prove's, so the timings can never drift away
+// from the byte-identity contract unnoticed.
+func E11Recertification(ns, batches []int) ([]E11Row, error) {
+	const maxLanes = 4
+	prop := algebra.Colorable{Q: 2}
+	ctx := context.Background()
+	var rows []E11Row
+	for _, n := range ns {
+		k := n / 2
+		g := gen.Ladder(k)
+		cfg := cert.NewConfig(g)
+		var fullMS float64
+		for trial := 0; trial < 2; trial++ {
+			s := core.NewScheme(prop, maxLanes)
+			start := time.Now()
+			if _, _, err := s.Prove(cfg, nil); err != nil {
+				return nil, fmt.Errorf("e11 n=%d full prove: %w", n, err)
+			}
+			if ms := float64(time.Since(start).Microseconds()) / 1000; trial == 0 || ms < fullMS {
+				fullMS = ms
+			}
+		}
+		inc, err := core.NewIncremental(ctx, cert.NewConfig(gen.Ladder(k)),
+			[]algebra.Property{prop}, core.IncrementalOptions{MaxLanes: maxLanes})
+		if err != nil {
+			return nil, fmt.Errorf("e11 n=%d: %w", n, err)
+		}
+		localities := []struct {
+			name  string
+			start func(b int) int // first rung of a b-rung batch
+		}{
+			{"head", func(b int) int { return 1 }},
+			{"mid", func(b int) int { return (k - b) / 2 }},
+			{"tail", func(b int) int { return k - 1 - b }},
+		}
+		for _, loc := range localities {
+			for _, b := range batches {
+				if b+2 > k {
+					continue
+				}
+				first := loc.start(b)
+				removes := make([]core.Edit, b)
+				adds := make([]core.Edit, b)
+				for i := 0; i < b; i++ {
+					u, v := graph.Vertex(2*(first+i)), graph.Vertex(2*(first+i)+1)
+					removes[i] = core.Edit{Op: core.EditRemove, U: u, V: v}
+					adds[i] = core.Edit{Op: core.EditAdd, U: u, V: v}
+				}
+				var (
+					updMS float64
+					us    *core.UpdateStats
+				)
+				for trial := 0; trial < 3; trial++ {
+					start := time.Now()
+					st, err := inc.UpdateBatch(ctx, removes)
+					if err != nil {
+						return nil, fmt.Errorf("e11 n=%d %s b=%d remove: %w", n, loc.name, b, err)
+					}
+					if ms := float64(time.Since(start).Microseconds()) / 1000; trial == 0 || ms < updMS {
+						updMS = ms
+						us = st
+					}
+					if _, err := inc.UpdateBatch(ctx, adds); err != nil {
+						return nil, fmt.Errorf("e11 n=%d %s b=%d restore: %w", n, loc.name, b, err)
+					}
+				}
+				rows = append(rows, E11Row{
+					N: n, Locality: loc.name, Edits: b,
+					FullMillis:   fullMS,
+					UpdateMillis: updMS,
+					Speedup:      fullMS / updMS,
+					DirtyOps:     us.DirtyOps,
+					Fallback:     us.Fallback,
+				})
+			}
+		}
+		// Byte-identity spot check: the engine's labeling must equal a fresh
+		// prove of its own graph snapshot. (The snapshot — not the originally
+		// generated ladder — is the reference: committed remove+add batches
+		// permute adjacency-list order, and the contract is defined against
+		// the graph in its current adjacency state.)
+		snapG, labs, _, _ := inc.Snapshot()
+		got := labelingDigest(labs[prop.Name()])
+		refLab, _, err := core.NewScheme(prop, maxLanes).Prove(cert.NewConfig(snapG), nil)
+		if err != nil {
+			return nil, fmt.Errorf("e11 n=%d reference prove: %w", n, err)
+		}
+		ref := labelingDigest(refLab)
+		if len(got) != len(ref) {
+			return nil, fmt.Errorf("e11 n=%d: edge count differs after restore", n)
+		}
+		for e, h := range ref {
+			if got[e] != h {
+				return nil, fmt.Errorf("e11 n=%d: incremental labeling differs at edge %v", n, e)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PrintE11 renders E11 rows.
+func PrintE11(w io.Writer, rows []E11Row) {
+	fmt.Fprintf(w, "E11 Incremental recertification vs full re-prove (bipartite ladders)\n")
+	fmt.Fprintf(w, "%8s %8s %6s %10s %12s %9s %10s %9s\n",
+		"n", "locality", "edits", "full[ms]", "update[ms]", "speedup", "dirty ops", "fallback")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %8s %6d %10.2f %12.3f %8.1fx %10d %9v\n",
+			r.N, r.Locality, r.Edits, r.FullMillis, r.UpdateMillis, r.Speedup, r.DirtyOps, r.Fallback)
+	}
 }
 
 // PrintE9 renders E9 rows.

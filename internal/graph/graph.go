@@ -61,12 +61,18 @@ type Graph struct {
 	set map[Edge]struct{}
 
 	// sorted caches the deterministic edge order behind Edges/EdgesSeq;
-	// AddEdge invalidates it, so repeated reads between mutations cost O(1)
-	// instead of O(m log m). The cache is an atomic pointer so that any
-	// number of goroutines may read a quiescent graph concurrently (the
-	// service workload: one stored graph, many prove/verify requests);
-	// mutation remains single-threaded by contract.
+	// AddEdge and RemoveEdge invalidate it, so repeated reads between
+	// mutations cost O(1) instead of O(m log m). The cache is an atomic
+	// pointer so that any number of goroutines may read a quiescent graph
+	// concurrently (the service workload: one stored graph, many
+	// prove/verify requests); mutation remains single-threaded by contract.
 	sorted atomic.Pointer[[]Edge]
+
+	// gen counts successful mutations. Derived structures (path
+	// decompositions, structural proofs) record the generation they were
+	// built against and refuse to operate on a graph that moved on, turning
+	// silent staleness into an error.
+	gen uint64
 }
 
 // New returns an empty graph on n vertices.
@@ -95,10 +101,16 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.set) }
 
+// Generation returns the mutation counter: it increments on every
+// successful AddVertex, AddEdge, or RemoveEdge. Two reads returning the
+// same value bracket a window with no structural mutations.
+func (g *Graph) Generation() uint64 { return g.gen }
+
 // AddVertex appends a fresh vertex and returns its index.
 func (g *Graph) AddVertex() Vertex {
 	g.adj = append(g.adj, nil)
 	g.n++
+	g.gen++
 	return g.n - 1
 }
 
@@ -119,6 +131,7 @@ func (g *Graph) AddEdge(u, v Vertex) error {
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 	g.sorted.Store(nil)
+	g.gen++
 	return nil
 }
 
@@ -128,6 +141,95 @@ func (g *Graph) MustAddEdge(u, v Vertex) {
 	if err := g.AddEdge(u, v); err != nil {
 		panic(err)
 	}
+}
+
+// RemoveEdge deletes the undirected edge {u, v}. Out-of-range endpoints,
+// self-loops, and absent edges are rejected with an error, mirroring
+// AddEdge's validation discipline. Adjacency order of the remaining
+// neighbors is preserved, so deterministic traversals over untouched
+// vertices are unaffected.
+func (g *Graph) RemoveEdge(u, v Vertex) error {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return fmt.Errorf("%w: {%d,%d} with n=%d", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	e := NewEdge(u, v)
+	if _, ok := g.set[e]; !ok {
+		return fmt.Errorf("graph: missing edge %v", e)
+	}
+	delete(g.set, e)
+	g.adj[u] = removeFirst(g.adj[u], v)
+	g.adj[v] = removeFirst(g.adj[v], u)
+	g.sorted.Store(nil)
+	g.gen++
+	return nil
+}
+
+// removeFirst deletes the first occurrence of w from nbrs, preserving the
+// order of the remaining entries.
+func removeFirst(nbrs []Vertex, w Vertex) []Vertex {
+	for i, x := range nbrs {
+		if x == w {
+			return append(nbrs[:i], nbrs[i+1:]...)
+		}
+	}
+	return nbrs
+}
+
+// AdjSnapshot captures the exact adjacency lists of a set of vertices so an
+// edit batch among them can be rolled back without perturbing neighbor
+// order. Re-adding a removed edge appends to the endpoint lists, so a naive
+// reverse-replay restores the edge set but permutes adjacency order — and
+// order-sensitive deterministic traversals (BFS tie-breaking) would then
+// diverge from structures derived before the rollback. Restoring the
+// snapshot puts the lists back verbatim.
+type AdjSnapshot struct {
+	adj map[Vertex][]Vertex
+}
+
+// SnapshotAdj copies the adjacency lists of vs (duplicates are fine). A later
+// RestoreAdj undoes exactly the edge mutations whose endpoints both lie in
+// vs; edges with at most one snapshotted endpoint must not change between
+// snapshot and restore.
+func (g *Graph) SnapshotAdj(vs []Vertex) (*AdjSnapshot, error) {
+	s := &AdjSnapshot{adj: make(map[Vertex][]Vertex, len(vs))}
+	for _, v := range vs {
+		if v < 0 || v >= g.n {
+			return nil, fmt.Errorf("%w: %d with n=%d", ErrVertexRange, v, g.n)
+		}
+		if _, ok := s.adj[v]; ok {
+			continue
+		}
+		s.adj[v] = append([]Vertex(nil), g.adj[v]...)
+	}
+	return s, nil
+}
+
+// RestoreAdj reverts the adjacency lists captured by s — order included —
+// and reconciles the edge set for every pair of snapshotted vertices.
+// Restoring counts as a mutation: the generation advances and the
+// sorted-edge cache is invalidated, even when the restored content is
+// identical to the current content.
+func (g *Graph) RestoreAdj(s *AdjSnapshot) {
+	for v := range s.adj {
+		for _, w := range g.adj[v] {
+			if _, ok := s.adj[w]; ok {
+				delete(g.set, NewEdge(v, w))
+			}
+		}
+	}
+	for v, nbrs := range s.adj {
+		g.adj[v] = append([]Vertex(nil), nbrs...)
+		for _, w := range nbrs {
+			if _, ok := s.adj[w]; ok {
+				g.set[NewEdge(v, w)] = struct{}{}
+			}
+		}
+	}
+	g.sorted.Store(nil)
+	g.gen++
 }
 
 // HasEdge reports whether {u, v} is an edge.
@@ -194,6 +296,7 @@ func (g *Graph) Clone() *Graph {
 	for v, nbrs := range g.adj {
 		c.adj[v] = append([]Vertex(nil), nbrs...)
 	}
+	c.gen = g.gen
 	return c
 }
 

@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestRemoveEdge(t *testing.T) {
+	g := CycleGraph(5)
+	if err := g.RemoveEdge(1, 2); err != nil {
+		t.Fatalf("RemoveEdge(1,2): %v", err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("m=%d after removal, want 4", g.M())
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Fatalf("edge {1,2} still present after removal")
+	}
+	for _, v := range []Vertex{1, 2} {
+		if g.Degree(v) != 1 {
+			t.Fatalf("degree(%d)=%d after removal, want 1", v, g.Degree(v))
+		}
+	}
+	// Re-adding the removed edge restores the original edge set.
+	if err := g.AddEdge(2, 1); err != nil {
+		t.Fatalf("re-add removed edge: %v", err)
+	}
+	if !reflect.DeepEqual(g.Edges(), CycleGraph(5).Edges()) {
+		t.Fatalf("edge set diverged after remove+re-add: %v", g.Edges())
+	}
+}
+
+func TestRemoveEdgeValidation(t *testing.T) {
+	g := PathGraph(4)
+	tests := []struct {
+		name string
+		u, v Vertex
+		want string
+	}{
+		{"negative", -1, 2, "out of range"},
+		{"beyond n", 0, 4, "out of range"},
+		{"self-loop", 2, 2, "self-loop"},
+		{"missing", 0, 2, "missing edge"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := g.RemoveEdge(tc.u, tc.v)
+			if err == nil {
+				t.Fatalf("RemoveEdge(%d,%d) succeeded, want error", tc.u, tc.v)
+			}
+			if tc.name == "negative" || tc.name == "beyond n" {
+				if !errors.Is(err, ErrVertexRange) {
+					t.Fatalf("error %v, want ErrVertexRange", err)
+				}
+			}
+		})
+	}
+	if g.M() != 3 {
+		t.Fatalf("failed removals mutated the graph: m=%d", g.M())
+	}
+}
+
+// TestRemoveEdgePreservesAdjacencyOrder pins that removing an edge deletes
+// only the removed neighbor and keeps the relative order of the rest —
+// deterministic sweeps (BFS embeddings, orderings) over untouched vertices
+// must not be perturbed by an unrelated removal.
+func TestRemoveEdgePreservesAdjacencyOrder(t *testing.T) {
+	g := New(5)
+	for _, v := range []Vertex{1, 2, 3, 4} {
+		g.MustAddEdge(0, v)
+	}
+	if err := g.RemoveEdge(0, 2); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	want := []Vertex{1, 3, 4}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+	}
+}
+
+// TestRemoveEdgeInvalidatesEdgeCache mirrors TestAddEdgeInvalidatesEdgeCache
+// for the removal path.
+func TestRemoveEdgeInvalidatesEdgeCache(t *testing.T) {
+	g := CycleGraph(6)
+	before := g.Edges() // warm the sorted cache
+	if len(before) != 6 {
+		t.Fatalf("6 edges, got %d", len(before))
+	}
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	after := g.Edges()
+	if len(after) != 5 {
+		t.Fatalf("5 edges after RemoveEdge, got %d", len(after))
+	}
+	for _, e := range after {
+		if e == NewEdge(0, 1) {
+			t.Fatalf("stale cache: removed edge still in Edges()")
+		}
+	}
+	if !sort.SliceIsSorted(after, func(i, j int) bool {
+		if after[i].U != after[j].U {
+			return after[i].U < after[j].U
+		}
+		return after[i].V < after[j].V
+	}) {
+		t.Fatalf("Edges() not sorted after removal: %v", after)
+	}
+}
+
+// TestEdgesConcurrentReadersAfterRemove mirrors TestEdgesConcurrentReaders
+// with a removal in the mutation window: many first readers of the
+// post-removal graph must all see the identical rebuilt slice (run under
+// -race).
+func TestEdgesConcurrentReadersAfterRemove(t *testing.T) {
+	g := CycleGraph(64)
+	if err := g.RemoveEdge(10, 11); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	want := append([]Edge(nil), g.Edges()...)
+	for trial := 0; trial < 8; trial++ {
+		fresh := g.Clone() // cold cache each trial
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if got := fresh.Edges(); !reflect.DeepEqual(got, want) {
+					t.Errorf("concurrent Edges diverged: %v", got)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestGeneration(t *testing.T) {
+	g := New(3)
+	g0 := g.Generation()
+	g.MustAddEdge(0, 1)
+	if g.Generation() == g0 {
+		t.Fatalf("AddEdge did not advance generation")
+	}
+	g1 := g.Generation()
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if g.Generation() == g1 {
+		t.Fatalf("RemoveEdge did not advance generation")
+	}
+	g2 := g.Generation()
+	g.AddVertex()
+	if g.Generation() == g2 {
+		t.Fatalf("AddVertex did not advance generation")
+	}
+	// Failed mutations leave the generation untouched.
+	g3 := g.Generation()
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Fatalf("self-loop accepted")
+	}
+	if err := g.RemoveEdge(0, 2); err == nil {
+		t.Fatalf("missing-edge removal accepted")
+	}
+	if g.Generation() != g3 {
+		t.Fatalf("failed mutation advanced generation")
+	}
+	// Clone carries the generation: structures built against the original
+	// remain usable on the clone.
+	if c := g.Clone(); c.Generation() != g.Generation() {
+		t.Fatalf("Clone generation %d, want %d", c.Generation(), g.Generation())
+	}
+}
+
+func TestSnapshotRestoreAdjExactOrder(t *testing.T) {
+	g := CycleGraph(6)
+	g.MustAddEdge(0, 3)
+	wantAdj := make(map[Vertex][]Vertex)
+	for v := 0; v < g.N(); v++ {
+		wantAdj[v] = append([]Vertex(nil), g.Neighbors(v)...)
+	}
+	wantEdges := g.Edges()
+
+	snap, err := g.SnapshotAdj([]Vertex{0, 1, 2, 3, 0})
+	if err != nil {
+		t.Fatalf("SnapshotAdj: %v", err)
+	}
+	// A remove + re-add of {0,1} via reverse-replay would leave 1 at the END
+	// of 0's adjacency list; the snapshot must restore the original order.
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.RemoveEdge(2, 3); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if err := g.AddEdge(1, 3); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	genBefore := g.Generation()
+	g.RestoreAdj(snap)
+	if g.Generation() != genBefore+1 {
+		t.Fatalf("generation %d after restore, want %d", g.Generation(), genBefore+1)
+	}
+	for v := 0; v < g.N(); v++ {
+		if !reflect.DeepEqual(g.Neighbors(v), wantAdj[v]) {
+			t.Fatalf("adjacency of %d after restore: %v, want %v", v, g.Neighbors(v), wantAdj[v])
+		}
+	}
+	if !reflect.DeepEqual(g.Edges(), wantEdges) {
+		t.Fatalf("edge set after restore: %v, want %v", g.Edges(), wantEdges)
+	}
+	if g.M() != len(wantEdges) {
+		t.Fatalf("m=%d after restore, want %d", g.M(), len(wantEdges))
+	}
+}
+
+func TestSnapshotAdjRejectsOutOfRange(t *testing.T) {
+	g := PathGraph(4)
+	if _, err := g.SnapshotAdj([]Vertex{0, 7}); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("SnapshotAdj out of range: err=%v, want ErrVertexRange", err)
+	}
+}

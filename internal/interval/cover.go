@@ -1,0 +1,65 @@
+package interval
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CoverIndex answers edge-coverage queries against a fixed path
+// decomposition in O(1), without re-walking the bags. It captures the
+// per-vertex [first, last] bag ranges that Validate derives internally, so
+// incremental callers can decide whether a retained decomposition still
+// covers a candidate edge before committing to reuse it.
+type CoverIndex struct {
+	first, last []int
+}
+
+// NewCoverIndex builds the index for pd over a graph with n vertices. It
+// checks the per-vertex conditions of Definition 1.1 (every vertex in some
+// bag, contiguous occupancy) but not edge coverage — that is the query the
+// index exists to answer.
+func NewCoverIndex(pd *PathDecomposition, n int) (*CoverIndex, error) {
+	first := make([]int, n)
+	last := make([]int, n)
+	count := make([]int, n)
+	for v := range first {
+		first[v] = -1
+	}
+	for i, bag := range pd.Bags {
+		for _, v := range bag {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("pathdecomp: bag %d contains invalid vertex %d", i, v)
+			}
+			if first[v] == -1 {
+				first[v] = i
+			}
+			last[v] = i
+			count[v]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if first[v] == -1 {
+			return nil, fmt.Errorf("pathdecomp: vertex %d in no bag", v)
+		}
+		if count[v] != last[v]-first[v]+1 {
+			return nil, fmt.Errorf("pathdecomp: vertex %d occupies non-contiguous bags", v)
+		}
+	}
+	return &CoverIndex{first: first, last: last}, nil
+}
+
+// Covers reports whether the edge {u, v} lies inside some bag of the
+// indexed decomposition: by contiguity, the two bag ranges intersect iff
+// the endpoints co-occur (condition (P1) of Definition 1.1).
+func (ci *CoverIndex) Covers(u, v graph.Vertex) bool {
+	if u < 0 || v < 0 || u >= len(ci.first) || v >= len(ci.first) {
+		return false
+	}
+	lo := max(ci.first[u], ci.first[v])
+	hi := min(ci.last[u], ci.last[v])
+	return lo <= hi
+}
+
+// N returns the number of vertices the index was built for.
+func (ci *CoverIndex) N() int { return len(ci.first) }

@@ -1,0 +1,80 @@
+package interval
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCoverIndex(t *testing.T) {
+	g := graph.PathGraph(8)
+	pd, err := Decompose(g)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	ci, err := NewCoverIndex(pd, g.N())
+	if err != nil {
+		t.Fatalf("NewCoverIndex: %v", err)
+	}
+	if ci.N() != g.N() {
+		t.Fatalf("N=%d, want %d", ci.N(), g.N())
+	}
+	for e := range g.EdgesSeq() {
+		if !ci.Covers(e.U, e.V) {
+			t.Errorf("existing edge %v reported uncovered", e)
+		}
+	}
+	// A long chord on a path decomposition of a path is not covered: the
+	// endpoints' bag ranges are disjoint.
+	if ci.Covers(0, 7) {
+		t.Errorf("chord {0,7} reported covered by a path decomposition of P8")
+	}
+	// Out-of-range queries answer false instead of panicking.
+	if ci.Covers(-1, 3) || ci.Covers(0, 100) {
+		t.Errorf("out-of-range query reported covered")
+	}
+}
+
+func TestCoverIndexAgreesWithValidate(t *testing.T) {
+	// Covers(u,v) must agree with pd.Validate on a graph extended by {u,v}.
+	g := graph.Spider(3)
+	pd, err := Decompose(g)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	ci, err := NewCoverIndex(pd, g.N())
+	if err != nil {
+		t.Fatalf("NewCoverIndex: %v", err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			ext := g.Clone()
+			ext.MustAddEdge(u, v)
+			valid := pd.Validate(ext) == nil
+			if got := ci.Covers(u, v); got != valid {
+				t.Fatalf("Covers(%d,%d)=%v, Validate says %v", u, v, got, valid)
+			}
+		}
+	}
+}
+
+func TestCoverIndexRejectsBadDecomposition(t *testing.T) {
+	// Vertex 1 in no bag.
+	pd := &PathDecomposition{Bags: [][]graph.Vertex{{0}, {0, 2}}}
+	if _, err := NewCoverIndex(pd, 3); err == nil {
+		t.Fatalf("missing vertex accepted")
+	}
+	// Non-contiguous occupancy.
+	pd = &PathDecomposition{Bags: [][]graph.Vertex{{0, 1}, {1}, {0, 1}}}
+	if _, err := NewCoverIndex(pd, 2); err == nil {
+		t.Fatalf("non-contiguous occupancy accepted")
+	}
+	// Bag referencing an out-of-range vertex.
+	pd = &PathDecomposition{Bags: [][]graph.Vertex{{0, 5}}}
+	if _, err := NewCoverIndex(pd, 2); err == nil {
+		t.Fatalf("out-of-range bag vertex accepted")
+	}
+}

@@ -26,39 +26,16 @@ func (pd *PathDecomposition) Width() int {
 // Validate checks conditions (P1) and (P2) of Definition 1.1 against g, plus
 // that every vertex occurs in some bag.
 func (pd *PathDecomposition) Validate(g *graph.Graph) error {
-	first := make([]int, g.N())
-	last := make([]int, g.N())
-	count := make([]int, g.N())
-	for v := range first {
-		first[v] = -1
-	}
-	for i, bag := range pd.Bags {
-		for _, v := range bag {
-			if v < 0 || v >= g.N() {
-				return fmt.Errorf("pathdecomp: bag %d contains invalid vertex %d", i, v)
-			}
-			if first[v] == -1 {
-				first[v] = i
-			}
-			last[v] = i
-			count[v]++
-		}
-	}
-	for v := 0; v < g.N(); v++ {
-		if first[v] == -1 {
-			return fmt.Errorf("pathdecomp: vertex %d in no bag", v)
-		}
-		// (P2) ⇔ each vertex occupies a contiguous run of bags.
-		if count[v] != last[v]-first[v]+1 {
-			return fmt.Errorf("pathdecomp: vertex %d occupies non-contiguous bags", v)
-		}
+	// The per-vertex conditions (vertex in some bag, contiguity ⇔ (P2))
+	// are exactly what NewCoverIndex checks.
+	ci, err := NewCoverIndex(pd, g.N())
+	if err != nil {
+		return err
 	}
 	// (P1): each edge inside some bag ⇔ intervals [first,last] intersect and
 	// both endpoints co-occur; contiguity makes interval overlap sufficient.
 	for e := range g.EdgesSeq() {
-		lo := max(first[e.U], first[e.V])
-		hi := min(last[e.U], last[e.V])
-		if lo > hi {
+		if !ci.Covers(e.U, e.V) {
 			return fmt.Errorf("pathdecomp: edge %v in no bag", e)
 		}
 	}

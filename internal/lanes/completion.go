@@ -123,64 +123,97 @@ func (emb Embedding) Validate(g *graph.Graph, c *Completion) error {
 // full g.Path BFS would, so each extracted path is identical to the naive
 // per-edge g.Path(ve.U, ve.V) result.
 func EmbedShortestPaths(g *graph.Graph, c *Completion) (Embedding, error) {
-	bySource := make(map[graph.Vertex][]graph.Edge)
-	for _, ve := range c.Virtual {
-		bySource[ve.U] = append(bySource[ve.U], ve)
-	}
-	n := g.N()
-	var (
-		parent = make([]graph.Vertex, n)
-		seen   = make([]int, n) // BFS visit stamp
-		wanted = make([]int, n) // target stamp for the current batch
-		queue  = make([]graph.Vertex, 0, n)
-		epoch  int
-		emb    = make(Embedding, len(c.Virtual))
-	)
+	bySource := groupBySource(c.Virtual)
+	sc := newEmbedScratch(g.N())
+	emb := make(Embedding, len(c.Virtual))
 	for src, ves := range bySource {
-		epoch++
-		missing := 0
-		for _, ve := range ves {
-			if wanted[ve.V] != epoch {
-				wanted[ve.V] = epoch
-				missing++
-			}
-		}
-		seen[src] = epoch
-		parent[src] = src
-		queue = append(queue[:0], src)
-		if wanted[src] == epoch {
-			missing-- // degenerate, cannot happen for simple edges
-		}
-		for head := 0; head < len(queue) && missing > 0; head++ {
-			v := queue[head]
-			for _, w := range g.Neighbors(v) {
-				if seen[w] == epoch {
-					continue
-				}
-				seen[w] = epoch
-				parent[w] = v
-				queue = append(queue, w)
-				if wanted[w] == epoch {
-					missing--
-				}
-			}
-		}
-		for _, ve := range ves {
-			if seen[ve.V] != epoch {
-				return nil, fmt.Errorf("lanes: no path for virtual edge %v", ve)
-			}
-			var rev []graph.Vertex
-			for w := ve.V; w != src; w = parent[w] {
-				rev = append(rev, w)
-			}
-			rev = append(rev, src)
-			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-				rev[i], rev[j] = rev[j], rev[i]
-			}
-			emb[ve] = rev
+		if _, err := sc.run(g, src, ves, emb); err != nil {
+			return nil, err
 		}
 	}
 	return emb, nil
+}
+
+// groupBySource batches virtual edges by their smaller endpoint (the
+// normalized U), the source of the truncated BFS that answers them.
+func groupBySource(virtual []graph.Edge) map[graph.Vertex][]graph.Edge {
+	bySource := make(map[graph.Vertex][]graph.Edge)
+	for _, ve := range virtual {
+		bySource[ve.U] = append(bySource[ve.U], ve)
+	}
+	return bySource
+}
+
+// embedScratch is the reusable truncated-BFS state shared by all sources of
+// one embedding pass. Epoch stamps avoid per-source O(n) clearing.
+type embedScratch struct {
+	parent []graph.Vertex
+	seen   []int // BFS visit stamp
+	wanted []int // target stamp for the current batch
+	queue  []graph.Vertex
+	epoch  int
+}
+
+func newEmbedScratch(n int) *embedScratch {
+	return &embedScratch{
+		parent: make([]graph.Vertex, n),
+		seen:   make([]int, n),
+		wanted: make([]int, n),
+		queue:  make([]graph.Vertex, 0, n),
+	}
+}
+
+// run answers every virtual edge of one source batch, writing the extracted
+// shortest paths into emb. The per-source result depends only on the target
+// set and the adjacency of the vertices the BFS visits, which is what makes
+// per-source reuse across edits sound (see TrackedEmbedding). The returned
+// slice is the BFS queue at termination — exactly the set of seen vertices,
+// source included — and is only valid until the next run call.
+func (sc *embedScratch) run(g *graph.Graph, src graph.Vertex, ves []graph.Edge, emb Embedding) ([]graph.Vertex, error) {
+	sc.epoch++
+	epoch := sc.epoch
+	missing := 0
+	for _, ve := range ves {
+		if sc.wanted[ve.V] != epoch {
+			sc.wanted[ve.V] = epoch
+			missing++
+		}
+	}
+	sc.seen[src] = epoch
+	sc.parent[src] = src
+	sc.queue = append(sc.queue[:0], src)
+	if sc.wanted[src] == epoch {
+		missing-- // degenerate, cannot happen for simple edges
+	}
+	for head := 0; head < len(sc.queue) && missing > 0; head++ {
+		v := sc.queue[head]
+		for _, w := range g.Neighbors(v) {
+			if sc.seen[w] == epoch {
+				continue
+			}
+			sc.seen[w] = epoch
+			sc.parent[w] = v
+			sc.queue = append(sc.queue, w)
+			if sc.wanted[w] == epoch {
+				missing--
+			}
+		}
+	}
+	for _, ve := range ves {
+		if sc.seen[ve.V] != epoch {
+			return nil, fmt.Errorf("lanes: no path for virtual edge %v", ve)
+		}
+		var rev []graph.Vertex
+		for w := ve.V; w != src; w = sc.parent[w] {
+			rev = append(rev, w)
+		}
+		rev = append(rev, src)
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		emb[ve] = rev
+	}
+	return sc.queue, nil
 }
 
 // Build constructs the Section 4 artifacts of (g, r) in one call: a lane

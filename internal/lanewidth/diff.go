@@ -1,0 +1,27 @@
+package lanewidth
+
+// Divergence returns the length of the longest common prefix of the two
+// transcripts' operation sequences. Transcripts that disagree on the
+// initial configuration (K or Heads) share no prefix. Incremental
+// re-certification uses this to quantify edit locality: ops before the
+// divergence point describe construction work an edit left untouched,
+// while everything after is the dirty suffix that must be re-derived.
+func (log OpLog) Divergence(other OpLog) int {
+	if log.K != other.K || len(log.Heads) != len(other.Heads) {
+		return 0
+	}
+	for i := range log.Heads {
+		if log.Heads[i] != other.Heads[i] {
+			return 0
+		}
+	}
+	n := len(log.Ops)
+	if len(other.Ops) < n {
+		n = len(other.Ops)
+	}
+	i := 0
+	for i < n && log.Ops[i] == other.Ops[i] {
+		i++
+	}
+	return i
+}

@@ -92,8 +92,38 @@ type Hierarchy struct {
 // Proposition 5.6 (Figure 10). The resulting root-to-leaf depth is at most
 // 2k (Observation 5.5).
 func BuildHierarchy(g *graph.Graph, log OpLog) (*Hierarchy, error) {
+	h, _, err := BuildHierarchyMark(g, log, 0)
+	return h, err
+}
+
+// BuildHierarchyMark is BuildHierarchy reporting, in addition, the number of
+// nodes created by the base case plus the first cleanOps operations of the
+// transcript. The construction is a deterministic replay and node ids are
+// creation order, so any two transcripts sharing that prefix (same K, Heads
+// and first cleanOps ops — see OpLog.Divergence) create nodes 0..first-1
+// with identical payloads, lane sets and terminal maps, and identical
+// internal trees for T-nodes among them (wrapTNode freezes a subtree; later
+// operations may re-attach a frozen T-node but never mutate inside it). Only
+// a node's Parent pointer may differ, since it is fixed by the final root
+// wrap. Incremental re-certification uses the mark as the id floor below
+// which per-node derived state can be carried over from the previous
+// generation without inspection.
+//
+// The root T-node is the exception to creation-order ids: its id is reserved
+// upfront and is always 0, even though its content is fixed only by the full
+// transcript. Were the root numbered last, its id — encoded into every tree
+// member's entry as the parent reference — would shift whenever an edit
+// changed the transcript's length, forcing every top-tree entry (and with it
+// every certificate, since all paths start at the root) to re-encode even
+// when nothing about it changed. With the reservation the root is the single
+// node below any mark whose derived state must always be rebuilt; callers
+// carrying state below the mark exempt it explicitly, as do the validator's
+// frozen-node skips.
+func BuildHierarchyMark(g *graph.Graph, log OpLog, cleanOps int) (*Hierarchy, int, error) {
 	h := &Hierarchy{K: log.K, Graph: g}
 	b := &hBuilder{h: h, k: log.K}
+	root := b.newNode(TNode)
+	first := 0
 
 	// Base case: the initial path as a P-node inside the working tree.
 	p := b.newNode(PNode)
@@ -112,10 +142,13 @@ func BuildHierarchy(g *graph.Graph, log OpLog) (*Hierarchy, error) {
 	}
 
 	for opIdx, op := range log.Ops {
+		if cleanOps > 0 && opIdx == cleanOps {
+			first = len(h.Nodes)
+		}
 		switch op.Kind {
 		case OpVInsert:
 			if designated[op.I] != op.U {
-				return nil, fmt.Errorf("lanewidth: op %d V-insert(%d) expects τ=%d, have %d",
+				return nil, 0, fmt.Errorf("lanewidth: op %d V-insert(%d) expects τ=%d, have %d",
 					opIdx, op.I, op.U, designated[op.I])
 			}
 			e := b.newNode(ENode)
@@ -129,19 +162,26 @@ func BuildHierarchy(g *graph.Graph, log OpLog) (*Hierarchy, error) {
 			designated[op.I] = op.V
 		case OpEInsert:
 			if designated[op.I] != op.U || designated[op.J] != op.V {
-				return nil, fmt.Errorf("lanewidth: op %d E-insert(%d,%d) endpoint mismatch", opIdx, op.I, op.J)
+				return nil, 0, fmt.Errorf("lanewidth: op %d E-insert(%d,%d) endpoint mismatch", opIdx, op.I, op.J)
 			}
 			if err := b.eInsert(op.I, op.J, op.U, op.V); err != nil {
-				return nil, fmt.Errorf("lanewidth: op %d: %w", opIdx, err)
+				return nil, 0, fmt.Errorf("lanewidth: op %d: %w", opIdx, err)
 			}
 		default:
-			return nil, fmt.Errorf("lanewidth: op %d has unknown kind %d", opIdx, op.Kind)
+			return nil, 0, fmt.Errorf("lanewidth: op %d has unknown kind %d", opIdx, op.Kind)
 		}
 	}
+	if cleanOps > 0 && cleanOps >= len(log.Ops) {
+		// The whole transcript is clean; only the final root wrap (whose
+		// content depends on the transcript's length) is past the mark, and
+		// the root is exempted from carry-over by id.
+		first = len(h.Nodes)
+	}
 
-	h.Root = b.wrapTNode(b.top)
+	b.fillTNode(root, b.top)
+	h.Root = root
 	setParents(h.Root, nil)
-	return h, nil
+	return h, first, nil
 }
 
 type hBuilder struct {
@@ -229,37 +269,48 @@ func (b *hBuilder) eInsert(i, j int, u, v graph.Vertex) error {
 	return nil
 }
 
-// wrapTNode freezes the subtree rooted at root into a T-node, computing the
-// Tree-merge terminal assignments.
+// wrapTNode freezes the subtree rooted at root into a fresh T-node,
+// computing the Tree-merge terminal assignments.
 func (b *hBuilder) wrapTNode(root *TreeVertex) *Node {
 	t := b.newNode(TNode)
+	b.fillTNode(t, root)
+	return t
+}
+
+// fillTNode freezes the subtree rooted at root into the (empty) T-node t.
+func (b *hBuilder) fillTNode(t *Node, root *TreeVertex) {
 	t.Tree = root
 	root.parent = nil
 	t.Lanes = append([]int(nil), root.Node.Lanes...)
 	for _, l := range t.Lanes {
 		t.In[l] = root.Node.In[l]
+		t.Out[l] = mergedOutLane(root, l)
 	}
-	merged := mergedOut(root)
-	for _, l := range t.Lanes {
-		t.Out[l] = merged[l]
-	}
-	return t
 }
 
-// mergedOut computes the out-terminals of Tree-merge(subtree at tv): the
-// node's own out-terminals overridden, per lane, by the child subtrees.
-func mergedOut(tv *TreeVertex) map[int]graph.Vertex {
-	out := make(map[int]graph.Vertex, len(tv.Node.Out))
-	for l, w := range tv.Node.Out {
-		out[l] = w
-	}
-	for _, c := range tv.Children {
-		sub := mergedOut(c)
-		for _, l := range c.Node.Lanes {
-			out[l] = sub[l]
+// mergedOutLane computes one lane's out-terminal of Tree-merge(subtree at
+// tv): the lane's out-terminal of the deepest vertex on the lane's child
+// chain (sibling lane sets are disjoint, so at most one child covers the
+// lane at each step). Descending per lane costs no allocation, unlike a
+// subtree fold, which matters because every E-insert of the transcript
+// replay wraps a subtree.
+func mergedOutLane(tv *TreeVertex, l int) graph.Vertex {
+	for {
+		var next *TreeVertex
+	children:
+		for _, c := range tv.Children {
+			for _, cl := range c.Node.Lanes {
+				if cl == l {
+					next = c
+					break children
+				}
+			}
 		}
+		if next == nil {
+			return tv.Node.Out[l]
+		}
+		tv = next
 	}
-	return out
 }
 
 func treeLCA(a, c *TreeVertex) *TreeVertex {

@@ -209,6 +209,23 @@ func (t *Node) RootMember() *Node {
 //  6. each node's subgraph is connected (the key property enabling local
 //     certification, end of Section 5.3).
 func (h *Hierarchy) Validate() error {
+	return h.ValidateFrom(0)
+}
+
+// ValidateFrom is Validate restricted to the dirty region of an incremental
+// rebuild: nodes with id below first were created by a transcript prefix the
+// previous, already-validated generation shares (see BuildHierarchyMark), so
+// their internal invariants (checks 2–4 and 6) were established when that
+// generation validated and are skipped. Global checks stay global: the edge
+// partition (1) is re-verified over the whole graph, the depth bound (5)
+// over the whole hierarchy, and the gluing conditions of every non-frozen
+// T-node tree — the root's included — are checked even where they reference
+// frozen members. With first > 0 the root's own subgraph-connectivity check
+// is also skipped: its subgraph is the entire completion, whose connectivity
+// follows from check 1 plus the certified graph's connectivity, which the
+// incremental engine verifies before rebuilding. ValidateFrom(0) is exactly
+// Validate.
+func (h *Hierarchy) ValidateFrom(first int) error {
 	// 1. Edge partition.
 	owned := map[graph.Edge]int{}
 	for _, n := range h.Nodes {
@@ -228,9 +245,15 @@ func (h *Hierarchy) Validate() error {
 		return fmt.Errorf("lanewidth: %d owned edges for %d graph edges", len(owned), h.Graph.M())
 	}
 
-	// 2–4. Per-node checks.
+	// 2–4. Per-node checks. Frozen nodes (id < first) short-circuit: their own
+	// invariants and everything inside them were validated by the previous
+	// generation; only the relations a non-frozen ancestor imposes on them
+	// (tree gluing, operand lanes) are re-checked, in the ancestor's frame.
 	var check func(n *Node) error
 	check = func(n *Node) error {
+		if n.ID < first && n != h.Root {
+			return nil
+		}
 		if len(n.Lanes) == 0 {
 			return fmt.Errorf("lanewidth: node %d has empty lane set", n.ID)
 		}
@@ -339,8 +362,13 @@ func (h *Hierarchy) Validate() error {
 		return fmt.Errorf("lanewidth: depth %d exceeds 2k=%d", d, 2*h.K)
 	}
 
-	// 6. Connectivity of each node's subgraph.
+	// 6. Connectivity of each node's subgraph. Frozen nodes carry their
+	// previous generation's verdict; the root is covered by check 1 plus the
+	// graph-connectivity precondition when validating incrementally.
 	for _, n := range h.Nodes {
+		if (n.ID < first && n != h.Root) || (first > 0 && n == h.Root) {
+			continue
+		}
 		if !h.subgraphConnected(n) {
 			return fmt.Errorf("lanewidth: node %d (%v) has a disconnected subgraph", n.ID, n.Kind)
 		}
@@ -407,11 +435,52 @@ func max(a, b int) int {
 // computed once per structure and shared read-only by every per-property
 // labeling pass instead of being re-derived per property.
 func (h *Hierarchy) MembersByTNode() map[int][]MemberInfo {
+	return h.MembersByTNodeFrom(0)
+}
+
+// MembersByTNodeFrom is MembersByTNode with the merged-out-terminal fold —
+// the expensive part — elided for frozen T-nodes (id < first, see
+// BuildHierarchyMark): their entries carry the member order and tree
+// children but a nil MergedOut. The incremental structure rebuild reads
+// MergedOut only for members of non-frozen T-nodes (frozen members' folds
+// are carried over from the previous generation's artifacts), while the
+// class sweep reads only order and children, so the shallow entries lose
+// nothing it needs. MembersByTNodeFrom(0) computes every fold.
+func (h *Hierarchy) MembersByTNodeFrom(first int) map[int][]MemberInfo {
 	out := make(map[int][]MemberInfo)
 	for _, n := range h.Nodes {
-		if n.Kind == TNode {
+		if n.Kind != TNode {
+			continue
+		}
+		if n.ID < first && n != h.Root {
+			out[n.ID] = h.membersShallow(n)
+		} else {
+			// The root's id is reserved (always 0, below any mark) but its
+			// tree is rebuilt every generation, so it always gets the fold.
 			out[n.ID] = h.Members(n)
 		}
 	}
+	return out
+}
+
+// membersShallow is Members without the merged-out fold: MergedOut is nil in
+// every returned info.
+func (h *Hierarchy) membersShallow(t *Node) []MemberInfo {
+	if t.Kind != TNode {
+		return nil
+	}
+	var out []MemberInfo
+	var walk func(tv *TreeVertex, parent *Node)
+	walk = func(tv *TreeVertex, parent *Node) {
+		mi := MemberInfo{Node: tv.Node, TreeParent: parent}
+		for _, c := range tv.Children {
+			mi.TreeChildren = append(mi.TreeChildren, c.Node)
+		}
+		out = append(out, mi)
+		for _, c := range tv.Children {
+			walk(c, tv.Node)
+		}
+	}
+	walk(t.Tree, nil)
 	return out
 }
