@@ -382,6 +382,44 @@ func (c *Certificate) ensureSchemes() error {
 	return nil
 }
 
+// LabelBlob is the canonical encoding of one edge's label — the exact
+// per-dart artifact that crosses the wire in the PLS model. Data holds the
+// core bit stream and Bits its exact length (partial final bytes cannot
+// alias).
+type LabelBlob struct {
+	U, V int
+	Bits int
+	Data []byte
+}
+
+// EncodedLabels returns one property's labeling as per-edge canonical label
+// encodings, sorted by edge endpoints, or ok=false when the certificate does
+// not carry the property. The distributed runtime (certify/distnet)
+// partitions these blobs across processes as each processor's label memory
+// and re-ships them between peers during verification rounds.
+func (c *Certificate) EncodedLabels(property string) ([]LabelBlob, bool) {
+	l, ok := c.labelings[property]
+	if !ok {
+		return nil, false
+	}
+	edges := make([]graph.Edge, 0, len(l.Edges))
+	for e := range l.Edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	out := make([]LabelBlob, len(edges))
+	for i, e := range edges {
+		data, nbits := core.EncodeLabel(l.Edges[e])
+		out[i] = LabelBlob{U: e.U, V: e.V, Bits: nbits, Data: data}
+	}
+	return out, true
+}
+
 // FaultNames lists the transient-fault catalog of the self-stabilization
 // model, in the order the corruption experiments document.
 func FaultNames() []string {

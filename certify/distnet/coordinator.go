@@ -1,0 +1,387 @@
+package distnet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/certify"
+)
+
+// CoordinatorConfig configures a round coordinator. Zero durations take the
+// documented defaults.
+type CoordinatorConfig struct {
+	Graph       *certify.Graph
+	Certificate *certify.Certificate
+	// Property selects the certified property (default: the certificate's
+	// first property). It must match what the nodes were launched with, or
+	// the cluster fingerprint handshake refuses the connection.
+	Property string
+	// Addrs[i] is partition i's listen address; len(Addrs) fixes the
+	// partition count.
+	Addrs []string
+
+	// RoundTimeout bounds one full round trip — roundStart out, verdict back
+	// (default 5s). It should exceed the nodes' own RoundTimeout so a node
+	// still gathering labels reports incomplete instead of the coordinator
+	// giving up first.
+	RoundTimeout time.Duration
+	// DialTimeout bounds one control dial attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write (default 2s).
+	WriteTimeout time.Duration
+	// MaxBackoff caps the jittered exponential backoff RunUntilVerdict
+	// sleeps between abandoned rounds (default 1s; base 50ms, doubling).
+	MaxBackoff time.Duration
+
+	// Logf, when set, receives one-line operational events.
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 5 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	return c
+}
+
+// Verdict is one round's cluster-wide outcome.
+type Verdict struct {
+	// Round is the round number the verdict belongs to.
+	Round uint64
+	// Abandoned reports that the round produced no verdict: some partition
+	// was unreachable or could not gather its peers' labels in time. An
+	// abandoned round says nothing about the labeling — re-run it.
+	Abandoned bool
+	// Missing lists the partitions that caused the abandonment.
+	Missing []int
+	// Accepted reports whether every vertex of every partition accepted.
+	// Only meaningful when Abandoned is false.
+	Accepted bool
+	// Rejected lists rejecting vertices, ascending, capped per partition at
+	// the wire limit; RejectedTotal is the uncapped count.
+	Rejected      []int
+	RejectedTotal int
+}
+
+// Coordinator drives verification rounds across a distnet cluster over one
+// control connection per partition: it numbers rounds, broadcasts
+// roundStart, collects per-partition verdicts, and aggregates them. It is
+// also the client of each node's fault controller (InjectMemory,
+// InjectTransport, Heal) and liveness probe (Ping). Methods are safe for
+// sequential use; a Coordinator is not safe for concurrent calls.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	fp    uint64
+	links []*ctrlLink
+	round uint64
+	rng   *rand.Rand
+	nonce atomic.Uint64
+}
+
+// NewCoordinator validates the cluster tuple against the node partitioning
+// and prepares (but does not yet dial) one control link per partition.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("distnet: coordinator needs at least one partition address")
+	}
+	fp, err := ClusterFingerprint(cfg.Graph, cfg.Certificate, cfg.Property, len(cfg.Addrs))
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg: cfg,
+		fp:  fp,
+		rng: rand.New(rand.NewSource(int64(fp))),
+	}
+	hello := appendFrame(nil, frameHello, encodeHello(helloMsg{role: roleControl, cluster: fp}))
+	for i, addr := range cfg.Addrs {
+		c.links = append(c.links, &ctrlLink{
+			part:         i,
+			addr:         addr,
+			hello:        hello,
+			dialTimeout:  cfg.DialTimeout,
+			writeTimeout: cfg.WriteTimeout,
+		})
+	}
+	return c, nil
+}
+
+// Close drops every control connection.
+func (c *Coordinator) Close() error {
+	for _, l := range c.links {
+		l.drop()
+	}
+	return nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// RunRound runs one numbered verification round across all partitions and
+// aggregates the verdicts. A partition that is unreachable, times out, or
+// reports an incomplete exchange abandons the round (Verdict.Abandoned with
+// the culprits in Missing); the caller re-runs once the partition recovers.
+func (c *Coordinator) RunRound(ctx context.Context) (Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, err
+	}
+	c.round++
+	r := c.round
+	deadline := time.Now().Add(c.cfg.RoundTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	start := appendFrame(nil, frameRoundStart, encodeRoundStart(r))
+
+	verdicts := make([]verdictMsg, len(c.links))
+	errs := make([]error, len(c.links))
+	var wg sync.WaitGroup
+	for i, l := range c.links {
+		wg.Add(1)
+		go func(i int, l *ctrlLink) {
+			defer wg.Done()
+			errs[i] = l.request(start, deadline, frameVerdict, func(payload []byte) (bool, error) {
+				v, err := decodeVerdict(payload)
+				if err != nil {
+					return false, err
+				}
+				if v.round != r {
+					return false, nil // stale verdict from an abandoned round
+				}
+				verdicts[i] = v
+				return true, nil
+			})
+		}(i, l)
+	}
+	wg.Wait()
+
+	out := Verdict{Round: r, Accepted: true}
+	for i := range c.links {
+		switch {
+		case errs[i] != nil:
+			c.logf("distnet: round %d: partition %d: %v", r, i, errs[i])
+			out.Missing = append(out.Missing, i)
+		case verdicts[i].incomplete:
+			out.Missing = append(out.Missing, i)
+		default:
+			if !verdicts[i].accepted {
+				out.Accepted = false
+				out.RejectedTotal += verdicts[i].rejectedTotal
+				out.Rejected = append(out.Rejected, verdicts[i].rejected...)
+			}
+		}
+	}
+	if len(out.Missing) > 0 {
+		return Verdict{Round: r, Abandoned: true, Missing: out.Missing}, nil
+	}
+	sort.Ints(out.Rejected)
+	return out, nil
+}
+
+// RunUntilVerdict re-runs abandoned rounds — sleeping a jittered exponential
+// backoff between attempts so a recovering partition gets breathing room —
+// until a round completes or maxRounds rounds have been abandoned. It
+// returns the verdict and the number of rounds consumed.
+func (c *Coordinator) RunUntilVerdict(ctx context.Context, maxRounds int) (Verdict, int, error) {
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
+	backoff := 50 * time.Millisecond
+	var last Verdict
+	for attempt := 1; ; attempt++ {
+		v, err := c.RunRound(ctx)
+		if err != nil {
+			return v, attempt, err
+		}
+		if !v.Abandoned {
+			return v, attempt, nil
+		}
+		last = v
+		if attempt >= maxRounds {
+			return last, attempt, fmt.Errorf("distnet: no complete round in %d attempts (missing partitions %v)", attempt, last.Missing)
+		}
+		jitter := time.Duration(float64(backoff) * (0.5 + c.rng.Float64()))
+		if backoff *= 2; backoff > c.cfg.MaxBackoff {
+			backoff = c.cfg.MaxBackoff
+		}
+		select {
+		case <-ctx.Done():
+			return last, attempt, ctx.Err()
+		case <-time.After(jitter):
+		}
+	}
+}
+
+// InjectMemory corrupts one label in partition part's live memory with the
+// named fault from the dist catalog (certify.FaultNames). It reports whether
+// the node applied it, with the node's explanation.
+func (c *Coordinator) InjectMemory(ctx context.Context, part int, fault string, seed int64) (bool, string, error) {
+	return c.sendFault(ctx, part, faultMsg{kind: faultKindMemory, name: fault, seed: seed})
+}
+
+// InjectTransport arms a one-shot transport fault (TransportFaults) on
+// partition part's outgoing label links for its next round.
+func (c *Coordinator) InjectTransport(ctx context.Context, part int, fault string, seed int64) (bool, string, error) {
+	return c.sendFault(ctx, part, faultMsg{kind: faultKindTransport, name: fault, seed: seed})
+}
+
+// Heal restores partition part's pristine label memory and disarms any
+// pending transport fault.
+func (c *Coordinator) Heal(ctx context.Context, part int) (bool, string, error) {
+	return c.sendFault(ctx, part, faultMsg{kind: faultKindHeal})
+}
+
+func (c *Coordinator) sendFault(ctx context.Context, part int, m faultMsg) (bool, string, error) {
+	l, err := c.link(part)
+	if err != nil {
+		return false, "", err
+	}
+	deadline := time.Now().Add(c.cfg.RoundTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	var ack faultAckMsg
+	err = l.request(appendFrame(nil, frameFault, encodeFault(m)), deadline, frameFaultAck, func(payload []byte) (bool, error) {
+		a, err := decodeFaultAck(payload)
+		if err != nil {
+			return false, err
+		}
+		ack = a
+		return true, nil
+	})
+	if err != nil {
+		return false, "", err
+	}
+	return ack.applied, ack.detail, nil
+}
+
+// Ping probes partition part's liveness over the control link and returns
+// the round-trip time.
+func (c *Coordinator) Ping(ctx context.Context, part int) (time.Duration, error) {
+	l, err := c.link(part)
+	if err != nil {
+		return 0, err
+	}
+	nonce := c.nonce.Add(1)
+	deadline := time.Now().Add(c.cfg.RoundTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	start := time.Now()
+	err = l.request(appendFrame(nil, framePing, encodeNonce(nonce)), deadline, framePong, func(payload []byte) (bool, error) {
+		got, err := decodeNonce(payload)
+		if err != nil {
+			return false, err
+		}
+		return got == nonce, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+func (c *Coordinator) link(part int) (*ctrlLink, error) {
+	if part < 0 || part >= len(c.links) {
+		return nil, fmt.Errorf("distnet: partition %d out of range [0, %d)", part, len(c.links))
+	}
+	return c.links[part], nil
+}
+
+// ctrlLink is one lazily-dialed control connection. Any error drops the
+// connection; the next request re-dials, so a restarted node is picked up
+// transparently.
+type ctrlLink struct {
+	part         int
+	addr         string
+	hello        []byte
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func (l *ctrlLink) drop() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+		l.br = nil
+	}
+}
+
+// request writes one frame and reads until accept matches a frame of type
+// want before the deadline. Frames of other response types (stale verdicts,
+// leftover pongs) are discarded; anything unexpected is a protocol error.
+// Any failure drops the connection so the next request starts clean.
+func (l *ctrlLink) request(frame []byte, deadline time.Time, want frameType, accept func(payload []byte) (bool, error)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		conn, err := net.DialTimeout("tcp", l.addr, l.dialTimeout)
+		if err != nil {
+			return fmt.Errorf("partition %d: %w", l.part, err)
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(l.writeTimeout))
+		if _, err := conn.Write(l.hello); err != nil {
+			conn.Close()
+			return fmt.Errorf("partition %d hello: %w", l.part, err)
+		}
+		l.conn = conn
+		l.br = bufio.NewReader(conn)
+	}
+	fail := func(err error) error {
+		l.conn.Close()
+		l.conn, l.br = nil, nil
+		return fmt.Errorf("partition %d: %w", l.part, err)
+	}
+	_ = l.conn.SetWriteDeadline(time.Now().Add(l.writeTimeout))
+	if _, err := l.conn.Write(frame); err != nil {
+		return fail(err)
+	}
+	_ = l.conn.SetReadDeadline(deadline)
+	for {
+		t, payload, err := readFrame(l.br)
+		if err != nil {
+			return fail(err)
+		}
+		switch t {
+		case want:
+			ok, err := accept(payload)
+			if err != nil {
+				return fail(err)
+			}
+			if ok {
+				return nil
+			}
+		case frameVerdict, framePong, frameFaultAck:
+			// A stale response to an earlier, timed-out request: discard.
+		default:
+			return fail(fmt.Errorf("%w: unexpected %d frame on control link", ErrProtocol, t))
+		}
+	}
+}

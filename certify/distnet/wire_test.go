@@ -1,0 +1,216 @@
+package distnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func readOne(t *testing.T, frame []byte) (frameType, []byte, error) {
+	t.Helper()
+	return readFrame(bufio.NewReader(bytes.NewReader(frame)))
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	for ft := frameHello; ft <= frameFaultAck; ft++ {
+		frame := appendFrame(nil, ft, payload)
+		got, p, err := readOne(t, frame)
+		if err != nil {
+			t.Fatalf("type %d: %v", ft, err)
+		}
+		if got != ft || !bytes.Equal(p, payload) {
+			t.Fatalf("type %d: got (%d, %v)", ft, got, p)
+		}
+	}
+}
+
+func TestReadFrameRejectsHostileHeaders(t *testing.T) {
+	good := appendFrame(nil, framePing, encodeNonce(7))
+	cases := map[string]func([]byte) []byte{
+		"bad magic":       func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":     func(b []byte) []byte { b[2] = 99; return b },
+		"zero frame type": func(b []byte) []byte { b[3] = 0; return b },
+		"high frame type": func(b []byte) []byte { b[3] = byte(frameFaultAck) + 1; return b },
+		"oversized payload": func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[4:], maxFramePayload+1)
+			return b
+		},
+	}
+	for name, mutate := range cases {
+		frame := mutate(append([]byte(nil), good...))
+		if _, _, err := readOne(t, frame); !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: got %v, want ErrProtocol", name, err)
+		}
+	}
+	// A torn header or payload is an io error, not a protocol violation: the
+	// peer link treats both as a dead connection.
+	if _, _, err := readOne(t, good[:5]); err == nil || errors.Is(err, ErrProtocol) {
+		t.Errorf("torn header: got %v, want io error", err)
+	}
+	if _, _, err := readOne(t, good[:len(good)-2]); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("torn payload: got %v, want unexpected EOF", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := helloMsg{role: roleVertex, part: 3, cluster: 0xdeadbeefcafef00d}
+	out, err := decodeHello(encodeHello(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+
+	hostile := map[string][]byte{
+		"unknown role":     encodeHello(helloMsg{role: 9, part: 1, cluster: 1}),
+		"implausible part": encodeHello(helloMsg{role: roleVertex, part: maxWireParts, cluster: 1}),
+		"trailing bytes":   append(encodeHello(in), 0),
+		"truncated":        encodeHello(in)[:3],
+		"empty":            nil,
+	}
+	for name, payload := range hostile {
+		if _, err := decodeHello(payload); !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: got %v, want ErrProtocol", name, err)
+		}
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	in := labelsMsg{
+		round: 42,
+		from:  2,
+		entries: []labelEntry{
+			{u: 7, v: 12, bits: 11, data: []byte{0xff, 0x03}},
+			{u: 8, v: 12}, // bits==0: sender holds no label
+		},
+	}
+	out, err := decodeLabels(encodeLabels(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.round != in.round || out.from != in.from || len(out.entries) != len(in.entries) {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	for i, e := range out.entries {
+		w := in.entries[i]
+		if e.u != w.u || e.v != w.v || e.bits != w.bits || !bytes.Equal(e.data, w.data) {
+			t.Fatalf("entry %d: got %+v, want %+v", i, e, w)
+		}
+	}
+
+	if _, err := decodeLabels(encodeLabels(in), 1); !errors.Is(err, ErrProtocol) {
+		t.Errorf("entry count above the cut bound: got %v, want ErrProtocol", err)
+	}
+	big := labelsMsg{round: 1, from: 0, entries: []labelEntry{{u: 0, v: 1, bits: maxLabelBits + 1}}}
+	if _, err := decodeLabels(encodeLabels(big), 1); !errors.Is(err, ErrProtocol) {
+		t.Errorf("implausible label bits: got %v, want ErrProtocol", err)
+	}
+	// A declared bit count whose payload bytes are missing must not read
+	// beyond the frame.
+	torn := binary.AppendUvarint(nil, 1)   // round
+	torn = binary.AppendUvarint(torn, 0)   // from
+	torn = binary.AppendUvarint(torn, 1)   // count
+	torn = binary.AppendUvarint(torn, 0)   // u
+	torn = binary.AppendUvarint(torn, 1)   // v
+	torn = binary.AppendUvarint(torn, 800) // bits, but no data follows
+	if _, err := decodeLabels(torn, 1); !errors.Is(err, ErrProtocol) {
+		t.Errorf("truncated label data: got %v, want ErrProtocol", err)
+	}
+	if _, err := decodeLabels(append(encodeLabels(in), 0xAA), 2); !errors.Is(err, ErrProtocol) {
+		t.Errorf("trailing bytes: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	in := verdictMsg{round: 9, accepted: false, incomplete: false, rejectedTotal: 3, rejected: []int{1, 5, 17}}
+	out, err := decodeVerdict(encodeVerdict(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+
+	// The rejected list is capped on encode; the total survives uncapped.
+	long := verdictMsg{round: 1, rejectedTotal: maxWireRejected * 3}
+	for i := 0; i < maxWireRejected*2; i++ {
+		long.rejected = append(long.rejected, i)
+	}
+	out, err = decodeVerdict(encodeVerdict(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.rejected) != maxWireRejected || out.rejectedTotal != long.rejectedTotal {
+		t.Fatalf("cap: got %d listed / %d total", len(out.rejected), out.rejectedTotal)
+	}
+
+	bad := encodeVerdict(verdictMsg{round: 1, accepted: true})
+	bad[1] = 7 // flags with an unknown bit
+	if _, err := decodeVerdict(bad); !errors.Is(err, ErrProtocol) {
+		t.Errorf("unknown flags: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	in := faultMsg{kind: faultKindMemory, name: "flip-class", seed: -17}
+	out, err := decodeFault(encodeFault(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	if _, err := decodeFault(encodeFault(faultMsg{kind: 9, name: "x"})); !errors.Is(err, ErrProtocol) {
+		t.Errorf("unknown kind: got %v, want ErrProtocol", err)
+	}
+	huge := faultMsg{kind: faultKindHeal, name: strings.Repeat("a", maxWireDetail+1)}
+	if _, err := decodeFault(encodeFault(huge)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversized name: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestFaultAckRoundTrip(t *testing.T) {
+	in := faultAckMsg{applied: true, detail: "memory fault flip-class injected"}
+	out, err := decodeFaultAck(encodeFaultAck(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	// Overlong details are truncated on encode, not refused on decode.
+	long := faultAckMsg{applied: false, detail: strings.Repeat("d", maxWireDetail*2)}
+	out, err = decodeFaultAck(encodeFaultAck(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.detail) != maxWireDetail {
+		t.Fatalf("detail not truncated: %d bytes", len(out.detail))
+	}
+
+	bad := encodeFaultAck(in)
+	bad[0] = 2
+	if _, err := decodeFaultAck(bad); !errors.Is(err, ErrProtocol) {
+		t.Errorf("bad flag: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestNonceRoundTrip(t *testing.T) {
+	out, err := decodeNonce(encodeNonce(0x0102030405060708))
+	if err != nil || out != 0x0102030405060708 {
+		t.Fatalf("got (%x, %v)", out, err)
+	}
+	if _, err := decodeNonce([]byte{1, 2, 3}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("short nonce: got %v, want ErrProtocol", err)
+	}
+	if _, err := decodeNonce(append(encodeNonce(1), 9)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("long nonce: got %v, want ErrProtocol", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -320,8 +321,10 @@ func TestBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third request: %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	// No prove has completed yet, so there is no latency signal and the
+	// estimate falls back to one second.
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After before any completed prove: %q, want \"1\"", ra)
 	}
 
 	// Release the pool: both held requests complete successfully.
@@ -330,6 +333,100 @@ func TestBackpressure(t *testing.T) {
 		r := <-results
 		if r.code != http.StatusOK {
 			t.Fatalf("held request %d: %d %s", i, r.code, r.body)
+		}
+	}
+}
+
+// TestRetryAfterFormula pins the 429 Retry-After estimate against the
+// documented formula: (queued + in-flight) jobs over the worker pool at the
+// moving-average prove latency, rounded up to whole seconds and clamped to
+// [1, 60].
+func TestRetryAfterFormula(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		queued  int
+		ewma    time.Duration
+		want    string
+	}{
+		{"no latency signal", 1, 3, 0, "1"},
+		{"sub-second rounds up", 2, 0, 100 * time.Millisecond, "1"},
+		{"empty queue still counts in-flight", 2, 0, 2 * time.Second, "2"},
+		{"queue and pool divide", 1, 2, 2 * time.Second, "6"},
+		{"uneven division rounds up", 2, 3, time.Second, "3"}, // 5 jobs / 2 workers × 1s = 2.5s
+		{"clamped to a minute", 1, 4, 5 * time.Minute, "60"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Server{
+				opts:    Options{Workers: tc.workers},
+				queue:   make(chan *proveJob, tc.queued+1),
+				latEWMA: tc.ewma,
+			}
+			for i := 0; i < tc.queued; i++ {
+				s.queue <- &proveJob{}
+			}
+			if got := s.retryAfter(); got != tc.want {
+				t.Fatalf("retryAfter() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryAfterEWMA pins the moving average itself: the first sample seeds
+// it, later samples fold in at weight 1/5.
+func TestRetryAfterEWMA(t *testing.T) {
+	s := &Server{}
+	s.recordLatency(time.Second)
+	if s.latEWMA != time.Second {
+		t.Fatalf("first sample: EWMA = %v, want 1s", s.latEWMA)
+	}
+	s.recordLatency(6 * time.Second)
+	if want := 2 * time.Second; s.latEWMA != want { // (4×1s + 6s) / 5
+		t.Fatalf("after second sample: EWMA = %v, want %v", s.latEWMA, want)
+	}
+}
+
+// TestRetryAfterComputedOnWire pins that a real 429 carries the computed
+// estimate: with one gated worker, a queue of two, and a seeded 2s average,
+// the turned-away client is told to come back in (2 queued + 1 in-flight) ×
+// 2s / 1 worker = 6 seconds.
+func TestRetryAfterComputedOnWire(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2, testProveGate: gate})
+	fp := ingest(t, ts.URL, certify.Path(8))
+	s.recordLatency(2 * time.Second)
+
+	req := proveRequest{Fingerprint: fp, Properties: []string{"acyclic"}}
+	results := make(chan int, 3)
+	post := func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/prove", req)
+		results <- resp.StatusCode
+	}
+	go post() // occupies the worker (parked on the gate)
+	waitFor(t, func() bool { return s.gateParked.Load() == 1 })
+	go post()
+	go post() // both sit in the queue
+	waitFor(t, func() bool { return len(s.queue) == 2 })
+
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/prove", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("fourth request: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "6" {
+		t.Fatalf("Retry-After = %q, want \"6\"", ra)
+	}
+
+	close(gate)
+	for i := 0; i < 3; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("held request %d: %d", i, code)
 		}
 	}
 }
@@ -344,6 +441,69 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("condition never held")
+}
+
+// TestShutdownUnderLoad pins the graceful-shutdown contract behind
+// certifyd's -drain flag: http.Server.Shutdown stops accepting new
+// connections immediately, but in-flight prove requests parked deep in the
+// worker pool still complete with 200 before Shutdown returns.
+func TestShutdownUnderLoad(t *testing.T) {
+	gate := make(chan struct{})
+	s, err := New(Options{Workers: 2, QueueDepth: 4, testProveGate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: s}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fp := ingest(t, base, certify.Path(8))
+
+	// Two in-flight proves, both parked on the worker gate.
+	req := proveRequest{Fingerprint: fp, Properties: []string{"acyclic"}}
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, _ := postJSON(t, base+"/v1/prove", req)
+			results <- resp.StatusCode
+		}()
+	}
+	waitFor(t, func() bool { return s.gateParked.Load() == 2 })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// The listener closes promptly: new connections are refused while the
+	// held requests are still in flight.
+	waitFor(t, func() bool {
+		_, err := http.Get(base + "/healthz")
+		return err != nil
+	})
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v with requests still in flight", err)
+	default:
+	}
+
+	// Releasing the pool lets the in-flight work finish: both clients get
+	// their certificates, then Shutdown completes cleanly.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("in-flight request %d finished with %d during drain, want 200", i, code)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown after drain: %v", err)
+	}
 }
 
 // TestQueuedRequestCancellation pins that a request cancelled while queued

@@ -115,6 +115,12 @@ type Server struct {
 
 	// gateParked counts workers parked on testProveGate (tests only).
 	gateParked atomic.Int32
+
+	// latMu guards latEWMA, an exponentially weighted moving average of
+	// recent prove-job wall times — the signal behind the 429 Retry-After
+	// estimate.
+	latMu   sync.Mutex
+	latEWMA time.Duration
 }
 
 // proveJob is one unit of prover-pool work: a closure run by a worker under
@@ -225,7 +231,46 @@ func (s *Server) process(job *proveJob) proveOutcome {
 	if err := job.ctx.Err(); err != nil {
 		return proveOutcome{err: err}
 	}
-	return job.run(job.ctx)
+	start := time.Now()
+	out := job.run(job.ctx)
+	s.recordLatency(time.Since(start))
+	return out
+}
+
+// recordLatency folds one executed job's wall time into the moving average
+// (weight 1/5 — recent jobs dominate, a single outlier does not).
+func (s *Server) recordLatency(d time.Duration) {
+	s.latMu.Lock()
+	if s.latEWMA == 0 {
+		s.latEWMA = d
+	} else {
+		s.latEWMA = (s.latEWMA*4 + d) / 5
+	}
+	s.latMu.Unlock()
+}
+
+// retryAfter estimates, in whole seconds, how long a rejected client should
+// wait for a queue slot: the work ahead of it — every queued job plus the
+// jobs in flight on the workers — divided across the pool at the moving
+// average prove latency, rounded up and clamped to [1, 60]. Before any job
+// has completed there is no latency signal and the estimate falls back to
+// one second.
+func (s *Server) retryAfter() string {
+	s.latMu.Lock()
+	avg := s.latEWMA
+	s.latMu.Unlock()
+	if avg <= 0 {
+		return "1"
+	}
+	ahead := time.Duration(len(s.queue)+s.opts.Workers) * avg / time.Duration(s.opts.Workers)
+	secs := int((ahead + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
 }
 
 // dispatch enqueues a job on the prover pool and waits for its outcome (or
@@ -236,7 +281,7 @@ func (s *Server) dispatch(w http.ResponseWriter, ctx context.Context, run func(c
 	select {
 	case s.queue <- job:
 	default:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeError(w, http.StatusTooManyRequests, errors.New("prove queue is full, retry later"))
 		return proveOutcome{}, false
 	}

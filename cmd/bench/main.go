@@ -1,4 +1,4 @@
-// Command bench runs the E1–E11 experiment harness of EXPERIMENTS.md and
+// Command bench runs the E1–E12 experiment harness of EXPERIMENTS.md and
 // prints the measured series. Each experiment regenerates the measurements
 // standing in for one of the paper's quantitative claims:
 //
@@ -15,6 +15,13 @@
 //	bench -exp e10 -json                         # in-process service
 //	bench -exp e10 -url http://127.0.0.1:8080    # a booted certifyd
 //	bench -exp e10 -e10-levels 1 -e10-requests 1 # one CI round trip
+//
+// E12 boots distnet clusters over loopback TCP (certify/distnet, the
+// multi-process runtime behind cmd/vertexd) and measures round time against
+// the partition count plus fault-detection latency against the per-round
+// fault-injection rate:
+//
+//	bench -exp e12 -json                         # → BENCH_E12.json
 package main
 
 import (
@@ -39,7 +46,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments to run: comma-separated subset of e1..e11, or all")
+		exp      = fs.String("exp", "all", "experiments to run: comma-separated subset of e1..e12, or all")
 		seed     = fs.Int64("seed", 1, "random seed")
 		jsonOut  = fs.Bool("json", false, "write the E8/E9/E10 series as machine-readable JSON")
 		jsonPath = fs.String("json-path", "BENCH_E8.json", "output path for the E8 series with -json")
@@ -47,6 +54,11 @@ func run(args []string) error {
 		e10Path  = fs.String("e10-json-path", "BENCH_E10.json", "output path for the E10 series with -json")
 		e11Path  = fs.String("e11-json-path", "BENCH_E11.json", "output path for the E11 series with -json")
 		e11N     = fs.String("e11-ns", "1024,4096,16384", "E11: comma-separated graph sizes")
+		e12Path  = fs.String("e12-json-path", "BENCH_E12.json", "output path for the E12 series with -json")
+		e12N     = fs.Int("e12-n", 256, "E12: approximate vertex count of the workload ladder")
+		e12Parts = fs.String("e12-parts", "1,2,4,8", "E12: comma-separated partition counts for the round-time series")
+		e12Round = fs.Int("e12-rounds", 20, "E12: timed rounds per partition count, and rounds per fault-rate schedule")
+		e12Rates = fs.String("e12-rates", "0.1,0.3,0.6,1.0", "E12: comma-separated per-round fault-injection rates")
 		url      = fs.String("url", "", "E10: drive the certifyd at this base URL instead of an in-process service")
 		e10Level = fs.String("e10-levels", "1,2,4,8", "E10: comma-separated client concurrency levels")
 		e10Reqs  = fs.Int("e10-requests", 12, "E10: prove→fetch→verify round trips per client")
@@ -211,11 +223,39 @@ func run(args []string) error {
 		}
 		ran = true
 	}
+	if want("e12") {
+		parts, err := parseLevels(*e12Parts)
+		if err != nil {
+			return err
+		}
+		rates, err := parseRates(*e12Rates)
+		if err != nil {
+			return err
+		}
+		roundRows, err := experiments.E12RoundTime(*e12N, parts, *e12Round)
+		if err != nil {
+			return err
+		}
+		detectRows, err := experiments.E12Detection(*seed, *e12N, rates, *e12Round)
+		if err != nil {
+			return err
+		}
+		res := experiments.E12Result{RoundTime: roundRows, Detection: detectRows}
+		experiments.PrintE12(out, res)
+		fmt.Fprintln(out)
+		if *jsonOut {
+			if err := writeJSON(*e12Path, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *e12Path)
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment selection %q", *exp)
 	}
-	if *jsonOut && !want("e8") && !want("e9") && !want("e10") && !want("e11") {
-		return fmt.Errorf("-json requires the e8, e9, e10 or e11 experiment (got -exp %s)", *exp)
+	if *jsonOut && !want("e8") && !want("e9") && !want("e10") && !want("e11") && !want("e12") {
+		return fmt.Errorf("-json requires the e8, e9, e10, e11 or e12 experiment (got -exp %s)", *exp)
 	}
 	return nil
 }
@@ -242,7 +282,27 @@ func parseLevels(s string) ([]int, error) {
 
 // knownExps lists every -exp name in display order; "all" selects them all.
 var knownExps = []string{
-	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+}
+
+// parseRates parses the E12 fault-rate list.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r < 0 || r > 1 {
+			return nil, fmt.Errorf("bad fault rate %q", part)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty fault rate list %q", s)
+	}
+	return out, nil
 }
 
 // parseExpList splits the -exp flag on commas and validates every entry. An

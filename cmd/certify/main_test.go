@@ -120,6 +120,22 @@ func TestExitCodes(t *testing.T) {
 	}
 }
 
+// TestCorruptFlagAcceptsEveryFaultName pins the name round-trip between the
+// fault catalog and the -corrupt flag: every dist.AllFaults String() (the
+// exact list FaultNames returns and the flag help documents) is parsed,
+// injected, and detected end to end — corrupted runs succeed only because
+// the verifier rejects as expected.
+func TestCorruptFlagAcceptsEveryFaultName(t *testing.T) {
+	for _, name := range certify.FaultNames() {
+		t.Run(name, func(t *testing.T) {
+			args := []string{"-graph", "caterpillar", "-n", "12", "-prop", "acyclic", "-corrupt", name}
+			if err := run(args); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+		})
+	}
+}
+
 // TestSaveLoadEveryFamily is the wire-format acceptance walk: -out then -in
 // on every generator family, the -in invocation decoding and verifying with
 // no prover state carried over.

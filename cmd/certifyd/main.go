@@ -53,6 +53,7 @@ func run(args []string) error {
 		maxGraphs = fs.Int("max-graphs", 4096, "stored graph capacity (full store answers 507; -1 = unlimited)")
 		maxDistN  = fs.Int("max-dist-n", 4096, "largest graph the distributed verifier accepts (-1 = unlimited)")
 		lanesMax  = fs.Int("lanes", certify.DefaultMaxLanes, "default lane budget for prove requests")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,15 +90,16 @@ func run(args []string) error {
 	case err := <-errCh:
 		return err
 	case sig := <-stop:
-		log.Printf("certifyd: %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("certifyd: %v, shutting down (draining for up to %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			return err
+			return fmt.Errorf("drain deadline exceeded: %w", err)
 		}
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		log.Printf("certifyd: drained, bye")
 		return nil
 	}
 }

@@ -1,0 +1,277 @@
+// Command vertexd hosts one partition of a distributed verification cluster
+// (certify/distnet): it loads a graph and certificate produced by the
+// certify CLI, binds the partition's TCP listener, and serves label exchange
+// and control traffic until SIGINT/SIGTERM. The same binary drives a
+// running cluster with -coordinate: it numbers rounds, aggregates the
+// per-partition verdicts, and optionally exercises a node's fault
+// controller first.
+//
+//	certify -graph ladder -n 24 -prop bipartite -graph-out g.txt -out proof.plsc
+//	vertexd -part 0 -parts 3 -addrs 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -graph g.txt -cert proof.plsc &
+//	vertexd -part 1 -parts 3 -addrs ... -graph g.txt -cert proof.plsc &
+//	vertexd -part 2 -parts 3 -addrs ... -graph g.txt -cert proof.plsc &
+//	vertexd -coordinate -addrs ... -graph g.txt -cert proof.plsc
+//	vertexd -coordinate -addrs ... -graph g.txt -cert proof.plsc -inject flip-class -inject-part 1
+//
+// Without -inject, exit code 0 means the cluster accepted and 3 that some
+// vertex rejected. With a memory fault injected (-inject with a name from
+// the certify fault catalog), the coordinator demonstrates the full
+// self-stabilization cycle — corrupt, detect (reject), heal, re-verify
+// (accept) — and exits 0 only if every step held. With a transport fault
+// (drop, duplicate, reorder, truncate-frame), it arms the fault and exits 0
+// when the cluster still converges to an accepting verdict, re-running any
+// rounds the fault tore.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/certify"
+	"repro/certify/distnet"
+	"repro/certify/graphio"
+)
+
+// errRejected distinguishes "the cluster rejected a clean run" (exit 3, the
+// certify CLI's rejected-certificate code) from operational errors (exit 1).
+var errRejected = errors.New("cluster rejected")
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "vertexd:", err)
+		}
+		switch {
+		case errors.Is(err, flag.ErrHelp):
+			os.Exit(0)
+		case errors.Is(err, errRejected):
+			os.Exit(3)
+		default:
+			os.Exit(1)
+		}
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vertexd", flag.ContinueOnError)
+	var (
+		graphFile  = fs.String("graph", "", "graph file (edge list or DIMACS, as written by certify -graph-out)")
+		format     = fs.String("format", "auto", "graph file format: auto|edgelist|dimacs")
+		certFile   = fs.String("cert", "", "certificate file (.plsc, as written by certify -out)")
+		prop       = fs.String("prop", "", "property to verify (default: the certificate's first)")
+		addrsFlag  = fs.String("addrs", "", "comma-separated listen addresses, one per partition in order")
+		part       = fs.Int("part", 0, "this process's partition index (node mode)")
+		parts      = fs.Int("parts", 0, "partition count (node mode; default: len(addrs))")
+		coordinate = fs.Bool("coordinate", false, "drive rounds against a running cluster instead of hosting a partition")
+		rounds     = fs.Int("rounds", 8, "coordinator: max rounds before giving up on an abandoned cluster")
+		inject     = fs.String("inject", "", "coordinator: fault to inject first: "+
+			strings.Join(certify.FaultNames(), "|")+" (memory) or "+strings.Join(distnet.TransportFaults, "|")+" (transport)")
+		injectPart   = fs.Int("inject-part", 0, "coordinator: partition receiving the injected fault")
+		seed         = fs.Int64("seed", 1, "fault placement seed")
+		roundTimeout = fs.Duration("round-timeout", 0, "per-round label-gather deadline (0 = default)")
+		verbose      = fs.Bool("v", false, "log reconnects, protocol violations, and fault injections")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	addrs := splitAddrs(*addrsFlag)
+	if len(addrs) == 0 {
+		return errors.New("-addrs is required")
+	}
+	g, crt, err := loadCluster(*graphFile, *format, *certFile)
+	if err != nil {
+		return err
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+
+	if *coordinate {
+		return coordinateCluster(g, crt, *prop, addrs, *rounds, *inject, *injectPart, *seed, *roundTimeout, logf)
+	}
+	return hostPartition(g, crt, *prop, addrs, *part, *parts, *roundTimeout, logf)
+}
+
+// hostPartition is node mode: serve one partition until SIGINT/SIGTERM.
+func hostPartition(g *certify.Graph, crt *certify.Certificate, prop string, addrs []string,
+	part, parts int, roundTimeout time.Duration, logf func(string, ...any)) error {
+	if parts == 0 {
+		parts = len(addrs)
+	}
+	if parts != len(addrs) {
+		return fmt.Errorf("%d addresses for %d partitions", len(addrs), parts)
+	}
+	node, err := distnet.NewNode(distnet.NodeConfig{
+		Graph:        g,
+		Certificate:  crt,
+		Property:     prop,
+		Part:         part,
+		Parts:        parts,
+		Addr:         addrs[part],
+		RoundTimeout: roundTimeout,
+		Logf:         logf,
+	})
+	if err != nil {
+		return err
+	}
+	if err := node.Start(addrs); err != nil {
+		node.Close()
+		return err
+	}
+	fmt.Printf("vertexd: partition %d/%d on %s, property %s, cluster %016x\n",
+		part, parts, node.Addr(), node.Property(), node.ClusterFingerprint())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("vertexd: %s, shutting down\n", s)
+	return node.Close()
+}
+
+// coordinateCluster is coordinator mode: optionally inject a fault, then
+// run rounds to a verdict and report it.
+func coordinateCluster(g *certify.Graph, crt *certify.Certificate, prop string, addrs []string,
+	maxRounds int, inject string, injectPart int, seed int64, roundTimeout time.Duration,
+	logf func(string, ...any)) error {
+	coord, err := distnet.NewCoordinator(distnet.CoordinatorConfig{
+		Graph:        g,
+		Certificate:  crt,
+		Property:     prop,
+		Addrs:        addrs,
+		RoundTimeout: roundTimeout,
+		Logf:         logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	if inject == "" {
+		v, n, err := coord.RunUntilVerdict(ctx, maxRounds)
+		if err != nil {
+			return err
+		}
+		return reportVerdict(v, n, false)
+	}
+	if isTransportFault(inject) {
+		applied, detail, err := coord.InjectTransport(ctx, injectPart, inject, seed)
+		if err != nil {
+			return err
+		}
+		if !applied {
+			return fmt.Errorf("partition %d refused transport fault %s: %s", injectPart, inject, detail)
+		}
+		fmt.Printf("armed transport fault %s on partition %d: %s\n", inject, injectPart, detail)
+		v, n, err := coord.RunUntilVerdict(ctx, maxRounds)
+		if err != nil {
+			return err
+		}
+		// Liveness under transport faults: the cluster must still converge to
+		// the honest verdict, re-running any round the fault tore.
+		return reportVerdict(v, n, false)
+	}
+
+	// Memory fault: the full self-stabilization cycle. Corrupt one label in
+	// the partition's live memory, prove the cluster detects it within one
+	// complete round, heal, and prove the cluster accepts again.
+	applied, detail, err := coord.InjectMemory(ctx, injectPart, inject, seed)
+	if err != nil {
+		return err
+	}
+	if !applied {
+		return fmt.Errorf("partition %d refused memory fault %s: %s", injectPart, inject, detail)
+	}
+	fmt.Printf("injected memory fault %s into partition %d: %s\n", inject, injectPart, detail)
+	v, n, err := coord.RunUntilVerdict(ctx, maxRounds)
+	if err != nil {
+		return err
+	}
+	if v.Accepted {
+		return fmt.Errorf("injected fault %s went UNDETECTED — soundness violated", inject)
+	}
+	fmt.Printf("fault detected: %d vertices rejected %v after %d round(s)\n", v.RejectedTotal, v.Rejected, n)
+	if _, _, err := coord.Heal(ctx, injectPart); err != nil {
+		return err
+	}
+	fmt.Printf("healed partition %d\n", injectPart)
+	v, n, err = coord.RunUntilVerdict(ctx, maxRounds)
+	if err != nil {
+		return err
+	}
+	if !v.Accepted {
+		return fmt.Errorf("cluster still rejects after heal: %d vertices %v", v.RejectedTotal, v.Rejected)
+	}
+	fmt.Printf("recovered: ACCEPT at every vertex after %d round(s)\n", n)
+	return nil
+}
+
+func reportVerdict(v distnet.Verdict, rounds int, quiet bool) error {
+	if v.Accepted {
+		if !quiet {
+			fmt.Printf("verdict: ACCEPT at every vertex (round %d, %d round(s) run)\n", v.Round, rounds)
+		}
+		return nil
+	}
+	fmt.Printf("verdict: REJECT at %d vertices %v (round %d, %d round(s) run)\n", v.RejectedTotal, v.Rejected, v.Round, rounds)
+	return errRejected
+}
+
+func isTransportFault(name string) bool {
+	for _, t := range distnet.TransportFaults {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// loadCluster reads the graph and certificate files every cluster process
+// shares.
+func loadCluster(graphPath, format, certPath string) (*certify.Graph, *certify.Certificate, error) {
+	if graphPath == "" || certPath == "" {
+		return nil, nil, errors.New("-graph and -cert are required")
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	ioFormat, err := graphio.ParseFormat(format)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := graphio.Read(f, ioFormat)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", graphPath, err)
+	}
+	blob, err := os.ReadFile(certPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var crt certify.Certificate
+	if err := crt.UnmarshalBinary(blob); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", certPath, err)
+	}
+	return g, &crt, nil
+}

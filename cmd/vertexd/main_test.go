@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/certify"
+	"repro/certify/distnet"
+	"repro/certify/graphio"
+)
+
+// TestMain turns the test binary into vertexd when re-executed with
+// VERTEXD_CHILD=1, so the multi-process tests below get real OS processes
+// without building the command first.
+func TestMain(m *testing.M) {
+	if os.Getenv("VERTEXD_CHILD") == "1" {
+		if err := run(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "vertexd child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// writeFixture proves a ladder/bipartite certificate and writes the graph
+// and certificate files a vertexd cluster loads.
+func writeFixture(t *testing.T) (graphPath, certPath string, g *certify.Graph, crt *certify.Certificate) {
+	t.Helper()
+	g = certify.Ladder(8)
+	ps, err := certify.PropertiesByName("bipartite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := certify.New(certify.WithProperties(ps...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, stats, err := c.ProveBatch(context.Background(), g)
+	if err != nil || len(stats.Failed) > 0 {
+		t.Fatalf("prove: err=%v failed=%v", err, stats.Failed)
+	}
+
+	dir := t.TempDir()
+	graphPath = filepath.Join(dir, "g.txt")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g, graphio.FormatEdgeList); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := crt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	certPath = filepath.Join(dir, "proof.plsc")
+	if err := os.WriteFile(certPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return graphPath, certPath, g, crt
+}
+
+// freeAddrs reserves count loopback addresses by listening and closing.
+func freeAddrs(t *testing.T, count int) []string {
+	t.Helper()
+	addrs := make([]string, count)
+	lns := make([]net.Listener, count)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// spawnNode re-executes the test binary as a vertexd partition host.
+func spawnNode(t *testing.T, graphPath, certPath string, addrs []string, part int) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0],
+		"-graph", graphPath, "-cert", certPath,
+		"-addrs", strings.Join(addrs, ","), "-part", fmt.Sprint(part),
+		"-round-timeout", "1s", "-v")
+	cmd.Env = append(os.Environ(), "VERTEXD_CHILD=1")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn partition %d: %v", part, err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+// waitListening blocks until every address accepts connections.
+func waitListening(t *testing.T, addrs []string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, addr := range addrs {
+		for {
+			c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+			if err == nil {
+				c.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("partition on %s never came up: %v", addr, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+// TestMultiProcessCluster is the OS-process acceptance run: a 4-process
+// vertexd cluster over TCP must accept the honest labeling (matching the
+// in-process simulator), detect a live memory fault, heal, survive
+// kill-and-restart of one partition mid-sequence, and converge again.
+func TestMultiProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test")
+	}
+	graphPath, certPath, g, crt := writeFixture(t)
+	addrs := freeAddrs(t, 4)
+	procs := make([]*exec.Cmd, 4)
+	for i := range procs {
+		procs[i] = spawnNode(t, graphPath, certPath, addrs, i)
+	}
+	waitListening(t, addrs)
+
+	coord, err := distnet.NewCoordinator(distnet.CoordinatorConfig{
+		Graph:        g,
+		Certificate:  crt,
+		Addrs:        addrs,
+		RoundTimeout: 3 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	// Parity: the simulator accepts, so the process cluster must too.
+	c, err := certify.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyDistributed(ctx, g, crt); err != nil {
+		t.Fatalf("simulator rejects: %v", err)
+	}
+	v, rounds, err := coord.RunUntilVerdict(ctx, 8)
+	if err != nil {
+		t.Fatalf("cluster verdict: %v", err)
+	}
+	if !v.Accepted {
+		t.Fatalf("cluster rejects honest labeling: %v", v.Rejected)
+	}
+	t.Logf("clean accept in %d round(s)", rounds)
+
+	// Live fault in another process's memory: detect, heal, recover.
+	applied, detail, err := coord.InjectMemory(ctx, 1, "flip-class", 5)
+	if err != nil || !applied {
+		t.Fatalf("inject: applied=%v detail=%q err=%v", applied, detail, err)
+	}
+	if v, _, err = coord.RunUntilVerdict(ctx, 8); err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted {
+		t.Fatal("live fault in a separate process went undetected")
+	}
+	if _, _, err := coord.Heal(ctx, 1); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	if v, _, err = coord.RunUntilVerdict(ctx, 8); err != nil || !v.Accepted {
+		t.Fatalf("no recovery after heal: v=%+v err=%v", v, err)
+	}
+
+	// Kill one partition process mid-sequence: rounds abandon, never a false
+	// accept; a restarted process rejoins and the cluster converges.
+	if err := procs[2].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[2].Wait()
+	v, err = coord.RunRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Abandoned || v.Accepted {
+		t.Fatalf("round with killed process: %+v", v)
+	}
+
+	procs[2] = spawnNode(t, graphPath, certPath, addrs, 2)
+	waitListening(t, addrs[2:3])
+	v, rounds, err = coord.RunUntilVerdict(ctx, 8)
+	if err != nil {
+		t.Fatalf("no convergence after process restart: %v", err)
+	}
+	if !v.Accepted {
+		t.Fatalf("reject after restart: %v", v.Rejected)
+	}
+	t.Logf("converged %d round(s) after restart", rounds)
+
+	// Graceful shutdown: SIGTERM each node and collect exit status 0.
+	for i, p := range procs {
+		if err := p.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Errorf("signal %d: %v", i, err)
+		}
+	}
+	for i, p := range procs {
+		if err := p.Wait(); err != nil {
+			t.Errorf("partition %d exit: %v", i, err)
+		}
+	}
+}
+
+// TestCoordinateModeInjectCycle drives the coordinator mode of the binary
+// itself end to end: corrupt, detect, heal, recover, exit 0.
+func TestCoordinateModeInjectCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test")
+	}
+	graphPath, certPath, _, _ := writeFixture(t)
+	addrs := freeAddrs(t, 3)
+	for i := 0; i < 3; i++ {
+		spawnNode(t, graphPath, certPath, addrs, i)
+	}
+	waitListening(t, addrs)
+
+	runCoord := func(extra ...string) (string, error) {
+		args := append([]string{
+			"-coordinate", "-graph", graphPath, "-cert", certPath,
+			"-addrs", strings.Join(addrs, ","), "-round-timeout", "3s"}, extra...)
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Env = append(os.Environ(), "VERTEXD_CHILD=1")
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := runCoord()
+	if err != nil || !strings.Contains(out, "ACCEPT") {
+		t.Fatalf("clean coordinate run: err=%v out=%s", err, out)
+	}
+	out, err = runCoord("-inject", "erase-label", "-inject-part", "2", "-seed", "9")
+	if err != nil {
+		t.Fatalf("inject cycle failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"fault detected", "healed partition 2", "recovered: ACCEPT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inject cycle output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = runCoord("-inject", "drop", "-inject-part", "1")
+	if err != nil || !strings.Contains(out, "ACCEPT") {
+		t.Fatalf("transport fault run: err=%v out=%s", err, out)
+	}
+}

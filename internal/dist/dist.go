@@ -215,31 +215,14 @@ func (n *Network) runVertex(
 		return false, err
 	}
 
-	// Receive: the neighbor's copy of each shared edge label must agree
-	// with this processor's copy, or the round detects the corruption.
-	consistent := true
+	// Receive the neighbors' copies and decide through the shared round
+	// engine (the same decision rule the multi-process runtime applies to
+	// copies that crossed a real wire).
+	remote := make([]*core.EdgeLabel, len(neighbors))
 	for i := range neighbors {
-		got := outbox[n.rev[n.off[v]+i]]
-		if got.label != mine[i] && labelKey(got.label) != labelKey(mine[i]) {
-			consistent = false
-		}
+		remote[i] = outbox[n.rev[n.off[v]+i]].label
 	}
-
-	if !consistent {
-		return false, nil
-	}
-	view := &core.VertexView{
-		ID:       n.cfg.IDs[v],
-		Input:    n.cfg.Input(v),
-		Isolated: g.Degree(v) == 0,
-	}
-	for _, l := range mine {
-		if l == nil {
-			return false, nil // no label in memory for incident edge
-		}
-		view.Labels = append(view.Labels, l)
-	}
-	return scheme.VerifyAt(view), nil
+	return CheckVertex(scheme, n.cfg.IDs[v], n.cfg.Input(v), g.Degree(v) == 0, mine, remote), nil
 }
 
 // dartKey identifies a directed edge (one endpoint's outgoing half of an

@@ -1,0 +1,43 @@
+// The reusable round core: the per-processor decision rule shared by the
+// goroutine-per-vertex simulator (Network.Run) and the multi-process network
+// runtime (certify/distnet). Both runtimes stage the same verification
+// round — publish copies of incident edge labels, collect the neighbors'
+// copies, decide locally — and differ only in the transport that carries
+// the copies (in-memory outbox slots vs framed TCP messages).
+package dist
+
+import "repro/internal/core"
+
+// CheckVertex is the round-end decision of one processor: every neighbor's
+// copy of a shared edge label must agree with the processor's own copy
+// (asymmetric memory corruption is exactly a disagreement between the two
+// copies), every incident edge must have a label in memory, and the local
+// verifier of Theorem 1 must accept the assembled view.
+//
+// mine[i] is the processor's own copy of its i-th incident edge label and
+// remote[i] the copy its neighbor sent during the exchange, both in the
+// graph's neighbor order; nil means "no label in memory". Agreement compares
+// canonical encodings with a pointer-equality fast path, so honest
+// same-process copies cost O(1).
+func CheckVertex(scheme *core.Scheme, id uint64, input int, isolated bool, mine, remote []*core.EdgeLabel) bool {
+	if len(mine) != len(remote) {
+		return false
+	}
+	consistent := true
+	for i := range mine {
+		if remote[i] != mine[i] && labelKey(remote[i]) != labelKey(mine[i]) {
+			consistent = false
+		}
+	}
+	if !consistent {
+		return false
+	}
+	view := &core.VertexView{ID: id, Input: input, Isolated: isolated}
+	for _, l := range mine {
+		if l == nil {
+			return false // no label in memory for an incident edge
+		}
+		view.Labels = append(view.Labels, l)
+	}
+	return scheme.VerifyAt(view)
+}

@@ -63,6 +63,35 @@ func TestInjectDoesNotMutateInput(t *testing.T) {
 	}
 }
 
+// TestAllFaultsApplicableEveryFamily: every fault of the catalog is
+// injectable (Inject returns ok) on the honest labeling of every generator
+// family, and the corrupted labeling is rejected — no fault is vacuous on
+// any family, so the fault-injection experiments (E5, E12) and the distnet
+// fault controller exercise the full catalog everywhere.
+func TestAllFaultsApplicableEveryFamily(t *testing.T) {
+	for _, tc := range completenessCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			s := core.NewScheme(tc.prop, 8)
+			cfg := cert.NewConfig(tc.g)
+			labeling, _, err := s.Prove(cfg, nil)
+			if err != nil {
+				t.Fatalf("prove: %v", err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			for _, f := range AllFaults {
+				mutated, ok := Inject(rng, labeling, f)
+				if !ok {
+					t.Errorf("fault %v not applicable on family %s", f, tc.name)
+					continue
+				}
+				if core.AllAccept(s.Verify(cfg, mutated)) {
+					t.Errorf("fault %v undetected on family %s", f, tc.name)
+				}
+			}
+		})
+	}
+}
+
 // TestInjectNotInjectable: faults report ok=false on labelings that cannot
 // host them instead of silently returning an unchanged copy.
 func TestInjectNotInjectable(t *testing.T) {

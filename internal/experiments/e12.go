@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/certify"
+	"repro/certify/distnet"
+)
+
+// E12RoundRow is one point of the round-time-vs-partition-count series: a
+// fixed ladder workload verified by distnet clusters of 1, 2, 4, and 8
+// partitions over loopback TCP. The JSON tags define half the
+// BENCH_E12.json schema.
+type E12RoundRow struct {
+	Parts           int     `json:"parts"`
+	N               int     `json:"n"`
+	M               int     `json:"m"`
+	CutEdges        int     `json:"cut_edges"`
+	Rounds          int     `json:"rounds"`
+	MeanRoundMicros float64 `json:"mean_round_us"`
+	MinRoundMicros  float64 `json:"min_round_us"`
+	MaxRoundMicros  float64 `json:"max_round_us"`
+}
+
+// E12DetectRow is one point of the detection-latency-vs-fault-rate series:
+// a 4-partition cluster runs a fixed round schedule; before each round, with
+// probability Rate, one fault from the dist catalog is injected into a
+// random partition's live label memory. Detection latency is measured from
+// the injection to the first rejecting verdict — the paper's
+// self-stabilization claim is that it never exceeds one complete round.
+type E12DetectRow struct {
+	Rate               float64 `json:"rate"`
+	Rounds             int     `json:"rounds"`
+	Injected           int     `json:"injected"`
+	Detected           int     `json:"detected"`
+	MeanRoundsToDetect float64 `json:"mean_rounds_to_detect"`
+	MaxRoundsToDetect  int     `json:"max_rounds_to_detect"`
+	MeanDetectMicros   float64 `json:"mean_detect_us"`
+}
+
+// E12Result bundles both E12 series into the BENCH_E12.json document.
+type E12Result struct {
+	RoundTime []E12RoundRow  `json:"round_time"`
+	Detection []E12DetectRow `json:"detection"`
+}
+
+// e12Fixture proves the shared bipartite-ladder workload once.
+func e12Fixture(n int) (*certify.Graph, *certify.Certificate, error) {
+	g := certify.Ladder(n / 2)
+	prop, err := certify.PropertyByName("bipartite")
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := certify.New(certify.WithProperty(prop))
+	if err != nil {
+		return nil, nil, err
+	}
+	crt, stats, err := c.ProveBatch(context.Background(), g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("e12 prove: %w", err)
+	}
+	if len(stats.Failed) > 0 {
+		return nil, nil, fmt.Errorf("e12: properties %v do not hold", stats.Failed)
+	}
+	return g, crt, nil
+}
+
+// e12Cluster boots an in-process distnet cluster (real loopback TCP between
+// partitions) and a coordinator over it.
+func e12Cluster(g *certify.Graph, crt *certify.Certificate, parts int) ([]*distnet.Node, *distnet.Coordinator, func(), error) {
+	nodes := make([]*distnet.Node, parts)
+	addrs := make([]string, parts)
+	shutdown := func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}
+	for i := 0; i < parts; i++ {
+		n, err := distnet.NewNode(distnet.NodeConfig{
+			Graph: g, Certificate: crt, Part: i, Parts: parts, Addr: "127.0.0.1:0",
+		})
+		if err != nil {
+			shutdown()
+			return nil, nil, nil, err
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		if err := n.Start(addrs); err != nil {
+			shutdown()
+			return nil, nil, nil, err
+		}
+	}
+	coord, err := distnet.NewCoordinator(distnet.CoordinatorConfig{
+		Graph: g, Certificate: crt, Addrs: addrs,
+	})
+	if err != nil {
+		shutdown()
+		return nil, nil, nil, err
+	}
+	return nodes, coord, func() { coord.Close(); shutdown() }, nil
+}
+
+// E12RoundTime measures mean per-round wall time against the partition
+// count: more partitions mean more cut darts crossing TCP instead of
+// short-circuiting in memory.
+func E12RoundTime(n int, parts []int, rounds int) ([]E12RoundRow, error) {
+	g, crt, err := e12Fixture(n)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	var rows []E12RoundRow
+	for _, p := range parts {
+		_, coord, cleanup, err := e12Cluster(g, crt, p)
+		if err != nil {
+			return nil, fmt.Errorf("e12 parts=%d: %w", p, err)
+		}
+		row := E12RoundRow{Parts: p, N: g.N(), M: g.M(), Rounds: rounds}
+		for _, e := range g.Edges() {
+			if distnet.PartOf(e[0], g.N(), p) != distnet.PartOf(e[1], g.N(), p) {
+				row.CutEdges++
+			}
+		}
+		// One warm-up round establishes every peer and control connection.
+		if v, _, err := coord.RunUntilVerdict(ctx, 4); err != nil || !v.Accepted {
+			cleanup()
+			return nil, fmt.Errorf("e12 parts=%d warm-up: v=%+v err=%v", p, v, err)
+		}
+		var total float64
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			v, err := coord.RunRound(ctx)
+			us := float64(time.Since(start).Microseconds())
+			if err != nil {
+				cleanup()
+				return nil, fmt.Errorf("e12 parts=%d round: %w", p, err)
+			}
+			if v.Abandoned || !v.Accepted {
+				cleanup()
+				return nil, fmt.Errorf("e12 parts=%d: clean round not accepted: %+v", p, v)
+			}
+			total += us
+			if i == 0 || us < row.MinRoundMicros {
+				row.MinRoundMicros = us
+			}
+			if us > row.MaxRoundMicros {
+				row.MaxRoundMicros = us
+			}
+		}
+		row.MeanRoundMicros = total / float64(rounds)
+		rows = append(rows, row)
+		cleanup()
+	}
+	return rows, nil
+}
+
+// E12Detection measures fault-detection latency against the per-round fault
+// rate on a 4-partition cluster. Injected faults rotate through the dist
+// catalog; each is healed after detection so the rounds stay independent.
+func E12Detection(seed int64, n int, rates []float64, rounds int) ([]E12DetectRow, error) {
+	g, crt, err := e12Fixture(n)
+	if err != nil {
+		return nil, err
+	}
+	const parts = 4
+	ctx := context.Background()
+	faults := certify.FaultNames()
+	var rows []E12DetectRow
+	for _, rate := range rates {
+		rng := rand.New(rand.NewSource(seed))
+		_, coord, cleanup, err := e12Cluster(g, crt, parts)
+		if err != nil {
+			return nil, fmt.Errorf("e12 rate=%.2f: %w", rate, err)
+		}
+		if v, _, err := coord.RunUntilVerdict(ctx, 4); err != nil || !v.Accepted {
+			cleanup()
+			return nil, fmt.Errorf("e12 rate=%.2f warm-up: v=%+v err=%v", rate, v, err)
+		}
+		row := E12DetectRow{Rate: rate, Rounds: rounds}
+		var totalRounds, totalUS float64
+		faulty := false
+		var faultyPart, roundsSince int
+		var injectedAt time.Time
+		for i := 0; i < rounds; i++ {
+			if !faulty && rng.Float64() < rate {
+				fault := faults[row.Injected%len(faults)]
+				part := rng.Intn(parts)
+				applied, _, err := coord.InjectMemory(ctx, part, fault, rng.Int63())
+				if err != nil {
+					cleanup()
+					return nil, fmt.Errorf("e12 inject %s: %w", fault, err)
+				}
+				if applied {
+					faulty, faultyPart, roundsSince = true, part, 0
+					injectedAt = time.Now()
+					row.Injected++
+				}
+			}
+			v, err := coord.RunRound(ctx)
+			if err != nil {
+				cleanup()
+				return nil, fmt.Errorf("e12 rate=%.2f round: %w", rate, err)
+			}
+			if faulty {
+				roundsSince++ // abandoned rounds also count toward detection latency
+			}
+			if v.Abandoned {
+				continue
+			}
+			if faulty {
+				if !v.Accepted {
+					row.Detected++
+					totalRounds += float64(roundsSince)
+					totalUS += float64(time.Since(injectedAt).Microseconds())
+					if roundsSince > row.MaxRoundsToDetect {
+						row.MaxRoundsToDetect = roundsSince
+					}
+					if _, _, err := coord.Heal(ctx, faultyPart); err != nil {
+						cleanup()
+						return nil, fmt.Errorf("e12 heal: %w", err)
+					}
+					faulty = false
+				}
+			} else if !v.Accepted {
+				cleanup()
+				return nil, fmt.Errorf("e12 rate=%.2f: spurious reject with no fault: %+v", rate, v)
+			}
+		}
+		if row.Detected > 0 {
+			row.MeanRoundsToDetect = totalRounds / float64(row.Detected)
+			row.MeanDetectMicros = totalUS / float64(row.Detected)
+		}
+		if row.Injected > row.Detected {
+			cleanup()
+			return nil, fmt.Errorf("e12 rate=%.2f: %d of %d faults undetected by the end of the schedule",
+				rate, row.Injected-row.Detected, row.Injected)
+		}
+		rows = append(rows, row)
+		cleanup()
+	}
+	return rows, nil
+}
+
+// PrintE12 renders both E12 series.
+func PrintE12(w io.Writer, res E12Result) {
+	fmt.Fprintf(w, "E12 Distributed verification over TCP (bipartite ladder)\n")
+	fmt.Fprintf(w, "round time vs partition count\n")
+	fmt.Fprintf(w, "%6s %8s %8s %10s %14s %12s %12s\n",
+		"parts", "n", "m", "cut edges", "mean[us]", "min[us]", "max[us]")
+	for _, r := range res.RoundTime {
+		fmt.Fprintf(w, "%6d %8d %8d %10d %14.0f %12.0f %12.0f\n",
+			r.Parts, r.N, r.M, r.CutEdges, r.MeanRoundMicros, r.MinRoundMicros, r.MaxRoundMicros)
+	}
+	fmt.Fprintf(w, "detection latency vs fault rate (4 partitions)\n")
+	fmt.Fprintf(w, "%6s %8s %9s %9s %14s %13s %13s\n",
+		"rate", "rounds", "injected", "detected", "rounds-to-det", "max rounds", "detect[us]")
+	for _, r := range res.Detection {
+		fmt.Fprintf(w, "%6.2f %8d %9d %9d %14.2f %13d %13.0f\n",
+			r.Rate, r.Rounds, r.Injected, r.Detected, r.MeanRoundsToDetect, r.MaxRoundsToDetect, r.MeanDetectMicros)
+	}
+}
