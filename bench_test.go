@@ -10,11 +10,68 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/algebra"
+	"repro/internal/cert"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/interval"
 )
 
 // benchOut receives the regenerated tables (printed once per benchmark).
 var benchOut io.Writer = os.Stdout
+
+// BenchmarkBuildStructure measures the structure pipeline (decomposition →
+// lanes → transcript → hierarchy) on a path, sequential vs all cores. The
+// allocation count is the pin for the arena-backed id sequences.
+func BenchmarkBuildStructure(b *testing.B) {
+	g := graph.PathGraph(4096)
+	pd := interval.OrderingDecomposition(g, interval.HeuristicOrdering(g))
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := cert.NewConfig(g)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := core.BuildStructureOpts(cfg, pd, core.StructureOptions{Parallelism: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProveWith measures the algebra sweep and label build over a
+// prebuilt structure, sequential vs all cores. Both variants produce
+// byte-identical labels (pinned by TestProveByteIdenticalAcrossWorkers in
+// internal/core); this benchmark is the throughput side of that guarantee.
+func BenchmarkProveWith(b *testing.B) {
+	g := graph.PathGraph(4096)
+	pd := interval.OrderingDecomposition(g, interval.HeuristicOrdering(g))
+	cfg := cert.NewConfig(g)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := core.NewScheme(algebra.Colorable{Q: 2}, 4)
+				s.Workers = bc.workers
+				sp, err := core.BuildStructureOpts(cfg, pd, core.StructureOptions{Parallelism: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := s.ProveWith(sp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkE1LabelSizeVsBaseline regenerates the Theorem 1 vs FMRT label
 // size comparison (Θ(log n) vs Θ(log² n)).

@@ -42,7 +42,7 @@ type Certifier struct {
 	props       []Property
 	maxLanes    int
 	paper       bool
-	parallel    bool
+	parallelism int
 	concurrency int
 }
 
@@ -101,12 +101,19 @@ func WithPaperConstruction(on bool) Option {
 	}
 }
 
-// WithParallelism toggles the parallel per-vertex verifier (a worker pool
-// over vertex chunks; verdict-identical to the sequential sweep). On by
-// default; turn it off to verify on the calling goroutine only.
-func WithParallelism(on bool) Option {
+// WithParallelism bounds the worker count of every parallel stage the
+// certifier runs — the structure build (lane embedding, hierarchy
+// validation, artifact derivation), each property's proving pass (class
+// sweep, entry and label assembly) and the per-vertex verifier. 0 (the
+// default) means NumCPU; 1 forces the sequential code paths everywhere.
+// Output never depends on the value: certificates are byte-identical and
+// verification verdict-identical at every parallelism level.
+func WithParallelism(n int) Option {
 	return func(c *Certifier) error {
-		c.parallel = on
+		if n < 0 {
+			return fmt.Errorf("certify: parallelism must be ≥ 0, got %d", n)
+		}
+		c.parallelism = n
 		return nil
 	}
 }
@@ -128,7 +135,7 @@ func WithConcurrency(workers int) Option {
 // valid for Verify/VerifyDistributed (certificates are self-describing);
 // Prove and ProveBatch require configured properties.
 func New(opts ...Option) (*Certifier, error) {
-	c := &Certifier{maxLanes: DefaultMaxLanes, parallel: true}
+	c := &Certifier{maxLanes: DefaultMaxLanes}
 	for _, opt := range opts {
 		if err := opt(c); err != nil {
 			return nil, err
@@ -225,6 +232,7 @@ func (c *Certifier) newBatch() (*core.Batch, error) {
 		MaxLanes:             c.maxLanes,
 		UsePaperConstruction: c.paper,
 		Workers:              c.concurrency,
+		Parallelism:          c.parallelism,
 	})
 }
 
@@ -264,7 +272,7 @@ func (c *Certifier) ProveBatch(ctx context.Context, g *Graph) (*Certificate, *Ba
 }
 
 // Verify checks the certificate against the graph: every property, at every
-// vertex, using the parallel verifier unless WithParallelism(false). It
+// vertex, using the parallel verifier unless WithParallelism(1). It
 // returns nil when all vertices accept, ErrWrongGraph when the certificate
 // was issued for a different configuration, a *VerifyError (matching
 // ErrVerifyFailed) naming the rejecting vertices otherwise, and ctx.Err()
@@ -279,10 +287,10 @@ func (c *Certifier) Verify(ctx context.Context, g *Graph, crt *Certificate) erro
 		scheme := crt.schemes[name]
 		var verdicts []bool
 		var verr error
-		if c.parallel {
-			verdicts, verr = scheme.VerifyParallelCtx(ctx, cfg, crt.labelings[name])
-		} else {
+		if c.parallelism == 1 {
 			verdicts, verr = scheme.VerifyCtx(ctx, cfg, crt.labelings[name])
+		} else {
+			verdicts, verr = scheme.VerifyParallelCtx(ctx, cfg, crt.labelings[name])
 		}
 		if verr != nil {
 			return verr
@@ -367,7 +375,10 @@ func (c *Certifier) BuildStructure(ctx context.Context, g *Graph) (*Structure, e
 	if err != nil {
 		return nil, err
 	}
-	sp, err := core.BuildStructureCtx(ctx, cfg, nil, core.StructureOptions{UsePaperConstruction: c.paper})
+	sp, err := core.BuildStructureCtx(ctx, cfg, nil, core.StructureOptions{
+		UsePaperConstruction: c.paper,
+		Parallelism:          c.parallelism,
+	})
 	if err != nil {
 		return nil, translateProveErr(err)
 	}

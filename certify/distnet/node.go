@@ -616,7 +616,14 @@ func (n *Node) runRound(r uint64) verdictMsg {
 
 	n.roundMu.Lock()
 	complete := st.completed || len(n.needFrom) == 0
-	got := st.got
+	// Shallow-copy the receive table: a straggling duplicate frame may make
+	// deliver overwrite st.got[from] while the verification loop below reads
+	// it outside the lock. Inner maps are filed whole and never mutated
+	// after delivery, so copying the outer map alone is race-free.
+	got := make(map[int]map[graph.Edge]*core.EdgeLabel, len(st.got))
+	for from, labels := range st.got {
+		got[from] = labels
+	}
 	n.roundMu.Unlock()
 	if !complete {
 		return verdictMsg{round: r, incomplete: true}

@@ -1,0 +1,90 @@
+package certify
+
+// WithParallelism is a throughput knob with no observable semantics: the
+// certificate bytes and the reported stats must be identical at every
+// parallelism level, on every generator family. These tests are the public
+// face of the byte-identity guarantee the core prover pins internally.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+func TestProveByteIdenticalAcrossParallelism(t *testing.T) {
+	ctx := context.Background()
+	levels := []int{1, 2, runtime.NumCPU()}
+	for name, fc := range families() {
+		t.Run(name, func(t *testing.T) {
+			var refBlob []byte
+			var refStats *Stats
+			for _, p := range levels {
+				c, err := New(WithProperty(mustProp(t, fc.prop)), WithParallelism(p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				crt, stats, err := c.Prove(ctx, fc.g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob, err := crt.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Verify(ctx, fc.g, crt); err != nil {
+					t.Fatalf("parallelism %d: verify: %v", p, err)
+				}
+				if refBlob == nil {
+					refBlob, refStats = blob, stats
+					continue
+				}
+				if string(blob) != string(refBlob) {
+					t.Fatalf("parallelism %d: certificate bytes differ from parallelism %d", p, levels[0])
+				}
+				if *stats != *refStats {
+					t.Fatalf("parallelism %d: stats %+v differ from parallelism %d stats %+v", p, *stats, levels[0], *refStats)
+				}
+			}
+		})
+	}
+}
+
+func TestWithParallelismValidation(t *testing.T) {
+	if _, err := New(WithParallelism(-1)); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	for _, p := range []int{0, 1, 2, runtime.NumCPU()} {
+		if _, err := New(WithParallelism(p)); err != nil {
+			t.Fatalf("parallelism %d rejected: %v", p, err)
+		}
+	}
+}
+
+// TestParallelismOneSequentialVerify checks the documented contract that
+// parallelism 1 routes Verify through the sequential verifier (and that the
+// verdict matches the parallel one on both accept and reject inputs).
+func TestParallelismOneSequentialVerify(t *testing.T) {
+	ctx := context.Background()
+	g := Path(24)
+	prover, err := New(WithProperty(mustProp(t, "acyclic")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, _, err := prover.Prove(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 0, 2} {
+		v, err := New(WithParallelism(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Verify(ctx, g, crt); err != nil {
+			t.Fatalf("parallelism %d: verify: %v", p, err)
+		}
+		// Wrong graph: every verifier must reject identically.
+		if err := v.Verify(ctx, Cycle(24), crt); err == nil {
+			t.Fatalf("parallelism %d: accepted certificate for wrong graph", p)
+		}
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -63,6 +65,9 @@ func run(args []string) error {
 		e10Level = fs.String("e10-levels", "1,2,4,8", "E10: comma-separated client concurrency levels")
 		e10Reqs  = fs.Int("e10-requests", 12, "E10: prove→fetch→verify round trips per client")
 		e10N     = fs.Int("e10-n", 256, "E10: approximate vertex count of the workload graph")
+		e8MaxN   = fs.Int("e8-max-n", 0, "E8: skip sweep sizes above this (0 = run the full sweep to 10⁶)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile after the selected experiments to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +79,32 @@ func run(args []string) error {
 	want := func(name string) bool { return selected[name] || selected["all"] }
 	out := os.Stdout
 	ran := false
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, ferr := os.Create(*memProf)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "bench:", ferr)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if perr := pprof.WriteHeapProfile(f); perr != nil {
+				fmt.Fprintln(os.Stderr, "bench:", perr)
+			}
+		}()
+	}
 
 	if want("e1") {
 		rows, err := experiments.E1LabelSize([]int{32, 128, 512, 2048, 8192})
@@ -157,7 +188,20 @@ func run(args []string) error {
 		ran = true
 	}
 	if want("e8") {
-		rows, err := experiments.E8Scaling([]int{64, 256, 1024, 4096, 16384})
+		ns := experiments.DefaultE8Ns
+		if *e8MaxN > 0 {
+			trimmed := make([]int, 0, len(ns))
+			for _, n := range ns {
+				if n <= *e8MaxN {
+					trimmed = append(trimmed, n)
+				}
+			}
+			ns = trimmed
+		}
+		if len(ns) == 0 {
+			return fmt.Errorf("-e8-max-n %d leaves no sweep sizes", *e8MaxN)
+		}
+		rows, err := experiments.E8Scaling(ns)
 		if err != nil {
 			return err
 		}

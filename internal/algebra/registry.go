@@ -51,6 +51,27 @@ func idBase(key string) int {
 func (r *Registry) Intern(c *Class) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.internLocked(c)
+}
+
+// InternAll interns every non-nil class of the batch under one lock
+// acquisition and returns their ids aligned with the input (0 at nil slots).
+// It is the bulk entry the prover uses after a class sweep: dense per-node
+// class tables resolve to dense per-node id tables without paying a mutex
+// round-trip per node.
+func (r *Registry) InternAll(classes []*Class) []int {
+	ids := make([]int, len(classes))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, c := range classes {
+		if c != nil {
+			ids[i] = r.internLocked(c)
+		}
+	}
+	return ids
+}
+
+func (r *Registry) internLocked(c *Class) int {
 	if id, ok := r.byPtr[c]; ok {
 		return id
 	}

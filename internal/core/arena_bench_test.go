@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+// entrySink keeps benchmarked entries live so the compiler cannot elide the
+// heap allocation (arena entries escape into the labeling in real use).
+var entrySink *NodeEntry
+
+// BenchmarkEntryAlloc compares arena-backed NodeEntry allocation against the
+// per-entry heap allocation it replaced. The arena amortizes one make per
+// 256 entries; the allocs/op column is the regression pin.
+func BenchmarkEntryAlloc(b *testing.B) {
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		var a entryArena
+		for i := 0; i < b.N; i++ {
+			e := a.alloc()
+			e.NodeID = i
+			entrySink = e
+		}
+	})
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := new(NodeEntry)
+			e.NodeID = i
+			entrySink = e
+		}
+	})
+}

@@ -27,6 +27,11 @@ type BatchOptions struct {
 	// Workers bounds the number of concurrent per-property labeling passes;
 	// 0 means GOMAXPROCS.
 	Workers int
+	// Parallelism bounds the worker count inside the shared structure build
+	// and inside each property pass (class sweep, entry and label assembly):
+	// 0 means GOMAXPROCS, 1 forces the sequential paths. Labelings are
+	// byte-identical for every value (see Scheme.Workers).
+	Parallelism int
 }
 
 // Batch certifies several properties of one configuration against a single
@@ -64,6 +69,7 @@ func NewBatch(props []algebra.Property, opts BatchOptions) (*Batch, error) {
 		}
 		s := NewScheme(prop, opts.MaxLanes)
 		s.UsePaperConstruction = opts.UsePaperConstruction
+		s.Workers = opts.Parallelism
 		b.schemes[name] = s
 		b.names = append(b.names, name)
 	}
@@ -109,7 +115,10 @@ func (b *Batch) ProveAll(cfg *cert.Config, pd *interval.PathDecomposition) (map[
 // ProveAllCtx is ProveAll honoring a context: cancellation reaches the
 // structure build and the per-property worker pool.
 func (b *Batch) ProveAllCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathDecomposition) (map[string]*Labeling, *BatchStats, error) {
-	sp, err := BuildStructureCtx(ctx, cfg, pd, StructureOptions{UsePaperConstruction: b.opts.UsePaperConstruction})
+	sp, err := BuildStructureCtx(ctx, cfg, pd, StructureOptions{
+		UsePaperConstruction: b.opts.UsePaperConstruction,
+		Parallelism:          b.opts.Parallelism,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -62,8 +62,14 @@ func TestProveAllByteIdenticalToIndependentProves(t *testing.T) {
 						name, stats.Failed[name])
 				}
 				st := stats.PerProperty[name]
-				if st == nil || *st != *refStats {
-					t.Fatalf("%s: stats differ: batch %+v vs independent %+v", name, st, refStats)
+				if st == nil {
+					t.Fatalf("%s: batch has no stats", name)
+				}
+				// Stage timings are wall-clock, never comparable across runs.
+				gotSt, wantSt := *st, *refStats
+				gotSt.Stages, wantSt.Stages = StageTimings{}, StageTimings{}
+				if gotSt != wantSt {
+					t.Fatalf("%s: stats differ: batch %+v vs independent %+v", name, gotSt, wantSt)
 				}
 				if len(got.Edges) != len(refLabeling.Edges) {
 					t.Fatalf("%s: edge count differs", name)

@@ -479,7 +479,7 @@ func (inc *Incremental) rebuild(ctx context.Context, edits []Edit, us *UpdateSta
 	for _, e := range edits {
 		dirty[graph.NewEdge(e.U, e.V)] = true
 	}
-	sp, err := assembleStructureReuse(inc.cfg, inc.pd, inc.part, c, te.Emb, h, inc.sp, firstDirty, dirty)
+	sp, err := assembleStructureReuse(inc.cfg, inc.pd, inc.part, c, te.Emb, h, inc.sp, firstDirty, dirty, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -12,8 +12,8 @@
 package core
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/bits"
@@ -78,7 +78,7 @@ func (c *encCache) materialize(raw func(*bits.Writer)) {
 		raw(&w)
 		c.data = w.Bytes()
 		c.nbits = w.Bits()
-		c.key = string(c.data) + fmt.Sprint(c.nbits)
+		c.key = string(c.data) + strconv.Itoa(c.nbits)
 	})
 }
 

@@ -1,0 +1,90 @@
+package core
+
+// Byte-identity pins for parallel proving: the worker count is a throughput
+// knob, never a semantic one. Every generator family must produce the exact
+// same labels, keys, and stats at workers 1 (the sequential reference path),
+// 2 (the smallest count that exercises the level-synchronized sweep and the
+// parallel label build), and 0 (= GOMAXPROCS, whatever the host has).
+
+import (
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/par"
+)
+
+func TestUseParallelSweep(t *testing.T) {
+	cases := []struct {
+		workers     int
+		incremental bool
+		want        bool
+	}{
+		{0, false, true}, // 0 resolves to GOMAXPROCS; parallel iff >1
+		{1, false, false},
+		{2, false, false}, // incremental overrides below
+		{2, true, false},
+		{8, false, true},
+		{8, true, false},
+		{-3, false, true}, // negative also resolves to GOMAXPROCS
+	}
+	for _, tc := range cases {
+		want := tc.want
+		if !tc.incremental && tc.workers != 1 {
+			// Non-incremental entries depend on the host's CPU count.
+			want = par.Workers(tc.workers) > 1
+		}
+		if got := useParallelSweep(tc.workers, tc.incremental); got != want {
+			t.Errorf("useParallelSweep(%d, %v) = %v, want %v", tc.workers, tc.incremental, got, want)
+		}
+	}
+}
+
+// TestProveByteIdenticalAcrossWorkers proves every regression family at
+// worker counts 1, 2, and 0 (=GOMAXPROCS) and checks the labelings are
+// key-identical edge for edge with identical stats. Workers 1 runs the
+// sequential recursion, so this pins the parallel sweep, the deferred
+// registry interning, and the parallel label build against the reference
+// bytes.
+func TestProveByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, tc := range regressionConfigs(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			prove := func(workers int) (*Labeling, *Stats) {
+				s := NewScheme(tc.prop, 8)
+				s.Workers = workers
+				cfg := cert.NewConfig(tc.g)
+				labeling, stats, err := s.Prove(cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return labeling, stats
+			}
+			refLab, refStats := prove(1)
+			for _, workers := range []int{2, 0} {
+				lab, stats := prove(workers)
+				// Stage timings are wall-clock, never comparable across runs.
+				s1, s2 := *refStats, *stats
+				s1.Stages, s2.Stages = StageTimings{}, StageTimings{}
+				if s1 != s2 {
+					t.Fatalf("workers=%d: stats differ from sequential: %+v vs %+v", workers, s2, s1)
+				}
+				if len(lab.Edges) != len(refLab.Edges) {
+					t.Fatalf("workers=%d: edge count %d, sequential has %d", workers, len(lab.Edges), len(refLab.Edges))
+				}
+				for e, want := range refLab.Edges {
+					got := lab.Edges[e]
+					if got == nil {
+						t.Fatalf("workers=%d: edge %v missing", workers, e)
+					}
+					if got.Key() != want.Key() {
+						t.Fatalf("workers=%d: edge %v label differs from sequential", workers, e)
+					}
+					gd, gb := EncodeLabel(got)
+					wd, wb := EncodeLabel(want)
+					if gb != wb || string(gd) != string(wd) {
+						t.Fatalf("workers=%d: edge %v encoding differs from sequential", workers, e)
+					}
+				}
+			}
+		})
+	}
+}

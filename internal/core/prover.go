@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/lanewidth"
+	"repro/internal/par"
 )
 
 // ErrPropertyFails is returned by Prove when the configuration does not
@@ -39,6 +41,13 @@ type Scheme struct {
 	// construction (worst-case congestion ≤ H(width)) instead of the greedy
 	// first-fit partition with shortest-path embeddings.
 	UsePaperConstruction bool
+	// Workers bounds the parallelism of the property pass — the class sweep,
+	// entry assembly and label construction: 0 means GOMAXPROCS, 1 forces the
+	// exact sequential path. Output is byte-identical for every value: class
+	// ids are content hashes whose collision ranks Registry.Canonicalize
+	// orders by content, so they depend only on the set of classes in the
+	// proof, never on sweep order (see DESIGN.md §10).
+	Workers int
 	// Reg interns homomorphism classes; it is shared by prover and verifier
 	// exactly as the finite class set C is part of the paper's algorithms.
 	Reg *algebra.Registry
@@ -79,6 +88,9 @@ type Stats struct {
 	HierarchyDepth  int
 	RegistryClasses int
 	MaxLabelBits    int
+	// Stages is the wall-clock stage breakdown: the structure build's
+	// pipeline stages plus this pass's sweep (classes, entries, labels).
+	Stages StageTimings
 }
 
 // Prove labels the configuration. The optional decomposition is used when
@@ -95,7 +107,10 @@ func (s *Scheme) Prove(cfg *cert.Config, pd *interval.PathDecomposition) (*Label
 // structure-building stages and periodically inside the class sweep, and the
 // call returns ctx.Err() promptly instead of completing the labeling.
 func (s *Scheme) ProveCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathDecomposition) (*Labeling, *Stats, error) {
-	sp, err := BuildStructureCtx(ctx, cfg, pd, StructureOptions{UsePaperConstruction: s.UsePaperConstruction})
+	sp, err := BuildStructureCtx(ctx, cfg, pd, StructureOptions{
+		UsePaperConstruction: s.UsePaperConstruction,
+		Parallelism:          s.Workers,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -153,7 +168,12 @@ func (s *Scheme) proveWith(ctx context.Context, sp *StructuralProof, prev *encod
 	}
 
 	// Section 6: homomorphism classes and certificates.
-	enc, err := s.buildEncoderReuse(ctx, sp, prev, ru)
+	workers := 1
+	if useParallelSweep(s.Workers, prev != nil) {
+		workers = par.Workers(s.Workers)
+	}
+	sweepStart := time.Now()
+	enc, err := s.buildEncoderReuse(ctx, sp, prev, ru, workers)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -166,7 +186,7 @@ func (s *Scheme) proveWith(ctx context.Context, sp *StructuralProof, prev *encod
 		return nil, nil, nil, ErrPropertyFails
 	}
 
-	labeling, err := enc.buildLabels(prev, prevLab, ru)
+	labeling, err := enc.buildLabels(prev, prevLab, ru, workers)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -177,7 +197,9 @@ func (s *Scheme) proveWith(ctx context.Context, sp *StructuralProof, prev *encod
 		HierarchyDepth:  sp.Hierarchy.Depth(),
 		RegistryClasses: s.Reg.Size(),
 		MaxLabelBits:    labeling.MaxBits(),
+		Stages:          sp.stages,
 	}
+	stats.Stages.SweepMillis = sinceMillis(sweepStart)
 	return labeling, stats, enc, nil
 }
 
@@ -200,6 +222,11 @@ type encoder struct {
 	classes []*algebra.Class // node id → class
 	merged  []*algebra.Class // member node id → Tree-merge(subtree) class
 	entries []*NodeEntry     // node id → entry
+	// classIDs/mergedIDs are the canonical registry ids of classes/merged,
+	// precomputed right after Canonicalize so entry assembly reads them
+	// without touching the registry (lock-free under the parallel sweep).
+	classIDs  []int
+	mergedIDs []int
 	// certs memoizes the completion-edge certificates buildLabels
 	// assembled, so the next incremental generation can reuse any whose
 	// root-to-owner entry path is unchanged.
@@ -207,12 +234,14 @@ type encoder struct {
 }
 
 // buildEncoderReuse computes classes bottom-up over the hierarchy and
-// assembles the node entries from the structure's shared artifacts. The
-// context is polled every few hundred nodes so cancellation aborts long
-// sweeps. When prev is non-nil (incremental re-proving), entries whose
+// assembles the node entries from the structure's shared artifacts. With
+// workers > 1 the sweep runs level-parallel over the structure's schedule
+// (see sweep.go); otherwise a sequential recursion from the root, polling the
+// context every few hundred nodes so cancellation aborts long sweeps. When
+// prev is non-nil (incremental re-proving, always sequential), entries whose
 // encoded content is provably unchanged are carried over from the previous
 // generation by pointer — see entryReusable for the exact conditions.
-func (s *Scheme) buildEncoderReuse(ctx context.Context, sp *StructuralProof, prev *encoder, ru *reuseCounters) (*encoder, error) {
+func (s *Scheme) buildEncoderReuse(ctx context.Context, sp *StructuralProof, prev *encoder, ru *reuseCounters, workers int) (*encoder, error) {
 	nn := len(sp.Hierarchy.Nodes)
 	enc := &encoder{
 		scheme:  s,
@@ -223,131 +252,178 @@ func (s *Scheme) buildEncoderReuse(ctx context.Context, sp *StructuralProof, pre
 	}
 
 	steps := 0
-	var classOf func(n *lanewidth.Node) (*algebra.Class, error)
-	classOf = func(n *lanewidth.Node) (*algebra.Class, error) {
-		if steps++; steps&255 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+	if workers > 1 {
+		if err := s.sweepParallel(ctx, enc, workers); err != nil {
+			return nil, err
 		}
-		if c := enc.classes[n.ID]; c != nil {
-			return c, nil
-		}
-		a := sp.art[n.ID]
-		var (
-			cls *algebra.Class
-			err error
-		)
-		switch n.Kind {
-		case lanewidth.VNode:
-			cls, err = s.baseV(n.Lanes[0], a.input)
-		case lanewidth.ENode:
-			cls, err = s.baseE(n.Lanes[0], a.realBits[0], a.vInputs)
-		case lanewidth.PNode:
-			cls, err = s.baseP(n.Lanes, a.realBits, a.vInputs)
-		case lanewidth.BNode:
-			var lc, rc *algebra.Class
-			lc, err = classOf(n.Left)
-			if err != nil {
-				return nil, err
-			}
-			rc, err = classOf(n.Right)
-			if err != nil {
-				return nil, err
-			}
-			bridgeLabel := 0
-			if a.bridgeReal {
-				bridgeLabel = algebra.EdgeReal
-			}
-			cls, err = s.bridgeMerge(lc, rc, n.LaneI, n.LaneJ, bridgeLabel)
-		case lanewidth.TNode:
-			members := sp.members[n.ID]
-			// Process in reverse pre-order so children fold before parents.
-			for i := len(members) - 1; i >= 0; i-- {
-				mi := members[i]
-				acc, merr := classOf(mi.Node)
-				if merr != nil {
-					return nil, merr
+	} else {
+		var classOf func(n *lanewidth.Node) (*algebra.Class, error)
+		classOf = func(n *lanewidth.Node) (*algebra.Class, error) {
+			if steps++; steps&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
 				}
-				for _, child := range mi.TreeChildren {
-					childMerged := enc.merged[child.ID]
-					if childMerged == nil {
-						return nil, fmt.Errorf("core: member %d folded before child %d", mi.Node.ID, child.ID)
-					}
-					acc, merr = s.parentMerge(childMerged, acc)
+			}
+			if c := enc.classes[n.ID]; c != nil {
+				return c, nil
+			}
+			a := sp.art[n.ID]
+			var (
+				cls *algebra.Class
+				err error
+			)
+			switch n.Kind {
+			case lanewidth.VNode:
+				cls, err = s.baseV(n.Lanes[0], a.input)
+			case lanewidth.ENode:
+				cls, err = s.baseE(n.Lanes[0], a.realBits[0], a.vInputs)
+			case lanewidth.PNode:
+				cls, err = s.baseP(n.Lanes, a.realBits, a.vInputs)
+			case lanewidth.BNode:
+				var lc, rc *algebra.Class
+				lc, err = classOf(n.Left)
+				if err != nil {
+					return nil, err
+				}
+				rc, err = classOf(n.Right)
+				if err != nil {
+					return nil, err
+				}
+				bridgeLabel := 0
+				if a.bridgeReal {
+					bridgeLabel = algebra.EdgeReal
+				}
+				cls, err = s.bridgeMerge(lc, rc, n.LaneI, n.LaneJ, bridgeLabel)
+			case lanewidth.TNode:
+				members := sp.members[n.ID]
+				// Process in reverse pre-order so children fold before parents.
+				for i := len(members) - 1; i >= 0; i-- {
+					mi := members[i]
+					acc, merr := classOf(mi.Node)
 					if merr != nil {
 						return nil, merr
 					}
+					for _, child := range mi.TreeChildren {
+						childMerged := enc.merged[child.ID]
+						if childMerged == nil {
+							return nil, fmt.Errorf("core: member %d folded before child %d", mi.Node.ID, child.ID)
+						}
+						acc, merr = s.parentMerge(childMerged, acc)
+						if merr != nil {
+							return nil, merr
+						}
+					}
+					enc.merged[mi.Node.ID] = acc
 				}
-				enc.merged[mi.Node.ID] = acc
+				cls = enc.merged[a.rootMember]
+			default:
+				return nil, fmt.Errorf("core: unknown node kind %v", n.Kind)
 			}
-			cls = enc.merged[a.rootMember]
-		default:
-			return nil, fmt.Errorf("core: unknown node kind %v", n.Kind)
+			if err != nil {
+				return nil, err
+			}
+			enc.classes[n.ID] = cls
+			return cls, nil
 		}
-		if err != nil {
+		if _, err := classOf(sp.Hierarchy.Root); err != nil {
 			return nil, err
 		}
-		enc.classes[n.ID] = cls
-		s.Reg.Intern(cls)
-		return cls, nil
 	}
-	if _, err := classOf(sp.Hierarchy.Root); err != nil {
-		return nil, err
-	}
-	// Intern the member-merge intermediates too (entry assembly references
-	// them via mergedID), then fix the registry numbering by class content.
-	// After this point every id the entries and labels encode depends only on
-	// the set of distinct classes in this proof — not on traversal order — so
-	// a local edit that introduces no new class leaves every id, and with it
-	// every clean entry and label byte, unchanged across generations.
-	for _, cls := range enc.merged {
-		if cls != nil {
-			s.Reg.Intern(cls)
-		}
-	}
+	// Intern the full class set — node classes and member-merge intermediates
+	// (entry assembly references the latter via mergedID) — then fix the
+	// registry numbering by class content and snapshot the canonical ids.
+	// Ids are content hashes with content-ordered collision ranks, so after
+	// Canonicalize they depend only on the set of distinct classes in this
+	// proof — not on sweep order (parallel and sequential agree) and not on
+	// traversal order across generations, so a local edit that introduces no
+	// new class leaves every id, and with it every clean entry and label
+	// byte, unchanged.
+	s.Reg.InternAll(enc.classes)
+	s.Reg.InternAll(enc.merged)
 	s.Reg.Canonicalize()
+	enc.classIDs = s.Reg.InternAll(enc.classes)
+	enc.mergedIDs = s.Reg.InternAll(enc.merged)
 
 	// Assemble entries for every node (V-nodes ride inside B summaries).
 	numEntries := 0
-	for _, n := range sp.Hierarchy.Nodes {
-		if steps++; steps&255 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	if workers > 1 {
+		// All entries are fresh on the parallel path (prev forces sequential):
+		// workers fill disjoint entry slots, each carving from its own arena.
+		arenas := make([]*entryArena, workers)
+		for w := range arenas {
+			arenas[w] = &entryArena{}
+		}
+		if err := par.ForErr(workers, nn, func(worker, i int) error {
+			n := sp.Hierarchy.Nodes[i]
+			if n.Kind == lanewidth.VNode {
+				return nil
 			}
-		}
-		if n.Kind == lanewidth.VNode {
-			continue
-		}
-		numEntries++
-		if prev != nil && n.ID < len(prev.entries) {
-			if pe := prev.entries[n.ID]; pe != nil && enc.entryReusable(n, pe, prev) {
-				enc.entries[n.ID] = pe
-				if ru != nil {
-					ru.ReusedEntries++
-				}
-				continue
+			entry, err := enc.entryFor(n, arenas[worker])
+			if err != nil {
+				return err
 			}
-		}
-		entry, err := enc.entryFor(n)
-		if err != nil {
+			enc.entries[n.ID] = entry
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		enc.entries[n.ID] = entry
+		// Materialize the canonical encodings concurrently (each entry's
+		// once-guard is hit by exactly one worker), then intern sequentially:
+		// the key pool sees a single writer, and every certificate referencing
+		// an entry shares its pooled key instance so the verifier's agreement
+		// checks stay pointer-equal string compares.
+		par.For(workers, nn, func(_, i int) {
+			if e := enc.entries[i]; e != nil {
+				e.cache.materialize(e.encodeRaw)
+			}
+		})
+		for _, e := range enc.entries {
+			if e != nil {
+				numEntries++
+				e.cache.key = s.internKey(e.cache.key)
+			}
+		}
+	} else {
+		var arena entryArena
+		for _, n := range sp.Hierarchy.Nodes {
+			if steps++; steps&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if n.Kind == lanewidth.VNode {
+				continue
+			}
+			numEntries++
+			if prev != nil && n.ID < len(prev.entries) {
+				if pe := prev.entries[n.ID]; pe != nil && enc.entryReusable(n, pe, prev) {
+					enc.entries[n.ID] = pe
+					if ru != nil {
+						ru.ReusedEntries++
+					}
+					continue
+				}
+			}
+			entry, err := enc.entryFor(n, &arena)
+			if err != nil {
+				return nil, err
+			}
+			enc.entries[n.ID] = entry
+		}
+		// Intern every entry's canonical encoding: all certificates referencing
+		// an entry share its single key instance, so the verifier's agreement
+		// checks are pointer-equal string compares. Entries carried over from
+		// the previous generation already hold their canonical key (the pool is
+		// shared across generations), so only fresh entries pay for encoding.
+		for _, e := range enc.entries {
+			if e == nil || e.cache.key != "" {
+				continue
+			}
+			e.cache.key = s.internKey(e.Key())
+		}
 	}
 	if ru != nil {
 		ru.TotalEntries += numEntries
-	}
-	// Intern every entry's canonical encoding: all certificates referencing
-	// an entry share its single key instance, so the verifier's agreement
-	// checks are pointer-equal string compares. Entries carried over from
-	// the previous generation already hold their canonical key (the pool is
-	// shared across generations), so only fresh entries pay for encoding.
-	for _, e := range enc.entries {
-		if e == nil || e.cache.key != "" {
-			continue
-		}
-		e.cache.key = s.internKey(e.Key())
 	}
 	return enc, nil
 }
@@ -417,17 +493,8 @@ func (enc *encoder) entryReusable(n *lanewidth.Node, pe *NodeEntry, prev *encode
 	return true
 }
 
-func (enc *encoder) classID(nodeID int) int {
-	return enc.scheme.Reg.Intern(enc.classes[nodeID])
-}
-
-func (enc *encoder) mergedID(nodeID int) int {
-	cls := enc.merged[nodeID]
-	if cls == nil {
-		return 0
-	}
-	return enc.scheme.Reg.Intern(cls)
-}
+func (enc *encoder) classID(nodeID int) int  { return enc.classIDs[nodeID] }
+func (enc *encoder) mergedID(nodeID int) int { return enc.mergedIDs[nodeID] }
 
 // childSummary assembles the Lemma 6.5 summary of a folded member: its
 // structural maps are shared with the artifact, only the class id is
@@ -447,26 +514,30 @@ func (enc *encoder) childSummary(nodeID int) ChildSummary {
 
 // entryFor fills one node's entry: all identifier and payload data aliases
 // the structure's artifact (read-only), the class ids come from this pass.
-func (enc *encoder) entryFor(n *lanewidth.Node) (*NodeEntry, error) {
+// The entry itself comes from the arena (fields assigned individually — the
+// embedded cache holds sync.Onces that must not be copied over).
+func (enc *encoder) entryFor(n *lanewidth.Node, arena *entryArena) (*NodeEntry, error) {
 	a := enc.sp.art[n.ID]
-	e := &NodeEntry{
-		NodeID:   n.ID,
-		Kind:     n.Kind,
-		Lanes:    a.lanes,
-		InIDs:    a.inIDs,
-		OutIDs:   a.outIDs,
-		ClassID:  enc.classID(n.ID),
-		ParentID: -1,
-		inSeq:    a.inSeq,
-		outSeq:   a.outSeq,
-	}
+	e := arena.alloc()
+	e.NodeID = n.ID
+	e.Kind = n.Kind
+	e.Lanes = a.lanes
+	e.InIDs = a.inIDs
+	e.OutIDs = a.outIDs
+	e.ClassID = enc.classID(n.ID)
+	e.ParentID = -1
+	e.inSeq = a.inSeq
+	e.outSeq = a.outSeq
 	if a.member {
 		e.ParentID = a.parentID
 		e.MergedOutIDs = a.mergedOutIDs
 		e.mergedOutSeq = a.mergedOutSeq
 		e.MergedClassID = enc.mergedID(n.ID)
-		for _, childID := range a.treeChildren {
-			e.Children = append(e.Children, enc.childSummary(childID))
+		if len(a.treeChildren) > 0 {
+			e.Children = make([]ChildSummary, 0, len(a.treeChildren))
+			for _, childID := range a.treeChildren {
+				e.Children = append(e.Children, enc.childSummary(childID))
+			}
 		}
 	}
 	switch n.Kind {
@@ -503,13 +574,48 @@ func (enc *encoder) entryFor(n *lanewidth.Node) (*NodeEntry, error) {
 	return e, nil
 }
 
+// buildCert assembles one completion edge's certificate from the entry
+// table: the memo- and reuse-free core of certOf, safe for concurrent calls
+// on distinct edges (it only reads shared state).
+func (enc *encoder) buildCert(e graph.Edge) (*CEdgeLabel, error) {
+	owner, ok := enc.sp.owners[e]
+	if !ok {
+		return nil, fmt.Errorf("core: completion edge %v has no owner", e)
+	}
+	cl := &CEdgeLabel{}
+	for _, n := range owner.NodePath() {
+		entry := enc.entries[n.ID]
+		if entry == nil {
+			return nil, fmt.Errorf("core: node %d has no entry", n.ID)
+		}
+		cl.Path = append(cl.Path, entry)
+	}
+	if owner.Kind == lanewidth.PNode {
+		pos := -1
+		for i := 0; i+1 < len(owner.PathVs); i++ {
+			if graph.NewEdge(owner.PathVs[i], owner.PathVs[i+1]) == e {
+				pos = i
+				break
+			}
+		}
+		if pos == -1 {
+			return nil, fmt.Errorf("core: edge %v not on owner path", e)
+		}
+		cl.OwnerPos = pos
+	}
+	return cl, nil
+}
+
 // buildLabels assembles the per-edge labels: own certificates on real
 // edges, embedding entries for virtual edges, and root-anchor pointing.
 // When prev/prevLab are non-nil (incremental re-proving), certificates and
 // whole edge labels that came out content-identical to the previous
 // generation's are swapped for the previous instances, so their memoized
 // canonical encodings carry over; the labeling is byte-identical either way.
-func (enc *encoder) buildLabels(prev *encoder, prevLab *Labeling, ru *reuseCounters) (*Labeling, error) {
+// With workers > 1 (fresh proves only) the certificates are pre-built
+// concurrently; each certificate's content depends only on its edge's owner
+// path, so the pre-built map is identical to the sequential memo.
+func (enc *encoder) buildLabels(prev *encoder, prevLab *Labeling, ru *reuseCounters, workers int) (*Labeling, error) {
 	sp := enc.sp
 	orig := sp.Cfg.G
 	owners := sp.owners
@@ -519,34 +625,33 @@ func (enc *encoder) buildLabels(prev *encoder, prevLab *Labeling, ru *reuseCount
 	// built once no matter how many labels carry it.
 	certs := make(map[graph.Edge]*CEdgeLabel, len(owners))
 	enc.certs = certs
+	if prev == nil && workers > 1 {
+		// Real and virtual edges partition the completion edge set, so this
+		// covers every edge certOf will be asked for below.
+		edges := make([]graph.Edge, 0, len(owners))
+		for e := range orig.EdgesSeq() {
+			edges = append(edges, e)
+		}
+		edges = append(edges, sp.Completion.Virtual...)
+		built := make([]*CEdgeLabel, len(edges))
+		if err := par.ForErr(workers, len(edges), func(_, i int) error {
+			cl, err := enc.buildCert(edges[i])
+			built[i] = cl
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		for i, e := range edges {
+			certs[e] = built[i]
+		}
+	}
 	certOf := func(e graph.Edge) (*CEdgeLabel, error) {
 		if cl, ok := certs[e]; ok {
 			return cl, nil
 		}
-		owner, ok := owners[e]
-		if !ok {
-			return nil, fmt.Errorf("core: completion edge %v has no owner", e)
-		}
-		cl := &CEdgeLabel{}
-		for _, n := range owner.NodePath() {
-			entry := enc.entries[n.ID]
-			if entry == nil {
-				return nil, fmt.Errorf("core: node %d has no entry", n.ID)
-			}
-			cl.Path = append(cl.Path, entry)
-		}
-		if owner.Kind == lanewidth.PNode {
-			pos := -1
-			for i := 0; i+1 < len(owner.PathVs); i++ {
-				if graph.NewEdge(owner.PathVs[i], owner.PathVs[i+1]) == e {
-					pos = i
-					break
-				}
-			}
-			if pos == -1 {
-				return nil, fmt.Errorf("core: edge %v not on owner path", e)
-			}
-			cl.OwnerPos = pos
+		cl, err := enc.buildCert(e)
+		if err != nil {
+			return nil, err
 		}
 		if prev != nil {
 			if pcl, ok := prev.certs[e]; ok && certShallowEqual(cl, pcl) {

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/lanes"
 	"repro/internal/lanewidth"
+	"repro/internal/par"
 )
 
 // StructureOptions selects how the property-independent structure is built.
@@ -18,6 +21,28 @@ type StructureOptions struct {
 	// construction (worst-case congestion ≤ H(width)) instead of the greedy
 	// first-fit partition with shortest-path embeddings.
 	UsePaperConstruction bool
+	// Parallelism bounds the worker count of the build's parallel stages
+	// (embedding, hierarchy validation, artifact derivation): 0 means
+	// GOMAXPROCS, 1 forces the sequential path. The structure is identical
+	// for every value.
+	Parallelism int
+}
+
+// StageTimings is the wall-clock breakdown of one prove, in milliseconds:
+// the structure build's pipeline stages (decomposition, lane construction,
+// lanewidth transcript, hierarchy + artifact assembly) plus the property
+// pass's class sweep. Build stages are recorded on the StructuralProof and
+// copied into every Stats derived from it; Sweep is per property pass.
+type StageTimings struct {
+	DecomposeMillis  float64 `json:"decompose_ms"`
+	LanesMillis      float64 `json:"lanes_ms"`
+	TranscriptMillis float64 `json:"transcript_ms"`
+	HierarchyMillis  float64 `json:"hierarchy_ms"`
+	SweepMillis      float64 `json:"sweep_ms"`
+}
+
+func sinceMillis(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
 }
 
 // StructuralProof is the property-independent half of the Theorem 1 prover:
@@ -60,7 +85,21 @@ type StructuralProof struct {
 	// art holds the property-independent slice of each node's label entry,
 	// indexed by node id.
 	art []*nodeArtifact
+
+	// stages records the build stages' wall clock (SweepMillis stays zero
+	// here; each property pass fills its own copy).
+	stages StageTimings
+
+	// plan is the class sweep's dependency schedule, derived lazily from the
+	// hierarchy on first parallel ProveWith and shared by every property pass
+	// over this structure (see sweepPlan).
+	planOnce sync.Once
+	plan     *sweepPlan
 }
+
+// Stages returns the build stages' wall-clock breakdown (SweepMillis is zero;
+// it is measured per property pass and reported in Stats).
+func (sp *StructuralProof) Stages() StageTimings { return sp.stages }
 
 // nodeArtifact is the property-independent part of one hierarchy node's
 // NodeEntry: identifier maps, lane sets, payload identifiers, real bits and
@@ -135,6 +174,9 @@ func BuildStructureCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathD
 	if !g.Connected() {
 		return nil, errors.New("core: graph must be connected")
 	}
+	workers := par.Workers(opts.Parallelism)
+	var stages StageTimings
+	stageStart := time.Now()
 	if pd == nil {
 		var derr error
 		pd, derr = interval.Decompose(g)
@@ -146,36 +188,48 @@ func BuildStructureCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathD
 		return nil, fmt.Errorf("core: decomposition: %w", err)
 	}
 	r := pd.ToIntervals(g.N())
+	stages.DecomposeMillis = sinceMillis(stageStart)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Section 4: lane partition + completion + embedding.
-	p, c, emb, err := lanes.Build(g, r, opts.UsePaperConstruction)
+	stageStart = time.Now()
+	p, c, emb, err := lanes.BuildP(g, r, opts.UsePaperConstruction, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: lane construction: %w", err)
 	}
+	stages.LanesMillis = sinceMillis(stageStart)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Section 5: lanewidth transcript and hierarchical decomposition.
+	stageStart = time.Now()
 	log, err := lanewidth.FromCompletion(g, r, p)
 	if err != nil {
 		return nil, fmt.Errorf("core: transcript: %w", err)
 	}
+	stages.TranscriptMillis = sinceMillis(stageStart)
+	stageStart = time.Now()
 	h, err := lanewidth.BuildHierarchy(c.Graph, log)
 	if err != nil {
 		return nil, fmt.Errorf("core: hierarchy: %w", err)
 	}
-	if err := h.Validate(); err != nil {
+	if err := h.ValidateP(workers); err != nil {
 		return nil, fmt.Errorf("core: hierarchy invalid: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	return assembleStructure(cfg, pd, p, c, emb, h)
+	sp, err := assembleStructureP(cfg, pd, p, c, emb, h, workers)
+	if err != nil {
+		return nil, err
+	}
+	stages.HierarchyMillis = sinceMillis(stageStart)
+	sp.stages = stages
+	return sp, nil
 }
 
 // assembleStructure packs the pipeline stages into a StructuralProof and
@@ -184,7 +238,16 @@ func BuildStructureCtx(ctx context.Context, cfg *cert.Config, pd *interval.PathD
 // rebuild (incremental.go), so the two produce identical structures from
 // identical stages.
 func assembleStructure(cfg *cert.Config, pd *interval.PathDecomposition, p *lanes.Partition, c *lanes.Completion, emb lanes.Embedding, h *lanewidth.Hierarchy) (*StructuralProof, error) {
-	return assembleStructureReuse(cfg, pd, p, c, emb, h, nil, 0, nil)
+	return assembleStructureReuse(cfg, pd, p, c, emb, h, nil, 0, nil, 1)
+}
+
+// assembleStructureP is assembleStructure distributed over a worker pool:
+// the member folds and artifact derivation run on workers goroutines, and
+// the three mutually independent table builds (artifacts, embedding
+// orientation, root pointing) overlap. Output is identical to the
+// sequential assembly for every workers value.
+func assembleStructureP(cfg *cert.Config, pd *interval.PathDecomposition, p *lanes.Partition, c *lanes.Completion, emb lanes.Embedding, h *lanewidth.Hierarchy, workers int) (*StructuralProof, error) {
+	return assembleStructureReuse(cfg, pd, p, c, emb, h, nil, 0, nil, workers)
 }
 
 // assembleStructureReuse is assembleStructure carrying per-node state over
@@ -195,11 +258,12 @@ func assembleStructure(cfg *cert.Config, pd *interval.PathDecomposition, p *lane
 // the generation's edit batch touched (in either direction); any node owning
 // one is rebuilt regardless of the mark, since its real bits read the edited
 // adjacency. With prev nil the call is exactly assembleStructure.
-func assembleStructureReuse(cfg *cert.Config, pd *interval.PathDecomposition, p *lanes.Partition, c *lanes.Completion, emb lanes.Embedding, h *lanewidth.Hierarchy, prev *StructuralProof, first int, dirty map[graph.Edge]bool) (*StructuralProof, error) {
+func assembleStructureReuse(cfg *cert.Config, pd *interval.PathDecomposition, p *lanes.Partition, c *lanes.Completion, emb lanes.Embedding, h *lanewidth.Hierarchy, prev *StructuralProof, first int, dirty map[graph.Edge]bool, workers int) (*StructuralProof, error) {
 	g := cfg.G
 	if prev == nil {
 		first = 0
 	}
+	workers = par.Workers(workers)
 	sp := &StructuralProof{
 		Cfg:        cfg,
 		PD:         pd,
@@ -210,12 +274,33 @@ func assembleStructureReuse(cfg *cert.Config, pd *interval.PathDecomposition, p 
 		congestion: emb.Congestion(),
 		graphGen:   g.Generation(),
 		owners:     h.EdgeOwners(),
-		members:    h.MembersByTNodeFrom(first),
+		members:    h.MembersByTNodeFromP(first, workers),
 	}
 	// Warm the graph's lazily cached edge order while construction is still
 	// single-threaded; concurrent ProveWith calls then only read it.
 	g.EdgesSeq()
-	if err := sp.buildArtifactsReuse(prev, first, dirty); err != nil {
+	if prev == nil && workers > 1 {
+		// The three table builds read disjoint inputs (artifacts walk the
+		// hierarchy, orientation the embedding, pointing the graph) and write
+		// disjoint fields, so they overlap; artifact derivation additionally
+		// fans out over the pool internally.
+		var (
+			wg         sync.WaitGroup
+			oErr, pErr error
+		)
+		wg.Add(2)
+		go func() { defer wg.Done(); oErr = sp.orientEmbedding() }()
+		go func() { defer wg.Done(); pErr = sp.buildPointing() }()
+		aErr := sp.buildArtifactsReuse(nil, 0, nil, workers)
+		wg.Wait()
+		for _, err := range []error{aErr, oErr, pErr} {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return sp, nil
+	}
+	if err := sp.buildArtifactsReuse(prev, first, dirty, 1); err != nil {
 		return nil, err
 	}
 	if err := sp.orientEmbedding(); err != nil {
@@ -227,15 +312,33 @@ func assembleStructureReuse(cfg *cert.Config, pd *interval.PathDecomposition, p 
 	return sp, nil
 }
 
-// buildArtifacts derives the per-node boundary/order tables every labeling
-// shares: identifier maps in lane order, member folds, and the E-/P-node
-// path payloads with their real bits and input labels.
-func (sp *StructuralProof) buildArtifacts() error {
-	return sp.buildArtifactsReuse(nil, 0, nil)
+// u64Arena carves small []uint64 views out of slab blocks, replacing the
+// three tiny allocations per hierarchy node the lane-ordered id sequences
+// used to cost. Views escape into the long-lived artifacts, so blocks are
+// simply abandoned to the structure's lifetime rather than reclaimed.
+type u64Arena struct{ block []uint64 }
+
+func (a *u64Arena) alloc(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if len(a.block) < n {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		a.block = make([]uint64, size)
+	}
+	s := a.block[:n:n]
+	a.block = a.block[n:]
+	return s
 }
 
-// buildArtifactsReuse is buildArtifacts with three escalating levels of
-// carry-over from a previous generation (nil prev disables all three):
+// buildArtifactsReuse derives the per-node boundary/order tables every
+// labeling shares — identifier maps in lane order, member folds, and the
+// E-/P-node path payloads with their real bits and input labels — with three
+// escalating levels of carry-over from a previous generation (nil prev
+// disables all three):
 //
 //   - A node below the first mark whose tree membership is frozen (it is not
 //     a member, or its parent T-node is itself below the mark) and whose
@@ -249,8 +352,8 @@ func (sp *StructuralProof) buildArtifacts() error {
 //   - Any other rebuilt node with a same-id predecessor is content-compared
 //     and canonicalized to the previous pointer on equality, which is what
 //     entryReusable's pointer test keys on.
-func (sp *StructuralProof) buildArtifactsReuse(prev *StructuralProof, first int, dirty map[graph.Edge]bool) error {
-	cfg, g, h := sp.Cfg, sp.Cfg.G, sp.Hierarchy
+func (sp *StructuralProof) buildArtifactsReuse(prev *StructuralProof, first int, dirty map[graph.Edge]bool, workers int) error {
+	h := sp.Hierarchy
 	var prevArt []*nodeArtifact
 	if prev != nil {
 		prevArt = prev.art
@@ -273,118 +376,165 @@ func (sp *StructuralProof) buildArtifactsReuse(prev *StructuralProof, first int,
 			}
 		}
 	}
-	ownsDirty := func(n *lanewidth.Node) bool {
-		if len(dirty) == 0 {
-			return false
+	sp.art = make([]*nodeArtifact, len(h.Nodes))
+	ab := &artifactBuilder{
+		sp:         sp,
+		prevArt:    prevArt,
+		first:      first,
+		dirty:      dirty,
+		memberInfo: memberInfo,
+		rootMember: rootMember,
+		rootID:     h.Root.ID,
+	}
+	workers = par.Workers(workers)
+	if prev == nil && workers > 1 {
+		// Nodes write disjoint sp.art slots from shared read-only inputs, so
+		// they derive independently; each worker carves its id sequences from
+		// its own arena.
+		arenas := make([]*u64Arena, workers)
+		for w := range arenas {
+			arenas[w] = &u64Arena{}
 		}
-		switch n.Kind {
-		case lanewidth.ENode:
-			return dirty[n.Edge]
-		case lanewidth.BNode:
-			return dirty[n.Bridge]
-		case lanewidth.PNode:
-			for i := 0; i+1 < len(n.PathVs); i++ {
-				if dirty[graph.NewEdge(n.PathVs[i], n.PathVs[i+1])] {
-					return true
-				}
-			}
+		return par.ForErr(workers, len(h.Nodes), func(worker, i int) error {
+			return ab.build(h.Nodes[i], arenas[worker])
+		})
+	}
+	var arena u64Arena
+	for _, n := range h.Nodes {
+		if err := ab.build(n, &arena); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// artifactBuilder bundles the read-only inputs of one buildArtifactsReuse
+// pass so per-node derivation can run on any goroutine.
+type artifactBuilder struct {
+	sp         *StructuralProof
+	prevArt    []*nodeArtifact
+	first      int
+	dirty      map[graph.Edge]bool
+	memberInfo map[int]lanewidth.MemberInfo
+	rootMember map[int]bool
+	rootID     int
+}
+
+func (ab *artifactBuilder) ownsDirty(n *lanewidth.Node) bool {
+	if len(ab.dirty) == 0 {
 		return false
 	}
-	ids := func(m map[int]graph.Vertex) map[int]uint64 {
-		out := make(map[int]uint64, len(m))
-		for l, v := range m {
-			out[l] = cfg.IDs[v]
+	switch n.Kind {
+	case lanewidth.ENode:
+		return ab.dirty[n.Edge]
+	case lanewidth.BNode:
+		return ab.dirty[n.Bridge]
+	case lanewidth.PNode:
+		for i := 0; i+1 < len(n.PathVs); i++ {
+			if ab.dirty[graph.NewEdge(n.PathVs[i], n.PathVs[i+1])] {
+				return true
+			}
 		}
-		return out
 	}
+	return false
+}
+
+func (ab *artifactBuilder) ids(m map[int]graph.Vertex) map[int]uint64 {
+	out := make(map[int]uint64, len(m))
+	for l, v := range m {
+		out[l] = ab.sp.Cfg.IDs[v]
+	}
+	return out
+}
+
+// frozenParent reports whether a previous artifact's member fold is frozen:
+// its parent T-node was created by a clean op. The root is never that
+// T-node: its id is reserved below any mark (see BuildHierarchyMark) but its
+// tree is rebuilt every generation, so root members — like the root itself —
+// must be re-derived and can at most canonicalize to the previous pointer by
+// content comparison.
+func (ab *artifactBuilder) frozenParent(pa *nodeArtifact) bool {
+	return !pa.member || (pa.parentID < ab.first && pa.parentID != ab.rootID)
+}
+
+// build derives (or carries over) one node's artifact into sp.art[n.ID].
+func (ab *artifactBuilder) build(n *lanewidth.Node, arena *u64Arena) error {
+	sp, cfg, g := ab.sp, ab.sp.Cfg, ab.sp.Cfg.G
 	seq := func(lanes []int, m map[int]uint64) []uint64 {
-		out := make([]uint64, len(lanes))
+		out := arena.alloc(len(lanes))
 		for i, l := range lanes {
 			out[i] = m[l]
 		}
 		return out
 	}
-	sp.art = make([]*nodeArtifact, len(h.Nodes))
-	rootID := h.Root.ID
-	// A member's fold is frozen exactly when its parent T-node was created by
-	// a clean op. The root is never that T-node: its id is reserved below any
-	// mark (see BuildHierarchyMark) but its tree is rebuilt every generation,
-	// so root members — like the root itself — must be re-derived and can at
-	// most canonicalize to the previous pointer by content comparison.
-	frozenParent := func(pa *nodeArtifact) bool {
-		return !pa.member || (pa.parentID < first && pa.parentID != rootID)
+	var pa *nodeArtifact
+	if n.ID < ab.first && n != sp.Hierarchy.Root {
+		pa = ab.prevArt[n.ID]
 	}
-	for _, n := range h.Nodes {
-		var pa *nodeArtifact
-		if n.ID < first && n != h.Root {
-			pa = prevArt[n.ID]
-		}
-		if pa != nil && frozenParent(pa) && !ownsDirty(n) {
-			sp.art[n.ID] = pa
-			continue
-		}
-		// Root members dominate the rebuilt set but rarely change: their
-		// payload halves are frozen (id below the mark), so the previous
-		// artifact stands whenever the member's fold — parent, tree children,
-		// merged out-terminals — matches the fresh member info. Comparing
-		// against the previous artifact directly skips building throwaway
-		// maps for the overwhelmingly common unchanged case.
-		if pa != nil && pa.member && pa.parentID == rootID && rootMember[n.ID] && !ownsDirty(n) &&
-			memberFoldEqual(pa, memberInfo[n.ID], cfg) {
-			sp.art[n.ID] = pa
-			continue
-		}
-		a := &nodeArtifact{
-			lanes:      sortedLanes(n.Lanes),
-			inIDs:      ids(n.In),
-			outIDs:     ids(n.Out),
-			parentID:   -1,
-			rootMember: -1,
-		}
-		a.inSeq = seq(a.lanes, a.inIDs)
-		a.outSeq = seq(a.lanes, a.outIDs)
-		if pa != nil && pa.member && pa.parentID < first && pa.parentID != rootID {
-			a.member = true
-			a.parentID = pa.parentID
-			a.mergedOutIDs = pa.mergedOutIDs
-			a.mergedOutSeq = pa.mergedOutSeq
-			a.treeChildren = pa.treeChildren
-		} else if mi, ok := memberInfo[n.ID]; ok {
-			a.member = true
-			a.parentID = n.Parent.ID
-			a.mergedOutIDs = ids(mi.MergedOut)
-			a.mergedOutSeq = seq(a.lanes, a.mergedOutIDs)
-			for _, child := range mi.TreeChildren {
-				a.treeChildren = append(a.treeChildren, child.ID)
-			}
-		}
-		switch n.Kind {
-		case lanewidth.VNode:
-			a.input = cfg.Input(n.Vertex)
-		case lanewidth.ENode:
-			l := n.Lanes[0]
-			a.pathIDs = []uint64{cfg.IDs[n.In[l]], cfg.IDs[n.Out[l]]}
-			a.realBits = []bool{edgeReal(g, n.Edge)}
-			a.vInputs = []int{cfg.Input(n.In[l]), cfg.Input(n.Out[l])}
-		case lanewidth.PNode:
-			for _, v := range n.PathVs {
-				a.pathIDs = append(a.pathIDs, cfg.IDs[v])
-			}
-			a.realBits = pathRealBits(g, n.PathVs)
-			a.vInputs = vertexInputs(cfg, n.PathVs)
-		case lanewidth.BNode:
-			a.bridgeReal = edgeReal(g, n.Bridge)
-		case lanewidth.TNode:
-			a.rootMember = n.RootMember().ID
-		default:
-			return fmt.Errorf("core: unknown node kind %v", n.Kind)
-		}
-		if n.ID < len(prevArt) && artifactEqual(a, prevArt[n.ID]) {
-			a = prevArt[n.ID]
-		}
-		sp.art[n.ID] = a
+	if pa != nil && ab.frozenParent(pa) && !ab.ownsDirty(n) {
+		sp.art[n.ID] = pa
+		return nil
 	}
+	// Root members dominate the rebuilt set but rarely change: their
+	// payload halves are frozen (id below the mark), so the previous
+	// artifact stands whenever the member's fold — parent, tree children,
+	// merged out-terminals — matches the fresh member info. Comparing
+	// against the previous artifact directly skips building throwaway
+	// maps for the overwhelmingly common unchanged case.
+	if pa != nil && pa.member && pa.parentID == ab.rootID && ab.rootMember[n.ID] && !ab.ownsDirty(n) &&
+		memberFoldEqual(pa, ab.memberInfo[n.ID], cfg) {
+		sp.art[n.ID] = pa
+		return nil
+	}
+	a := &nodeArtifact{
+		lanes:      sortedLanes(n.Lanes),
+		inIDs:      ab.ids(n.In),
+		outIDs:     ab.ids(n.Out),
+		parentID:   -1,
+		rootMember: -1,
+	}
+	a.inSeq = seq(a.lanes, a.inIDs)
+	a.outSeq = seq(a.lanes, a.outIDs)
+	if pa != nil && pa.member && pa.parentID < ab.first && pa.parentID != ab.rootID {
+		a.member = true
+		a.parentID = pa.parentID
+		a.mergedOutIDs = pa.mergedOutIDs
+		a.mergedOutSeq = pa.mergedOutSeq
+		a.treeChildren = pa.treeChildren
+	} else if mi, ok := ab.memberInfo[n.ID]; ok {
+		a.member = true
+		a.parentID = n.Parent.ID
+		a.mergedOutIDs = ab.ids(mi.MergedOut)
+		a.mergedOutSeq = seq(a.lanes, a.mergedOutIDs)
+		for _, child := range mi.TreeChildren {
+			a.treeChildren = append(a.treeChildren, child.ID)
+		}
+	}
+	switch n.Kind {
+	case lanewidth.VNode:
+		a.input = cfg.Input(n.Vertex)
+	case lanewidth.ENode:
+		l := n.Lanes[0]
+		a.pathIDs = []uint64{cfg.IDs[n.In[l]], cfg.IDs[n.Out[l]]}
+		a.realBits = []bool{edgeReal(g, n.Edge)}
+		a.vInputs = []int{cfg.Input(n.In[l]), cfg.Input(n.Out[l])}
+	case lanewidth.PNode:
+		for _, v := range n.PathVs {
+			a.pathIDs = append(a.pathIDs, cfg.IDs[v])
+		}
+		a.realBits = pathRealBits(g, n.PathVs)
+		a.vInputs = vertexInputs(cfg, n.PathVs)
+	case lanewidth.BNode:
+		a.bridgeReal = edgeReal(g, n.Bridge)
+	case lanewidth.TNode:
+		a.rootMember = n.RootMember().ID
+	default:
+		return fmt.Errorf("core: unknown node kind %v", n.Kind)
+	}
+	if n.ID < len(ab.prevArt) && artifactEqual(a, ab.prevArt[n.ID]) {
+		a = ab.prevArt[n.ID]
+	}
+	sp.art[n.ID] = a
 	return nil
 }
 

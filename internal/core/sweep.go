@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/lanewidth"
+	"repro/internal/par"
+)
+
+// useParallelSweep reports whether a property pass takes the parallel sweep
+// path: only fresh proves (incremental re-proves walk the pointer-reuse path,
+// which is inherently order-dependent) with an effective worker count above
+// one. workers == 1 always forces the exact sequential code path.
+func useParallelSweep(workers int, incremental bool) bool {
+	return !incremental && par.Workers(workers) > 1
+}
+
+// sweepPlan schedules the class sweep as dependency levels: level 0 holds the
+// nodes whose class needs no other node's (V-, E- and P-leaves), level d the
+// nodes all of whose prerequisites sit strictly below d — a B-node above both
+// operands, a T-node above every tree member. Nodes within a level are
+// independent, so the sweep runs each level as one parallel for with a
+// barrier between levels; the level count is bounded by the hierarchy depth
+// (≤ 2k), so barrier overhead is O(k) regardless of n. The plan reads only
+// the hierarchy and member tables, never property state, so it is computed
+// once per structure and shared by every property pass over it.
+type sweepPlan struct {
+	levels [][]*lanewidth.Node
+}
+
+// schedule derives the structure's sweep plan on first use.
+func (sp *StructuralProof) schedule() *sweepPlan {
+	sp.planOnce.Do(func() {
+		h := sp.Hierarchy
+		level := make([]int, len(h.Nodes))
+		for i := range level {
+			level[i] = -1
+		}
+		var levelOf func(n *lanewidth.Node) int
+		levelOf = func(n *lanewidth.Node) int {
+			if l := level[n.ID]; l >= 0 {
+				return l
+			}
+			best := -1
+			switch n.Kind {
+			case lanewidth.BNode:
+				if l := levelOf(n.Left); l > best {
+					best = l
+				}
+				if l := levelOf(n.Right); l > best {
+					best = l
+				}
+			case lanewidth.TNode:
+				for _, mi := range sp.members[n.ID] {
+					if l := levelOf(mi.Node); l > best {
+						best = l
+					}
+				}
+			}
+			l := best + 1
+			level[n.ID] = l
+			return l
+		}
+		maxLevel := 0
+		for _, n := range h.Nodes {
+			if l := levelOf(n); l > maxLevel {
+				maxLevel = l
+			}
+		}
+		levels := make([][]*lanewidth.Node, maxLevel+1)
+		for _, n := range h.Nodes {
+			levels[level[n.ID]] = append(levels[level[n.ID]], n)
+		}
+		sp.plan = &sweepPlan{levels: levels}
+	})
+	return sp.plan
+}
+
+// sweepParallel computes every node's class level by level. Class values are
+// identical to the sequential recursion's — the same algebra evaluations on
+// the same operands, and the memo tables backing them are mutex-protected and
+// canonical-pointer-keyed, so concurrent hits return the same instances. No
+// interning happens here: the caller interns the complete class set
+// sequentially and canonicalizes, which fixes the same content-ordered ids as
+// any other sweep order would.
+func (s *Scheme) sweepParallel(ctx context.Context, enc *encoder, workers int) error {
+	for _, nodes := range enc.sp.schedule().levels {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := par.ForErr(workers, len(nodes), func(_, i int) error {
+			return enc.computeClass(nodes[i])
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeClass derives one node's class assuming every prerequisite class is
+// already present (the schedule guarantees it). T-nodes fold their members in
+// reverse pre-order exactly like the sequential recursion; the merged slots a
+// fold writes belong to its own tree's members only, so concurrent T-nodes
+// never touch the same slot.
+func (enc *encoder) computeClass(n *lanewidth.Node) error {
+	s, sp := enc.scheme, enc.sp
+	a := sp.art[n.ID]
+	var (
+		cls *algebra.Class
+		err error
+	)
+	switch n.Kind {
+	case lanewidth.VNode:
+		cls, err = s.baseV(n.Lanes[0], a.input)
+	case lanewidth.ENode:
+		cls, err = s.baseE(n.Lanes[0], a.realBits[0], a.vInputs)
+	case lanewidth.PNode:
+		cls, err = s.baseP(n.Lanes, a.realBits, a.vInputs)
+	case lanewidth.BNode:
+		lc, rc := enc.classes[n.Left.ID], enc.classes[n.Right.ID]
+		if lc == nil || rc == nil {
+			return fmt.Errorf("core: B-node %d scheduled before its operands", n.ID)
+		}
+		bridgeLabel := 0
+		if a.bridgeReal {
+			bridgeLabel = algebra.EdgeReal
+		}
+		cls, err = s.bridgeMerge(lc, rc, n.LaneI, n.LaneJ, bridgeLabel)
+	case lanewidth.TNode:
+		members := sp.members[n.ID]
+		for i := len(members) - 1; i >= 0; i-- {
+			mi := members[i]
+			acc := enc.classes[mi.Node.ID]
+			if acc == nil {
+				return fmt.Errorf("core: T-node %d scheduled before member %d", n.ID, mi.Node.ID)
+			}
+			for _, child := range mi.TreeChildren {
+				childMerged := enc.merged[child.ID]
+				if childMerged == nil {
+					return fmt.Errorf("core: member %d folded before child %d", mi.Node.ID, child.ID)
+				}
+				acc, err = s.parentMerge(childMerged, acc)
+				if err != nil {
+					return err
+				}
+			}
+			enc.merged[mi.Node.ID] = acc
+		}
+		cls = enc.merged[a.rootMember]
+	default:
+		return fmt.Errorf("core: unknown node kind %v", n.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	enc.classes[n.ID] = cls
+	return nil
+}
+
+// entryArena hands out NodeEntry slots from slab blocks, replacing one
+// allocation per non-V hierarchy node. Entries escape into the labeling, so
+// blocks are abandoned to its lifetime rather than reclaimed; each sweep
+// worker owns its own arena, so allocation never contends.
+type entryArena struct{ buf []NodeEntry }
+
+func (a *entryArena) alloc() *NodeEntry {
+	if len(a.buf) == 0 {
+		a.buf = make([]NodeEntry, 256)
+	}
+	e := &a.buf[0]
+	a.buf = a.buf[1:]
+	return e
+}

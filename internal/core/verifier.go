@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -10,6 +9,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/lanewidth"
+	"repro/internal/par"
 )
 
 // VertexView is everything a vertex sees in the one-round verification:
@@ -56,10 +56,11 @@ func (s *Scheme) VerifyParallel(cfg *cert.Config, labeling *Labeling) []bool {
 // VerifyParallelCtx is VerifyParallel honoring a context: workers poll the
 // context between the vertex chunks they claim, so cancellation drains the
 // pool promptly and the call returns ctx.Err() with a nil verdict slice.
+// The pool size honors Scheme.Workers (0 means GOMAXPROCS).
 func (s *Scheme) VerifyParallelCtx(ctx context.Context, cfg *cert.Config, labeling *Labeling) ([]bool, error) {
 	n := cfg.G.N()
 	verdicts := make([]bool, n)
-	workers := runtime.GOMAXPROCS(0)
+	workers := par.Workers(s.Workers)
 	if workers > n {
 		workers = n
 	}

@@ -7,15 +7,18 @@
 package experiments
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
+	"repro/certify/graphio"
 	"repro/internal/algebra"
 	"repro/internal/baseline"
 	"repro/internal/cert"
@@ -367,6 +370,11 @@ func PrintE7(w io.Writer, rows []E7Row) {
 	}
 }
 
+// DefaultE8Ns is the full E8 sweep. cmd/bench's -e8-max-n trims it: CI runs
+// the small prefix on every push, the committed BENCH_E8.json carries the
+// full curve to n = 10⁶.
+var DefaultE8Ns = []int{64, 256, 1024, 4096, 16384, 65536, 262144, 1000000}
+
 // E8Row is one point of the scaling measurement. The JSON tags define the
 // BENCH_E8.json schema consumed across PRs to track the perf trajectory.
 type E8Row struct {
@@ -374,19 +382,62 @@ type E8Row struct {
 	ProveMillis    float64 `json:"prove_ms"`
 	VerifyPerVtxUS float64 `json:"verify_us_per_vtx"`
 	LabelBits      int     `json:"label_bits"`
+	// Per-stage prove breakdown (wall ms): the structure build's pipeline
+	// stages plus the property pass's sweep (classes, entries, labels).
+	StageDecomposeMillis  float64 `json:"stage_decompose_ms"`
+	StageLanesMillis      float64 `json:"stage_lanes_ms"`
+	StageTranscriptMillis float64 `json:"stage_transcript_ms"`
+	StageHierarchyMillis  float64 `json:"stage_hierarchy_ms"`
+	StageSweepMillis      float64 `json:"stage_sweep_ms"`
+}
+
+// e8PathGraph streams an n-vertex path through the certify/graphio edge-list
+// format and rebuilds the prover's graph from the decoded result, so the
+// sweep's large instances exercise the same ingestion path a deployment
+// feeding the service from disk would.
+func e8PathGraph(n int) (*graph.Graph, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		bw := bufio.NewWriterSize(pw, 1<<16)
+		fmt.Fprintf(bw, "n %d\n", n)
+		for v := 0; v+1 < n; v++ {
+			fmt.Fprintf(bw, "%d %d\n", v, v+1)
+		}
+		bw.Flush()
+		pw.Close()
+	}()
+	cg, err := graphio.ReadEdgeList(pr)
+	pr.Close()
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(cg.N())
+	for _, e := range cg.Edges() {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return g, nil
 }
 
 // E8Scaling measures prover wall time and per-vertex verification time.
 // Verification runs on the VerifyParallel worker pool — the paper treats
 // verification as an embarrassingly parallel per-vertex computation, so the
-// wall time per vertex is the deployment-relevant number.
+// wall time per vertex is the deployment-relevant number. Proving runs with
+// the scheme's default parallelism (GOMAXPROCS); the emitted labels are
+// byte-identical to a sequential prove at every level.
 func E8Scaling(ns []int) ([]E8Row, error) {
 	var rows []E8Row
 	for _, n := range ns {
-		g := graph.PathGraph(n)
+		g, err := e8PathGraph(n)
+		if err != nil {
+			return nil, err
+		}
 		pd := interval.OrderingDecomposition(g, interval.HeuristicOrdering(g))
 		cfg := cert.NewConfig(g)
 		s := core.NewScheme(algebra.Colorable{Q: 2}, 4)
+		// Settle the previous row's garbage so every point measures its own
+		// allocation cost, not the GC debt of the row before it — at the
+		// n=10⁶ tail the retained-heap difference dominates the timing.
+		runtime.GC()
 		start := time.Now()
 		labeling, stats, err := s.Prove(cfg, pd)
 		if err != nil {
@@ -398,7 +449,14 @@ func E8Scaling(ns []int) ([]E8Row, error) {
 			return nil, fmt.Errorf("e8 n=%d rejected", n)
 		}
 		verifyUS := float64(time.Since(start).Microseconds()) / float64(n)
-		rows = append(rows, E8Row{N: n, ProveMillis: proveMS, VerifyPerVtxUS: verifyUS, LabelBits: stats.MaxLabelBits})
+		rows = append(rows, E8Row{
+			N: n, ProveMillis: proveMS, VerifyPerVtxUS: verifyUS, LabelBits: stats.MaxLabelBits,
+			StageDecomposeMillis:  stats.Stages.DecomposeMillis,
+			StageLanesMillis:      stats.Stages.LanesMillis,
+			StageTranscriptMillis: stats.Stages.TranscriptMillis,
+			StageHierarchyMillis:  stats.Stages.HierarchyMillis,
+			StageSweepMillis:      stats.Stages.SweepMillis,
+		})
 	}
 	return rows, nil
 }

@@ -87,54 +87,131 @@ func boundarySize(s uint32, nbrMask []uint32) int {
 // minimum-boundary strategy (ties broken by vertex index), suitable for
 // graphs too large for ExactPathwidth. The induced decomposition width is an
 // upper bound on the pathwidth.
+//
+// The greedy cost of placing v next is boundary + join(v) − leave(v): v
+// joins the boundary when it still has unplaced neighbors, and each placed
+// boundary neighbor whose last unplaced neighbor is v leaves it. The current
+// boundary size is shared by every candidate, so the argmin is over
+// delta(v) = join(v) − leave(v) alone — and delta only ever decreases as
+// placements progress (the join term can drop to 0, leave terms accumulate
+// and, while v is unplaced, never dissolve). A lazy min-heap keyed by
+// (delta, v) therefore selects the exact vertex the quadratic rescan would,
+// tie-break included, in O((n+m) log n) instead of O(n·(n+m)).
 func HeuristicOrdering(g *graph.Graph) []graph.Vertex {
 	n := g.N()
 	placed := make([]bool, n)
 	unplacedNbrs := make([]int, n) // neighbors not yet placed, for every vertex
+	onBoundary := make([]bool, n)
+	delta := make([]int, n) // join(v) − leave(v), maintained incrementally
+	var h deltaHeap
+	h = make([]uint64, 0, n)
 	for v := 0; v < n; v++ {
 		unplacedNbrs[v] = g.Degree(v)
+		if unplacedNbrs[v] > 0 {
+			delta[v] = 1
+		}
+		h.push(deltaKey(delta[v], v, n))
 	}
-	onBoundary := make([]bool, n)
-	boundary := 0
-	order := make([]graph.Vertex, 0, n)
-	for len(order) < n {
-		best, bestCost := -1, 1<<30
-		for v := 0; v < n; v++ {
-			if placed[v] {
-				continue
-			}
-			// Boundary size if v were placed next: v joins the boundary when
-			// it still has unplaced neighbors; each placed boundary neighbor
-			// whose last unplaced neighbor is v leaves it.
-			cost := boundary
-			if unplacedNbrs[v] > 0 {
-				cost++
-			}
-			for _, w := range g.Neighbors(v) {
-				if placed[w] && onBoundary[w] && unplacedNbrs[w] == 1 {
-					cost--
-				}
-			}
-			if cost < bestCost {
-				best, bestCost = v, cost
+	decrease := func(x int) {
+		delta[x]--
+		h.push(deltaKey(delta[x], x, n))
+	}
+	// soleUnplaced returns w's unique unplaced neighbor; the caller
+	// guarantees unplacedNbrs[w] == 1. Each vertex is scanned this way at
+	// most twice (when it pins its last unplaced neighbor, and when it is
+	// placed with one unplaced neighbor left), so the total cost is O(m).
+	soleUnplaced := func(w int) int {
+		for _, x := range g.Neighbors(w) {
+			if !placed[x] {
+				return x
 			}
 		}
-		v := best
+		return -1
+	}
+	order := make([]graph.Vertex, 0, n)
+	for len(order) < n {
+		d, v := splitDeltaKey(h.pop(), n)
+		if placed[v] || d != delta[v] {
+			continue // stale heap entry; the current delta was re-pushed
+		}
 		placed[v] = true
 		order = append(order, v)
 		for _, w := range g.Neighbors(v) {
 			unplacedNbrs[w]--
-			if placed[w] && onBoundary[w] && unplacedNbrs[w] == 0 {
-				onBoundary[w] = false
-				boundary--
+			if placed[w] {
+				if onBoundary[w] {
+					switch unplacedNbrs[w] {
+					case 1:
+						// w now pins its last unplaced neighbor: placing
+						// that neighbor takes w off the boundary.
+						decrease(soleUnplaced(w))
+					case 0:
+						onBoundary[w] = false
+					}
+				}
+			} else if unplacedNbrs[w] == 0 {
+				// w would no longer join the boundary when placed.
+				decrease(w)
 			}
 		}
 		if unplacedNbrs[v] > 0 {
 			onBoundary[v] = true
-			boundary++
+			if unplacedNbrs[v] == 1 {
+				decrease(soleUnplaced(v))
+			}
 		}
 	}
 	return order
+}
+
+// deltaKey packs (delta, v) into one ordered word: delta majors, vertex
+// index breaks ties. delta > −n always, so the n offset keeps it positive.
+func deltaKey(delta, v, n int) uint64 {
+	return uint64(delta+n)<<32 | uint64(v)
+}
+
+func splitDeltaKey(key uint64, n int) (delta, v int) {
+	return int(key>>32) - n, int(key & (1<<32 - 1))
+}
+
+// deltaHeap is a plain binary min-heap over packed deltaKey words.
+type deltaHeap []uint64
+
+func (h *deltaHeap) push(key uint64) {
+	*h = append(*h, key)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *deltaHeap) pop() uint64 {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	for i := 0; ; {
+		child := 2*i + 1
+		if child >= len(s) {
+			break
+		}
+		if r := child + 1; r < len(s) && s[r] < s[child] {
+			child = r
+		}
+		if s[i] <= s[child] {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return top
 }
 
 // OrderingDecomposition converts a vertex ordering into the corresponding
@@ -155,16 +232,26 @@ func OrderingDecomposition(g *graph.Graph, order []graph.Vertex) *PathDecomposit
 			}
 		}
 	}
+	// Sweep the positions once, carrying the active set: the earlier
+	// vertices (in placement order) whose last neighbor is still ahead.
+	// Filtering keeps placement order, so each bag lists v_i first and then
+	// its earlier members by position — the same layout a per-bag rescan of
+	// the whole prefix would produce, at O(Σ|bag|) instead of O(n²).
 	pd := &PathDecomposition{Bags: make([][]graph.Vertex, len(order))}
+	active := make([]graph.Vertex, 0)
 	for i, vi := range order {
-		bag := []graph.Vertex{vi}
-		for j := 0; j < i; j++ {
-			vj := order[j]
+		kept := active[:0]
+		for _, vj := range active {
 			if lastNbr[vj] >= i {
-				bag = append(bag, vj)
+				kept = append(kept, vj)
 			}
 		}
+		active = kept
+		bag := make([]graph.Vertex, 0, len(active)+1)
+		bag = append(bag, vi)
+		bag = append(bag, active...)
 		pd.Bags[i] = bag
+		active = append(active, vi)
 	}
 	return pd
 }

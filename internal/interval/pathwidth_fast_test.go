@@ -1,0 +1,165 @@
+package interval
+
+// Differential pins for the heap-based HeuristicOrdering and the swept
+// OrderingDecomposition: both must reproduce the quadratic reference
+// implementations vertex for vertex and bag for bag — the ordering feeds
+// every downstream label byte, so "same width" is not enough.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// quadraticOrdering is the O(n·(n+m)) greedy the heap version replaced:
+// rescan every unplaced vertex, pick the minimum boundary cost, break ties
+// by vertex index.
+func quadraticOrdering(g *graph.Graph) []graph.Vertex {
+	n := g.N()
+	placed := make([]bool, n)
+	unplacedNbrs := make([]int, n)
+	for v := 0; v < n; v++ {
+		unplacedNbrs[v] = g.Degree(v)
+	}
+	onBoundary := make([]bool, n)
+	boundary := 0
+	order := make([]graph.Vertex, 0, n)
+	for len(order) < n {
+		best, bestCost := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			cost := boundary
+			if unplacedNbrs[v] > 0 {
+				cost++
+			}
+			for _, w := range g.Neighbors(v) {
+				if placed[w] && onBoundary[w] && unplacedNbrs[w] == 1 {
+					cost--
+				}
+			}
+			if cost < bestCost {
+				best, bestCost = v, cost
+			}
+		}
+		v := best
+		placed[v] = true
+		order = append(order, v)
+		for _, w := range g.Neighbors(v) {
+			unplacedNbrs[w]--
+			if placed[w] && onBoundary[w] && unplacedNbrs[w] == 0 {
+				onBoundary[w] = false
+				boundary--
+			}
+		}
+		if unplacedNbrs[v] > 0 {
+			onBoundary[v] = true
+			boundary++
+		}
+	}
+	return order
+}
+
+// quadraticDecomposition is the per-bag prefix rescan the swept version
+// replaced.
+func quadraticDecomposition(g *graph.Graph, order []graph.Vertex) *PathDecomposition {
+	pos := make([]int, g.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	lastNbr := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		lastNbr[v] = -1
+		for _, w := range g.Neighbors(v) {
+			if pos[w] > lastNbr[v] {
+				lastNbr[v] = pos[w]
+			}
+		}
+	}
+	pd := &PathDecomposition{Bags: make([][]graph.Vertex, len(order))}
+	for i, vi := range order {
+		bag := []graph.Vertex{vi}
+		for j := 0; j < i; j++ {
+			vj := order[j]
+			if lastNbr[vj] >= i {
+				bag = append(bag, vj)
+			}
+		}
+		pd.Bags[i] = bag
+	}
+	return pd
+}
+
+func diffGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	gs := map[string]*graph.Graph{
+		"empty":     graph.New(0),
+		"isolated":  graph.New(5),
+		"path-1":    graph.PathGraph(1),
+		"path-2":    graph.PathGraph(2),
+		"path-97":   graph.PathGraph(97),
+		"cycle-64":  graph.CycleGraph(64),
+		"two-paths": graph.New(10),
+	}
+	for i := 0; i < 4; i++ {
+		gs["two-paths"].MustAddEdge(i, i+1)
+		gs["two-paths"].MustAddEdge(5+i, 5+i+1)
+	}
+	for trial := 0; trial < 6; trial++ {
+		n := 20 + rng.Intn(60)
+		g := graph.New(n)
+		// Sparse random graph: ~2 edges per vertex keeps the greedy's
+		// boundary dynamics non-trivial without blowing up the width.
+		for e := 0; e < 2*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		gs["random-"+string(rune('a'+trial))] = g
+	}
+	return gs
+}
+
+func TestHeuristicOrderingMatchesQuadraticReference(t *testing.T) {
+	for name, g := range diffGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			got := HeuristicOrdering(g)
+			want := quadraticOrdering(g)
+			if len(got) != len(want) {
+				t.Fatalf("ordering length %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("position %d: vertex %d, reference picks %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestOrderingDecompositionMatchesQuadraticReference(t *testing.T) {
+	for name, g := range diffGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			order := HeuristicOrdering(g)
+			got := OrderingDecomposition(g, order)
+			want := quadraticDecomposition(g, order)
+			if len(got.Bags) != len(want.Bags) {
+				t.Fatalf("%d bags, want %d", len(got.Bags), len(want.Bags))
+			}
+			for i := range want.Bags {
+				if len(got.Bags[i]) != len(want.Bags[i]) {
+					t.Fatalf("bag %d: %v, want %v", i, got.Bags[i], want.Bags[i])
+				}
+				for j := range want.Bags[i] {
+					if got.Bags[i][j] != want.Bags[i][j] {
+						t.Fatalf("bag %d: %v, want %v", i, got.Bags[i], want.Bags[i])
+					}
+				}
+			}
+		})
+	}
+}

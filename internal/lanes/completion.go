@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/interval"
+	"repro/internal/par"
 )
 
 // Completion is the result of completing a k-lane partition
@@ -123,12 +124,53 @@ func (emb Embedding) Validate(g *graph.Graph, c *Completion) error {
 // full g.Path BFS would, so each extracted path is identical to the naive
 // per-edge g.Path(ve.U, ve.V) result.
 func EmbedShortestPaths(g *graph.Graph, c *Completion) (Embedding, error) {
+	return EmbedShortestPathsP(g, c, 1)
+}
+
+// EmbedShortestPathsP is EmbedShortestPaths distributed over a worker pool:
+// source batches are independent (each truncated BFS reads only the shared
+// adjacency), so workers process disjoint sources with per-worker scratch and
+// per-worker result maps that are merged afterwards. Each path depends only
+// on its source's batch and the graph, never on scheduling, so the merged
+// embedding is identical to the sequential one. workers ≤ 1 runs inline.
+func EmbedShortestPathsP(g *graph.Graph, c *Completion, workers int) (Embedding, error) {
 	bySource := groupBySource(c.Virtual)
-	sc := newEmbedScratch(g.N())
+	workers = par.Workers(workers)
+	if workers <= 1 || len(bySource) < 2 {
+		sc := newEmbedScratch(g.N())
+		emb := make(Embedding, len(c.Virtual))
+		for src, ves := range bySource {
+			if _, err := sc.run(g, src, ves, emb); err != nil {
+				return nil, err
+			}
+		}
+		return emb, nil
+	}
+	sources := make([]graph.Vertex, 0, len(bySource))
+	for src := range bySource {
+		sources = append(sources, src)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	scratches := make([]*embedScratch, workers)
+	partial := make([]Embedding, workers)
+	for w := 0; w < workers; w++ {
+		scratches[w] = newEmbedScratch(g.N())
+		partial[w] = make(Embedding)
+	}
+	err := par.ForErr(workers, len(sources), func(worker, i int) error {
+		src := sources[i]
+		_, rerr := scratches[worker].run(g, src, bySource[src], partial[worker])
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
 	emb := make(Embedding, len(c.Virtual))
-	for src, ves := range bySource {
-		if _, err := sc.run(g, src, ves, emb); err != nil {
-			return nil, err
+	for _, p := range partial {
+		for ve, path := range p {
+			emb[ve] = path
 		}
 	}
 	return emb, nil
@@ -223,12 +265,21 @@ func (sc *embedScratch) run(g *graph.Graph, src graph.Vertex, ves []graph.Edge, 
 // first-fit partition with shortest-path embeddings. It is the single
 // entry point the property-independent prover layer builds on.
 func Build(g *graph.Graph, r *interval.Representation, usePaper bool) (*Partition, *Completion, Embedding, error) {
+	return BuildP(g, r, usePaper, 1)
+}
+
+// BuildP is Build with the embedding stage distributed over workers (see
+// EmbedShortestPathsP); the partition and completion themselves are cheap
+// sequential scans. The paper construction derives its embeddings inside the
+// recursion and stays sequential regardless of workers. Output is identical
+// to Build for every workers value.
+func BuildP(g *graph.Graph, r *interval.Representation, usePaper bool, workers int) (*Partition, *Completion, Embedding, error) {
 	if usePaper {
 		return BuildLowCongestion(g, r)
 	}
 	p := Greedy(r)
 	c := Complete(g, p, false)
-	emb, err := EmbedShortestPaths(g, c)
+	emb, err := EmbedShortestPathsP(g, c, workers)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Depth returns the maximum number of nodes on a root-to-leaf path of the
@@ -209,7 +210,16 @@ func (t *Node) RootMember() *Node {
 //  6. each node's subgraph is connected (the key property enabling local
 //     certification, end of Section 5.3).
 func (h *Hierarchy) Validate() error {
-	return h.ValidateFrom(0)
+	return h.ValidateFromP(0, 1)
+}
+
+// ValidateP is Validate with the per-node connectivity sweep (check 6, the
+// dominant cost) distributed over a worker pool; every other check runs
+// sequentially on the calling goroutine. The verdict is identical to
+// Validate; only the particular node named by an error on an invalid
+// hierarchy may differ with scheduling.
+func (h *Hierarchy) ValidateP(workers int) error {
+	return h.ValidateFromP(0, workers)
 }
 
 // ValidateFrom is Validate restricted to the dirty region of an incremental
@@ -226,6 +236,12 @@ func (h *Hierarchy) Validate() error {
 // incremental engine verifies before rebuilding. ValidateFrom(0) is exactly
 // Validate.
 func (h *Hierarchy) ValidateFrom(first int) error {
+	return h.ValidateFromP(first, 1)
+}
+
+// ValidateFromP is ValidateFrom with the connectivity sweep parallelized
+// (see ValidateP).
+func (h *Hierarchy) ValidateFromP(first, workers int) error {
 	// 1. Edge partition.
 	owned := map[graph.Edge]int{}
 	for _, n := range h.Nodes {
@@ -364,46 +380,112 @@ func (h *Hierarchy) ValidateFrom(first int) error {
 
 	// 6. Connectivity of each node's subgraph. Frozen nodes carry their
 	// previous generation's verdict; the root is covered by check 1 plus the
-	// graph-connectivity precondition when validating incrementally.
-	for _, n := range h.Nodes {
+	// graph-connectivity precondition when validating incrementally. Nodes
+	// are checked independently with per-worker epoch-stamped scratch, so
+	// the sweep neither allocates per node nor serializes on shared state.
+	workers = par.Workers(workers)
+	if workers > len(h.Nodes) {
+		workers = len(h.Nodes)
+	}
+	scratches := make([]*connScratch, workers)
+	if err := par.ForErr(workers, len(h.Nodes), func(worker, i int) error {
+		n := h.Nodes[i]
 		if (n.ID < first && n != h.Root) || (first > 0 && n == h.Root) {
-			continue
+			return nil
 		}
-		if !h.subgraphConnected(n) {
+		sc := scratches[worker]
+		if sc == nil {
+			sc = newConnScratch(h.Graph.N())
+			scratches[worker] = sc
+		}
+		if !sc.connected(n) {
 			return fmt.Errorf("lanewidth: node %d (%v) has a disconnected subgraph", n.ID, n.Kind)
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	return nil
 }
 
-func (h *Hierarchy) subgraphConnected(n *Node) bool {
-	verts := n.SubtreeVertices()
-	if len(verts) <= 1 {
-		return true
+// connScratch decides subgraph connectivity with an epoch-stamped union-find
+// over graph-sized arrays: checking a node walks its subtree once, touching
+// vertices and unioning payload edges, and allocates nothing after the
+// scratch itself. It replaces the former per-node map-based BFS, the
+// validator's top allocation site.
+type connScratch struct {
+	stamp  []int
+	parent []graph.Vertex
+	epoch  int
+	comps  int
+}
+
+func newConnScratch(n int) *connScratch {
+	return &connScratch{stamp: make([]int, n), parent: make([]graph.Vertex, n)}
+}
+
+func (s *connScratch) find(v graph.Vertex) graph.Vertex {
+	for s.parent[v] != v {
+		s.parent[v] = s.parent[s.parent[v]] // path halving
+		v = s.parent[v]
 	}
-	adj := map[graph.Vertex][]graph.Vertex{}
-	for _, e := range n.SubtreeEdges() {
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
+	return v
+}
+
+func (s *connScratch) touch(v graph.Vertex) {
+	if s.stamp[v] != s.epoch {
+		s.stamp[v] = s.epoch
+		s.parent[v] = v
+		s.comps++
 	}
-	var start graph.Vertex = -1
-	for v := range verts {
-		start = v
-		break
+}
+
+func (s *connScratch) edge(u, v graph.Vertex) {
+	s.touch(u)
+	s.touch(v)
+	ru, rv := s.find(u), s.find(v)
+	if ru != rv {
+		s.parent[ru] = rv
+		s.comps--
 	}
-	seen := map[graph.Vertex]bool{start: true}
-	queue := []graph.Vertex{start}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range adj[v] {
-			if !seen[w] {
-				seen[w] = true
-				queue = append(queue, w)
-			}
+}
+
+// connected reports whether n's subgraph (its payload plus all descendants')
+// forms one connected component.
+func (s *connScratch) connected(n *Node) bool {
+	s.epoch++
+	s.comps = 0
+	s.visit(n)
+	return s.comps <= 1
+}
+
+func (s *connScratch) visit(m *Node) {
+	switch m.Kind {
+	case VNode:
+		s.touch(m.Vertex)
+	case ENode:
+		s.edge(m.Edge.U, m.Edge.V)
+	case PNode:
+		for _, v := range m.PathVs {
+			s.touch(v)
 		}
+		for i := 0; i+1 < len(m.PathVs); i++ {
+			s.edge(m.PathVs[i], m.PathVs[i+1])
+		}
+	case BNode:
+		s.visit(m.Left)
+		s.visit(m.Right)
+		s.edge(m.Bridge.U, m.Bridge.V)
+	case TNode:
+		s.walk(m.Tree)
 	}
-	return len(seen) == len(verts)
+}
+
+func (s *connScratch) walk(tv *TreeVertex) {
+	s.visit(tv.Node)
+	for _, c := range tv.Children {
+		s.walk(c)
+	}
 }
 
 func laneSubset(sub, super []int) bool {
@@ -447,18 +529,34 @@ func (h *Hierarchy) MembersByTNode() map[int][]MemberInfo {
 // class sweep reads only order and children, so the shallow entries lose
 // nothing it needs. MembersByTNodeFrom(0) computes every fold.
 func (h *Hierarchy) MembersByTNodeFrom(first int) map[int][]MemberInfo {
-	out := make(map[int][]MemberInfo)
+	return h.MembersByTNodeFromP(first, 1)
+}
+
+// MembersByTNodeFromP is MembersByTNodeFrom with the per-T-node folds
+// distributed over a worker pool. Folds of distinct T-nodes are independent
+// (each reads only its own tree), so the result is identical for every
+// workers value.
+func (h *Hierarchy) MembersByTNodeFromP(first, workers int) map[int][]MemberInfo {
+	var tnodes []*Node
 	for _, n := range h.Nodes {
-		if n.Kind != TNode {
-			continue
+		if n.Kind == TNode {
+			tnodes = append(tnodes, n)
 		}
+	}
+	results := make([][]MemberInfo, len(tnodes))
+	par.For(workers, len(tnodes), func(_, i int) {
+		n := tnodes[i]
 		if n.ID < first && n != h.Root {
-			out[n.ID] = h.membersShallow(n)
+			results[i] = h.membersShallow(n)
 		} else {
 			// The root's id is reserved (always 0, below any mark) but its
 			// tree is rebuilt every generation, so it always gets the fold.
-			out[n.ID] = h.Members(n)
+			results[i] = h.Members(n)
 		}
+	})
+	out := make(map[int][]MemberInfo, len(tnodes))
+	for i, n := range tnodes {
+		out[n.ID] = results[i]
 	}
 	return out
 }

@@ -1,0 +1,57 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct{ in, want int }{
+		{0, procs}, {-1, procs}, {-8, procs}, {1, 1}, {2, 2}, {17, 17},
+	}
+	for _, tc := range cases {
+		if got := Workers(tc.in); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		for _, n := range []int{0, 1, chunk - 1, chunk, 3*chunk + 5, 1000} {
+			hits := make([]atomic.Int32, n)
+			For(workers, n, func(worker, i int) {
+				if worker < 0 || worker >= Workers(workers) {
+					t.Errorf("worker id %d out of range", worker)
+				}
+				hits[i].Add(1)
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForErrPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForErr(workers, 1000, func(worker, i int) error {
+			if i == 137 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, boom)
+		}
+	}
+	if err := ForErr(4, 1000, func(worker, i int) error { return nil }); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+}
