@@ -60,7 +60,7 @@ const (
 
 	// Decode plausibility bounds; anything larger is rejected outright.
 	maxCertProps    = 1 << 10
-	maxCertNameLen  = 1 << 8
+	maxCertNameLen  = 1 << 12 // compiled-formula names carry the formula text
 	maxCertVertices = 1 << 30
 	maxCertEdges    = 1 << 26
 	maxLabelBits    = 1 << 30

@@ -61,6 +61,20 @@ func WithProperty(p Property) Option {
 	}
 }
 
+// WithFormula compiles an MSO₂ formula (s-expression syntax, see
+// mso.Parse) and adds the compiled property, as if by
+// WithProperty(FormulaProperty(src)). Parse and compile failures satisfy
+// errors.Is(err, ErrBadFormula).
+func WithFormula(src string) Option {
+	return func(c *Certifier) error {
+		p, err := FormulaProperty(src)
+		if err != nil {
+			return err
+		}
+		return WithProperty(p)(c)
+	}
+}
+
 // WithProperties adds several properties in order.
 func WithProperties(ps ...Property) Option {
 	return func(c *Certifier) error {

@@ -36,6 +36,11 @@ var (
 	// or a batch that disconnects the graph. The Updater rolls back — a
 	// failed batch leaves the previous generation fully intact.
 	ErrBadEdit = errors.New("certify: invalid edit")
+	// ErrBadFormula reports an MSO₂ formula that does not compile to an
+	// algebra: a syntax error (the cause is a *mso.ParseError with the
+	// position), an unbound variable or sort mismatch (*msoc.CompileError
+	// naming the subformula), or a class-space blow-up during enumeration.
+	ErrBadFormula = errors.New("certify: formula does not compile")
 )
 
 // wrapped attaches a sentinel to an underlying cause: errors.Is matches the

@@ -1,9 +1,12 @@
 package certify
 
 import (
+	"context"
+
 	"repro/internal/algebra"
 	"repro/internal/graph"
 	"repro/internal/mso"
+	"repro/internal/msoc"
 )
 
 // MaxMSOEvalVertices bounds the brute-force MSO₂ model checker ModelCheck
@@ -17,14 +20,25 @@ const MaxMSOEvalVertices = mso.MaxEvalVertices
 // with neither (e.g. input-set properties, whose semantics depend on the
 // marked set). Examples and tests use it to cross-check certificates.
 func ModelCheck(g *Graph, p Property) (holds, supported bool) {
-	return modelCheck(g.g, p.p)
+	return ModelCheckCtx(context.Background(), g, p)
 }
 
-func modelCheck(g *graph.Graph, p algebra.Property) (bool, bool) {
+// ModelCheckCtx is ModelCheck with a context: the brute-force MSO₂
+// evaluation polls ctx inside its exponential set loops, so callers with
+// deadlines (request handlers, validation passes) can bail out. A ctx error
+// reports supported=false rather than a wrong verdict.
+func ModelCheckCtx(ctx context.Context, g *Graph, p Property) (holds, supported bool) {
+	return modelCheck(ctx, g.g, p.p)
+}
+
+func modelCheck(ctx context.Context, g *graph.Graph, p algebra.Property) (bool, bool) {
 	if f := msoFormulaFor(p); f != nil && g.N() <= mso.MaxEvalVertices {
-		holds, err := mso.Eval(g, f)
+		holds, err := mso.EvalCtx(ctx, g, f)
 		if err == nil {
 			return holds, true
+		}
+		if ctx.Err() != nil {
+			return false, false
 		}
 	}
 	switch q := p.(type) {
@@ -43,8 +57,8 @@ func modelCheck(g *graph.Graph, p algebra.Property) (bool, bool) {
 	case algebra.MaxDegreeAtMost:
 		return algebra.OracleMaxDegreeAtMost(g, q.D), true
 	case algebra.And:
-		h1, ok1 := modelCheck(g, q.P1)
-		h2, ok2 := modelCheck(g, q.P2)
+		h1, ok1 := modelCheck(ctx, g, q.P1)
+		h2, ok2 := modelCheck(ctx, g, q.P2)
 		return h1 && h2, ok1 && ok2
 	default:
 		return false, false
@@ -56,6 +70,8 @@ func modelCheck(g *graph.Graph, p algebra.Property) (bool, bool) {
 // the paper's actual logical sentence, not a reimplementation).
 func msoFormulaFor(p algebra.Property) mso.Formula {
 	switch q := p.(type) {
+	case *msoc.Prop:
+		return q.Formula()
 	case algebra.Colorable:
 		switch q.Q {
 		case 2:

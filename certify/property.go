@@ -4,7 +4,14 @@ import (
 	"strings"
 
 	"repro/internal/algebra"
+	"repro/internal/msoc"
 )
+
+// formulaPrefix marks property names that are compiled MSO₂ formulas
+// rather than catalog entries: "mso:" followed by the canonical formula
+// text. Certificates carry these names on the wire, and the verifying
+// process recompiles the formula from the name alone.
+const formulaPrefix = "mso:"
 
 // Property is one certifiable MSO₂ property, resolved from the catalog.
 // The zero value is invalid; obtain properties from PropertyByName or And.
@@ -26,14 +33,34 @@ func (p Property) valid() bool { return p.p != nil }
 
 // PropertyByName resolves a property from its catalog name. Supported names
 // (see Names): plain properties like "bipartite" or "acyclic", parameterized
-// ones like "vc:3" (vertex cover ≤ 3) and "maxdeg:2", and conjunctions like
-// "and(bipartite,evenedges)". Unknown names return ErrUnknownProperty.
+// ones like "vc:3" (vertex cover ≤ 3) and "maxdeg:2", conjunctions like
+// "and(bipartite,evenedges)", and compiled formulas "mso:(...)" (see
+// FormulaProperty). Unknown names return ErrUnknownProperty; a formula
+// name that fails to compile returns ErrBadFormula.
 func PropertyByName(name string) (Property, error) {
+	if strings.HasPrefix(name, formulaPrefix) {
+		return FormulaProperty(strings.TrimPrefix(name, formulaPrefix))
+	}
 	p, err := algebra.ByName(name)
 	if err != nil {
 		return Property{}, wrapErr(ErrUnknownProperty, err)
 	}
 	return Property{p: p, name: name}, nil
+}
+
+// FormulaProperty compiles an MSO₂ formula (s-expression syntax, see
+// mso.Parse) into a certifiable property via the internal/msoc compiler.
+// The property's name is "mso:" + the canonical formula text, so it
+// resolves back through PropertyByName on the verifier side — including a
+// verifier in another process reconstructing a decoded certificate.
+// Failures satisfy errors.Is(err, ErrBadFormula) and wrap the parse or
+// compile error.
+func FormulaProperty(src string) (Property, error) {
+	p, err := msoc.CompileSource(src)
+	if err != nil {
+		return Property{}, wrapErr(ErrBadFormula, err)
+	}
+	return Property{p: p, name: p.Name()}, nil
 }
 
 // PropertiesByName resolves a list of catalog names in order.

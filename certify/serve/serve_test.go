@@ -925,3 +925,69 @@ func TestMalformedProveConfigRejectedEarly(t *testing.T) {
 		t.Fatal("serve.New accepted a default lane budget the wire format cannot carry")
 	}
 }
+
+// TestFormulaProve drives the compiled-formula prove flow over the wire:
+// a "formula" request proves and stores a certificate whose property name
+// embeds the canonical formula, the blob verifies back (the verifier
+// recompiles the formula from the certificate name alone), parse and
+// compile failures answer 422 with the diagnostic, mixing "formula" with
+// "properties" answers 400, and spacing variants share one cache entry.
+func TestFormulaProve(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	fp := ingest(t, ts.URL, certify.Path(12))
+
+	const bip = "(exists S V-set (forall u V (forall v V (-> (adj u v) (not (<-> (in u S) (in v S)))))))"
+	resp, body := postJSON(t, ts.URL+"/v1/prove", proveRequest{Fingerprint: fp, Formula: bip})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("formula prove: %d %s", resp.StatusCode, body)
+	}
+	var pr proveResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Certificate) == 0 || len(pr.Properties) != 1 || !strings.HasPrefix(pr.Properties[0], "mso:") {
+		t.Fatalf("formula prove response: props=%v certlen=%d", pr.Properties, len(pr.Certificate))
+	}
+
+	// The certificate is self-describing: verification recompiles the
+	// formula from the property name, no out-of-band state.
+	resp, body = postJSON(t, ts.URL+"/v1/verify", verifyRequest{Fingerprint: fp, Certificate: pr.Certificate})
+	var vr verifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || vr.Verdict != "accept" {
+		t.Fatalf("verify compiled-formula certificate: %d %s", resp.StatusCode, body)
+	}
+
+	// A differently spaced source of the same formula hits the same cache
+	// entry: the canonical key coalesces them.
+	spaced := strings.ReplaceAll(bip, " (", "  (")
+	if resp, body = postJSON(t, ts.URL+"/v1/prove", proveRequest{Fingerprint: fp, Formula: spaced}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("spaced formula prove: %d %s", resp.StatusCode, body)
+	}
+	s.formulaMu.Lock()
+	cached := len(s.formulas)
+	s.formulaMu.Unlock()
+	if cached != 1 {
+		t.Fatalf("formula cache has %d entries, want 1", cached)
+	}
+
+	// Failure taxonomy: syntax and semantic errors are 422 with the
+	// diagnostic; mixing selectors is 400.
+	for _, tc := range []struct {
+		name    string
+		req     proveRequest
+		want    int
+		needMsg string
+	}{
+		{"syntax", proveRequest{Fingerprint: fp, Formula: "(exists S V-set (adj u"}, http.StatusUnprocessableEntity, "parse error at"},
+		{"semantic", proveRequest{Fingerprint: fp, Formula: "(forall u V (adj u v))"}, http.StatusUnprocessableEntity, "unbound variable"},
+		{"mixed", proveRequest{Fingerprint: fp, Formula: bip, Properties: []string{"bipartite"}}, http.StatusBadRequest, "mutually exclusive"},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/prove", tc.req)
+		if resp.StatusCode != tc.want || !strings.Contains(string(body), tc.needMsg) {
+			t.Fatalf("%s: %d %s (want %d containing %q)", tc.name, resp.StatusCode, body, tc.want, tc.needMsg)
+		}
+	}
+}

@@ -90,7 +90,7 @@ func (o Options) withDefaults() Options {
 //
 //	POST /v1/graphs?format=auto      ingest a graph (edge list or DIMACS)
 //	GET  /v1/graphs/{fp}             stored graph summary + certificate keys
-//	POST /v1/prove                   {"fingerprint","properties",["max_lanes"]}
+//	POST /v1/prove                   {"fingerprint","properties"|"formula",["max_lanes"]}
 //	PATCH /v1/graphs/{fp}/edges      apply an edit batch and re-certify incrementally
 //	POST /v1/verify                  {"fingerprint","certificate",["distributed"]}
 //	GET  /v1/certificates/{fp}       fetch a stored PLSC blob (?props=...)
@@ -121,6 +121,14 @@ type Server struct {
 	// estimate.
 	latMu   sync.Mutex
 	latEWMA time.Duration
+
+	// formulaMu guards formulas, the compiled-formula cache keyed by the
+	// canonical (re-printed) formula. A compiled property accumulates its
+	// join/accept memo tables as it proves, so handing every request for
+	// the same formula the same instance makes repeat proves cheaper;
+	// differently spaced sources coalesce on the canonical key.
+	formulaMu sync.Mutex
+	formulas  map[string]certify.Property
 }
 
 // proveJob is one unit of prover-pool work: a closure run by a worker under
@@ -310,6 +318,7 @@ type graphResponse struct {
 type proveRequest struct {
 	Fingerprint string   `json:"fingerprint"`
 	Properties  []string `json:"properties"`
+	Formula     string   `json:"formula"` // MSO₂ source, compiled on the fly; exclusive with properties
 	MaxLanes    int      `json:"max_lanes"`
 }
 
@@ -505,14 +514,30 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(req.Properties) == 0 {
+	var props []certify.Property
+	switch {
+	case req.Formula != "":
+		if len(req.Properties) > 0 {
+			writeError(w, http.StatusBadRequest, errors.New(`"properties" and "formula" are mutually exclusive; pass one or the other`))
+			return
+		}
+		p, err := s.formulaProperty(req.Formula)
+		if err != nil {
+			// The request is well-formed JSON but the formula itself does
+			// not compile — semantic rejection, with the parser's position
+			// or the checker's subformula in the message.
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		props = []certify.Property{p}
+	case len(req.Properties) == 0:
 		writeError(w, http.StatusBadRequest, errors.New("no properties requested"))
 		return
-	}
-	props, err := certify.PropertiesByName(req.Properties...)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	default:
+		if props, err = certify.PropertiesByName(req.Properties...); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	maxLanes := req.MaxLanes
 	if maxLanes <= 0 {
@@ -594,6 +619,27 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 // statusClientClosedRequest is nginx's conventional status for a request
 // whose client went away; there is no stdlib constant.
 const statusClientClosedRequest = 499
+
+// formulaProperty compiles an MSO₂ formula source, serving repeats of the
+// same (canonicalized) formula from the cache so their warmed-up compiled
+// algebras are shared across requests. Compilation itself is a cheap AST
+// walk; the valuable cached state is the memo tables inside the property.
+func (s *Server) formulaProperty(src string) (certify.Property, error) {
+	p, err := certify.FormulaProperty(src)
+	if err != nil {
+		return certify.Property{}, err
+	}
+	s.formulaMu.Lock()
+	defer s.formulaMu.Unlock()
+	if cached, ok := s.formulas[p.Name()]; ok {
+		return cached, nil
+	}
+	if s.formulas == nil {
+		s.formulas = map[string]certify.Property{}
+	}
+	s.formulas[p.Name()] = p
+	return p, nil
+}
 
 func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	fp, err := parseFingerprint(r.PathValue("fp"))
@@ -786,6 +832,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		})
 	case errors.Is(err, certify.ErrWrongGraph):
 		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, certify.ErrBadFormula):
+		// The certificate names an "mso:" property whose formula no longer
+		// compiles — a semantic defect in the upload, not a malformed body.
+		writeError(w, http.StatusUnprocessableEntity, err)
 	case errors.Is(err, certify.ErrUnknownProperty):
 		writeError(w, http.StatusBadRequest, err)
 	case errors.Is(err, context.DeadlineExceeded):

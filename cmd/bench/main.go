@@ -1,4 +1,4 @@
-// Command bench runs the E1–E12 experiment harness of EXPERIMENTS.md and
+// Command bench runs the E1–E13 experiment harness of EXPERIMENTS.md and
 // prints the measured series. Each experiment regenerates the measurements
 // standing in for one of the paper's quantitative claims:
 //
@@ -22,6 +22,12 @@
 // fault-injection rate:
 //
 //	bench -exp e12 -json                         # → BENCH_E12.json
+//
+// E13 compiles the five reference MSO₂ formulas with internal/msoc and
+// compares compile time, registry class counts, and prove overhead against
+// the hand-written catalog algebras:
+//
+//	bench -exp e13 -json                         # → BENCH_E13.json
 package main
 
 import (
@@ -48,7 +54,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments to run: comma-separated subset of e1..e12, or all")
+		exp      = fs.String("exp", "all", "experiments to run: comma-separated subset of e1..e13, or all")
 		seed     = fs.Int64("seed", 1, "random seed")
 		jsonOut  = fs.Bool("json", false, "write the E8/E9/E10 series as machine-readable JSON")
 		jsonPath = fs.String("json-path", "BENCH_E8.json", "output path for the E8 series with -json")
@@ -61,6 +67,8 @@ func run(args []string) error {
 		e12Parts = fs.String("e12-parts", "1,2,4,8", "E12: comma-separated partition counts for the round-time series")
 		e12Round = fs.Int("e12-rounds", 20, "E12: timed rounds per partition count, and rounds per fault-rate schedule")
 		e12Rates = fs.String("e12-rates", "0.1,0.3,0.6,1.0", "E12: comma-separated per-round fault-injection rates")
+		e13Path  = fs.String("e13-json-path", "BENCH_E13.json", "output path for the E13 series with -json")
+		e13N     = fs.Int("e13-n", 4096, "E13: approximate vertex count of the workload graph")
 		url      = fs.String("url", "", "E10: drive the certifyd at this base URL instead of an in-process service")
 		e10Level = fs.String("e10-levels", "1,2,4,8", "E10: comma-separated client concurrency levels")
 		e10Reqs  = fs.Int("e10-requests", 12, "E10: prove→fetch→verify round trips per client")
@@ -295,11 +303,26 @@ func run(args []string) error {
 		}
 		ran = true
 	}
+	if want("e13") {
+		rows, err := experiments.E13Compiler(*e13N)
+		if err != nil {
+			return err
+		}
+		experiments.PrintE13(out, rows)
+		fmt.Fprintln(out)
+		if *jsonOut {
+			if err := writeJSON(*e13Path, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *e13Path)
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment selection %q", *exp)
 	}
-	if *jsonOut && !want("e8") && !want("e9") && !want("e10") && !want("e11") && !want("e12") {
-		return fmt.Errorf("-json requires the e8, e9, e10, e11 or e12 experiment (got -exp %s)", *exp)
+	if *jsonOut && !want("e8") && !want("e9") && !want("e10") && !want("e11") && !want("e12") && !want("e13") {
+		return fmt.Errorf("-json requires the e8, e9, e10, e11, e12 or e13 experiment (got -exp %s)", *exp)
 	}
 	return nil
 }
@@ -326,7 +349,7 @@ func parseLevels(s string) ([]int, error) {
 
 // knownExps lists every -exp name in display order; "all" selects them all.
 var knownExps = []string{
-	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 }
 
 // parseRates parses the E12 fault-rate list.

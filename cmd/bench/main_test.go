@@ -18,7 +18,7 @@ func TestParseExpList(t *testing.T) {
 		{"case and spaces", " E2 , e10 ", []string{"e2", "e10"}, ""},
 		{"trailing comma", "e3,", []string{"e3"}, ""},
 		{"unknown name", "e99", nil, `unknown experiment "e99"`},
-		{"typo lists valid names", "e1,ee2", nil, "valid: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, all"},
+		{"typo lists valid names", "e1,ee2", nil, "valid: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, all"},
 		{"empty", "", nil, "empty experiment selection"},
 		{"only commas", ",,", nil, "empty experiment selection"},
 	}

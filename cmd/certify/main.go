@@ -10,6 +10,7 @@
 //
 //	certify -graph caterpillar -n 64 -prop bipartite
 //	certify -graph cycle -n 33 -prop 3color -dist
+//	certify -graph path -n 40 -formula '(forall u V (forall v V (-> (adj u v) (not (= u v)))))'
 //	certify -graph path -n 64 -prop bipartite,3color,acyclic -dist
 //	certify -graph interval -n 100 -width 3 -prop matching -out proof.plsc
 //	certify -graph interval -n 100 -width 3 -prop matching -in proof.plsc
@@ -74,6 +75,7 @@ func run(args []string) error {
 		width     = fs.Int("width", 2, "interval-graph width (for -graph interval)")
 		propNames = fs.String("prop", "bipartite",
 			"comma-separated properties: "+strings.Join(certify.Names(), "|"))
+		formula   = fs.String("formula", "", "certify this MSO₂ formula, compiled on the fly (mutually exclusive with -prop)")
 		markEvery = fs.Int("mark", 2, "for input-set properties: mark every k-th vertex as X")
 		lanesMax  = fs.Int("lanes", certify.DefaultMaxLanes, "lane budget (certifies pathwidth ≤ lanes-1)")
 		paper     = fs.Bool("paper", false, "use the Proposition 4.6 recursive lane construction")
@@ -94,8 +96,26 @@ func run(args []string) error {
 		return errors.New("-in verifies an existing certificate; it cannot be combined with -corrupt or -out")
 	}
 
-	props, err := certify.PropertiesByName(certify.SplitPropList(*propNames)...)
-	if err != nil {
+	var (
+		props []certify.Property
+		err   error
+	)
+	if *formula != "" {
+		explicitProp := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "prop" {
+				explicitProp = true
+			}
+		})
+		if explicitProp {
+			return errors.New("-formula and -prop are mutually exclusive; pass one or the other")
+		}
+		p, err := certify.FormulaProperty(*formula)
+		if err != nil {
+			return err
+		}
+		props = []certify.Property{p}
+	} else if props, err = certify.PropertiesByName(certify.SplitPropList(*propNames)...); err != nil {
 		return err
 	}
 	if len(props) == 0 {

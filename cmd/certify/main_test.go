@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/certify"
@@ -110,6 +111,14 @@ func TestExitCodes(t *testing.T) {
 		{"certificate rejected", []string{"-graph", "path", "-n", "12", "-prop", "bipartite", "-in", corrupted}, 3},
 		{"unknown property", []string{"-prop", "nope"}, 1},
 		{"unknown fault", []string{"-graph", "path", "-n", "10", "-prop", "bipartite", "-corrupt", "nope"}, 1},
+		{"formula success", []string{"-graph", "path", "-n", "10",
+			"-formula", "(forall u V (forall v V (-> (adj u v) (not (= u v)))))"}, 0},
+		{"formula property fails", []string{"-graph", "cycle", "-n", "7",
+			"-formula", "(exists S V-set (forall u V (forall v V (-> (adj u v) (not (<-> (in u S) (in v S)))))))"}, 2},
+		{"unparsable formula", []string{"-graph", "path", "-n", "8", "-formula", "(exists S V-set (adj u"}, 1},
+		{"formula compile failure", []string{"-graph", "path", "-n", "8", "-formula", "(forall u V (adj u v))"}, 1},
+		{"formula with explicit prop", []string{"-graph", "path", "-n", "8",
+			"-formula", "(forall u V (= u u))", "-prop", "bipartite"}, 1},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			err := run(tc.args)
@@ -117,6 +126,26 @@ func TestExitCodes(t *testing.T) {
 				t.Fatalf("run(%v): exit %d (err=%v), want %d", tc.args, got, err, tc.want)
 			}
 		})
+	}
+}
+
+// TestFormulaDiagnostics pins that -formula failures exit 1 with an
+// actionable message: syntax errors carry the parser's position, semantic
+// errors name the offending subformula, and both satisfy ErrBadFormula.
+func TestFormulaDiagnostics(t *testing.T) {
+	err := run([]string{"-graph", "path", "-n", "8", "-formula", "(exists S V-set (adj u"})
+	if !errors.Is(err, certify.ErrBadFormula) {
+		t.Fatalf("syntax error not ErrBadFormula: %v", err)
+	}
+	if !strings.Contains(err.Error(), "parse error at") {
+		t.Fatalf("syntax diagnostic has no position: %v", err)
+	}
+	err = run([]string{"-graph", "path", "-n", "8", "-formula", "(forall u V (adj u v))"})
+	if !errors.Is(err, certify.ErrBadFormula) {
+		t.Fatalf("compile error not ErrBadFormula: %v", err)
+	}
+	if !strings.Contains(err.Error(), `unbound variable "v"`) {
+		t.Fatalf("compile diagnostic does not name the variable: %v", err)
 	}
 }
 

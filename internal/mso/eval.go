@@ -1,6 +1,7 @@
 package mso
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -14,10 +15,19 @@ const MaxEvalVertices = 10
 // quantifier expansion. It is doubly exponential in quantifier depth and is
 // meant only as the ground-truth oracle on small graphs.
 func Eval(g *graph.Graph, f Formula) (bool, error) {
+	return EvalCtx(context.Background(), g, f)
+}
+
+// EvalCtx is Eval with a context: the exponential set-quantifier loops poll
+// ctx periodically, so a model check embedded in a request handler or a
+// validation pass respects deadlines and cancellation instead of running
+// 2^n subsets to the end.
+func EvalCtx(ctx context.Context, g *graph.Graph, f Formula) (bool, error) {
 	if g.N() > MaxEvalVertices {
 		return false, fmt.Errorf("mso: Eval limited to %d vertices, got %d", MaxEvalVertices, g.N())
 	}
 	env := &environment{
+		ctx:      ctx,
 		g:        g,
 		edges:    g.Edges(),
 		vertices: map[string]graph.Vertex{},
@@ -28,13 +38,29 @@ func Eval(g *graph.Graph, f Formula) (bool, error) {
 	return env.eval(f)
 }
 
+// pollEvery is how many set assignments are tried between context polls.
+const pollEvery = 1024
+
 type environment struct {
+	ctx      context.Context
 	g        *graph.Graph
 	edges    []graph.Edge
 	vertices map[string]graph.Vertex
 	edgeVars map[string]graph.Edge
 	vsets    map[string]uint64
 	esets    map[string]uint64
+	ticks    uint64
+}
+
+// poll checks the context every pollEvery calls. The counter is shared
+// across all nested quantifier loops, so deeply nested formulas cannot
+// stretch the interval between checks.
+func (env *environment) poll() error {
+	env.ticks++
+	if env.ticks%pollEvery != 0 {
+		return nil
+	}
+	return env.ctx.Err()
 }
 
 func (env *environment) eval(f Formula) (bool, error) {
@@ -205,6 +231,9 @@ func (env *environment) quantify(name string, sort Sort, body Formula, univ bool
 		prev, had := env.vsets[name]
 		defer env.restoreVSet(name, prev, had)
 		for set := uint64(0); set < 1<<uint(env.g.N()); set++ {
+			if err := env.poll(); err != nil {
+				return false, err
+			}
 			env.vsets[name] = set
 			ok, err := env.eval(body)
 			if err != nil {
@@ -219,6 +248,9 @@ func (env *environment) quantify(name string, sort Sort, body Formula, univ bool
 		prev, had := env.esets[name]
 		defer env.restoreESet(name, prev, had)
 		for set := uint64(0); set < 1<<uint(len(env.edges)); set++ {
+			if err := env.poll(); err != nil {
+				return false, err
+			}
 			env.esets[name] = set
 			ok, err := env.eval(body)
 			if err != nil {

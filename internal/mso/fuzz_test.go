@@ -1,0 +1,61 @@
+package mso
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzParse pins two invariants of the parser on arbitrary input: it never
+// panics — every failure is a *ParseError with an in-range position — and
+// parsing is a fixpoint through printing: Parse(src).String() re-parses to
+// the same string. The committed corpus seeds the five reference formulas.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []Formula{
+		BipartiteFormula(),
+		ThreeColorableFormula(),
+		AcyclicFormula(),
+		PerfectMatchingFormula(),
+		HamiltonianCycleFormula(),
+	} {
+		f.Add(seed.String())
+	}
+	f.Add("(exists")
+	f.Add("((")
+	f.Add("(= x")
+	f.Add("(forall u W (adj u u))")
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q): non-ParseError failure %T: %v", src, err, err)
+			}
+			if pe.Pos < 0 || pe.Pos > len(src) {
+				t.Fatalf("Parse(%q): error position %d out of [0,%d]", src, pe.Pos, len(src))
+			}
+			return
+		}
+		printed := formula.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", printed, src, err)
+		}
+		if got := again.String(); got != printed {
+			t.Fatalf("print/parse not a fixpoint: %q -> %q", printed, got)
+		}
+	})
+}
+
+// TestEvalCtxCancelled pins the context poll in the exponential set loops:
+// a cancelled context aborts a set-heavy evaluation with the ctx error.
+func TestEvalCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EvalCtx(ctx, graph.Complete(MaxEvalVertices), ThreeColorableFormula())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -1,0 +1,247 @@
+package msoc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/graph"
+)
+
+// EnumLimits bounds the fixpoint enumeration. Zero fields take defaults.
+type EnumLimits struct {
+	MaxClasses int // class budget; exceeding it is a *CompileError
+	MaxJoins   int // merge-operation budget
+}
+
+// EnumStats reports the closure the enumeration reached.
+type EnumStats struct {
+	Classes int // distinct classes (equals the registry size)
+	Joins   int // bridge/parent merges performed
+}
+
+const (
+	defaultMaxClasses = 4096
+	defaultMaxJoins   = 1 << 20
+	maxEnumLanes      = 3
+)
+
+// Enumerate materializes the class set of Proposition 6.1 the scheme can
+// reach for the compiled property over the given lanes: seed with every
+// V-, E- and P-node base payload on those lanes, then close under
+// Bridge-merge (both edge labels) and the Lemma 6.5 parent-fold until no
+// new class appears, interning every class into a Registry and
+// canonicalizing it exactly as the prover does.
+//
+// The closure attaches one seed payload at a time, mirroring how the
+// prover grows a part bag by bag. Every part of a decomposition is
+// reachable that way, so the closure covers every class an actual prove
+// can intern. It deliberately does not merge arbitrary class pairs:
+// characteristic trees are canonical per build order, not per part, and
+// merge orders no decomposition produces accumulate no-information
+// residue that multiplies into order-variants of the same part — a
+// combinatorial space the scheme itself never visits.
+//
+// Materialization is a bounded exploration, not a guarantee: the class
+// space is always finite (finiteness of the characteristic-tree space),
+// but for set-quantifier formulas over several lanes it is a power set
+// of constraint-subtree variants — astronomically large even though each
+// individual prove only ever meets a handful of its classes (the prover
+// interns lazily through the Registry). Small spaces close and report
+// exact counts; large ones exhaust the budget and return a typed
+// *CompileError instead of an endless loop.
+func (p *Prop) Enumerate(ctx context.Context, lanes []int, lim EnumLimits) (EnumStats, error) {
+	if lim.MaxClasses <= 0 {
+		lim.MaxClasses = defaultMaxClasses
+	}
+	if lim.MaxJoins <= 0 {
+		lim.MaxJoins = defaultMaxJoins
+	}
+	if len(lanes) == 0 {
+		return EnumStats{}, fmt.Errorf("msoc: enumeration needs at least one lane")
+	}
+	if len(lanes) > maxEnumLanes {
+		return EnumStats{}, fmt.Errorf("msoc: enumeration over %d lanes, limit %d", len(lanes), maxEnumLanes)
+	}
+	reg := algebra.NewRegistry()
+	seen := map[string]bool{}
+	var classes []*algebra.Class
+	stats := EnumStats{}
+	add := func(c *algebra.Class) error {
+		key := c.Key()
+		if seen[key] {
+			return nil
+		}
+		if len(classes) >= lim.MaxClasses {
+			return &CompileError{Formula: p.f.String(),
+				Msg: fmt.Sprintf("class space exceeds budget of %d classes", lim.MaxClasses)}
+		}
+		seen[key] = true
+		reg.Intern(c)
+		classes = append(classes, c)
+		stats.Classes = len(classes)
+		return nil
+	}
+
+	var seeds []*algebra.Class
+	for _, bg := range seedPayloads(lanes) {
+		c, err := algebra.BaseClass(p, bg)
+		if err != nil {
+			return stats, err
+		}
+		seeds = append(seeds, c)
+		if err := add(c); err != nil {
+			return stats, err
+		}
+	}
+
+	// Worklist closure: every pass extends every known class by one seed
+	// payload in every merge shape; dedup by class key makes passes
+	// idempotent, so a pass that adds nothing is the fixpoint.
+	for {
+		before := len(classes)
+		snapshot := classes
+		for _, a := range snapshot {
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+			for _, s := range seeds {
+				for _, pair := range [][2]*algebra.Class{{a, s}, {s, a}} {
+					child, parent := pair[0], pair[1]
+					if subsetOf(child.Lanes, parent.Lanes) {
+						c, err := algebra.ParentMerge(p, child, parent)
+						if err != nil {
+							return stats, err
+						}
+						stats.Joins++
+						if err := add(c); err != nil {
+							return stats, err
+						}
+					}
+				}
+				if disjointLanes(a.Lanes, s.Lanes) {
+					for _, li := range a.Lanes {
+						for _, lj := range s.Lanes {
+							for _, label := range []int{0, algebra.EdgeReal} {
+								c, err := algebra.BridgeMerge(p, a, s, li, lj, label)
+								if err != nil {
+									return stats, err
+								}
+								stats.Joins++
+								if err := add(c); err != nil {
+									return stats, err
+								}
+							}
+						}
+					}
+				}
+				if stats.Joins > lim.MaxJoins {
+					return stats, &CompileError{Formula: p.f.String(),
+						Msg: fmt.Sprintf("closure exceeds budget of %d merges", lim.MaxJoins)}
+				}
+			}
+		}
+		if len(classes) == before {
+			break
+		}
+	}
+	reg.Canonicalize()
+	stats.Classes = reg.Size()
+	return stats, nil
+}
+
+// seedPayloads builds the V-, E- and P-node base payloads over the lanes:
+// the single-vertex and single-edge graphs per lane, and a path payload
+// per lane subset of size ≥ 2 with every real/virtual edge labeling.
+func seedPayloads(lanes []int) []*algebra.BGraph {
+	var out []*algebra.BGraph
+	for _, l := range lanes {
+		g := graph.New(1)
+		out = append(out, &algebra.BGraph{
+			G: g, Lanes: []int{l},
+			In: map[int]graph.Vertex{l: 0}, Out: map[int]graph.Vertex{l: 0},
+			VLabel: []int{0}, ELabel: map[graph.Edge]int{},
+		})
+		for _, label := range []int{0, algebra.EdgeReal} {
+			ge := graph.New(2)
+			ge.MustAddEdge(0, 1)
+			el := map[graph.Edge]int{}
+			if label != 0 {
+				el[graph.NewEdge(0, 1)] = label
+			}
+			out = append(out, &algebra.BGraph{
+				G: ge, Lanes: []int{l},
+				In: map[int]graph.Vertex{l: 0}, Out: map[int]graph.Vertex{l: 1},
+				VLabel: []int{0, 0}, ELabel: el,
+			})
+		}
+	}
+	for _, sub := range laneSubsets(lanes) {
+		if len(sub) < 2 {
+			continue
+		}
+		n := len(sub)
+		for bits := 0; bits < 1<<uint(n-1); bits++ {
+			g := graph.New(n)
+			el := map[graph.Edge]int{}
+			in := map[int]graph.Vertex{}
+			outm := map[int]graph.Vertex{}
+			for i := 0; i < n-1; i++ {
+				g.MustAddEdge(i, i+1)
+				if bits>>uint(i)&1 == 1 {
+					el[graph.NewEdge(i, i+1)] = algebra.EdgeReal
+				}
+			}
+			for i, l := range sub {
+				in[l] = graph.Vertex(i)
+				outm[l] = graph.Vertex(i)
+			}
+			out = append(out, &algebra.BGraph{
+				G: g, Lanes: append([]int(nil), sub...),
+				In: in, Out: outm,
+				VLabel: make([]int, n), ELabel: el,
+			})
+		}
+	}
+	return out
+}
+
+func laneSubsets(lanes []int) [][]int {
+	var out [][]int
+	for mask := 1; mask < 1<<uint(len(lanes)); mask++ {
+		var sub []int
+		for i, l := range lanes {
+			if mask>>uint(i)&1 == 1 {
+				sub = append(sub, l)
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+func subsetOf(a, b []int) bool {
+	has := map[int]bool{}
+	for _, x := range b {
+		has[x] = true
+	}
+	for _, x := range a {
+		if !has[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func disjointLanes(a, b []int) bool {
+	has := map[int]bool{}
+	for _, x := range a {
+		has[x] = true
+	}
+	for _, x := range b {
+		if has[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,356 @@
+package msoc_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/certify"
+	"repro/internal/mso"
+	"repro/internal/msoc"
+)
+
+// refFormulas pairs the five reference formulas with their hand-written
+// catalog algebras; the compiled algebra must agree with both the logic
+// (mso.Eval) and the catalog on every graph.
+var refFormulas = []struct {
+	name    string
+	catalog string
+	formula func() mso.Formula
+}{
+	{"bipartite", "bipartite", mso.BipartiteFormula},
+	{"3color", "3color", mso.ThreeColorableFormula},
+	{"acyclic", "acyclic", mso.AcyclicFormula},
+	{"matching", "matching", mso.PerfectMatchingFormula},
+	{"hamiltonian", "hamiltonian", mso.HamiltonianCycleFormula},
+}
+
+// heavy reports whether a reference formula nests set quantifiers deeply
+// enough that its characteristic trees grow steeply with boundary width;
+// those formulas are exercised on the smallest instance of each generator
+// family rather than the widest.
+func heavy(name string) bool {
+	return name == "3color" || name == "hamiltonian"
+}
+
+// smallGraphs covers every generator family with instances small enough
+// for the 2^n brute-force model checker. Heavy formulas get one compact
+// instance per family; light formulas additionally get wider instances.
+func smallGraphs(formula string) map[string]*certify.Graph {
+	gs := map[string]*certify.Graph{
+		"path-5":       certify.Path(5),
+		"path-6":       certify.Path(6),
+		"cycle-5":      certify.Cycle(5),
+		"cycle-6":      certify.Cycle(6),
+		"caterpillar":  certify.Caterpillar(3, 1),
+		"lobster":      certify.Lobster(2, 1),
+		"ladder-4":     certify.Ladder(4),
+		"spider-2":     certify.Spider(2),
+		"interval-8-2": certify.Interval(7, 8, 2),
+	}
+	if !heavy(formula) {
+		gs["ladder-5"] = certify.Ladder(5)
+		gs["spider-3"] = certify.Spider(3)
+		gs["interval-10-3"] = certify.Interval(7, 10, 3)
+	}
+	return gs
+}
+
+// largeGraphs are beyond the brute-force model checker; the compiled
+// algebra is cross-checked against the hand-written catalog on them.
+func largeGraphs(formula string) map[string]*certify.Graph {
+	gs := map[string]*certify.Graph{
+		"path-17":  certify.Path(17),
+		"cycle-16": certify.Cycle(16),
+		"cycle-17": certify.Cycle(17),
+	}
+	if !heavy(formula) {
+		gs["caterpillar-l"] = certify.Caterpillar(6, 2)
+		gs["lobster-l"] = certify.Lobster(4, 1)
+		gs["ladder-9"] = certify.Ladder(9)
+		gs["spider-5"] = certify.Spider(5)
+		gs["interval-18-3"] = certify.Interval(11, 18, 3)
+	}
+	return gs
+}
+
+func proveVerdict(t *testing.T, c *certify.Certifier, g *certify.Graph) bool {
+	t.Helper()
+	_, stats, err := c.ProveBatch(context.Background(), g)
+	if err == nil {
+		// Batch proving reports a non-holding property in Failed, not as an
+		// error: the rest of the batch proceeds without it.
+		return len(stats.Failed) == 0
+	}
+	if errors.Is(err, certify.ErrPropertyFails) {
+		return false
+	}
+	t.Fatalf("prove: %v", err)
+	return false
+}
+
+// TestCompiledMatchesEval cross-validates every compiled reference formula
+// against the brute-force model checker on every generator family small
+// enough for 2^n set enumeration.
+func TestCompiledMatchesEval(t *testing.T) {
+	for _, rf := range refFormulas {
+		src := rf.formula().String()
+		prop, err := certify.FormulaProperty(src)
+		if err != nil {
+			t.Fatalf("%s: %v", rf.name, err)
+		}
+		c, err := certify.New(certify.WithProperty(prop))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gname, g := range smallGraphs(rf.name) {
+			if g.N() > certify.MaxMSOEvalVertices {
+				continue
+			}
+			want, supported := certify.ModelCheck(g, prop)
+			if !supported {
+				t.Fatalf("%s on %s: model check unsupported", rf.name, gname)
+			}
+			if got := proveVerdict(t, c, g); got != want {
+				t.Errorf("%s on %s (n=%d): compiled=%v, mso.Eval=%v", rf.name, gname, g.N(), got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesCatalog cross-validates the compiled algebras against
+// the hand-written catalog algebras, including graphs too large for the
+// brute-force model checker.
+func TestCompiledMatchesCatalog(t *testing.T) {
+	for _, rf := range refFormulas {
+		graphs := smallGraphs(rf.name)
+		for n, g := range largeGraphs(rf.name) {
+			graphs[n] = g
+		}
+		compiled, err := certify.New(certify.WithFormula(rf.formula().String()))
+		if err != nil {
+			t.Fatalf("%s: %v", rf.name, err)
+		}
+		handP, err := certify.PropertyByName(rf.catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hand, err := certify.New(certify.WithProperty(handP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gname, g := range graphs {
+			got := proveVerdict(t, compiled, g)
+			want := proveVerdict(t, hand, g)
+			if got != want {
+				t.Errorf("%s on %s (n=%d): compiled=%v, catalog=%v", rf.name, gname, g.N(), got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesEvalRandom drives the compiled bipartite and acyclic
+// algebras over random connected graphs, a shape no generator family hits.
+func TestCompiledMatchesEvalRandom(t *testing.T) {
+	for _, rf := range refFormulas {
+		if heavy(rf.name) {
+			continue // steep characteristic trees; families cover them
+		}
+		prop, err := certify.FormulaProperty(rf.formula().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := certify.New(certify.WithProperty(prop))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := uint64(12345)
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int((rng >> 33) % uint64(n))
+		}
+		for trial := 0; trial < 12; trial++ {
+			n := 4 + next(5)
+			edges := [][2]int{}
+			for v := 1; v < n; v++ {
+				edges = append(edges, [2]int{next(v), v}) // random spanning tree
+			}
+			for extra := 0; extra < next(3); extra++ {
+				u, v := next(n), next(n)
+				if u == v {
+					continue
+				}
+				dup := false
+				for _, e := range edges {
+					if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+						dup = true
+					}
+				}
+				if !dup {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+			g, err := certify.FromEdges(n, edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, supported := certify.ModelCheck(g, prop)
+			if !supported {
+				t.Fatal("model check unsupported")
+			}
+			if got := proveVerdict(t, c, g); got != want {
+				t.Errorf("%s on random trial %d (n=%d, edges=%v): compiled=%v, mso.Eval=%v",
+					rf.name, trial, n, edges, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileErrors pins the failure taxonomy: parse errors keep their
+// *mso.ParseError (with position), semantic failures are *msoc.CompileError
+// naming the subformula, and both satisfy ErrBadFormula at the facade.
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		wantParse bool
+		wantIn    string
+	}{
+		{"unclosed", "(exists S V-set (adj u v)", true, ""},
+		{"bad-op", "(frobnicate x y)", true, ""},
+		{"unbound", "(forall u V (adj u v))", false, `unbound variable "v"`},
+		{"sort-mismatch-in", "(exists e E (exists S V-set (in e S)))", false, "does not match set sort"},
+		{"sort-mismatch-eq", "(exists u V (exists e E (= u e)))", false, "mismatched sorts"},
+		{"sort-mismatch-adj", "(exists e E (forall v V (adj e v)))", false, "adj needs two V variables"},
+		{"sort-mismatch-inc", "(exists u V (exists v V (inc u v)))", false, "inc needs an E and a V variable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := msoc.CompileSource(tc.src)
+			if err == nil {
+				t.Fatal("compile unexpectedly succeeded")
+			}
+			var pe *mso.ParseError
+			var ce *msoc.CompileError
+			if tc.wantParse {
+				if !errors.As(err, &pe) {
+					t.Fatalf("want *mso.ParseError, got %T: %v", err, err)
+				}
+				if pe.Pos < 0 || pe.Pos > len(tc.src) {
+					t.Fatalf("parse error position %d out of range", pe.Pos)
+				}
+			} else {
+				if !errors.As(err, &ce) {
+					t.Fatalf("want *msoc.CompileError, got %T: %v", err, err)
+				}
+				if tc.wantIn != "" && !contains(ce.Error(), tc.wantIn) {
+					t.Fatalf("error %q does not name %q", ce.Error(), tc.wantIn)
+				}
+			}
+			// The facade wraps both in ErrBadFormula.
+			if _, ferr := certify.FormulaProperty(tc.src); !errors.Is(ferr, certify.ErrBadFormula) {
+				t.Fatalf("facade error %v does not satisfy ErrBadFormula", ferr)
+			}
+		})
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(sub) == 0 || (len(s) >= len(sub) && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestCompileCanonicalName pins that compilation canonicalizes the name:
+// differently spaced sources of the same formula produce the same
+// property name, so store caching and wire resolution coalesce them.
+func TestCompileCanonicalName(t *testing.T) {
+	a, err := msoc.CompileSource("(forall u V (forall v V (adj u v)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := msoc.CompileSource("( forall u V\n\t( forall v V ( adj u v ) ) )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != b.Name() {
+		t.Fatalf("names differ: %q vs %q", a.Name(), b.Name())
+	}
+}
+
+// TestEnumerate runs the Proposition 6.1 fixpoint: small class spaces
+// close with exact counts (bipartite over one lane, a first-order formula
+// over two), while a set-quantifier formula over two lanes — whose finite
+// class space is a power set of constraint-subtree variants, far past any
+// practical budget — reports a typed *CompileError rather than looping.
+func TestEnumerate(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	bip, err := msoc.CompileSource(mso.BipartiteFormula().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := bip.Enumerate(ctx, []int{0}, msoc.EnumLimits{})
+	if err != nil {
+		t.Fatalf("bipartite, one lane: %v", err)
+	}
+	if stats.Classes == 0 || stats.Joins == 0 {
+		t.Fatalf("bipartite, one lane: degenerate closure %+v", stats)
+	}
+	t.Logf("bipartite, one lane: %d classes after %d merges", stats.Classes, stats.Joins)
+
+	// Loop-free (no self-adjacency): first-order, so no set entries to
+	// multiply — the two-lane space closes too.
+	fo, err := msoc.CompileSource("(forall u V (forall v V (-> (adj u v) (not (= u v)))))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err = fo.Enumerate(ctx, []int{0, 1}, msoc.EnumLimits{})
+	if err != nil {
+		t.Fatalf("first-order, two lanes: %v", err)
+	}
+	if stats.Classes == 0 || stats.Joins == 0 {
+		t.Fatalf("first-order, two lanes: degenerate closure %+v", stats)
+	}
+	t.Logf("first-order, two lanes: %d classes after %d merges", stats.Classes, stats.Joins)
+
+	var ce *msoc.CompileError
+	if _, err := bip.Enumerate(ctx, []int{0, 1}, msoc.EnumLimits{}); !errors.As(err, &ce) {
+		t.Fatalf("bipartite, two lanes: want budget *CompileError, got %v", err)
+	}
+	if _, err := bip.Enumerate(ctx, []int{0}, msoc.EnumLimits{MaxClasses: 2}); !errors.As(err, &ce) {
+		t.Fatalf("tiny budget: want *CompileError, got %v", err)
+	}
+}
+
+// TestEnumerateRespectsContext pins the ctx poll in the closure loop.
+func TestEnumerateRespectsContext(t *testing.T) {
+	p, err := msoc.CompileSource(mso.BipartiteFormula().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Enumerate(ctx, []int{0, 1}, msoc.EnumLimits{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func ExampleCompileSource() {
+	p, err := msoc.CompileSource("(forall u V (forall v V (-> (adj u v) (not (= u v)))))")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(p.Name()[:4])
+	// Output: mso:
+}
