@@ -131,7 +131,7 @@ func fingerprint(cfg *cert.Config) uint64 {
 // MarshalBinary encodes the certificate into the versioned wire format.
 func (c *Certificate) MarshalBinary() ([]byte, error) {
 	if len(c.props) == 0 {
-		return nil, fmt.Errorf("certify: cannot marshal an empty certificate")
+		return nil, fmt.Errorf("%w: cannot marshal an empty certificate", ErrBadConfig)
 	}
 	out := []byte(certMagic)
 	out = append(out, certVersion)
@@ -150,7 +150,7 @@ func (c *Certificate) MarshalBinary() ([]byte, error) {
 	for _, name := range c.props {
 		l, ok := c.labelings[name]
 		if !ok {
-			return nil, fmt.Errorf("certify: certificate lists property %q without a labeling", name)
+			return nil, fmt.Errorf("%w: certificate lists property %q without a labeling", ErrBadCertificate, name)
 		}
 		put(uint64(len(name)))
 		out = append(out, name...)
@@ -445,7 +445,7 @@ func (c *Certificate) Corrupt(seed int64, fault string) (*Certificate, error) {
 		}
 	}
 	if !found {
-		return nil, fmt.Errorf("certify: unknown fault %q (have %v)", fault, FaultNames())
+		return nil, fmt.Errorf("%w: unknown fault %q (have %v)", ErrBadConfig, fault, FaultNames())
 	}
 	rng := rand.New(rand.NewSource(seed))
 	c.schemeMu.Lock()
@@ -463,7 +463,7 @@ func (c *Certificate) Corrupt(seed int64, fault string) (*Certificate, error) {
 	for _, name := range c.props {
 		mutated, ok := dist.Inject(rng, c.labelings[name], f)
 		if !ok {
-			return nil, fmt.Errorf("certify: fault %s not injectable on the %s labeling", fault, name)
+			return nil, fmt.Errorf("%w: fault %s not injectable on the %s labeling", ErrBadConfig, fault, name)
 		}
 		out.labelings[name] = mutated
 	}

@@ -95,10 +95,10 @@ func WithProperties(ps ...Property) Option {
 func WithMaxLanes(k int) Option {
 	return func(c *Certifier) error {
 		if k < 1 {
-			return fmt.Errorf("certify: lane budget must be ≥ 1, got %d", k)
+			return fmt.Errorf("%w: lane budget must be ≥ 1, got %d", ErrBadConfig, k)
 		}
 		if k > MaxLaneBudget {
-			return fmt.Errorf("certify: lane budget %d exceeds the wire format's maximum %d", k, MaxLaneBudget)
+			return fmt.Errorf("%w: lane budget %d exceeds the wire format's maximum %d", ErrBadConfig, k, MaxLaneBudget)
 		}
 		c.maxLanes = k
 		return nil
@@ -125,7 +125,7 @@ func WithPaperConstruction(on bool) Option {
 func WithParallelism(n int) Option {
 	return func(c *Certifier) error {
 		if n < 0 {
-			return fmt.Errorf("certify: parallelism must be ≥ 0, got %d", n)
+			return fmt.Errorf("%w: parallelism must be ≥ 0, got %d", ErrBadConfig, n)
 		}
 		c.parallelism = n
 		return nil
@@ -138,7 +138,7 @@ func WithParallelism(n int) Option {
 func WithConcurrency(workers int) Option {
 	return func(c *Certifier) error {
 		if workers < 0 {
-			return fmt.Errorf("certify: concurrency must be ≥ 0, got %d", workers)
+			return fmt.Errorf("%w: concurrency must be ≥ 0, got %d", ErrBadConfig, workers)
 		}
 		c.concurrency = workers
 		return nil
@@ -159,7 +159,7 @@ func New(opts ...Option) (*Certifier, error) {
 	for _, p := range c.props {
 		name := p.Name()
 		if seen[name] {
-			return nil, fmt.Errorf("certify: duplicate property %q", name)
+			return nil, fmt.Errorf("%w: duplicate property %q", ErrBadConfig, name)
 		}
 		seen[name] = true
 	}
@@ -236,7 +236,7 @@ func translateProveErr(err error) error {
 // newBatch assembles the core batch for the certifier's property set.
 func (c *Certifier) newBatch() (*core.Batch, error) {
 	if len(c.props) == 0 {
-		return nil, errors.New("certify: no properties configured (use WithProperty)")
+		return nil, fmt.Errorf("%w: no properties configured (use WithProperty)", ErrBadConfig)
 	}
 	props := make([]algebra.Property, len(c.props))
 	for i, p := range c.props {
@@ -257,7 +257,7 @@ func (c *Certifier) newBatch() (*core.Batch, error) {
 // cancellation.
 func (c *Certifier) Prove(ctx context.Context, g *Graph) (*Certificate, *Stats, error) {
 	if len(c.props) != 1 {
-		return nil, nil, fmt.Errorf("certify: Prove needs exactly one configured property, have %d (use ProveBatch)", len(c.props))
+		return nil, nil, fmt.Errorf("%w: Prove needs exactly one configured property, have %d (use ProveBatch)", ErrBadConfig, len(c.props))
 	}
 	crt, bst, err := c.ProveBatch(ctx, g)
 	if err != nil {
@@ -343,10 +343,10 @@ func (c *Certifier) VerifyDistributed(ctx context.Context, g *Graph, crt *Certif
 // reconstruction — for certificates decoded from the wire).
 func (c *Certifier) bindCertificate(g *Graph, crt *Certificate) (*cert.Config, error) {
 	if g == nil || g.g == nil {
-		return nil, errors.New("certify: nil graph")
+		return nil, fmt.Errorf("%w: nil graph", ErrBadConfig)
 	}
 	if crt == nil {
-		return nil, errors.New("certify: nil certificate")
+		return nil, fmt.Errorf("%w: nil certificate", ErrBadConfig)
 	}
 	cfg, err := g.config()
 	if err != nil {
@@ -383,7 +383,7 @@ type Structure struct {
 // BuildStructure computes the property-independent structure of the graph.
 func (c *Certifier) BuildStructure(ctx context.Context, g *Graph) (*Structure, error) {
 	if g == nil || g.g == nil {
-		return nil, errors.New("certify: nil graph")
+		return nil, fmt.Errorf("%w: nil graph", ErrBadConfig)
 	}
 	cfg, err := g.config()
 	if err != nil {
@@ -403,7 +403,7 @@ func (c *Certifier) BuildStructure(ctx context.Context, g *Graph) (*Structure, e
 // one the structure was built from).
 func (c *Certifier) ProveBatchOn(ctx context.Context, st *Structure) (*Certificate, *BatchStats, error) {
 	if st == nil || st.sp == nil {
-		return nil, nil, errors.New("certify: nil structure")
+		return nil, nil, fmt.Errorf("%w: nil structure", ErrBadConfig)
 	}
 	batch, err := c.newBatch()
 	if err != nil {

@@ -36,6 +36,14 @@ var (
 	// or a batch that disconnects the graph. The Updater rolls back — a
 	// failed batch leaves the previous generation fully intact.
 	ErrBadEdit = errors.New("certify: invalid edit")
+	// ErrBadConfig reports caller misuse of the facade itself: an invalid
+	// option value, a nil graph or certificate, a duplicate or missing
+	// property configuration, a malformed edge list, or an unknown fault
+	// name. These are programming errors on the caller's side, never a
+	// statement about the graph or the certificate contents. (Added with
+	// the certlint errtaxonomy analyzer, which machine-checks that every
+	// error escaping the facade wraps a typed sentinel.)
+	ErrBadConfig = errors.New("certify: invalid configuration")
 	// ErrBadFormula reports an MSO₂ formula that does not compile to an
 	// algebra: a syntax error (the cause is a *mso.ParseError with the
 	// position), an unbound variable or sort mismatch (*msoc.CompileError

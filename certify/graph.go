@@ -120,7 +120,7 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 	es := make([]graph.Edge, len(edges))
 	for i, e := range edges {
 		if e[0] == e[1] {
-			return nil, fmt.Errorf("certify: loop edge {%d,%d}", e[0], e[1])
+			return nil, fmt.Errorf("%w: loop edge {%d,%d}", ErrBadConfig, e[0], e[1])
 		}
 		es[i] = graph.NewEdge(e[0], e[1])
 	}

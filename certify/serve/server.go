@@ -16,6 +16,14 @@ import (
 	"repro/certify/graphio"
 )
 
+// errBadRequest is the failure class for malformed client input the handler
+// layer rejects before it reaches the facade: an unparseable fingerprint or
+// a request body that is not strict JSON. Handlers map it to 400; wrapping
+// it (rather than returning naked errors.New values) keeps the service on
+// the same typed-sentinel taxonomy the certlint errtaxonomy analyzer
+// enforces for the facade.
+var errBadRequest = errors.New("serve: bad request")
+
 // Options configures a Server. The zero value of any field means its
 // documented default.
 type Options struct {
@@ -163,7 +171,7 @@ type patchOutcome struct {
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.MaxLanes > certify.MaxLaneBudget {
-		return nil, fmt.Errorf("serve: default lane budget %d exceeds the wire format's maximum %d", opts.MaxLanes, certify.MaxLaneBudget)
+		return nil, fmt.Errorf("%w: default lane budget %d exceeds the wire format's maximum %d", certify.ErrBadConfig, opts.MaxLanes, certify.MaxLaneBudget)
 	}
 	base, err := certify.New()
 	if err != nil {
@@ -404,11 +412,11 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 func parseFingerprint(s string) (uint64, error) {
 	if s == "" || len(s) > 16 {
-		return 0, fmt.Errorf("bad fingerprint %q", s)
+		return 0, fmt.Errorf("%w: bad fingerprint %q", errBadRequest, s)
 	}
 	fp, err := strconv.ParseUint(s, 16, 64)
 	if err != nil {
-		return 0, fmt.Errorf("bad fingerprint %q", s)
+		return 0, fmt.Errorf("%w: bad fingerprint %q", errBadRequest, s)
 	}
 	return fp, nil
 }
@@ -420,10 +428,10 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, v any) er
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("bad request body: %w", err)
+		return fmt.Errorf("%w: %w", errBadRequest, err)
 	}
 	if dec.More() {
-		return errors.New("bad request body: trailing data")
+		return fmt.Errorf("%w: trailing body data", errBadRequest)
 	}
 	return nil
 }

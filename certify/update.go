@@ -86,10 +86,10 @@ type Updater struct {
 // ErrPropertyFails. ErrTooWide and cancellation follow Prove's contract.
 func (c *Certifier) NewUpdater(ctx context.Context, g *Graph) (*Updater, error) {
 	if len(c.props) == 0 {
-		return nil, errors.New("certify: no properties configured (use WithProperty)")
+		return nil, fmt.Errorf("%w: no properties configured (use WithProperty)", ErrBadConfig)
 	}
 	if g == nil || g.g == nil {
-		return nil, errors.New("certify: nil graph")
+		return nil, fmt.Errorf("%w: nil graph", ErrBadConfig)
 	}
 	private := &Graph{g: g.g.Clone(), marked: append([]int(nil), g.marked...)}
 	cfg, err := private.config()

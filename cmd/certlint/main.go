@@ -1,0 +1,70 @@
+// Command certlint runs the repo's project-specific static analyzers —
+// the determinism, hardening, and cancellation invariants encoded in
+// internal/lint — over a set of packages, multichecker style.
+//
+//	certlint ./...            # lint the whole module (CI does this)
+//	certlint -list            # show the analyzers and what each guards
+//	certlint -dir m ./pkg     # lint a package of another module
+//
+// Exit codes: 0 clean, 1 unsuppressed findings, 2 the packages did not
+// load (bad pattern, syntax error, type error).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("certlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory (module root) to resolve patterns in")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: certlint [-dir d] [-list] [package patterns]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "certlint:", err)
+		return 2
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(stderr, "certlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "certlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

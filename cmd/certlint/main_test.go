@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The multichecker's contract: 0 on a clean module, 1 when any
+// unsuppressed finding survives, 2 when the packages do not load.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		out  string // substring of stdout
+		errS string // substring of stderr
+	}{
+		{
+			name: "clean module",
+			args: []string{"-dir", "../../internal/lint/testdata/src/clean", "./..."},
+			exit: 0,
+		},
+		{
+			name: "findings",
+			args: []string{"-dir", "../../internal/lint/testdata/src/mapiter", "./..."},
+			exit: 1,
+			out:  "nondeterministic order",
+			errS: "finding(s)",
+		},
+		{
+			name: "type error",
+			args: []string{"-dir", "../../internal/lint/testdata/src/broken", "./..."},
+			exit: 2,
+			errS: "undefinedIdentifier",
+		},
+		{
+			name: "bad pattern",
+			args: []string{"-dir", "../../internal/lint/testdata/src/clean", "./nonexistent"},
+			exit: 2,
+		},
+		{
+			name: "list",
+			args: []string{"-list"},
+			exit: 0,
+			out:  "mapiter",
+		},
+		{
+			name: "bad flag",
+			args: []string{"-definitely-not-a-flag"},
+			exit: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(&stdout, &stderr, tc.args)
+			if got != tc.exit {
+				t.Fatalf("exit = %d, want %d (stdout %q, stderr %q)", got, tc.exit, stdout.String(), stderr.String())
+			}
+			if tc.out != "" && !strings.Contains(stdout.String(), tc.out) {
+				t.Errorf("stdout %q missing %q", stdout.String(), tc.out)
+			}
+			if tc.errS != "" && !strings.Contains(stderr.String(), tc.errS) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.errS)
+			}
+		})
+	}
+}
+
+// TestListNamesEveryAnalyzer keeps -list in sync with the suite.
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run(&stdout, &stderr, []string{"-list"}); got != 0 {
+		t.Fatalf("-list exit = %d", got)
+	}
+	for _, name := range []string{"mapiter", "oncecopy", "ctxpoll", "wirecap", "errtaxonomy"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -96,7 +96,9 @@ func (p Colorable) Join(a, b Table, spec JoinSpec) (Table, error) {
 	}
 	out := &colorTable{nb: len(spec.Res), set: map[string]struct{}{}}
 	merged := make([]int, spec.NM)
+	//lint:certlint ignore mapiter merged-coloring set union: each (ka,kb) pair inserts one content-keyed element, independent of visit order
 	for ka := range ta.set {
+		//lint:certlint ignore mapiter inner factor of the same order-independent product union
 		for kb := range tb.set {
 			for i := range merged {
 				merged[i] = -1

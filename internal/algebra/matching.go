@@ -129,7 +129,9 @@ func (PerfectMatching) Join(a, b Table, spec JoinSpec) (Table, error) {
 		}
 		out.masks[mask] = struct{}{}
 	}
+	//lint:certlint ignore mapiter merged-mask set union: each (ma,mb) pair inserts one content-keyed mask, independent of visit order
 	for ma := range ta.masks {
+		//lint:certlint ignore mapiter inner factor of the same order-independent product union
 		for mb := range tb.masks {
 			merged := make([]bool, spec.NM)
 			ok := true

@@ -104,6 +104,7 @@ func (r *Registry) internLocked(c *Class) int {
 // never aliases.
 func RegistryFromTable(classes map[int]*Class) (*Registry, error) {
 	r := NewRegistry()
+	//lint:certlint ignore mapiter table validation plus disjoint per-id inserts; only which alias pair an error names varies with order
 	for id, c := range classes {
 		if id < 0 {
 			return nil, fmt.Errorf("algebra: negative class id %d in table", id)
@@ -138,10 +139,12 @@ func (r *Registry) Canonicalize() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	buckets := map[int][]string{}
+	//lint:certlint ignore mapiter bucket collection only; every bucket is sorted before any rank is assigned
 	for key, id := range r.byKey {
 		base := id & (1<<32 - 1)
 		buckets[base] = append(buckets[base], key)
 	}
+	//lint:certlint ignore mapiter buckets are disjoint hash classes; each rewrite touches only its own keys
 	for base, keys := range buckets {
 		if len(keys) < 2 {
 			continue
@@ -162,6 +165,7 @@ func (r *Registry) Canonicalize() {
 			r.byID[id] = classes[rank]
 		}
 	}
+	//lint:certlint ignore mapiter per-key rewrite from the already-canonical byKey table; entries are independent
 	for p := range r.byPtr {
 		r.byPtr[p] = r.byKey[p.Key()]
 	}

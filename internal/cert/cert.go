@@ -6,6 +6,7 @@ package cert
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -102,9 +103,22 @@ type OwnedPayload struct {
 func EdgeToVertex(g *graph.Graph, labels map[graph.Edge]EdgePayload) *VertexAssignment {
 	orient, _ := g.DegeneracyOrientation()
 	out := &VertexAssignment{PerVertex: make([][]OwnedPayload, g.N())}
+	//lint:certlint ignore mapiter per-vertex buckets are sorted by edge immediately after this loop
 	for e, payload := range labels {
 		tail := orient[e]
 		out.PerVertex[tail] = append(out.PerVertex[tail], OwnedPayload{Edge: e, Payload: payload})
+	}
+	// The map iteration above lands each vertex's payloads in a random
+	// order; sort by edge so the assignment is a deterministic function of
+	// the labeling (certlint mapiter caught this).
+	for _, payloads := range out.PerVertex {
+		sort.Slice(payloads, func(i, j int) bool {
+			a, b := payloads[i].Edge, payloads[j].Edge
+			if a.U != b.U {
+				return a.U < b.U
+			}
+			return a.V < b.V
+		})
 	}
 	out.MaxOutDegree = orient.MaxOutDegree()
 	return out

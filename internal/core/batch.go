@@ -209,6 +209,7 @@ func (b *Batch) VerifyAll(cfg *cert.Config, labelings map[string]*Labeling) (map
 // VerifyAllCtx is VerifyAll honoring a context: cancellation drains each
 // property's verification pool and returns ctx.Err().
 func (b *Batch) VerifyAllCtx(ctx context.Context, cfg *cert.Config, labelings map[string]*Labeling) (map[string][]bool, error) {
+	//lint:certlint ignore mapiter,ctxpoll membership validation bounded by the property count; early error only, no bytes produced
 	for name := range labelings {
 		if _, known := b.schemes[name]; !known {
 			return nil, fmt.Errorf("core: no scheme in batch for property %q", name)

@@ -174,6 +174,7 @@ func NewIncremental(ctx context.Context, cfg *cert.Config, props []algebra.Prope
 	}
 	inc := &Incremental{cfg: cfg, opts: opts}
 	seen := map[string]bool{}
+	//lint:certlint ignore ctxpoll name validation bounded by the configured property count; no proving work
 	for _, p := range props {
 		name := p.Name()
 		if name == "" {
@@ -346,6 +347,7 @@ func (inc *Incremental) UpdateBatch(ctx context.Context, edits []Edit) (*UpdateS
 	us := &UpdateStats{}
 	if len(edits) == 0 {
 		us.PerProperty = make(map[string]*Stats, len(inc.stats))
+		//lint:certlint ignore ctxpoll stats copy bounded by the property count; ctx was polled on entry
 		for name, s := range inc.stats {
 			cp := *s
 			us.PerProperty[name] = &cp

@@ -694,6 +694,7 @@ func (enc *encoder) buildLabels(prev *encoder, prevLab *Labeling, ru *reuseCount
 		}
 	}
 	// Root-anchor pointing scheme (Proposition 2.2), shared by the structure.
+	//lint:certlint ignore mapiter per-edge field set: each iteration writes one distinct label's Pointing, never shared state
 	for e, pl := range sp.pointing {
 		p := pl
 		labeling.Edges[e].Pointing = &p

@@ -555,6 +555,7 @@ func memberFoldEqual(pa *nodeArtifact, mi lanewidth.MemberInfo, cfg *cert.Config
 	if len(pa.mergedOutIDs) != len(mi.MergedOut) {
 		return false
 	}
+	//lint:certlint ignore mapiter universal predicate with early false; the verdict is order independent
 	for l, v := range mi.MergedOut {
 		id, ok := pa.mergedOutIDs[l]
 		if !ok || id != cfg.IDs[v] {

@@ -183,6 +183,7 @@ func (s *Scheme) reconstructCompletion(view *VertexView) ([]completionEdge, bool
 			g.entries = append(g.entries, e)
 		}
 	}
+	//lint:certlint ignore mapiter per-group validation with early reject; the verdict is order independent
 	for key, g := range groups {
 		uid, vid := key[0], key[1]
 		if uid == vid {
@@ -325,6 +326,7 @@ func (s *Scheme) validLanes(lanes []int) bool {
 // kind shapes, class recomputations (Lemma 6.4 and Proposition 6.1), and
 // tree-member folds (Lemma 6.5).
 func (s *Scheme) checkEntryStructure(entries map[int]*NodeEntry) bool {
+	//lint:certlint ignore mapiter per-entry validation with early reject; the verdict is order independent
 	for _, e := range entries {
 		switch e.Kind {
 		case lanewidth.ENode:
@@ -543,6 +545,7 @@ func (s *Scheme) checkRoles(view *VertexView, ces []completionEdge, entries map[
 		}
 	}
 
+	//lint:certlint ignore mapiter per-entry validation with early reject; the verdict is order independent
 	for _, e := range entries {
 		switch e.Kind {
 		case lanewidth.ENode:

@@ -1,0 +1,96 @@
+// Package analysis is a self-contained, offline reimplementation of the
+// golang.org/x/tools/go/analysis surface that certlint needs: an Analyzer
+// is a named check with a Run function, a Pass hands the Run function one
+// type-checked package, and Report collects diagnostics.
+//
+// The subset is deliberate. The repo must build without network access, so
+// it cannot depend on x/tools; everything here rides on the standard
+// library's go/ast and go/types. Analyzers written against this package
+// keep the upstream shape (Name/Doc/Run, Pass.Reportf), so porting them to
+// the real go/analysis multichecker later is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one certlint check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in suppression
+	// comments (//lint:certlint ignore <name> <reason>).
+	Name string
+
+	// Doc is a one-paragraph description: the invariant guarded and the
+	// bug class that motivated it.
+	Doc string
+
+	// Scope restricts the analyzer to packages whose import path equals
+	// one of these entries or ends with "/"+entry. An empty Scope means
+	// every package. Scoping by path suffix (not full path) lets
+	// analysistest fixture modules reproduce the production package
+	// layout under a different module name.
+	Scope []string
+
+	// Exclude removes packages from Scope with the same suffix
+	// semantics ("cmd/certify" keeps the CLI out of a "certify" scope).
+	Exclude []string
+
+	// Run performs the check on one package and reports findings via
+	// pass.Report. The returned value is ignored by the driver; it
+	// exists to keep the upstream go/analysis signature.
+	Run func(pass *Pass) (any, error)
+}
+
+// AppliesTo reports whether the analyzer's Scope admits the import path.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	for _, s := range a.Exclude {
+		if importPath == s || hasPathSuffix(importPath, s) {
+			return false
+		}
+	}
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if importPath == s || hasPathSuffix(importPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}
+
+// Pass connects an Analyzer to the single package it is being run on.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}

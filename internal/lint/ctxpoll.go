@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxPoll flags loops in context-taking entry points of internal/core,
+// internal/lanes, and internal/msoc that neither poll the context nor
+// call into something that can. PR 4 plumbed context end to end so a
+// cancelled request drains promptly; every new long pass added since is a
+// fresh chance to reintroduce an unbounded stretch of work between polls.
+//
+// A function is checked when it has a context.Context parameter and is an
+// entry point — exported, or named with the repo's *Ctx suffix. Within it,
+// only outermost loops are judged (an inner loop runs under the outer
+// loop's polling granularity). A loop counts as polling when its body
+// mentions any context.Context-typed value (ctx.Err(), ctx.Done(),
+// select on ctx, or passing ctx into a callee) or calls a helper whose
+// name marks it as a polling wrapper (contains "poll", case-insensitive).
+//
+// Constant-bounded setup loops that provably cannot run long are
+// suppressed in place with //lint:certlint ignore ctxpoll <reason>.
+var CtxPoll = &analysis.Analyzer{
+	Name:  "ctxpoll",
+	Doc:   "flag loops in ctx entry points with no cancellation poll on any path",
+	Scope: []string{"internal/core", "internal/lanes", "internal/msoc"},
+	Run:   runCtxPoll,
+}
+
+func runCtxPoll(pass *analysis.Pass) (any, error) {
+	for _, fd := range funcDecls(pass) {
+		if !ctxEntryPoint(pass, fd) {
+			continue
+		}
+		checkOutermostLoops(pass, fd.Body.List)
+	}
+	return nil, nil
+}
+
+// ctxEntryPoint reports whether fd is an exported (or *Ctx-suffixed)
+// function with a context.Context parameter.
+func ctxEntryPoint(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() && !strings.HasSuffix(fd.Name.Name, "Ctx") {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		if t := typeOf(pass, p.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkOutermostLoops walks statements, reporting each outermost loop
+// that does not poll; a polling outer loop bounds its inner loops, so the
+// walk does not descend into loops at all.
+func checkOutermostLoops(pass *analysis.Pass, stmts []ast.Stmt) {
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			case *ast.FuncLit:
+				// A deferred or goroutine body is its own schedule;
+				// loops inside it are not on this entry point's path.
+				return false
+			default:
+				return true
+			}
+			if !pollsCtx(pass, body) {
+				pass.Reportf(n.Pos(),
+					"loop in ctx entry point never polls the context; add a ctx.Err() check or route the work through a polling helper")
+			}
+			return false
+		})
+	}
+}
+
+// pollsCtx reports whether the loop body can observe cancellation: it
+// mentions a context.Context-typed value anywhere, or calls a function
+// whose name identifies it as a polling helper.
+func pollsCtx(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		switch n := n.(type) {
+		case ast.Expr:
+			if t := typeOf(pass, n); t != nil && isContextType(t) {
+				polls = true
+				return false
+			}
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if strings.Contains(strings.ToLower(calleeName(call)), "poll") {
+				polls = true
+				return false
+			}
+		}
+		return true
+	})
+	return polls
+}

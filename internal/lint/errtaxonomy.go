@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrTaxonomy enforces the PR 4 error taxonomy on the public boundary:
+// every error the certify facade or certify/serve returns must wrap a
+// typed sentinel, so callers can errors.Is their way to an exit code or
+// an HTTP status instead of string-matching. Concretely it flags, inside
+// function bodies of those packages:
+//
+//   - fmt.Errorf with a format string that carries no %w verb, and
+//   - errors.New (outside package-level sentinel declarations),
+//
+// whenever the fresh error escapes raw — via return, assignment, or a
+// channel send. An error built directly inside a call argument is exempt:
+// it is being handed to a wrapper (wrapErr, writeError, errors.Join) that
+// owns attaching the sentinel.
+var ErrTaxonomy = &analysis.Analyzer{
+	Name:    "errtaxonomy",
+	Doc:     "flag untyped errors escaping the certify facade and certify/serve",
+	Scope:   []string{"certify", "certify/serve"},
+	Exclude: []string{"cmd/certify"},
+	Run:     runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *analysis.Pass) (any, error) {
+	for _, fd := range funcDecls(pass) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkErrExpr(pass, r)
+				}
+			case *ast.AssignStmt:
+				for _, r := range n.Rhs {
+					checkErrExpr(pass, r)
+				}
+			case *ast.SendStmt:
+				checkErrExpr(pass, n.Value)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkErrExpr flags e when it constructs an untyped error in place.
+func checkErrExpr(pass *analysis.Pass, e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	switch {
+	case isPkgCall(pass, call, "errors", "New"):
+		pass.Reportf(call.Pos(),
+			"errors.New escapes the facade untyped; wrap a package sentinel (fmt.Errorf with %%w) so callers can errors.Is it")
+	case isPkgCall(pass, call, "fmt", "Errorf"):
+		if format, ok := errorfFormat(call); ok && !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf without %%w escapes the facade untyped; wrap a package sentinel so callers can errors.Is it")
+		}
+	}
+}
+
+// errorfFormat extracts fmt.Errorf's format string when it is a literal.
+// Non-literal formats cannot be checked and are left alone.
+func errorfFormat(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

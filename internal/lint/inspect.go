@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// This file is the shared AST/type-walking core the five analyzers ride
+// on: type predicates ("does this struct carry a sync.Once cache", "is
+// this expression a context.Context") and small traversal helpers.
+
+// carriesOnce reports whether a value of type t embeds a sync.Once by
+// value — directly, through nested struct fields, through named types, or
+// through arrays — so that copying the value copies the Once. Indirection
+// (pointers, slices, maps, channels, interfaces) stops the walk: copying
+// a pointer to a Once-carrying struct is fine.
+func carriesOnce(t types.Type) bool {
+	return carriesOnceSeen(t, make(map[types.Type]bool))
+}
+
+func carriesOnceSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isSyncOnce(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesOnceSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return carriesOnceSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+func isSyncOnce(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Once" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// typeOf is pass.TypesInfo.TypeOf with a nil guard.
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return pass.TypesInfo.TypeOf(e)
+}
+
+// calleeName returns the bare name of a call's function — "f" for f(...),
+// "m" for recv.m(...) — and "" when the callee is not an identifier or
+// selector (e.g. a call of a function literal).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// isPkgCall reports whether the call is pkgName.funcName(...) resolving to
+// the package with the given import path.
+func isPkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, funcName string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != funcName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// callPkgPath returns the import path of the package a pkg.Func(...) call
+// resolves to, or "" for method calls and local calls.
+func callPkgPath(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// isBuiltin reports whether the call invokes the named Go builtin.
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// funcDecls yields every function declaration in the package with a body.
+func funcDecls(pass *analysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// objOf resolves the object an identifier uses or defines.
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

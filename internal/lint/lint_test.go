@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer runs over a fixture module reproducing the real past bug
+// class it guards against, with want comments on every line that must be
+// flagged and none elsewhere (so the negative idioms are pinned too).
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, "testdata/src/mapiter", lint.MapIter)
+}
+
+func TestOnceCopy(t *testing.T) {
+	linttest.Run(t, "testdata/src/oncecopy", lint.OnceCopy)
+}
+
+func TestCtxPoll(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxpoll", lint.CtxPoll)
+}
+
+func TestWireCap(t *testing.T) {
+	linttest.Run(t, "testdata/src/wirecap", lint.WireCap)
+}
+
+func TestErrTaxonomy(t *testing.T) {
+	linttest.Run(t, "testdata/src/errtaxonomy", lint.ErrTaxonomy)
+}
+
+// TestCleanModule pins that the whole suite accepts the clean fixture.
+func TestCleanModule(t *testing.T) {
+	linttest.NoFindings(t, "testdata/src/clean", lint.Analyzers()...)
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		if got := lint.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if lint.ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}

@@ -1,0 +1,110 @@
+// Package linttest is certlint's analysistest: it loads a fixture module
+// from a testdata directory, runs analyzers over it, and matches the
+// diagnostics against `// want` expectations written next to the code
+// that should (or should not) be flagged.
+//
+// Expectation syntax, one per source line, mirroring x/tools'
+// analysistest:
+//
+//	m[k] = append(m[k], v) // want `nondeterministic order`
+//
+// The backquoted text is a regular expression that must match the
+// message of a diagnostic reported on that line. A line with no want
+// comment must produce no diagnostics; a want comment with no matching
+// diagnostic fails the test.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads the fixture module rooted at dir and checks the analyzers'
+// findings against the fixture's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						if strings.Contains(c.Text, "// want ") {
+							t.Errorf("%s: malformed want comment (use // want `regexp`): %s",
+								pkg.Fset.Position(c.Pos()), c.Text)
+						}
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp: %v", pkg.Fset.Position(c.Pos()), err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := wantKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, f := range findings {
+		key := wantKey{f.Position.Filename, f.Position.Line}
+		ok := false
+		for _, re := range wants[key] {
+			if re.MatchString(f.Message) {
+				matched[re] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: expected a finding matching %q, got none", key.file, key.line, re)
+			}
+		}
+	}
+}
+
+// NoFindings asserts the analyzers come up clean on the fixture module —
+// used to pin that suppression comments and safe idioms are respected.
+func NoFindings(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,161 @@
+// Package loader type-checks the packages certlint analyzes without
+// depending on golang.org/x/tools/go/packages (the container has no
+// network, so the repo is standard-library only).
+//
+// The strategy mirrors what go/packages does in LoadTypes mode: run
+// `go list -export -deps -json` to obtain, for every package in the
+// dependency closure, the path to its compiled export data in the build
+// cache; then parse and type-check only the requested packages from
+// source, resolving their imports through go/importer's gc importer with
+// a lookup function that opens those export files. The go command
+// compiles export data on demand from the local module and GOROOT, so
+// the whole pipeline works offline.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path, e.g. repro/internal/core
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listed mirrors the subset of `go list -json` output the loader reads.
+type listed struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (a module root or subdirectory) and returns
+// the matched packages, parsed and type-checked from source. Dependencies
+// are resolved from build-cache export data, never re-parsed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every package in the closure, keyed by import
+	// path. The gc importer consults this map through its lookup hook.
+	exports := make(map[string]string)
+	var targets []*listed
+	for _, p := range pkgs {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, t *listed) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: typecheck %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		Path:  t.ImportPath,
+		Name:  t.Name,
+		Dir:   t.Dir,
+		Fset:  fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}, nil
+}
+
+func goList(dir string, patterns []string) ([]*listed, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go list: %w\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listed
+	for {
+		var p listed
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

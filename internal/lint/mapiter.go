@@ -1,0 +1,464 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapIter flags `for range` over a map inside the certificate-byte-
+// producing packages. Unordered map iteration is exactly how the
+// byte-identity guarantee (DESIGN.md §10: identical certificates at every
+// worker count, pinned since PR 2) dies: any map-ordered traversal that
+// feeds an encoder, an id assignment, or a slice emits bytes in a
+// different order on the next run.
+//
+// A range is accepted without a suppression in exactly two shapes, both
+// provably order-independent:
+//
+//   - sorted sink: the loop body only collects keys/values into slices,
+//     and every such slice is later passed to a sort.* / slices.Sort*
+//     call (or a local sort helper) in the same function;
+//   - commutative aggregate: every statement in the body is an
+//     order-independent accumulation — op-assignments (+= -= *= |= &= ^=
+//     &^=), counters, running min/max updates, inserts into another map
+//     that read no loop-carried state, writes into fresh per-iteration
+//     scratch, delete, local declarations, and if/switch dispatch over
+//     those.
+//
+// Everything else needs //lint:certlint ignore mapiter <reason>.
+var MapIter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag unordered map iteration where certificate bytes are produced",
+	Scope: []string{
+		"internal/core", "internal/algebra", "internal/cert",
+		"internal/bits", "internal/msoc", "certify",
+	},
+	Exclude: []string{"cmd/certify"},
+	Run:     runMapIter,
+}
+
+func runMapIter(pass *analysis.Pass) (any, error) {
+	for _, fd := range funcDecls(pass) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := typeOf(pass, rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if mapIterSafe(pass, fd, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s iterates in nondeterministic order; sort the keys first or keep the body a commutative aggregate",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// mapIterSafe reports whether the range is one of the two accepted shapes.
+func mapIterSafe(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	st := bodyState(pass, rng.Body)
+	if sinks, ok := collectsIntoSlices(pass, rng, st); ok && allSorted(pass, fd, rng, sinks) {
+		return true
+	}
+	return commutativeStmts(pass, rng.Body.List, st)
+}
+
+// loopState is what the commutativity rules know about the loop body's
+// variables, keyed by types.Object so shadowing and selector field names
+// (which resolve to field objects, never variables) cannot confuse it.
+type loopState struct {
+	// mutated holds every loop-carried write target: op-assign and
+	// plain-assign roots and ++/-- operands, minus fresh scratch. A map
+	// insert whose key or value reads one of these — `ids[k] = next;
+	// next++`, the id-churn bug class PR 6 removed from algebra.Registry —
+	// is order dependent even though each statement looks commutative in
+	// isolation.
+	mutated map[types.Object]bool
+	// fresh holds locals the body provably re-creates every iteration: a
+	// := or var whose initializer is make(), a composite literal, or a
+	// basic literal (never an alias of outer state). Writes into fresh
+	// scratch stay inside one iteration and carry nothing across.
+	fresh map[types.Object]bool
+}
+
+func bodyState(pass *analysis.Pass, body *ast.BlockStmt) loopState {
+	st := loopState{
+		mutated: make(map[types.Object]bool),
+		fresh:   make(map[types.Object]bool),
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && freshExpr(pass, n.Rhs[i]) {
+							if obj := objOf(pass, id); obj != nil {
+								st.fresh[obj] = true
+							}
+						}
+					}
+				}
+			} else {
+				for _, lhs := range n.Lhs {
+					addRoot(pass, st.mutated, lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			addRoot(pass, st.mutated, n.X)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) != 0 {
+						continue
+					}
+					// var x T with no initializer: zero value, fresh.
+					for _, id := range vs.Names {
+						if obj := objOf(pass, id); obj != nil {
+							st.fresh[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj := range st.fresh {
+		delete(st.mutated, obj)
+	}
+	return st
+}
+
+// freshExpr reports whether the initializer provably builds a new value
+// each time (no aliasing of state outside the iteration).
+func freshExpr(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, isLit := x.X.(*ast.CompositeLit)
+		return x.Op == token.AND && isLit
+	case *ast.CallExpr:
+		return isBuiltin(pass, x, "make")
+	case *ast.Ident:
+		return x.Name == "true" || x.Name == "false" || x.Name == "nil"
+	}
+	return false
+}
+
+// addRoot records the root object of a write target: the ident under any
+// chain of index, selector, and deref steps.
+func addRoot(pass *analysis.Pass, set map[types.Object]bool, e ast.Expr) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := objOf(pass, x); obj != nil {
+				set[obj] = true
+			}
+			return
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// rootIdent returns the ident under a chain of index/selector/deref steps,
+// or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// collectsIntoSlices reports whether every statement in the loop body is
+// either `s = append(s, ...)` into a local slice or a qualifying aggregate
+// statement, and returns the objects of the appended-to slices. A loop
+// with no appends returns ok=false so it falls through to the aggregate
+// check alone.
+func collectsIntoSlices(pass *analysis.Pass, rng *ast.RangeStmt, st loopState) (map[types.Object]bool, bool) {
+	sinks := make(map[types.Object]bool)
+	for _, s := range rng.Body.List {
+		if obj := appendTarget(pass, s); obj != nil {
+			sinks[obj] = true
+			continue
+		}
+		if !commutativeStmt(pass, s, st) {
+			return nil, false
+		}
+	}
+	return sinks, len(sinks) > 0
+}
+
+// appendTarget matches `s = append(s, ...)` / `s = append(s, ...)` inside
+// a one-armed if (conditional collect) and returns s's object.
+func appendTarget(pass *analysis.Pass, st ast.Stmt) types.Object {
+	if ifs, ok := st.(*ast.IfStmt); ok && ifs.Else == nil && ifs.Init == nil && len(ifs.Body.List) == 1 {
+		return appendTarget(pass, ifs.Body.List[0])
+	}
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call, "append") || len(call.Args) < 2 {
+		return nil
+	}
+	arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || arg0.Name != lhs.Name {
+		return nil
+	}
+	return objOf(pass, lhs)
+}
+
+// allSorted reports whether each sink slice appears as an argument to a
+// recognized sorting call after the loop, still inside the function.
+func allSorted(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, sinks map[types.Object]bool) bool {
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if obj := objOf(pass, id); obj != nil && sinks[obj] {
+						sorted[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	for obj := range sinks {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSortCall recognizes the standard library sorting entry points plus
+// any function whose name starts with "sort" or "Sort" (local helpers
+// like sortEdges/sortKeys count as sinks too).
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if p := callPkgPath(pass, call); p == "sort" || p == "slices" {
+		return true
+	}
+	name := calleeName(call)
+	return len(name) >= 4 && (name[:4] == "sort" || name[:4] == "Sort")
+}
+
+// commutativeStmts reports whether every statement is an order-independent
+// accumulation, so running the loop in any iteration order produces the
+// same final state.
+func commutativeStmts(pass *analysis.Pass, stmts []ast.Stmt, st loopState) bool {
+	for _, s := range stmts {
+		if !commutativeStmt(pass, s, st) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(pass *analysis.Pass, stmt ast.Stmt, st loopState) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+			return true
+		case token.DEFINE:
+			// Local temporaries recomputed per iteration are fine.
+			return true
+		case token.ASSIGN:
+			// Writing into fresh per-iteration scratch stays inside one
+			// iteration; inserting into another map is a set-union. Both
+			// are order independent as long as neither the key nor the
+			// value reads loop-carried state or accumulates per-key
+			// order (no appends on the RHS).
+			for _, lhs := range s.Lhs {
+				if id := rootIdent(lhs); id != nil {
+					if obj := objOf(pass, id); obj != nil && st.fresh[obj] {
+						continue
+					}
+				}
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				t := typeOf(pass, ix.X)
+				if t == nil {
+					return false
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return false
+				}
+				if readsMutated(pass, ix.Index, st) {
+					return false
+				}
+			}
+			for _, rhs := range s.Rhs {
+				if containsAppend(pass, rhs) || readsMutated(pass, rhs, st) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.IncDecStmt:
+		return true
+	case *ast.DeclStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		return ok && isBuiltin(pass, call, "delete")
+	case *ast.IfStmt:
+		if isMinMaxUpdate(pass, s, st) {
+			return true
+		}
+		if s.Else != nil && !commutativeStmt(pass, s.Else, st) {
+			return false
+		}
+		return commutativeStmts(pass, s.Body.List, st)
+	case *ast.BlockStmt:
+		return commutativeStmts(pass, s.List, st)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && !commutativeStmts(pass, cc.Body, st) {
+				return false
+			}
+		}
+		return true
+	case *ast.RangeStmt:
+		// A nested range over a slice with a qualifying body stays
+		// order independent; a nested map range is judged on its own.
+		if t := typeOf(pass, s.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return false
+			}
+		}
+		return commutativeStmts(pass, s.Body.List, st)
+	case *ast.ForStmt:
+		return commutativeStmts(pass, s.Body.List, st)
+	case *ast.BranchStmt:
+		// continue is harmless; break/goto make which elements run
+		// order-dependent.
+		return s.Tok == token.CONTINUE
+	}
+	// break, return, calls with effects, sends, …: order could matter.
+	return false
+}
+
+// isMinMaxUpdate matches the running-extremum idiom
+//
+//	if v > best { best = v }                    (and <, >=, <=)
+//	if b := el.Bits(); b > best { best = b }
+//
+// which is commutative: max and min over an unordered set do not depend on
+// visit order. The guard must compare exactly the assigned value against
+// exactly the accumulator, and the value must not read loop-carried state.
+func isMinMaxUpdate(pass *analysis.Pass, s *ast.IfStmt, st loopState) bool {
+	if s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	if s.Init != nil {
+		init, ok := s.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE {
+			return false
+		}
+		for _, rhs := range init.Rhs {
+			if readsMutated(pass, rhs, st) {
+				return false
+			}
+		}
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	acc, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	cond, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	if readsMutated(pass, as.Rhs[0], st) {
+		return false
+	}
+	val := types.ExprString(ast.Unparen(as.Rhs[0]))
+	left := types.ExprString(ast.Unparen(cond.X))
+	right := types.ExprString(ast.Unparen(cond.Y))
+	return (left == val && right == acc.Name) || (left == acc.Name && right == val)
+}
+
+// readsMutated reports whether the expression references a loop-carried
+// variable (see loopState). Selector field names resolve to field objects,
+// so `inc.labs` does not count as a read of a local named labs.
+func readsMutated(pass *analysis.Pass, e ast.Expr, st loopState) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objOf(pass, id); obj != nil && st.mutated[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func containsAppend(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

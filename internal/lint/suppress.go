@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// suppressPrefix introduces an in-diff audited exception:
+//
+//	//lint:certlint ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The comment suppresses findings of the named analyzers on its own line
+// and on the line directly below it (so it can sit at the end of the
+// flagged line or on its own line above). The reason is mandatory.
+const suppressPrefix = "//lint:certlint"
+
+// suppressions maps (file, line) to the analyzers suppressed there.
+type suppressSet map[suppressKey]bool
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func (s suppressSet) covers(analyzer string, pos token.Position) bool {
+	return s[suppressKey{pos.Filename, pos.Line, analyzer}] ||
+		s[suppressKey{pos.Filename, pos.Line - 1, analyzer}]
+}
+
+// suppressions scans a package's comments for certlint suppression
+// directives. Malformed directives — a missing reason, an unknown
+// analyzer, or a truncated comment — come back as findings so that a typo
+// can never silently disable a check.
+func suppressions(pkg *loader.Package, analyzers []*analysis.Analyzer) (suppressSet, []Finding) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	set := make(suppressSet)
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{
+			Diagnostic: analysis.Diagnostic{Analyzer: "suppression", Pos: pos, Message: msg},
+			Position:   pkg.Fset.Position(pos),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, suppressPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 1 || fields[0] != "ignore" {
+					report(c.Pos(), "malformed certlint directive: want //lint:certlint ignore <analyzer> <reason>")
+					continue
+				}
+				if len(fields) < 3 {
+					report(c.Pos(), "certlint suppression needs an analyzer name and a non-empty reason")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[1], ",") {
+					if !known[name] {
+						report(c.Pos(), "certlint suppression names unknown analyzer "+name)
+						continue
+					}
+					set[suppressKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,145 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+// writeModule materializes a one-package fixture module in a temp dir.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	pkgDir := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module certlint.tmp\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runOver(t *testing.T, dir string) []lint.Finding {
+	t.Helper()
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return findings
+}
+
+const flaggedLoop = `package core
+
+func Keys(m map[int]int) []int {
+	var out []int
+%s	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+func TestSuppressionSilencesFinding(t *testing.T) {
+	src := strings.ReplaceAll(flaggedLoop, "%s", "\t//lint:certlint ignore mapiter order reaches no bytes in this fixture\n")
+	if got := runOver(t, writeModule(t, src)); len(got) != 0 {
+		t.Errorf("suppressed finding still reported: %v", got)
+	}
+}
+
+func TestSuppressionCommaListSilencesEachNamed(t *testing.T) {
+	src := strings.ReplaceAll(flaggedLoop, "%s", "\t//lint:certlint ignore mapiter,ctxpoll order reaches no bytes in this fixture\n")
+	if got := runOver(t, writeModule(t, src)); len(got) != 0 {
+		t.Errorf("comma-list suppression still reported findings: %v", got)
+	}
+}
+
+func TestSuppressionCommaListUnknownNameIsAFinding(t *testing.T) {
+	src := strings.ReplaceAll(flaggedLoop, "%s", "\t//lint:certlint ignore mapiter,nosuch covers the loop anyway\n")
+	got := runOver(t, writeModule(t, src))
+	var sup, mapiter bool
+	for _, f := range got {
+		switch f.Analyzer {
+		case "suppression":
+			sup = strings.Contains(f.Message, "nosuch")
+		case "mapiter":
+			mapiter = true
+		}
+	}
+	if !sup {
+		t.Errorf("unknown name in comma list not reported: %v", got)
+	}
+	if mapiter {
+		t.Errorf("the known name in the list must still suppress: %v", got)
+	}
+}
+
+func TestSuppressionWrongAnalyzerDoesNotSilence(t *testing.T) {
+	src := strings.ReplaceAll(flaggedLoop, "%s", "\t//lint:certlint ignore ctxpoll wrong analyzer on purpose\n")
+	got := runOver(t, writeModule(t, src))
+	if len(got) != 1 || got[0].Analyzer != "mapiter" {
+		t.Errorf("want the mapiter finding to survive, got %v", got)
+	}
+}
+
+func TestSuppressionWithoutReasonIsAFinding(t *testing.T) {
+	src := strings.ReplaceAll(flaggedLoop, "%s", "\t//lint:certlint ignore mapiter\n")
+	got := runOver(t, writeModule(t, src))
+	var sup, mapiter bool
+	for _, f := range got {
+		switch f.Analyzer {
+		case "suppression":
+			sup = true
+			if !strings.Contains(f.Message, "reason") {
+				t.Errorf("suppression finding should demand a reason: %s", f.Message)
+			}
+		case "mapiter":
+			mapiter = true
+		}
+	}
+	if !sup {
+		t.Errorf("reasonless directive not reported: %v", got)
+	}
+	if !mapiter {
+		t.Errorf("reasonless directive must not suppress the underlying finding: %v", got)
+	}
+}
+
+func TestSuppressionUnknownAnalyzerIsAFinding(t *testing.T) {
+	src := strings.ReplaceAll(flaggedLoop, "%s", "\t//lint:certlint ignore nosuch because reasons\n")
+	got := runOver(t, writeModule(t, src))
+	found := false
+	for _, f := range got {
+		if f.Analyzer == "suppression" && strings.Contains(f.Message, "nosuch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unknown-analyzer directive not reported: %v", got)
+	}
+}
+
+func TestMalformedDirectiveIsAFinding(t *testing.T) {
+	src := strings.ReplaceAll(flaggedLoop, "%s", "\t//lint:certlint silence mapiter please\n")
+	got := runOver(t, writeModule(t, src))
+	found := false
+	for _, f := range got {
+		if f.Analyzer == "suppression" && strings.Contains(f.Message, "malformed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("malformed directive not reported: %v", got)
+	}
+}

@@ -1,0 +1,8 @@
+// A module that does not type-check: cmd/certlint's exit-code-2 fixture.
+// (The file is syntactically valid so gofmt stays happy; the undefined
+// identifier fails the loader's type check.)
+package core
+
+func Broken() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,15 @@
+// A minimal module every analyzer comes up clean on: cmd/certlint's
+// exit-code-0 fixture.
+package core
+
+import "sort"
+
+// SortedKeys is the canonical deterministic map traversal.
+func SortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

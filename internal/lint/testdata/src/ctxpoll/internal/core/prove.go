@@ -1,0 +1,86 @@
+// Fixture for the ctxpoll analyzer. The positive case reproduces the
+// PR 4 bug class: a context-taking entry point whose long pass never
+// observes cancellation, so a dropped request keeps burning the prover
+// pool until the pass finishes.
+package core
+
+import "context"
+
+// SweepCtx is the bug class: an exported *Ctx entry point with an
+// unpolled sweep loop.
+func SweepCtx(ctx context.Context, work []int) int {
+	total := 0
+	for _, w := range work { // want `never polls`
+		total += expensive(w)
+	}
+	return total
+}
+
+// SweepPolledCtx polls every iteration, the sanctioned shape.
+func SweepPolledCtx(ctx context.Context, work []int) (int, error) {
+	total := 0
+	for _, w := range work {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += expensive(w)
+	}
+	return total, nil
+}
+
+// BatchCtx delegates each chunk to a ctx-taking helper: the helper owns
+// the polling granularity.
+func BatchCtx(ctx context.Context, chunks [][]int) (int, error) {
+	total := 0
+	for _, c := range chunks {
+		n, err := sumChunkCtx(ctx, c)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// NestedCtx: a polling outer loop bounds its inner loops, so only the
+// outermost loop is judged.
+func NestedCtx(ctx context.Context, rows [][]int) (int, error) {
+	total := 0
+	for _, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total, nil
+}
+
+// SetupCtx's loop is constant-bounded; the audited suppression records
+// why it cannot run long.
+func SetupCtx(ctx context.Context, out []int) {
+	//lint:certlint ignore ctxpoll two-iteration setup loop cannot run long enough to matter
+	for i := 0; i < 2; i++ {
+		out[i] = i
+	}
+}
+
+// sweep is unexported and takes no ctx: its loops run under the polling
+// granularity of whichever entry point calls it.
+func sweep(work []int) int {
+	total := 0
+	for _, w := range work {
+		total += expensive(w)
+	}
+	return total
+}
+
+func expensive(w int) int { return w * w }
+
+func sumChunkCtx(ctx context.Context, c []int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return sweep(c), nil
+}

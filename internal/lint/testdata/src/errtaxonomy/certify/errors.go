@@ -1,0 +1,76 @@
+// Fixture for the errtaxonomy analyzer. The positive cases reproduce the
+// PR 4 bug class: an error escaping the public facade without wrapping a
+// typed sentinel, leaving callers (exit codes, HTTP status mapping) to
+// string-match.
+package certify
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Package-level sentinels are the taxonomy itself, never flagged.
+var (
+	ErrBadCertificate = errors.New("certify: certificate malformed")
+	ErrWrongGraph     = errors.New("certify: certificate is for a different graph")
+)
+
+// ParseHeader is the bug class: an untyped fmt.Errorf escapes.
+func ParseHeader(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("short header (%d bytes)", len(b)) // want `without %w`
+	}
+	return nil
+}
+
+// CheckMagic leaks a naked errors.New.
+func CheckMagic(b []byte) error {
+	if len(b) < 2 || string(b[:2]) != "PL" {
+		return errors.New("bad magic") // want `errors.New escapes`
+	}
+	return nil
+}
+
+// Assemble escapes through an assignment.
+func Assemble(ok bool) error {
+	if !ok {
+		err := fmt.Errorf("assembly failed") // want `without %w`
+		return err
+	}
+	return nil
+}
+
+// DecodeBody wraps the sentinel: the sanctioned shape.
+func DecodeBody(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("%w: empty body", ErrBadCertificate)
+	}
+	return nil
+}
+
+// Report hands the fresh error to a wrapper that owns attaching status;
+// building it in the argument is fine.
+func Report(w io.Writer, code int) {
+	writeError(w, code, errors.New("queue full"))
+}
+
+// Describe returns a formatted string, not an error: fmt.Errorf rules do
+// not apply to fmt.Sprintf.
+func Describe(n int) string {
+	return fmt.Sprintf("%d properties", n)
+}
+
+// NewValidator is an audited exception: the constructor error predates
+// the taxonomy and its one caller switches on nil only.
+func NewValidator(limit int) error {
+	if limit <= 0 {
+		//lint:certlint ignore errtaxonomy constructor misuse is a programming error, not a runtime taxonomy case
+		return errors.New("limit must be positive")
+	}
+	return nil
+}
+
+func writeError(w io.Writer, code int, err error) {
+	fmt.Fprintf(w, "%d: %v\n", code, err)
+}

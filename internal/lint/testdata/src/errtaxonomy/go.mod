@@ -1,0 +1,3 @@
+module certlint.example
+
+go 1.24

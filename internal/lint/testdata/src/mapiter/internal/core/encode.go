@@ -1,0 +1,83 @@
+// Fixture for the mapiter analyzer. The positive cases reproduce the
+// real bug class: PR 2's byte-identity guarantee (identical certificate
+// bytes at every worker count) dies the moment an encoder or id
+// assignment walks a map in iteration order.
+package core
+
+import "sort"
+
+// EncodeLabels is the bug class itself: certificate bytes emitted in map
+// order differ run to run.
+func EncodeLabels(labels map[int][]byte) []byte {
+	var out []byte
+	for _, b := range labels { // want `nondeterministic order`
+		out = append(out, b...)
+	}
+	return out
+}
+
+// AssignIDs is the id-churn variant: traversal-order-dependent ids were
+// exactly what PR 6 had to remove from algebra.Registry.
+func AssignIDs(classes map[string]bool) map[string]int {
+	ids := make(map[string]int)
+	next := 0
+	for key := range classes { // want `nondeterministic order`
+		ids[key] = next
+		next++
+	}
+	return ids
+}
+
+// PerKeyAppend nondeterministically orders each bucket even though the
+// bucket map itself is a set: two source keys can land in one bucket.
+func PerKeyAppend(owner map[int]int) map[int][]int {
+	buckets := make(map[int][]int)
+	for v, lane := range owner { // want `nondeterministic order`
+		buckets[lane] = append(buckets[lane], v)
+	}
+	return buckets
+}
+
+// EncodeSorted is the sanctioned shape: collect, sort, then emit.
+func EncodeSorted(labels map[int][]byte) []byte {
+	keys := make([]int, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, labels[k]...)
+	}
+	return out
+}
+
+// TotalBits is a commutative aggregate: addition is order independent.
+func TotalBits(labels map[int][]byte) int {
+	total := 0
+	for _, b := range labels {
+		total += len(b) * 8
+	}
+	return total
+}
+
+// Invert inserts into another map: set union, order independent.
+func Invert(in map[int]int) map[int]int {
+	out := make(map[int]int, len(in))
+	for k, v := range in {
+		out[v] = k
+	}
+	return out
+}
+
+// AnyNegative would be flagged (early return is order dependent), but the
+// verdict is a pure any(): an audited, in-diff suppression.
+func AnyNegative(m map[int]int) bool {
+	//lint:certlint ignore mapiter boolean any() over the values; no bytes derived from order
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+// Fixture for the oncecopy analyzer. The positive cases reproduce the
+// NodeEntry arena bug class PR 8 dodged by hand: structs carrying a
+// memoized sync.Once encoding cache must never be copied by value or
+// re-initialized by whole-struct literal, because the old cache words may
+// still be observed through pointers held by concurrent verifiers.
+package core
+
+import "sync"
+
+// encCache mirrors internal/core's memoized canonical encoding.
+type encCache struct {
+	once sync.Once
+	data []byte
+}
+
+// NodeEntry carries the cache by value, like the real one.
+type NodeEntry struct {
+	ID    int
+	cache encCache
+}
+
+// ResetSlot is the arena bug: the literal stamps a zero sync.Once over a
+// slot whose previous entry may still be referenced.
+func ResetSlot(arena []NodeEntry, i, id int) {
+	arena[i] = NodeEntry{ID: id} // want `composite literal of`
+}
+
+// Encode takes the entry by value: the copy's Once is detached from the
+// original's, so the memoization races.
+func Encode(e NodeEntry) []byte { // want `parameter`
+	return e.cache.data
+}
+
+// Get returns a copy.
+func Get(arena []NodeEntry, i int) NodeEntry { // want `result`
+	return arena[i] // want `return copies`
+}
+
+// Sum copies each element into the range variable.
+func Sum(entries []NodeEntry) int {
+	total := 0
+	for _, e := range entries { // want `range value copies`
+		total += e.ID
+	}
+	return total
+}
+
+// ResetFieldwise is the sanctioned re-initialization: field by field,
+// leaving the cache words alone.
+func ResetFieldwise(arena []NodeEntry, i, id int) {
+	arena[i].ID = id
+	arena[i].cache.data = nil
+}
+
+// Fresh allocates new storage: &T{…} copies nothing.
+func Fresh(id int) *NodeEntry {
+	return &NodeEntry{ID: id}
+}
+
+// SumPtr walks pointers, never copying.
+func SumPtr(entries []*NodeEntry) int {
+	total := 0
+	for _, e := range entries {
+		total += e.ID
+	}
+	return total
+}

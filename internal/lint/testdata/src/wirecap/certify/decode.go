@@ -1,0 +1,66 @@
+// Fixture for the wirecap analyzer. The positive cases reproduce the
+// PR 5 hostile-header bug class: a short blob declaring an enormous
+// element count must be rejected against the bytes actually remaining,
+// never answered with a size-hinted allocation.
+package certify
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+const (
+	minEdgeBytes = 2
+	maxFrame     = 1 << 16
+)
+
+var errTruncated = errors.New("truncated")
+
+// DecodeHostile is the bug class: make sized straight off the wire.
+func DecodeHostile(r []byte) []uint64 {
+	count, _ := binary.Uvarint(r)
+	out := make([]uint64, 0, count) // want `derives from decoded wire input`
+	return out
+}
+
+// DecodeFrames taints through a local read helper.
+func DecodeFrames(buf []byte) []byte {
+	n := readUint32(buf)
+	frames := make([]byte, n) // want `derives from decoded wire input`
+	return frames
+}
+
+// DecodeCapped bounds the declared count against the remaining buffer
+// before allocating, the PR 5 fix shape.
+func DecodeCapped(r []byte) ([]uint64, error) {
+	count, n := binary.Uvarint(r)
+	if n <= 0 || count > uint64(len(r)-n)/minEdgeBytes {
+		return nil, errTruncated
+	}
+	out := make([]uint64, 0, count)
+	return out, nil
+}
+
+// DecodeMin clamps with the min builtin instead of a branch.
+func DecodeMin(hdr []byte) []byte {
+	sz := int(binary.BigEndian.Uint32(hdr))
+	return make([]byte, min(sz, maxFrame))
+}
+
+// CopyBody sizes the allocation by len() of data already in memory:
+// never attacker-amplified.
+func CopyBody(payload []byte) []byte {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out
+}
+
+// DecodeTrusted reads a size from a checksummed trailer the caller
+// already validated; the audited suppression records why.
+func DecodeTrusted(trailer []byte) []byte {
+	n := binary.BigEndian.Uint16(trailer)
+	//lint:certlint ignore wirecap uint16 size is capped at 64KiB by its own width
+	return make([]byte, n)
+}
+
+func readUint32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// WireCap flags make() calls whose size or capacity argument derives from
+// decoded wire input — a PLSC varint, a distnet frame field, a graphio
+// line token — with no intervening bound check. This is the PR 5
+// hostile-header bug class: a 100-byte blob declaring 2²⁶ edges must be
+// rejected as truncated, never answered with a multi-gigabyte allocation.
+//
+// The check is a per-function, source-order taint pass:
+//
+//   - taint sources: results of decode-shaped calls — binary.Uvarint and
+//     friends, binary.*Endian.UintNN, strconv parsers, and local helpers
+//     whose name says they pull integers off the wire (take/read/decode/
+//     parse/scan prefixes and *Uvarint/*Varint/*Uint suffixes);
+//   - propagation: assignment, arithmetic, and integer conversion keep a
+//     value tainted;
+//   - cleansing: the variable appearing under <, <=, >, >= in any if/for
+//     condition before the allocation (the bound check), or flowing
+//     through the min builtin.
+//
+// make with a still-tainted size argument is reported.
+var WireCap = &analysis.Analyzer{
+	Name: "wirecap",
+	Doc:  "flag wire-derived allocation sizes that reach make() unchecked",
+	Scope: []string{
+		"certify", "certify/distnet", "certify/graphio",
+		"internal/core", "internal/cert", "internal/bits",
+	},
+	Exclude: []string{"cmd/certify"},
+	Run:     runWireCap,
+}
+
+// decodeCallName matches callee names that produce attacker-controlled
+// integers off the wire.
+var decodeCallName = regexp.MustCompile(`(?i)^(take|read|decode|parse|scan|atoi)|(uvarint|varint|uint16|uint32|uint64)$`)
+
+func runWireCap(pass *analysis.Pass) (any, error) {
+	for _, fd := range funcDecls(pass) {
+		checkWireCapFunc(pass, fd.Body)
+	}
+	return nil, nil
+}
+
+// checkWireCapFunc runs the taint pass over one function body. The pass
+// is flow-insensitive across branches but source-ordered: events (taints,
+// bound checks, allocations) are processed in position order, which
+// matches the straight-line shape of every decoder in the repo.
+func checkWireCapFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	type event struct {
+		pos  token.Pos
+		kind int // 0 taint, 1 cleanse, 2 alloc
+		obj  *ast.Ident
+		call *ast.CallExpr
+		arg  ast.Expr
+	}
+	var events []event
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			if !isDecodeCall(pass, n.Rhs[0]) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					events = append(events, event{pos: n.Pos(), kind: 0, obj: id})
+				}
+			}
+		case *ast.IfStmt:
+			for _, id := range comparedIdents(n.Cond) {
+				events = append(events, event{pos: n.Pos(), kind: 1, obj: id})
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				for _, id := range comparedIdents(n.Cond) {
+					events = append(events, event{pos: n.Pos(), kind: 1, obj: id})
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, n, "min") {
+				// min(n, cap) bounds every operand.
+				for _, a := range n.Args {
+					if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+						events = append(events, event{pos: n.Pos(), kind: 1, obj: id})
+					}
+				}
+			}
+			if isBuiltin(pass, n, "make") && len(n.Args) >= 2 {
+				for _, sz := range n.Args[1:] {
+					events = append(events, event{pos: n.Pos(), kind: 2, call: n, arg: sz})
+				}
+			}
+		}
+		return true
+	})
+
+	// Position order = source order within the function.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].pos < events[j-1].pos; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+
+	tainted := make(map[string]bool) // by name: decoders reuse := in nested scopes
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			tainted[ev.obj.Name] = true
+		case 1:
+			delete(tainted, ev.obj.Name)
+		case 2:
+			if id := taintedIn(pass, ev.arg, tainted); id != "" {
+				pass.Reportf(ev.call.Pos(),
+					"make sized by %q, which derives from decoded wire input with no bound check; compare it against the remaining buffer first", id)
+			}
+		}
+	}
+}
+
+// isDecodeCall reports whether e is (or unwraps to) a call whose callee
+// name marks it as pulling sized integers off the wire.
+func isDecodeCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	// int(decode(...)) style conversions: look through a single-argument
+	// call whose argument is itself a call.
+	if len(call.Args) == 1 {
+		if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok && isDecodeCall(pass, inner) {
+			return true
+		}
+	}
+	return decodeCallName.MatchString(calleeName(call))
+}
+
+// comparedIdents returns identifiers appearing under an ordering
+// comparison (<, <=, >, >=) anywhere in the condition. Equality does not
+// cleanse: == is not a bound.
+func comparedIdents(cond ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(sn ast.Node) bool {
+					if id, ok := sn.(*ast.Ident); ok {
+						out = append(out, id)
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// taintedIn returns the name of a tainted identifier reachable in the
+// size expression (through arithmetic and conversions), or "".
+func taintedIn(pass *analysis.Pass, e ast.Expr, tainted map[string]bool) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			// len(x)/cap(x) of anything is bounded by memory already
+			// allocated; do not walk into it.
+			if isBuiltin(pass, call, "len") || isBuiltin(pass, call, "cap") || isBuiltin(pass, call, "min") {
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && tainted[id.Name] {
+			found = id.Name
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -84,6 +84,7 @@ func (p *Prop) Enumerate(ctx context.Context, lanes []int, lim EnumLimits) (Enum
 	}
 
 	var seeds []*algebra.Class
+	//lint:certlint ignore ctxpoll seed loop bounded by the lane budget; the worklist closure below polls every pass
 	for _, bg := range seedPayloads(lanes) {
 		c, err := algebra.BaseClass(p, bg)
 		if err != nil {
